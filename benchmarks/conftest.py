@@ -1,0 +1,28 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark prints the paper-style table it regenerates.  Scale and
+repetitions can be tuned through environment variables:
+
+``SACK_BENCH_SCALE``  — iteration multiplier (default 0.5; 1.0 = full)
+``SACK_BENCH_REPS``   — repetitions for best-of reduction (default 5)
+"""
+
+import os
+import sys
+
+import pytest
+
+SCALE = float(os.environ.get("SACK_BENCH_SCALE", "0.5"))
+REPS = int(os.environ.get("SACK_BENCH_REPS", "5"))
+
+
+@pytest.fixture
+def show(capfd):
+    """Print a report so it reaches the terminal (and any tee) even on
+    passing tests: pytest replays captured output only on failure, so the
+    paper-style tables are emitted with capture suspended."""
+    def _show(text):
+        with capfd.disabled():
+            sys.stdout.write("\n" + text + "\n")
+            sys.stdout.flush()
+    return _show

@@ -1,0 +1,74 @@
+"""E6 — the Fig. 4 case study: unlock car doors only in emergencies.
+
+Runs the full scenario end to end on both prototypes and reports each
+phase's outcome, as the paper's §IV-C-1 narrates it.
+"""
+
+import pytest
+
+from repro.kernel import KernelError
+from repro.vehicle import (DOOR_UNLOCK, EnforcementConfig, build_ivi_world)
+
+
+def run_case_study(config):
+    """Execute the scenario; returns the phase-outcome log."""
+    world = build_ivi_world(config)
+    log = []
+
+    def attempt(phase, fn):
+        try:
+            fn()
+            log.append((phase, "ALLOWED"))
+        except KernelError:
+            log.append((phase, "DENIED"))
+
+    attempt("parked: rescue daemon unlocks doors",
+            lambda: world.device_ioctl("rescue_daemon", "door",
+                                       DOOR_UNLOCK))
+    world.drive_to_speed(60)
+    attempt("driving: rescue daemon unlocks doors",
+            lambda: world.device_ioctl("rescue_daemon", "door",
+                                       DOOR_UNLOCK))
+    world.trigger_crash()
+    attempt("emergency: rescue daemon unlocks doors",
+            lambda: world.rescue_unlock_doors())
+    attempt("emergency: media app unlocks doors",
+            lambda: world.device_ioctl("media_app", "door", DOOR_UNLOCK))
+    world.clear_emergency()
+    attempt("cleared: rescue daemon unlocks doors",
+            lambda: world.device_ioctl("rescue_daemon", "door",
+                                       DOOR_UNLOCK))
+    return world, log
+
+
+EXPECTED = [
+    ("parked: rescue daemon unlocks doors", "DENIED"),
+    ("driving: rescue daemon unlocks doors", "DENIED"),
+    ("emergency: rescue daemon unlocks doors", "ALLOWED"),
+    ("emergency: media app unlocks doors", "DENIED"),
+    ("cleared: rescue daemon unlocks doors", "DENIED"),
+]
+
+
+@pytest.mark.parametrize("config", [EnforcementConfig.SACK_INDEPENDENT,
+                                    EnforcementConfig.SACK_APPARMOR])
+def test_case_study(benchmark, show, config):
+    holder = {}
+
+    def run():
+        holder["result"] = run_case_study(config)
+        return holder["result"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    world, log = holder["result"]
+
+    lines = [f"Case study (Fig. 4) under {config.value}:"]
+    lines.extend(f"  {phase:<45} {verdict}" for phase, verdict in log)
+    lines.append(f"  doors after scenario: "
+                 f"{'unlocked' if not world.devices['door'].all_locked else 'locked'}, "
+                 f"window at {world.devices['window'].position}%")
+    show("\n".join(lines))
+
+    assert log == EXPECTED
+    assert not world.devices["door"].all_locked
+    assert world.devices["window"].position == 100

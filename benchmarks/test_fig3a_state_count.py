@@ -1,0 +1,66 @@
+"""E3 — Fig. 3(a): runtime overhead vs number of situation states
+(independent SACK, the worst case, against a no-LSM baseline).
+
+Paper's claim: ~1.8% file-operation overhead at 100 states — i.e. the
+per-access cost does not scale with the number of states, because the APE
+consults only the precompiled ruleset of the *current* state.
+"""
+
+import pytest
+
+from repro.bench import (FILE_OP_BENCHES, LmbenchSuite,
+                         build_state_count_world, pct_delta,
+                         run_state_sweep)
+from conftest import REPS, SCALE
+
+STATE_COUNTS = (2, 5, 10, 25, 50, 100)
+
+
+def test_fig3a_sweep(benchmark, show):
+    holder = {}
+
+    def run():
+        holder["sweep"] = run_state_sweep(
+            state_counts=STATE_COUNTS, scale=SCALE,
+            repetitions=max(2, REPS // 2))
+        return holder["sweep"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sweep = holder["sweep"]
+    base = sweep["baseline"]
+
+    lines = ["Fig. 3(a): file-operation overhead vs #situation states",
+             "  (independent SACK vs no-LSM kernel)",
+             f"  {'states':>8} " + "".join(f"{b:>18}"
+                                           for b in FILE_OP_BENCHES)
+             + f"{'mean':>10}"]
+    series = {}
+    for count in STATE_COUNTS:
+        deltas = [pct_delta(base[b].value, sweep[count][b].value)
+                  for b in FILE_OP_BENCHES]
+        series[count] = sum(deltas) / len(deltas)
+        lines.append(f"  {count:>8} "
+                     + "".join(f"{d:>+17.2f}%" for d in deltas)
+                     + f"{series[count]:>+9.2f}%")
+    show("\n".join(lines))
+
+    # Shape check: overhead is roughly flat in the state count — the
+    # 100-state mean overhead is not dramatically above the 2-state one.
+    assert series[100] < series[2] + 25.0, \
+        "per-access overhead must not scale with state count"
+
+
+@pytest.mark.parametrize("count", STATE_COUNTS)
+def test_open_close_vs_states(benchmark, count):
+    world = build_state_count_world(count)
+    suite = LmbenchSuite(world.kernel, scale=SCALE)
+    kernel, task = suite.kernel, suite.task
+    kernel.vfs.create_file("/tmp/lmbench/probe")
+    from repro.kernel import OpenFlags
+
+    def op():
+        fd = kernel.sys_open(task, "/tmp/lmbench/probe",
+                             OpenFlags.O_RDONLY)
+        kernel.sys_close(task, fd)
+
+    benchmark(op)

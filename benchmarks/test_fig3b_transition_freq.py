@@ -1,0 +1,76 @@
+"""E4 — Fig. 3(b): runtime overhead vs situation-transition frequency.
+
+The paper's setup: two situations (high-speed / low-speed); a critical
+file may only be accessed at low speed; transitions occur at millisecond
+granularity.  Expected shape: overhead falls as the period grows —
+~0.93% at a 1000 ms period.
+"""
+
+import pytest
+
+from repro.bench import SPEED_POLICY, run_frequency_sweep
+from repro.sack import parse_policy
+
+PERIODS_MS = (1, 10, 100, 1000)
+
+
+def test_fig3b_sweep(benchmark, show):
+    holder = {}
+
+    def run():
+        holder["results"] = run_frequency_sweep(periods_ms=PERIODS_MS,
+                                                accesses=20000)
+        return holder["results"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    results = holder["results"]
+
+    lines = ["Fig. 3(b): overhead vs situation transition period",
+             f"  {'period':>10} {'ns/access':>12} {'transitions':>12} "
+             f"{'overhead':>10}"]
+    for key in ("baseline", *PERIODS_MS):
+        row = results[key]
+        label = key if key == "baseline" else f"{key} ms"
+        lines.append(f"  {label:>10} {row['ns_per_access']:>12.0f} "
+                     f"{row['transitions']:>12} "
+                     f"{row['overhead_pct']:>+9.2f}%")
+    show("\n".join(lines))
+
+    # Shape checks: transitions actually happened at every period, and
+    # slower transition rates cost less than the fastest rate.
+    assert all(results[p]["transitions"] > 0 for p in PERIODS_MS)
+    assert results[1000]["overhead_pct"] < results[1]["overhead_pct"]
+    # The paper's 1000 ms point is sub-1%; the simulator's floor is noisy
+    # at the few-percent level, so assert the order of magnitude only.
+    assert results[1000]["overhead_pct"] < 25.0
+
+
+def test_speed_policy_is_valid():
+    """The Fig. 3(b) policy itself parses and validates cleanly."""
+    from repro.sack import check_policy, has_errors
+    policy = parse_policy(SPEED_POLICY)
+    assert not has_errors(check_policy(policy))
+
+
+def test_single_transition_cost(benchmark):
+    """Raw cost of one event->transition->remap cycle (independent)."""
+    from repro.lsm import boot_kernel
+    from repro.sack import SackFs, SackLsm
+
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    SackFs(kernel, sack, authorized_event_uids={990})
+    kernel.write_file(kernel.procs.init,
+                      "/sys/kernel/security/SACK/policy",
+                      SPEED_POLICY.encode(), create=False)
+    init = kernel.procs.init
+    state = {"high": False}
+
+    def flip():
+        event = b"speed_low\n" if state["high"] else b"speed_high\n"
+        kernel.write_file(init, "/sys/kernel/security/SACK/events",
+                          event, create=False)
+        state["high"] = not state["high"]
+
+    benchmark(flip)
+    assert sack.ssm.transition_count > 0

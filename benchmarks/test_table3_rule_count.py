@@ -1,0 +1,60 @@
+"""E2 — Table III: LMBench with a growing number of SACK rules stacked on
+AppArmor (0 / 10 / 100 / 500 / 1000 rules).
+
+Paper's claim: rule count causes negligible runtime overhead because the
+AppArmor check path does not walk SACK's rule store — SACK's rules only
+matter at transition time.  The curve should be flat.
+"""
+
+import pytest
+
+from repro.bench import (build_rule_count_world, render_sweep_table,
+                         run_rule_sweep, LmbenchSuite, pct_delta)
+from conftest import REPS, SCALE
+
+RULE_COUNTS = (0, 10, 100, 500, 1000)
+BENCHES = ["syscall", "io", "file_create_0k", "file_delete_0k",
+           "file_create_10k", "file_delete_10k", "stat", "open_close"]
+
+
+def test_table3_full(benchmark, show):
+    holder = {}
+
+    def run():
+        holder["sweep"] = run_rule_sweep(
+            rule_counts=RULE_COUNTS, benches=BENCHES,
+            repetitions=max(2, REPS // 2), scale=SCALE / 2)
+        return holder["sweep"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    sweep = holder["sweep"]
+    show(render_sweep_table(
+        sweep, 0, "Table III: LMBench vs number of SACK rules "
+        "(SACK-enhanced AppArmor)"))
+
+    # Shape check: overhead must not grow with rule count.  Flatness
+    # criterion over the slower (less jitter-dominated) file operations:
+    # the mean |delta| of the 1000-rule column stays bounded, and is not
+    # systematically worse than the 10-rule column (the paper attributes
+    # the residual differences to errors and jitter).
+    file_ops = [b for b in BENCHES if b.startswith(("file_", "open",
+                                                    "stat"))]
+    mean_1000 = sum(abs(pct_delta(sweep[0][b].value, sweep[1000][b].value))
+                    for b in file_ops) / len(file_ops)
+    mean_10 = sum(abs(pct_delta(sweep[0][b].value, sweep[10][b].value))
+                  for b in file_ops) / len(file_ops)
+    show(f"mean |delta| on file ops: 10 rules {mean_10:.2f}%, "
+         f"1000 rules {mean_1000:.2f}%")
+    assert mean_1000 < 30.0, "rule count should not change hot-path cost"
+    assert mean_1000 < mean_10 + 15.0, \
+        "overhead must not grow with rule count"
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_stat_latency_vs_rules(benchmark, count):
+    """stat(2) latency as the rule store grows — pytest-benchmark rows."""
+    world = build_rule_count_world(count)
+    suite = LmbenchSuite(world.kernel, scale=SCALE)
+    kernel, task = suite.kernel, suite.task
+    kernel.vfs.create_file("/tmp/lmbench/statprobe")
+    benchmark(lambda: kernel.sys_stat(task, "/tmp/lmbench/statprobe"))

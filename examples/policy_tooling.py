@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Authoring SACK policies: the language, the checker, and SACKfs loading.
+
+Walks through the policy workflow a security administrator would use:
+  1. write a policy in the SACK policy language (Table I interfaces),
+  2. run the policy-checking tools (errors + conflict warnings),
+  3. fix the issues, compile, and inspect the per-state rulesets,
+  4. load the policy into a live kernel through securityfs.
+
+Run:  python examples/policy_tooling.py
+"""
+
+from repro.lsm import boot_kernel
+from repro.sack import (SackFs, SackLsm, check_policy, compile_policy,
+                        format_policy, parse_policy)
+from repro.vehicle.devices import IOCTL_SYMBOLS
+
+DRAFT = """
+policy cargo_bay;
+initial transit;
+
+states {
+  transit = 0 "driving between depots";
+  loading = 1 "parked at a loading dock";
+  sealed = 2  "cargo sealed, long-haul";
+}
+
+transitions {
+  transit -> loading on arrived_at_dock;
+  loading -> transit on departed_dock;
+  transit -> sealed on cargo_sealed;
+  # BUG: nothing ever leaves 'sealed', and 'cargo_scale' is never granted
+}
+
+permissions {
+  TELEMETRY "read-only sensors";
+  CARGO_DOOR "open the cargo bay";
+  CARGO_SCALE "tare the scale";
+}
+
+state_per {
+  transit: TELEMETRY;
+  loading: TELEMETRY, CARGO_DOOR;
+  sealed: TELEMETRY;
+}
+
+per_rules {
+  TELEMETRY {
+    allow read /dev/car/**;
+  }
+  CARGO_DOOR {
+    allow ioctl /dev/car/door cmd=DOOR_UNLOCK,DOOR_LOCK subject=dock_agent;
+    allow write /dev/car/door subject=dock_agent;
+    deny write /dev/car/door subject=dock_agent;   # conflicting rule
+  }
+  CARGO_SCALE {
+    allow read /etc/scale.conf;                    # outside the guard
+  }
+}
+
+guard /dev/car/**;
+"""
+
+
+def main():
+    print("1. Parse the draft policy")
+    policy = parse_policy(DRAFT)
+    print(f"   parsed {policy.name!r}: {len(policy.states)} states, "
+          f"{policy.rule_count()} MAC rules")
+
+    print("\n2. Run the policy checker")
+    diagnostics = check_policy(policy)
+    for diag in diagnostics:
+        print(f"   {diag}")
+    assert diagnostics, "the draft is intentionally flawed"
+
+    print("\n3. Fix the draft: add the missing transition, drop the "
+          "conflicting deny,\n   grant CARGO_SCALE while loading, and "
+          "guard the scale config")
+    fixed_text = DRAFT.replace(
+        "  # BUG: nothing ever leaves 'sealed', and 'cargo_scale' is "
+        "never granted",
+        "  sealed -> loading on arrived_at_dock;")
+    fixed_text = fixed_text.replace(
+        "  deny write /dev/car/door subject=dock_agent;   "
+        "# conflicting rule\n", "")
+    fixed_text = fixed_text.replace(
+        "loading: TELEMETRY, CARGO_DOOR;",
+        "loading: TELEMETRY, CARGO_DOOR, CARGO_SCALE;")
+    fixed_text = fixed_text.replace(
+        "guard /dev/car/**;",
+        "guard /dev/car/**;\nguard /etc/scale.conf;")
+    fixed = parse_policy(fixed_text)
+    remaining = check_policy(fixed)
+    print(f"   remaining diagnostics: "
+          f"{[str(d) for d in remaining] or 'none'}")
+
+    print("\n4. Compile and inspect per-state rulesets")
+    compiled = compile_policy(fixed, ioctl_symbols=IOCTL_SYMBOLS)
+    for state_name, ruleset in compiled.rulesets.items():
+        print(f"   state {state_name:>8}: {ruleset.rule_count} rules")
+    loading = compiled.ruleset_for("loading")
+    from repro.sack import RuleOp
+    print("   loading/dock_agent may unlock the cargo door:",
+          loading.check(RuleOp.IOCTL, "/dev/car/door", "dock_agent",
+                        IOCTL_SYMBOLS["DOOR_UNLOCK"]))
+    print("   transit/dock_agent may unlock the cargo door:",
+          compiled.ruleset_for("transit").check(
+              RuleOp.IOCTL, "/dev/car/door", "dock_agent",
+              IOCTL_SYMBOLS["DOOR_UNLOCK"]))
+
+    print("\n5. Canonical form (format_policy round-trips via parse):")
+    canonical = format_policy(fixed)
+    assert parse_policy(canonical).rule_count() == fixed.rule_count()
+    print("   " + "\n   ".join(canonical.splitlines()[:8]) + "\n   ...")
+
+    print("\n6. Load into a live kernel through securityfs")
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    SackFs(kernel, sack, ioctl_symbols=IOCTL_SYMBOLS)
+    kernel.write_file(kernel.procs.init,
+                      "/sys/kernel/security/SACK/policy",
+                      canonical.encode(), create=False)
+    current = kernel.read_file(kernel.procs.init,
+                               "/sys/kernel/security/SACK/current")
+    print(f"   /sys/kernel/security/SACK/current -> {current.decode()!r}")
+    states = kernel.read_file(kernel.procs.init,
+                              "/sys/kernel/security/SACK/states")
+    print("   /sys/kernel/security/SACK/states:")
+    for line in states.decode().splitlines():
+        print(f"     {line}")
+
+
+if __name__ == "__main__":
+    main()

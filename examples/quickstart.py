@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a SACK-protected IVI world and watch permissions adapt.
+
+Builds the full stack — simulated kernel, independent SACK LSM, SACKfs,
+vehicle devices, IVI services, and the user-space situation detection
+service — then drives the vehicle through the paper's running scenario:
+park -> drive -> crash -> rescue -> recover.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kernel import KernelError
+from repro.vehicle import (DOOR_UNLOCK, EnforcementConfig, build_ivi_world)
+
+
+def try_unlock(world, app):
+    """Attempt a door unlock as *app*; report what the kernel said."""
+    try:
+        world.device_ioctl(app, "door", DOOR_UNLOCK)
+        return "ALLOWED"
+    except KernelError as err:
+        return f"DENIED ({err.errno.name})"
+
+
+def main():
+    print("Booting IVI world with independent SACK...")
+    world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+    print(f"  LSM stack: {world.framework.config_lsm}")
+    print(f"  situation: {world.situation}")
+    print(f"  doors:     {'locked' if world.devices['door'].all_locked else 'unlocked'}")
+
+    print("\n[parked] rescue daemon tries to unlock the doors (POLP: no)")
+    print(f"  -> {try_unlock(world, 'rescue_daemon')}")
+
+    print("\nDriver starts the car and accelerates to 60 km/h...")
+    world.drive_to_speed(60)
+    print(f"  situation: {world.situation} "
+          f"({world.dynamics.speed_kmh:.0f} km/h)")
+    print(f"  [driving] rescue daemon unlock -> "
+          f"{try_unlock(world, 'rescue_daemon')}")
+
+    print("\nCRASH! The SDS detects the impact and writes the event to")
+    print("/sys/kernel/security/SACK/events; the in-kernel state machine")
+    print("transitions and the adaptive policy enforcer remaps rights.")
+    world.trigger_crash()
+    print(f"  situation: {world.situation}")
+
+    print("\n[emergency] rescue daemon unlocks doors and opens windows")
+    world.rescue_unlock_doors()
+    print(f"  doors:  {'unlocked!' if not world.devices['door'].all_locked else 'still locked?'}")
+    print(f"  window: {world.devices['window'].position}% open")
+    print(f"  [emergency] compromised media app unlock -> "
+          f"{try_unlock(world, 'media_app')}   (subject mismatch)")
+
+    print("\nEmergency cleared; rights are revoked again.")
+    world.clear_emergency()
+    print(f"  situation: {world.situation}")
+    print(f"  [cleared] rescue daemon unlock -> "
+          f"{try_unlock(world, 'rescue_daemon')}")
+
+    print("\nKernel-side statistics (read from SACKfs):")
+    stats = world.kernel.read_file(
+        world.kernel.procs.init,
+        "/sys/kernel/security/SACK/stats").decode()
+    for line in stats.splitlines():
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""SACK beyond vehicles: a situation-aware smart home.
+
+The paper's conclusion claims SACK "is a general solution at kernel
+space and, therefore, applicable to scenarios such as the smartphone,
+IoT and medical application".  This example runs the same SACK machinery
+(policy language, SSM, SACKfs, APE) over a smart home:
+
+  * while occupants are home, the indoor camera may NOT stream (privacy);
+  * when everyone leaves, streaming is allowed and the lock control is
+    frozen;
+  * a break-in grants the alarm responder lock release and siren control
+    — optimistic access control, exactly like the vehicle's rescue
+    daemon.
+
+Run:  python examples/smart_home.py
+"""
+
+from repro.iot import (CAM_STREAM_START, LOCK_RELEASE, SIREN_ON,
+                       build_smart_home)
+from repro.kernel import KernelError
+
+
+def attempt(home, app, device, cmd):
+    try:
+        home.device_ioctl(app, device, cmd)
+        return "ALLOWED"
+    except KernelError as err:
+        return f"DENIED ({err.errno.name})"
+
+
+def show(home, label):
+    print(f"\n[{home.situation}] {label}")
+    print(f"  camera_service starts streaming  -> "
+          f"{attempt(home, 'camera_service', 'camera', CAM_STREAM_START)}")
+    print(f"  automation_app releases the lock -> "
+          f"{attempt(home, 'automation_app', 'front_lock', LOCK_RELEASE)}")
+    print(f"  responder_service sounds siren   -> "
+          f"{attempt(home, 'responder_service', 'siren', SIREN_ON)}")
+
+
+def main():
+    print("Booting the smart home under independent SACK...")
+    home = build_smart_home()
+    show(home, "family at home (privacy first)")
+
+    home.everyone_leaves()
+    show(home, "everyone left for work")
+
+    home.everyone_returns()
+    home.nightfall()
+    show(home, "bedtime")
+
+    print("\nCRASH — a window sensor fires during the night!")
+    home.window_breaks()
+    show(home, "break-in: optimistic access control kicks in")
+    print(f"  siren sounding: {home.devices['siren'].sounding}")
+    print(f"  camera streaming for evidence: "
+          f"{home.devices['camera'].streaming or 'permitted now'}")
+
+    home.all_clear()
+    show(home, "alarm cleared, back to normal")
+
+    print("\nSame kernel, same LSM, same policy language as the vehicle —")
+    print("only the policy text changed.  That is the generality claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Situation-aware volume control (the CVE-2023-6073 scenario).
+
+"An attacker can set the audio volume to its maximum in Volkswagen ID.3.
+It may threaten the driver's focus when the CAV is in a driving situation
+while it is not so dangerous in a parking situation."  (paper §I)
+
+The default IVI policy encodes exactly that: VOLUME_SET is granted to the
+volume service only while parked with a driver; while driving only
+VOLUME_GET survives.  This example drives the vehicle through a speed
+profile and shows the permission flipping with the physics.
+
+Run:  python examples/speed_volume_limit.py
+"""
+
+from repro.kernel import KernelError
+from repro.vehicle import EnforcementConfig, build_ivi_world
+
+
+def set_volume(world, level):
+    try:
+        world.request_volume("media_app", level)
+        return f"volume set to {level}"
+    except KernelError as err:
+        return f"DENIED by kernel ({err.errno.name})"
+    except Exception as err:  # user-space framework denial
+        return f"DENIED in user space ({err})"
+
+
+def main():
+    world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+    audio = world.devices["audio"]
+
+    print(f"[{world.situation}] parked, volume={audio.volume}")
+    print(f"  media app requests volume 60 -> {set_volume(world, 60)}")
+
+    print("\nAccelerating to highway speed...")
+    world.drive_to_speed(100)
+    print(f"[{world.situation}] {world.dynamics.speed_kmh:.0f} km/h")
+    print(f"  media app requests volume 100 -> {set_volume(world, 100)}")
+    print(f"  (volume remains {audio.volume})")
+
+    print("\nEven reading volume is still fine while driving:")
+    from repro.vehicle import VOLUME_GET
+    level = world.device_ioctl("media_app", "audio", VOLUME_GET)
+    print(f"  VOLUME_GET -> {level}")
+
+    print("\nBraking to a stop...")
+    world.park()
+    print(f"[{world.situation}] {world.dynamics.speed_kmh:.0f} km/h")
+    print(f"  media app requests volume 30 -> {set_volume(world, 30)}")
+
+    print("\nThe permission followed the *physics*: no app asked for a")
+    print("policy change; the SDS observed speed, emitted situation")
+    print("events, and the kernel state machine adapted the MAC policy.")
+
+    ssm = world.sack.ssm
+    print(f"\nSSM history ({ssm.transition_count} transitions):")
+    for transition in ssm.history:
+        print(f"  {transition.from_state} --{transition.event.name}--> "
+              f"{transition.to_state}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: a full-system reproduction of SACK (DATE 2025).
+
+SACK — *Situation-aware Access Control in the Kernel* — makes Linux MAC
+adapt to environmental situations (driving, parking, emergencies) for
+connected and autonomous vehicles.  This package reproduces the system in
+pure Python on a simulated kernel substrate:
+
+* :mod:`repro.kernel` — simulated Linux kernel (VFS, processes, devices,
+  IPC, mmap, syscalls with security hooks).
+* :mod:`repro.lsm` — the LSM framework: module stacking, blobs, securityfs.
+* :mod:`repro.apparmor` — an AppArmor simulator (profiles, parser, globs).
+* :mod:`repro.sack` — the paper's contribution: situation states/events,
+  the situation state machine, the policy language, the adaptive policy
+  enforcer, independent SACK and SACK-enhanced AppArmor, SACKfs.
+* :mod:`repro.sds` — the user-space situation detection service.
+* :mod:`repro.vehicle` — vehicle dynamics, CAN, devices, the IVI world,
+  and the KOFFEE / CVE-2023-6073 attack simulations.
+* :mod:`repro.bench` — the LMBench-style harness behind every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.vehicle import build_ivi_world, EnforcementConfig
+    world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+    world.drive_to_speed(60)
+    print(world.situation)          # 'driving'
+    world.trigger_crash()
+    print(world.situation)          # 'emergency'
+    world.rescue_unlock_doors()     # allowed only now
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,8 @@
+"""ABAC-in-LSM baseline (Varshith et al.), for comparison with SACK."""
+
+from .attributes import (DAYS, EnvironmentAttributes, subject_attributes)
+from .module import AbacLsm
+from .policy import AbacEffect, AbacPolicy, AbacRule
+
+__all__ = ["DAYS", "EnvironmentAttributes", "subject_attributes",
+           "AbacLsm", "AbacEffect", "AbacPolicy", "AbacRule"]

@@ -1,0 +1,56 @@
+"""Attribute providers for the ABAC baseline.
+
+This package reimplements the approach of Varshith & Sural et al.
+("Enabling attribute-based access control in Linux kernel", AsiaCCS'22 /
+TDSC'23), which the paper positions as the closest prior kernel-level
+work: an LSM that evaluates *attributes* per access, where the only
+environmental attributes are clock-derived (time of day, day of week).
+
+The contrast with SACK is architectural: ABAC queries the environment on
+**every access check** (situation tracking entangled with enforcement),
+while SACK tracks situations once in user space and the kernel merely
+indexes precompiled rulesets by the current state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.clock import NSEC_PER_SEC, VirtualClock
+
+SECONDS_PER_DAY = 86_400
+DAYS = ("mon", "tue", "wed", "thu", "fri", "sat", "sun")
+
+
+class EnvironmentAttributes:
+    """Clock-derived environmental attributes (the baseline's limit)."""
+
+    def __init__(self, clock: VirtualClock, epoch_weekday: int = 0):
+        """*epoch_weekday*: which day of week virtual time 0 falls on
+        (0 = Monday)."""
+        self.clock = clock
+        self.epoch_weekday = epoch_weekday % 7
+        self.queries = 0
+
+    def hour_of_day(self) -> int:
+        self.queries += 1
+        seconds = self.clock.now_ns // NSEC_PER_SEC
+        return (seconds % SECONDS_PER_DAY) // 3600
+
+    def day_of_week(self) -> str:
+        self.queries += 1
+        days = self.clock.now_ns // NSEC_PER_SEC // SECONDS_PER_DAY
+        return DAYS[(self.epoch_weekday + days) % 7]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"hour": self.hour_of_day(), "day": self.day_of_week()}
+
+
+def subject_attributes(task) -> Dict[str, object]:
+    """The subject attributes the baseline exposes."""
+    return {
+        "uid": task.cred.euid,
+        "gid": task.cred.egid,
+        "comm": task.comm,
+        "exe": task.exe_path,
+    }

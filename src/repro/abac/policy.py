@@ -1,0 +1,92 @@
+"""ABAC rules and policy with deny-overrides combining."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..apparmor.globs import compile_glob
+from ..sack.policy.model import RuleOp
+
+
+class AbacEffect(enum.Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+@dataclasses.dataclass(frozen=True)
+class AbacRule:
+    """One attribute rule.
+
+    Conditions are conjunctive: subject attributes must all match, the
+    object path must match the glob, the op must be listed, and the
+    environmental window (hours, days) must contain "now".  Empty
+    condition = wildcard.
+    """
+
+    effect: AbacEffect
+    ops: FrozenSet[RuleOp]
+    path_glob: str
+    subject_equals: Tuple[Tuple[str, object], ...] = ()
+    hour_range: Optional[Tuple[int, int]] = None   # [start, end) hours
+    days: FrozenSet[str] = frozenset()
+
+    def __post_init__(self):
+        compile_glob(self.path_glob)
+        if self.hour_range is not None:
+            start, end = self.hour_range
+            if not (0 <= start < 24 and 0 < end <= 24):
+                raise ValueError(f"bad hour range {self.hour_range}")
+
+    def matches(self, op: RuleOp, path: str,
+                subject: Dict[str, object],
+                environment: Dict[str, object]) -> bool:
+        if op not in self.ops:
+            return False
+        if compile_glob(self.path_glob).match(path) is None:
+            return False
+        for key, expected in self.subject_equals:
+            if subject.get(key) != expected:
+                return False
+        if self.hour_range is not None:
+            start, end = self.hour_range
+            hour = environment["hour"]
+            inside = (start <= hour < end) if start < end \
+                else (hour >= start or hour < end)
+            if not inside:
+                return False
+        if self.days and environment["day"] not in self.days:
+            return False
+        return True
+
+
+class AbacPolicy:
+    """A rule list with deny-overrides and guard-scoped default deny."""
+
+    def __init__(self, rules: List[AbacRule], guards: List[str],
+                 name: str = "abac-policy"):
+        self.name = name
+        self.rules = list(rules)
+        self.guards = [compile_glob(g) for g in guards]
+        self.guard_globs = list(guards)
+
+    def governs(self, path: str) -> bool:
+        return any(g.match(path) is not None for g in self.guards)
+
+    def decide(self, op: RuleOp, path: str, subject: Dict[str, object],
+               environment: Dict[str, object]) -> bool:
+        """Deny-overrides: any matching deny wins; else any permit; else
+        allowed only when ungoverned."""
+        permitted = False
+        for rule in self.rules:
+            if rule.matches(op, path, subject, environment):
+                if rule.effect is AbacEffect.DENY:
+                    return False
+                permitted = True
+        if permitted:
+            return True
+        return not self.governs(path)
+
+    def rule_count(self) -> int:
+        return len(self.rules)

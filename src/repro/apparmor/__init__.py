@@ -1,0 +1,17 @@
+"""AppArmor simulator: profiles, parser, policy store, LSM module."""
+
+from .defaults import UBUNTU_DEFAULT_PROFILES, load_ubuntu_defaults
+from .globs import GlobError, compile_glob, glob_match, literal_prefix_len
+from .module import AppArmorLsm
+from .parser import AppArmorParseError, parse_profiles
+from .policydb import PolicyDb
+from .profile import (ExecMode, FilePerm, NetworkRule, PathRule, Profile,
+                      ProfileMode, parse_perms, perms_to_string)
+
+__all__ = [
+    "UBUNTU_DEFAULT_PROFILES", "load_ubuntu_defaults", "GlobError",
+    "compile_glob", "glob_match", "literal_prefix_len", "AppArmorLsm",
+    "AppArmorParseError", "parse_profiles", "PolicyDb", "ExecMode",
+    "FilePerm", "NetworkRule", "PathRule", "Profile", "ProfileMode",
+    "parse_perms", "perms_to_string",
+]

@@ -1,0 +1,86 @@
+"""Default AppArmor profiles, modelled on an Ubuntu 20.04 installation.
+
+The compatibility experiment (paper §IV-D) runs SACK policies alongside
+"Ubuntu 20.04 default AppArmor policies".  These are simulator translations
+of the profiles that ship enabled there (dhclient, tcpdump, man, lsb_release,
+cups, snap-confine, ...), reduced to the rule kinds our module mediates.
+"""
+
+from __future__ import annotations
+
+from .policydb import PolicyDb
+
+UBUNTU_DEFAULT_PROFILES = """
+profile sbin.dhclient /sbin/dhclient {
+  /sbin/dhclient rm,
+  /etc/dhcp/** r,
+  /var/lib/dhcp/** rw,
+  /var/log/** w,
+  /proc/*/net/** r,
+  capability net_admin,
+  capability net_raw,
+  network inet stream,
+  network inet dgram,
+}
+
+profile usr.sbin.tcpdump /usr/sbin/tcpdump {
+  /usr/sbin/tcpdump rm,
+  /etc/protocols r,
+  /tmp/** rw,
+  capability net_raw,
+  network inet stream,
+}
+
+profile usr.bin.man /usr/bin/man {
+  /usr/bin/man rm,
+  /usr/share/man/** r,
+  /var/cache/man/** rw,
+  /tmp/man.* rw,
+}
+
+profile usr.bin.lsb_release /usr/bin/lsb_release {
+  /usr/bin/lsb_release rm,
+  /etc/lsb-release r,
+  /etc/os-release r,
+  /usr/lib/** rm,
+}
+
+profile usr.sbin.cupsd /usr/sbin/cupsd {
+  /usr/sbin/cupsd rm,
+  /etc/cups/** rw,
+  /var/spool/cups/** rw,
+  /var/log/cups/** w,
+  capability setuid,
+  capability setgid,
+  network inet stream,
+  network unix stream,
+}
+
+profile usr.lib.snapd.snap-confine /usr/lib/snapd/snap-confine {
+  /usr/lib/snapd/** rm,
+  /snap/** r,
+  /var/lib/snapd/** rw,
+  capability sys_admin,
+  capability dac_override,
+}
+
+profile usr.sbin.ntpd /usr/sbin/ntpd {
+  /usr/sbin/ntpd rm,
+  /etc/ntp.conf r,
+  /var/lib/ntp/** rw,
+  capability sys_time,
+  network inet dgram,
+}
+
+profile usr.bin.evince /usr/bin/evince {
+  /usr/bin/evince rm,
+  /usr/share/** r,
+  /home/**/Documents/** r,
+  /tmp/** rw,
+}
+"""
+
+
+def load_ubuntu_defaults(policy: PolicyDb) -> int:
+    """Load the default profile set into *policy*; returns profile count."""
+    return len(policy.load_text(UBUNTU_DEFAULT_PROFILES))

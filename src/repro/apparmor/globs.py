@@ -1,0 +1,120 @@
+"""AppArmor file-glob matching.
+
+AppArmor path rules use a glob dialect where ``*`` stays within one path
+component, ``**`` crosses ``/``, ``?`` matches a single non-slash
+character, ``[...]`` is a character class and ``{a,b}`` is alternation.
+Globs are compiled to anchored regular expressions once at policy-load
+time — mirroring AppArmor's DFA compilation — so the per-access cost is a
+single automaton match.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import List
+
+
+class GlobError(ValueError):
+    """Raised for malformed globs (unbalanced braces, bad classes)."""
+
+
+def _translate(glob: str) -> str:
+    """Translate one AppArmor glob into a Python regex source string."""
+    out: List[str] = []
+    i = 0
+    n = len(glob)
+    while i < n:
+        ch = glob[i]
+        if ch == "*":
+            if i + 1 < n and glob[i + 1] == "*":
+                out.append(".*")
+                i += 2
+            else:
+                out.append("[^/]*")
+                i += 1
+        elif ch == "?":
+            out.append("[^/]")
+            i += 1
+        elif ch == "[":
+            j = i + 1
+            if j < n and glob[j] == "^":
+                j += 1
+            if j < n and glob[j] == "]":
+                j += 1
+            while j < n and glob[j] != "]":
+                j += 1
+            if j >= n:
+                raise GlobError(f"unterminated character class in {glob!r}")
+            body = glob[i + 1:j]
+            if body.startswith("^"):
+                body = "^" + re.sub(r"([\\^\]])", r"\\\1", body[1:])
+            else:
+                body = re.sub(r"([\\^\]])", r"\\\1", body)
+            out.append(f"[{body}]")
+            i = j + 1
+        elif ch == "{":
+            j = i + 1
+            depth = 1
+            while j < n and depth:
+                if glob[j] == "{":
+                    depth += 1
+                elif glob[j] == "}":
+                    depth -= 1
+                j += 1
+            if depth:
+                raise GlobError(f"unbalanced braces in {glob!r}")
+            body = glob[i + 1:j - 1]
+            alts = _split_alternatives(body)
+            out.append("(?:" + "|".join(_translate(a) for a in alts) + ")")
+            i = j
+        else:
+            out.append(re.escape(ch))
+            i += 1
+    return "".join(out)
+
+
+def _split_alternatives(body: str) -> List[str]:
+    """Split a brace body on top-level commas."""
+    alts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in body:
+        if ch == "{":
+            depth += 1
+            current.append(ch)
+        elif ch == "}":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            alts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    alts.append("".join(current))
+    return alts
+
+
+@lru_cache(maxsize=4096)
+def compile_glob(glob: str) -> "re.Pattern[str]":
+    """Compile an AppArmor glob into an anchored regex (cached)."""
+    return re.compile(_translate(glob) + r"\Z")
+
+
+def glob_match(glob: str, path: str) -> bool:
+    """True when *path* matches *glob* in full."""
+    return compile_glob(glob).match(path) is not None
+
+
+def literal_prefix_len(glob: str) -> int:
+    """Length of the leading literal (wildcard-free) part of *glob*.
+
+    AppArmor resolves overlapping profile attachments by specificity; the
+    longest literal prefix is a faithful, cheap proxy for that ordering.
+    """
+    length = 0
+    for ch in glob:
+        if ch in "*?[{":
+            break
+        length += 1
+    return length

@@ -1,0 +1,182 @@
+"""Parser for the AppArmor profile language (simplified).
+
+Supports the subset of the profile syntax the reproduction needs::
+
+    # a comment
+    profile media-app /usr/bin/media-app flags=(complain) {
+      /var/media/** rw,
+      deny /dev/car/** w,
+      /usr/lib/*.so rm,
+      /usr/bin/helper px,
+      capability net_admin,
+      deny capability sys_admin,
+      network inet stream,
+    }
+
+Multiple profiles per text are allowed.  The profile header accepts either
+``profile NAME ATTACHMENT { ... }`` or the classic ``ATTACHMENT { ... }``
+form where the attachment path doubles as the name.
+
+Profile variables are supported in the AppArmor style::
+
+    @{HOME} = /home
+    @{MEDIA_DIRS} = /var/media /srv/media
+
+    profile media /usr/bin/media {
+      @{HOME}/** r,
+      @{MEDIA_DIRS}/** rw,      # expands to a brace alternation
+    }
+
+Multi-valued variables expand to ``{a,b}`` glob alternations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .profile import (NetworkRule, PathRule, Profile, ProfileMode,
+                      parse_perms)
+
+
+class AppArmorParseError(ValueError):
+    """Raised on malformed profile text, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}")
+
+
+_HEADER_RE = re.compile(
+    r"^(?:profile\s+(?P<name>\S+)\s*)?(?P<attachment>/\S+)?"
+    r"(?:\s+flags=\((?P<flags>[^)]*)\))?\s*\{$")
+_VARIABLE_RE = re.compile(
+    r"^@\{(?P<name>[A-Za-z_][A-Za-z0-9_]*)\}\s*(?P<op>\+?=)\s*"
+    r"(?P<values>.+)$")
+_VARIABLE_REF_RE = re.compile(r"@\{([A-Za-z_][A-Za-z0-9_]*)\}")
+
+
+def _strip(line: str) -> str:
+    """Drop comments and surrounding whitespace."""
+    if "#" in line:
+        line = line[:line.index("#")]
+    return line.strip()
+
+
+def _expand_variables(line: str, variables: dict, lineno: int) -> str:
+    """Substitute ``@{NAME}`` references (multi-valued -> alternation)."""
+    def replace(match):
+        name = match.group(1)
+        values = variables.get(name)
+        if values is None:
+            raise AppArmorParseError(lineno,
+                                     f"undefined variable @{{{name}}}")
+        if len(values) == 1:
+            return values[0]
+        return "{" + ",".join(values) + "}"
+
+    # Expand repeatedly: variables may reference other variables.
+    for _ in range(8):
+        expanded = _VARIABLE_REF_RE.sub(replace, line)
+        if expanded == line:
+            return expanded
+        line = expanded
+    raise AppArmorParseError(lineno, "variable expansion too deep")
+
+
+def parse_profiles(text: str) -> List[Profile]:
+    """Parse *text* into a list of :class:`Profile` objects."""
+    profiles: List[Profile] = []
+    current: Profile | None = None
+    variables: dict = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+
+        if current is None:
+            var_match = _VARIABLE_RE.match(line)
+            if var_match is not None:
+                name = var_match.group("name")
+                values = var_match.group("values").split()
+                if var_match.group("op") == "+=":
+                    variables.setdefault(name, []).extend(values)
+                else:
+                    variables[name] = values
+                continue
+
+        if "@{" in line:
+            line = _expand_variables(line, variables, lineno)
+
+        if current is None:
+            match = _HEADER_RE.match(line)
+            if match is None:
+                raise AppArmorParseError(lineno,
+                                         f"expected profile header, got {raw!r}")
+            name = match.group("name") or match.group("attachment")
+            if name is None:
+                raise AppArmorParseError(lineno,
+                                         "profile needs a name or attachment")
+            mode = ProfileMode.ENFORCE
+            flags = match.group("flags") or ""
+            if "complain" in flags:
+                mode = ProfileMode.COMPLAIN
+            current = Profile(name=name,
+                              attachment=match.group("attachment"),
+                              mode=mode)
+            continue
+
+        if line == "}":
+            profiles.append(current)
+            current = None
+            continue
+
+        if not line.endswith(","):
+            raise AppArmorParseError(lineno, f"rule must end with ',': {raw!r}")
+        line = line[:-1].strip()
+
+        deny = False
+        if line.startswith("deny "):
+            deny = True
+            line = line[5:].strip()
+
+        if line.startswith("capability"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AppArmorParseError(lineno,
+                                         f"capability rule needs one name: {raw!r}")
+            cap = parts[1].lower()
+            if deny:
+                current.deny_capabilities.add(cap)
+            else:
+                current.capabilities.add(cap)
+            continue
+
+        if line.startswith("network"):
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise AppArmorParseError(lineno, f"bad network rule: {raw!r}")
+            family = parts[1]
+            sock_type = parts[2] if len(parts) == 3 else None
+            current.network_rules.append(
+                NetworkRule(family, sock_type, deny=deny))
+            continue
+
+        parts = line.split()
+        # A path rule starts with "/" or with a brace alternation of
+        # absolute paths (the expansion of a multi-valued variable).
+        if len(parts) != 2 or not parts[0].startswith(("/", "{")):
+            raise AppArmorParseError(lineno, f"bad file rule: {raw!r}")
+        glob, perm_text = parts
+        try:
+            perms, exec_mode = parse_perms(perm_text)
+        except ValueError as exc:
+            raise AppArmorParseError(lineno, str(exc)) from exc
+        current.add_rule(PathRule(glob, perms, deny=deny,
+                                  exec_mode=exec_mode))
+
+    if current is not None:
+        raise AppArmorParseError(len(text.splitlines()),
+                                 f"unterminated profile {current.name!r}")
+    return profiles

@@ -1,0 +1,629 @@
+"""Benchmark harness: world builders and the paper's parameter sweeps.
+
+Builds the four kernel configurations the evaluation compares and drives
+the sweeps behind Table II, Table III, Fig. 3(a), Fig. 3(b), the situation
+awareness latency measurement, and our two ablations (E9/E10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apparmor import AppArmorLsm, load_ubuntu_defaults
+from ..kernel import Kernel, OpenFlags, SocketFamily
+from ..lsm import boot_kernel
+from ..sack import (SackAppArmorBridge, SackFs, SackLsm, SituationEvent,
+                    parse_policy)
+from ..sack.policy.model import (MacRule, RuleDecision, RuleOp,
+                                 SackPermission, SackPolicy)
+from ..sack.ssm import TransitionRule
+from ..sack.states import SituationState, StateSpace
+from ..vehicle.devices import IOCTL_SYMBOLS
+from ..vehicle.ivi import DEFAULT_SACK_POLICY, IVI_APPARMOR_PROFILES
+from .lmbench import BenchResult, LmbenchSuite
+
+# Configuration names used across benches and reports.
+CONFIG_NO_LSM = "no-lsm"
+CONFIG_APPARMOR = "apparmor"
+CONFIG_SACK_APPARMOR = "sack-apparmor"
+CONFIG_SACK_INDEPENDENT = "sack-independent"
+
+TABLE2_CONFIGS = [CONFIG_APPARMOR, CONFIG_SACK_APPARMOR,
+                  CONFIG_SACK_INDEPENDENT]
+
+
+@dataclasses.dataclass
+class World:
+    """A booted kernel plus handles to its security machinery."""
+
+    name: str
+    kernel: Kernel
+    apparmor: Optional[AppArmorLsm] = None
+    sack: Optional[SackLsm] = None
+    bridge: Optional[SackAppArmorBridge] = None
+    sackfs: Optional[SackFs] = None
+
+
+def build_world(config: str,
+                policy_text: str = DEFAULT_SACK_POLICY,
+                with_ubuntu_profiles: bool = True,
+                collect_stats: bool = False) -> World:
+    """Boot a kernel in one of the four evaluation configurations."""
+    if config == CONFIG_NO_LSM:
+        return World(config, Kernel())
+
+    apparmor = None
+    sack = None
+    bridge = None
+    if config in (CONFIG_APPARMOR, CONFIG_SACK_APPARMOR):
+        apparmor = AppArmorLsm()
+        if with_ubuntu_profiles:
+            load_ubuntu_defaults(apparmor.policy)
+        apparmor.policy.load_text(IVI_APPARMOR_PROFILES)
+    if config == CONFIG_APPARMOR:
+        modules = [apparmor]
+    elif config == CONFIG_SACK_APPARMOR:
+        bridge = SackAppArmorBridge(apparmor)
+        modules = [bridge, apparmor]
+    elif config == CONFIG_SACK_INDEPENDENT:
+        sack = SackLsm()
+        modules = [sack]
+    else:
+        raise ValueError(f"unknown configuration {config!r}")
+
+    kernel, _ = boot_kernel(modules, collect_stats=collect_stats)
+    sackfs = None
+    module = sack or bridge
+    if module is not None:
+        sackfs = SackFs(kernel, module, authorized_event_uids={990},
+                        ioctl_symbols=IOCTL_SYMBOLS)
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/policy",
+                          policy_text.encode(), create=False)
+    return World(config, kernel, apparmor=apparmor, sack=sack,
+                 bridge=bridge, sackfs=sackfs)
+
+
+# -- Table II -------------------------------------------------------------------
+
+def run_lmbench(configs: Sequence[str] = TABLE2_CONFIGS,
+                benches: Optional[List[str]] = None,
+                scale: float = 1.0, repetitions: int = 5
+                ) -> Dict[str, Dict[str, BenchResult]]:
+    """LMBench across configurations (Table II's data).
+
+    Repetitions are *interleaved* across configurations and reduced with
+    the per-bench median, so drift (frequency scaling, GC, page cache)
+    hits every configuration equally instead of biasing whichever ran
+    last — the same discipline LMBench itself applies.
+    """
+    from .lmbench import TABLE2_BENCHES
+    benches = benches or TABLE2_BENCHES
+    samples: Dict[str, Dict[str, List[BenchResult]]] = {
+        c: {b: [] for b in benches} for c in configs}
+    reps = max(1, repetitions)
+    for rep in range(reps):
+        # Fresh worlds every repetition: a kernel instance's memory layout
+        # is fixed at build time, so reusing one would bake its allocation
+        # luck into every sample.  Rotate the config order so no
+        # configuration systematically runs first (cold) or last (warm).
+        suites = {config: LmbenchSuite(build_world(config).kernel,
+                                       scale=scale)
+                  for config in configs}
+        order = list(configs[rep % len(configs):]) + \
+            list(configs[:rep % len(configs)])
+        for bench in benches:
+            for config in order:
+                result = getattr(suites[config], f"bench_{bench}")()
+                samples[config][bench].append(result)
+    # Interference on a shared host is strictly additive, so best-of-N is
+    # the noise-robust estimator: min for latencies, max for bandwidths
+    # (the classic microbenchmark discipline; LMBench itself reports
+    # minima for latencies).
+    merged: Dict[str, Dict[str, BenchResult]] = {c: {} for c in configs}
+    for config in configs:
+        for bench in benches:
+            runs = samples[config][bench]
+            values = [r.value for r in runs]
+            best = min(values) if runs[0].smaller_is_better else max(values)
+            merged[config][bench] = BenchResult(
+                name=bench, value=best, unit=runs[0].unit,
+                iterations=runs[0].iterations,
+                smaller_is_better=runs[0].smaller_is_better)
+    return merged
+
+
+def run_hook_census(configs: Sequence[str] = TABLE2_CONFIGS,
+                    benches: Optional[List[str]] = None,
+                    scale: float = 0.1) -> Dict[str, Dict[str, int]]:
+    """Deterministic complement to the wall-clock tables.
+
+    Runs the suite once per configuration with hook statistics enabled and
+    reports, per configuration: total syscalls issued, total LSM hook
+    invocations, and hook invocations attributable to the SACK module.
+    These counts are exact and noise-free — they explain *why* the
+    wall-clock deltas are small (how much extra code actually runs).
+    """
+    census: Dict[str, Dict[str, int]] = {}
+    for config in configs:
+        world = build_world(config, collect_stats=True)
+        suite = LmbenchSuite(world.kernel, scale=scale)
+        suite.run(benches)
+        stats = world.kernel.security.stats \
+            if hasattr(world.kernel.security, "stats") else None
+        syscalls = sum(world.kernel.syscall_counts.values())
+        hook_calls = stats.total_calls() if stats else 0
+        sack_calls = sum(v for k, v in (stats.calls if stats else {}).items()
+                         if k.startswith("sack."))
+        census[config] = {
+            "syscalls": syscalls,
+            "hook_calls": hook_calls,
+            "sack_hook_calls": sack_calls,
+            "hooks_per_syscall_x100": (hook_calls * 100 // syscalls
+                                       if syscalls else 0),
+        }
+    return census
+
+
+# -- Table III: rule-count sweep ---------------------------------------------------
+
+def make_synthetic_policy(n_rules: int, n_states: int = 2,
+                          name: str = "synthetic") -> SackPolicy:
+    """A policy with *n_rules* MAC rules spread over *n_states* states.
+
+    Mirrors the paper's Table III setup: the test policies follow the
+    Fig. 1 template (device-path rules under a /dev/car guard), scaled up.
+    """
+    if n_states < 1:
+        raise ValueError("need at least one state")
+    states = StateSpace([SituationState(f"s{i}", i)
+                         for i in range(n_states)])
+    transitions = [TransitionRule(event=f"go_s{(i + 1) % n_states}",
+                                  from_state=f"s{i}",
+                                  to_state=f"s{(i + 1) % n_states}")
+                   for i in range(n_states)]
+    permissions = {}
+    per_rules = {}
+    state_per: Dict[str, set] = {f"s{i}": set() for i in range(n_states)}
+    ops = [RuleOp.READ, RuleOp.WRITE, RuleOp.IOCTL]
+    for i in range(n_rules):
+        perm_name = f"P{i}"
+        permissions[perm_name] = SackPermission(perm_name)
+        rule = MacRule(decision=RuleDecision.ALLOW, op=ops[i % len(ops)],
+                       path_glob=f"/dev/car/unit{i}")
+        per_rules[perm_name] = [rule]
+        state_per[f"s{i % n_states}"].add(perm_name)
+    return SackPolicy(states=states, initial="s0", transitions=transitions,
+                      permissions=permissions, state_per=state_per,
+                      per_rules=per_rules, guards=["/dev/car/**"],
+                      name=name)
+
+
+def build_rule_count_world(n_rules: int) -> World:
+    """SACK-enhanced-AppArmor world carrying *n_rules* SACK rules.
+
+    ``n_rules == 0`` is the baseline: AppArmor with no SACK module at all
+    (Table III's '0' column)."""
+    if n_rules == 0:
+        return build_world(CONFIG_APPARMOR)
+    apparmor = AppArmorLsm()
+    load_ubuntu_defaults(apparmor.policy)
+    apparmor.policy.load_text(IVI_APPARMOR_PROFILES)
+    bridge = SackAppArmorBridge(apparmor)
+    kernel, _ = boot_kernel([bridge, apparmor])
+    policy = make_synthetic_policy(n_rules)
+    bridge.load_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+    return World(f"sack-apparmor-{n_rules}-rules", kernel,
+                 apparmor=apparmor, bridge=bridge)
+
+
+def run_rule_sweep(rule_counts: Sequence[int] = (0, 10, 100, 500, 1000),
+                   benches: Optional[List[str]] = None,
+                   repetitions: int = 3, scale: float = 1.0
+                   ) -> Dict[int, Dict[str, BenchResult]]:
+    """Table III: LMBench at several SACK policy sizes.
+
+    Each cell is the median over *repetitions* fresh-world runs (the
+    paper averages 30 runs; the median resists the load bursts a shared
+    host injects into small samples).
+    """
+    from .stats import median_results
+    sweep: Dict[int, Dict[str, BenchResult]] = {}
+    for count in rule_counts:
+        runs = []
+        for _ in range(repetitions):
+            world = build_rule_count_world(count)
+            suite = LmbenchSuite(world.kernel, scale=scale)
+            runs.append(suite.run(benches))
+        sweep[count] = median_results(runs)
+    return sweep
+
+
+# -- Fig. 3(a): situation-state count sweep ------------------------------------------
+
+def build_state_count_world(n_states: int, n_rules_per_state: int = 2
+                            ) -> World:
+    """Independent SACK with an *n_states* policy (Fig. 3(a) setup)."""
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    policy = make_synthetic_policy(n_states * n_rules_per_state,
+                                   n_states=n_states,
+                                   name=f"states-{n_states}")
+    sack.load_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+    return World(f"sack-independent-{n_states}-states", kernel, sack=sack)
+
+
+def run_state_sweep(state_counts: Sequence[int] = (2, 5, 10, 25, 50, 100),
+                    scale: float = 1.0, repetitions: int = 3
+                    ) -> Dict[object, Dict[str, BenchResult]]:
+    """Fig. 3(a): file-operation overhead vs number of situation states.
+
+    Returns results for the no-LSM baseline (key ``"baseline"``) and each
+    state count.  Repetitions use fresh worlds with best-of reduction,
+    matching :func:`run_lmbench`'s noise discipline.
+    """
+    from .lmbench import FILE_OP_BENCHES
+    keys: List[object] = ["baseline", *state_counts]
+    samples: Dict[object, List[Dict[str, BenchResult]]] = \
+        {k: [] for k in keys}
+    for _ in range(max(1, repetitions)):
+        for key in keys:
+            if key == "baseline":
+                world = build_world(CONFIG_NO_LSM)
+            else:
+                world = build_state_count_world(key)
+            samples[key].append(LmbenchSuite(world.kernel,
+                                             scale=scale).run(FILE_OP_BENCHES))
+    results: Dict[object, Dict[str, BenchResult]] = {}
+    for key in keys:
+        merged: Dict[str, BenchResult] = {}
+        for bench in samples[key][0]:
+            runs = [r[bench] for r in samples[key]]
+            values = [r.value for r in runs]
+            best = min(values) if runs[0].smaller_is_better else max(values)
+            merged[bench] = BenchResult(
+                name=bench, value=best, unit=runs[0].unit,
+                iterations=runs[0].iterations,
+                smaller_is_better=runs[0].smaller_is_better)
+        results[key] = merged
+    return results
+
+
+# -- Fig. 3(b): transition-frequency sweep ---------------------------------------------
+
+SPEED_POLICY = """
+policy speed_gate;
+initial low_speed;
+
+states {
+  low_speed = 0;
+  high_speed = 1;
+}
+
+transitions {
+  low_speed -> high_speed on speed_high;
+  high_speed -> low_speed on speed_low;
+}
+
+permissions {
+  CRITICAL_FILE "critical-file access, low speed only";
+  TELEMETRY;
+}
+
+state_per {
+  low_speed: CRITICAL_FILE, TELEMETRY;
+  high_speed: TELEMETRY;
+}
+
+per_rules {
+  CRITICAL_FILE {
+    allow read /etc/vehicle/critical.conf;
+    allow write /etc/vehicle/critical.conf;
+  }
+  TELEMETRY {
+    allow read /dev/car/**;
+  }
+}
+
+guard /etc/vehicle/critical.conf;
+guard /dev/car/**;
+"""
+
+
+def run_frequency_sweep(periods_ms: Sequence[float] = (1, 10, 100, 1000),
+                        accesses: int = 20000, repetitions: int = 3
+                        ) -> Dict[object, Dict[str, float]]:
+    """Fig. 3(b): overhead of transitioning at millisecond granularity.
+
+    The workload reads a critical file that only the low-speed state may
+    touch; the SSM flips between high/low speed every *period_ms* of
+    virtual time (events injected through SACKfs, as the SDS would).
+    Accesses that land in the high-speed state are denied — that is the
+    semantics — so the workload alternates between the critical file and a
+    telemetry file to keep every access legal while state flips.
+
+    Returns per-period dict with ``ns_per_access``, ``transitions``, and
+    ``overhead_pct`` relative to a never-transitioning run.
+    """
+    results: Dict[object, Dict[str, float]] = {}
+
+    def build():
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        sackfs = SackFs(kernel, sack, authorized_event_uids={990},
+                        ioctl_symbols=IOCTL_SYMBOLS)
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/policy",
+                          SPEED_POLICY.encode(), create=False)
+        kernel.vfs.makedirs("/etc/vehicle")
+        kernel.vfs.create_file("/etc/vehicle/critical.conf")
+        kernel.write_file(kernel.procs.init, "/etc/vehicle/critical.conf",
+                          b"threshold=1\n")
+        kernel.vfs.makedirs("/dev/car")
+        kernel.vfs.create_file("/dev/car/telemetry")
+        return kernel, sack
+
+    def run(kernel, sack, period_ms: Optional[float]) -> Tuple[float, int]:
+        task = kernel.procs.init
+        crit_fd = kernel.sys_open(task, "/etc/vehicle/critical.conf",
+                                  OpenFlags.O_RDONLY)
+        telem_fd = kernel.sys_open(task, "/dev/car/telemetry",
+                                   OpenFlags.O_RDONLY)
+        # Each access advances virtual time by 100 µs (a 10 kHz access
+        # rate), so the default 20000 accesses span 2 s of virtual time —
+        # enough for transitions even at the 1000 ms period.
+        access_cost_ns = 100_000
+        period_ns = None if period_ms is None else int(period_ms * 1e6)
+        next_flip = kernel.clock.now_ns + period_ns if period_ns else None
+        high = False
+        transitions = 0
+        start = time.perf_counter_ns()
+        for i in range(accesses):
+            kernel.clock.advance_ns(access_cost_ns)
+            if next_flip is not None and kernel.clock.now_ns >= next_flip:
+                event = "speed_low" if high else "speed_high"
+                kernel.write_file(task,
+                                  "/sys/kernel/security/SACK/events",
+                                  f"{event}\n".encode(), create=False)
+                high = not high
+                transitions += 1
+                next_flip += period_ns
+            fd = telem_fd if high else crit_fd
+            kernel.sys_lseek(task, fd, 0)
+            kernel.sys_read(task, fd, 16)
+        elapsed = time.perf_counter_ns() - start
+        kernel.sys_close(task, crit_fd)
+        kernel.sys_close(task, telem_fd)
+        return elapsed / accesses, transitions
+
+    # Interleave the baseline and every period within each repetition so
+    # all of them sample the same load windows; reduce with best-of
+    # (fresh world per measurement).
+    keys: List[Optional[float]] = [None, *periods_ms]
+    best: Dict[Optional[float], float] = {}
+    transitions_of: Dict[Optional[float], int] = {}
+    for _ in range(max(1, repetitions)):
+        for key in keys:
+            kernel, sack = build()
+            ns, transitions = run(kernel, sack, key)
+            if key not in best or ns < best[key]:
+                best[key] = ns
+            transitions_of[key] = transitions
+    base_ns = best[None]
+    results["baseline"] = {"ns_per_access": base_ns, "transitions": 0,
+                           "overhead_pct": 0.0}
+    for period in periods_ms:
+        results[period] = {
+            "ns_per_access": best[period],
+            "transitions": transitions_of[period],
+            "overhead_pct": (best[period] - base_ns) / base_ns * 100.0,
+        }
+    return results
+
+
+# -- E5: situation awareness latency ---------------------------------------------------
+
+LATENCY_EVENTS = ["crash_detected", "emergency_cleared", "vehicle_started",
+                  "vehicle_parked"]
+
+
+def run_event_latency(samples_per_event: int = 200
+                      ) -> Dict[str, Dict[str, float]]:
+    """Per-event-type user→kernel latency through SACKfs + accuracy."""
+    world = build_world(CONFIG_SACK_INDEPENDENT)
+    kernel = world.kernel
+    task = kernel.procs.init
+    ssm = world.sack.ssm
+    out: Dict[str, Dict[str, float]] = {}
+    for event_name in LATENCY_EVENTS:
+        latencies = []
+        delivered = 0
+        for _ in range(samples_per_event):
+            before = ssm.events_processed
+            start = time.perf_counter_ns()
+            kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                              f"{event_name}\n".encode(), create=False)
+            latencies.append(time.perf_counter_ns() - start)
+            if ssm.events_processed == before + 1:
+                delivered += 1
+        latencies.sort()
+        out[event_name] = {
+            "mean_us": sum(latencies) / len(latencies) / 1e3,
+            "p50_us": latencies[len(latencies) // 2] / 1e3,
+            "p99_us": latencies[int(len(latencies) * 0.99)] / 1e3,
+            "accuracy_pct": delivered / samples_per_event * 100.0,
+        }
+    return out
+
+
+# -- E9 ablation: event transport channels ----------------------------------------------
+
+def run_transport_ablation(samples: int = 500) -> Dict[str, float]:
+    """Mean per-event latency (µs): SACKfs vs AF_UNIX vs TCP relay.
+
+    The socket channels model the alternative the paper rejects for C1: a
+    user-space relay daemon receives the event over a socket and then
+    still has to inject it into the kernel — an extra hop and two extra
+    copies per event.
+    """
+    world = build_world(CONFIG_SACK_INDEPENDENT)
+    kernel = world.kernel
+    task = kernel.procs.init
+    event_line = b"speed_high\n"
+    results: Dict[str, float] = {}
+
+    # Channel 1: direct SACKfs write (the paper's design).
+    start = time.perf_counter_ns()
+    for _ in range(samples):
+        kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                          event_line, create=False)
+    results["sackfs_us"] = (time.perf_counter_ns() - start) / samples / 1e3
+
+    def relay_channel(family: SocketFamily, addr) -> float:
+        server = kernel.sys_socket(task, family)
+        kernel.sys_bind(task, server, addr)
+        kernel.sys_listen(task, server)
+        client = kernel.sys_socket(task, family)
+        kernel.sys_connect(task, client, addr)
+        conn = kernel.sys_accept(task, server)
+        start = time.perf_counter_ns()
+        for _ in range(samples):
+            kernel.sys_send(task, client, event_line)
+            data = kernel.sys_recv(task, conn, 64)
+            kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                              data, create=False)
+        elapsed = time.perf_counter_ns() - start
+        for fd in (client, conn, server):
+            kernel.sys_close(task, fd)
+        return elapsed / samples / 1e3
+
+    results["af_unix_relay_us"] = relay_channel(SocketFamily.AF_UNIX,
+                                                "/tmp/relay.sock")
+    results["tcp_relay_us"] = relay_channel(SocketFamily.AF_INET,
+                                            ("127.0.0.1", 48000))
+    return results
+
+
+# -- E11: ABAC baseline comparison (Varshith et al.) -------------------------------------
+
+def run_baseline_comparison(rule_counts: Sequence[int] = (10, 100, 500),
+                            accesses: int = 10000
+                            ) -> Dict[int, Dict[str, float]]:
+    """Per-access check cost: ABAC baseline vs independent SACK.
+
+    Both worlds guard ``/dev/car/**`` with *n* rules and the workload
+    reads one governed file.  ABAC evaluates subject + environment
+    attributes against the rule list per access; SACK consults the
+    precompiled current-state ruleset.  Returns ns/access per approach,
+    measured best-of-3.
+    """
+    from ..abac import AbacEffect, AbacLsm, AbacPolicy, AbacRule
+    from ..sack.policy.model import RuleOp
+
+    def measure(build) -> float:
+        best = None
+        for _ in range(3):
+            kernel, task, path = build()
+            fd = kernel.sys_open(task, path)
+            for _ in range(accesses // 10):
+                kernel.sys_read(task, fd, 8)  # warmup
+            start = time.perf_counter_ns()
+            for _ in range(accesses):
+                kernel.sys_read(task, fd, 8)
+            elapsed = (time.perf_counter_ns() - start) / accesses
+            kernel.sys_close(task, fd)
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    out: Dict[int, Dict[str, float]] = {}
+    for count in rule_counts:
+        def build_abac(count=count):
+            abac = AbacLsm()
+            kernel, _ = boot_kernel([abac])
+            rules = [AbacRule(AbacEffect.PERMIT,
+                              frozenset({RuleOp.READ}),
+                              f"/dev/car/unit{i}",
+                              hour_range=(0, 24))
+                     for i in range(count - 1)]
+            rules.append(AbacRule(AbacEffect.PERMIT,
+                                  frozenset({RuleOp.READ}),
+                                  "/dev/car/probe"))
+            abac.load_policy(AbacPolicy(rules, guards=["/dev/car/**"]))
+            kernel.vfs.makedirs("/dev/car")
+            kernel.vfs.create_file("/dev/car/probe", mode=0o666)
+            return kernel, kernel.procs.init, "/dev/car/probe"
+
+        def build_sack(count=count):
+            sack = SackLsm()
+            kernel, _ = boot_kernel([sack])
+            policy = make_synthetic_policy(count, n_states=2)
+            # Ensure the probe path is readable in the initial state.
+            from ..sack.policy.model import (MacRule, RuleDecision,
+                                             SackPermission)
+            policy.permissions["PROBE"] = SackPermission("PROBE")
+            policy.per_rules["PROBE"] = [MacRule(
+                RuleDecision.ALLOW, RuleOp.READ, "/dev/car/probe")]
+            policy.state_per["s0"].add("PROBE")
+            sack.load_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+            kernel.vfs.makedirs("/dev/car")
+            kernel.vfs.create_file("/dev/car/probe", mode=0o666)
+            return kernel, kernel.procs.init, "/dev/car/probe"
+
+        out[count] = {
+            "abac_ns": measure(build_abac),
+            "sack_ns": measure(build_sack),
+        }
+        out[count]["ratio"] = out[count]["abac_ns"] / out[count]["sack_ns"]
+    return out
+
+
+# -- E10 ablation: transition cost, independent vs bridge ------------------------------
+
+def run_transition_cost_ablation(rule_counts: Sequence[int] = (10, 100, 500,
+                                                               1000),
+                                 transitions: int = 200
+                                 ) -> Dict[int, Dict[str, float]]:
+    """Per-transition cost (µs) of the two enforcement prototypes.
+
+    Independent SACK swaps a precompiled ruleset pointer; the bridge
+    rewrites and reloads AppArmor profiles.  The crossover against check
+    frequency is the design trade-off discussed in DESIGN.md §5.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for count in rule_counts:
+        policy = make_synthetic_policy(count)
+
+        # Independent: APE pointer swap.
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        sack.load_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+        ssm = sack.ssm
+        start = time.perf_counter_ns()
+        for i in range(transitions):
+            target = f"s{(i + 1) % 2}"
+            ssm.process_event(SituationEvent(name=f"go_{target}"),
+                              now_ns=kernel.clock.now_ns)
+        independent_us = (time.perf_counter_ns() - start) / transitions / 1e3
+
+        # Bridge: profile rewrite + reload.
+        apparmor = AppArmorLsm()
+        apparmor.policy.load_text(IVI_APPARMOR_PROFILES)
+        bridge = SackAppArmorBridge(apparmor)
+        kernel, _ = boot_kernel([bridge, apparmor])
+        bridge.load_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+        ssm = bridge.ssm
+        start = time.perf_counter_ns()
+        for i in range(transitions):
+            target = f"s{(i + 1) % 2}"
+            ssm.process_event(SituationEvent(name=f"go_{target}"),
+                              now_ns=kernel.clock.now_ns)
+        bridge_us = (time.perf_counter_ns() - start) / transitions / 1e3
+
+        out[count] = {"independent_us": independent_us,
+                      "bridge_us": bridge_us,
+                      "ratio": bridge_us / independent_us
+                      if independent_us else float("inf")}
+    return out

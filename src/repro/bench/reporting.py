@@ -1,0 +1,144 @@
+"""Paper-style table rendering for benchmark results.
+
+Deltas are annotated the way the paper's tables are: for latency rows an
+increase is a performance drop (``↓``), for bandwidth rows an increase is
+a gain (``↑``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .lmbench import BenchResult
+from .stats import pct_delta
+
+#: Display metadata: (bench key, paper row label, section).
+TABLE2_ROWS = [
+    ("syscall", "syscall", "Processes (ns/op - smaller is better)"),
+    ("fork", "fork", "Processes (ns/op - smaller is better)"),
+    ("stat", "stat", "Processes (ns/op - smaller is better)"),
+    ("open_close", "open/close file",
+     "Processes (ns/op - smaller is better)"),
+    ("exec", "exec", "Processes (ns/op - smaller is better)"),
+    ("file_create_0k", "file create (0K)",
+     "File Access (ns/op - smaller is better)"),
+    ("file_delete_0k", "file delete (0K)",
+     "File Access (ns/op - smaller is better)"),
+    ("file_create_10k", "file create (10K)",
+     "File Access (ns/op - smaller is better)"),
+    ("file_delete_10k", "file delete (10K)",
+     "File Access (ns/op - smaller is better)"),
+    ("mmap_latency", "mmap latency",
+     "File Access (ns/op - smaller is better)"),
+    ("pipe_bw", "pipe",
+     "Local Communication Bandwidths (MB/s - bigger is better)"),
+    ("af_unix_bw", "AF_UNIX",
+     "Local Communication Bandwidths (MB/s - bigger is better)"),
+    ("tcp_bw", "TCP",
+     "Local Communication Bandwidths (MB/s - bigger is better)"),
+    ("file_reread_bw", "File reread",
+     "Local Communication Bandwidths (MB/s - bigger is better)"),
+    ("mmap_reread_bw", "Mmap reread",
+     "Local Communication Bandwidths (MB/s - bigger is better)"),
+    ("ctxsw_2p_0k", "2p/0K ctxsw",
+     "Context Switching (ns/op - smaller is better)"),
+    ("ctxsw_2p_16k", "2p/16K ctxsw",
+     "Context Switching (ns/op - smaller is better)"),
+]
+
+
+def format_delta(baseline: float, value: float,
+                 smaller_is_better: bool) -> str:
+    """Render a delta the way the paper does: arrow = performance change."""
+    delta = pct_delta(baseline, value)
+    if abs(delta) < 0.005:
+        return "(=)"
+    got_slower = delta > 0 if smaller_is_better else delta < 0
+    arrow = "v" if got_slower else "^"
+    return f"({arrow}{abs(delta):.2f}%)"
+
+
+def format_value(result: BenchResult) -> str:
+    if result.unit == "MB/s":
+        return f"{result.value:,.0f} MB/s"
+    if result.value >= 1e6:
+        return f"{result.value / 1e6:,.3f} ms"
+    if result.value >= 1e3:
+        return f"{result.value / 1e3:,.2f} us"
+    return f"{result.value:,.0f} ns"
+
+
+def render_comparison_table(
+        results: Dict[str, Dict[str, BenchResult]],
+        baseline_config: str,
+        title: str,
+        rows: Optional[Sequence] = None) -> str:
+    """Render a Table-II-style comparison across configurations."""
+    rows = rows or TABLE2_ROWS
+    configs = list(results)
+    widths = [max(18, max(len(r[1]) for r in rows) + 2)]
+    widths += [max(26, len(c) + 2) for c in configs]
+
+    def fmt_row(cells: List[str]) -> str:
+        return " | ".join(cell.ljust(w) for cell, w in zip(cells, widths))
+
+    lines = [title, "=" * len(title)]
+    header = fmt_row(["operation"] + [
+        c + (" (baseline)" if c == baseline_config else "")
+        for c in configs])
+    lines.append(header)
+    lines.append("-" * len(header))
+    current_section = None
+    for key, label, section in rows:
+        if any(key not in results[c] for c in configs):
+            continue
+        if section != current_section:
+            lines.append(f"-- {section}")
+            current_section = section
+        base = results[baseline_config][key]
+        cells = [label]
+        for config in configs:
+            res = results[config][key]
+            text = format_value(res)
+            if config != baseline_config:
+                text += " " + format_delta(base.value, res.value,
+                                           res.smaller_is_better)
+            cells.append(text)
+        lines.append(fmt_row(cells))
+    return "\n".join(lines)
+
+
+def render_sweep_table(sweep: Dict[object, Dict[str, BenchResult]],
+                       baseline_key: object, title: str) -> str:
+    """Render a Table-III-style sweep (columns = sweep points)."""
+    keys = list(sweep)
+    bench_names = list(sweep[keys[0]])
+    col_w = 24
+    lines = [title, "=" * len(title)]
+    header = "operation".ljust(20) + "".join(
+        (f"{k}" + (" (baseline)" if k == baseline_key else "")).ljust(col_w)
+        for k in keys)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench in bench_names:
+        base = sweep[baseline_key][bench]
+        row = bench.ljust(20)
+        for key in keys:
+            res = sweep[key][bench]
+            text = format_value(res)
+            if key != baseline_key:
+                text += " " + format_delta(base.value, res.value,
+                                           res.smaller_is_better)
+            row += text.ljust(col_w)
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def mean_abs_overhead_pct(results: Dict[str, Dict[str, BenchResult]],
+                          baseline_config: str, config: str) -> float:
+    """Mean |delta%| across all benches — the paper's 'average below 3%'."""
+    base = results[baseline_config]
+    other = results[config]
+    deltas = [abs(pct_delta(base[name].value, other[name].value))
+              for name in base if name in other]
+    return sum(deltas) / len(deltas) if deltas else 0.0

@@ -1,0 +1,64 @@
+"""Small statistics helpers for benchmark aggregation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from .lmbench import BenchResult
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def pct_delta(baseline: float, value: float) -> float:
+    """Percentage change of *value* relative to *baseline*."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline * 100.0
+
+
+def mean_results(runs: List[Dict[str, BenchResult]]
+                 ) -> Dict[str, BenchResult]:
+    """Average several benchmark runs bench-by-bench."""
+    return _merge_results(runs, mean)
+
+
+def median_results(runs: List[Dict[str, BenchResult]]
+                   ) -> Dict[str, BenchResult]:
+    """Bench-by-bench median — robust to scheduler/GC outliers."""
+    return _merge_results(runs, median)
+
+
+def _merge_results(runs: List[Dict[str, BenchResult]],
+                   reduce_fn) -> Dict[str, BenchResult]:
+    if not runs:
+        raise ValueError("no runs to merge")
+    merged: Dict[str, BenchResult] = {}
+    for name, first in runs[0].items():
+        values = [run[name].value for run in runs]
+        merged[name] = BenchResult(
+            name=name, value=reduce_fn(values), unit=first.unit,
+            iterations=first.iterations,
+            smaller_is_better=first.smaller_is_better)
+    return merged

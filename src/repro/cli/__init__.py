@@ -1,0 +1,7 @@
+"""Command-line tools: ``sackctl`` and ``sack-bench``.
+
+Submodules are imported lazily by the console-script entry points so
+``python -m repro.cli.sackctl`` works without double-import warnings.
+"""
+
+__all__ = ["benchcli", "sackctl"]

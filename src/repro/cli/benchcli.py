@@ -1,0 +1,153 @@
+"""``sack-bench`` — run the paper's experiments from the command line.
+
+Subcommands mirror the benchmark files::
+
+    sack-bench table2   [--scale 0.5] [--reps 5]
+    sack-bench table3   [--scale 0.25] [--reps 5]
+    sack-bench fig3a    [--scale 0.4]
+    sack-bench fig3b
+    sack-bench latency
+    sack-bench transport
+    sack-bench transition
+    sack-bench abac
+    sack-bench census
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..bench import (CONFIG_APPARMOR, FILE_OP_BENCHES, LATENCY_EVENTS,
+                     TABLE2_CONFIGS, mean_abs_overhead_pct, pct_delta,
+                     render_comparison_table, render_sweep_table,
+                     run_baseline_comparison, run_event_latency,
+                     run_frequency_sweep, run_hook_census, run_lmbench,
+                     run_rule_sweep, run_state_sweep,
+                     run_transition_cost_ablation, run_transport_ablation)
+
+
+def cmd_table2(args) -> int:
+    results = run_lmbench(scale=args.scale, repetitions=args.reps)
+    print(render_comparison_table(results, CONFIG_APPARMOR,
+                                  "Table II: LMBench results of SACK"))
+    for config in TABLE2_CONFIGS[1:]:
+        pct = mean_abs_overhead_pct(results, CONFIG_APPARMOR, config)
+        print(f"{config}: mean |overhead| {pct:.2f}%")
+    return 0
+
+
+def cmd_table3(args) -> int:
+    benches = ["syscall", "io", "file_create_0k", "file_delete_0k",
+               "file_create_10k", "file_delete_10k", "stat", "open_close"]
+    sweep = run_rule_sweep(benches=benches, repetitions=args.reps,
+                           scale=args.scale)
+    print(render_sweep_table(sweep, 0,
+                             "Table III: LMBench vs SACK rule count"))
+    return 0
+
+
+def cmd_fig3a(args) -> int:
+    sweep = run_state_sweep(scale=args.scale, repetitions=args.reps)
+    base = sweep["baseline"]
+    print("Fig. 3(a): file-op overhead vs number of situation states")
+    for key, results in sweep.items():
+        if key == "baseline":
+            continue
+        deltas = [pct_delta(base[b].value, results[b].value)
+                  for b in FILE_OP_BENCHES]
+        print(f"  {key:>4} states: {sum(deltas) / len(deltas):+.2f}%")
+    return 0
+
+
+def cmd_fig3b(args) -> int:
+    results = run_frequency_sweep(accesses=max(2000, int(20000 * args.scale)))
+    print("Fig. 3(b): overhead vs transition period")
+    for key, row in results.items():
+        label = key if key == "baseline" else f"{key} ms"
+        print(f"  {label:>10}: {row['ns_per_access']:.0f} ns/access, "
+              f"{row['transitions']} transitions, "
+              f"{row['overhead_pct']:+.2f}%")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    out = run_event_latency(samples_per_event=max(20, int(300 * args.scale)))
+    print("Situation awareness latency (SACKfs)")
+    for name in LATENCY_EVENTS:
+        m = out[name]
+        print(f"  {name:>20}: mean {m['mean_us']:.2f} us, "
+              f"p99 {m['p99_us']:.2f} us, "
+              f"accuracy {m['accuracy_pct']:.0f}%")
+    return 0
+
+
+def cmd_transport(args) -> int:
+    out = run_transport_ablation(samples=max(50, int(1000 * args.scale)))
+    print("Event transport ablation (us/event)")
+    for channel, value in out.items():
+        print(f"  {channel.removesuffix('_us'):>16}: {value:.2f}")
+    return 0
+
+
+def cmd_transition(args) -> int:
+    out = run_transition_cost_ablation(transitions=max(20, int(200 * args.scale)))
+    print("Transition cost (us): independent vs bridge")
+    for count, row in out.items():
+        print(f"  {count:>5} rules: {row['independent_us']:.1f} vs "
+              f"{row['bridge_us']:.1f} ({row['ratio']:.0f}x)")
+    return 0
+
+
+def cmd_abac(args) -> int:
+    out = run_baseline_comparison(accesses=max(500, int(10000 * args.scale)))
+    print("SACK vs ABAC baseline (ns/governed access)")
+    for count, row in out.items():
+        print(f"  {count:>5} rules: abac {row['abac_ns']:.0f}, "
+              f"sack {row['sack_ns']:.0f} ({row['ratio']:.1f}x)")
+    return 0
+
+
+def cmd_census(args) -> int:
+    census = run_hook_census(scale=args.scale)
+    print("Hook census (exact counts)")
+    for config, row in census.items():
+        print(f"  {config:>18}: {row['syscalls']} syscalls, "
+              f"{row['hook_calls']} hook calls, "
+              f"{row['sack_hook_calls']} from SACK")
+    return 0
+
+
+_COMMANDS = {
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "fig3a": cmd_fig3a,
+    "fig3b": cmd_fig3b,
+    "latency": cmd_latency,
+    "transport": cmd_transport,
+    "transition": cmd_transition,
+    "abac": cmd_abac,
+    "census": cmd_census,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sack-bench",
+        description="Regenerate the SACK paper's tables and figures")
+    parser.add_argument("experiment", choices=sorted(_COMMANDS))
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="iteration multiplier (1.0 = full)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions for noise reduction")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.experiment](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""``sackctl`` — the SACK policy administration tool.
+
+Subcommands::
+
+    sackctl check <policy.sack>          validate; exit 1 on errors
+    sackctl format <policy.sack>         print the canonical form
+    sackctl compile <policy.sack>        show per-state compiled rulesets
+    sackctl simulate <policy.sack> -e crash_detected -e emergency_cleared
+                                         drive the SSM through events
+    sackctl query <policy.sack> --state S --op write --path /dev/car/door
+                                         [--subject comm] [--cmd NAME]
+                                         one access decision
+
+ioctl command names resolve against the vehicle device ABI
+(``repro.vehicle.devices.IOCTL_SYMBOLS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..sack import (SituationEvent, check_policy, compile_policy,
+                    format_policy, has_errors, parse_policy)
+from ..sack.policy.model import RuleOp
+from ..vehicle.devices import IOCTL_SYMBOLS
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_policy(handle.read())
+
+
+def cmd_check(args) -> int:
+    policy = _load(args.policy)
+    diagnostics = check_policy(policy)
+    for diag in diagnostics:
+        print(diag)
+    if has_errors(diagnostics):
+        print(f"{policy.name}: FAILED "
+              f"({sum(d.severity.value == 'error' for d in diagnostics)} "
+              f"error(s))")
+        return 1
+    print(f"{policy.name}: OK ({len(diagnostics)} warning(s))")
+    return 0
+
+
+def cmd_format(args) -> int:
+    print(format_policy(_load(args.policy)), end="")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    policy = _load(args.policy)
+    compiled = compile_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+    for state in sorted(compiled.rulesets):
+        ruleset = compiled.rulesets[state]
+        marker = " (initial)" if state == policy.initial else ""
+        print(f"state {state}{marker}: {ruleset.rule_count} rules")
+        for table, label in ((ruleset.deny_by_op, "deny"),
+                             (ruleset.allow_by_op, "allow")):
+            for op in sorted(table, key=lambda o: o.value):
+                for rule in table[op]:
+                    print(f"  {label} {op.value} {rule.source.path_glob}"
+                          + (f" subject={rule.source.subject}"
+                             if rule.source.subject else "")
+                          + (f" cmds={sorted(rule.cmds)}"
+                             if rule.cmds else ""))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    policy = _load(args.policy)
+    compile_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)  # validate
+    ssm = policy.build_ssm()
+    print(f"initial: {ssm.current_name}")
+    for name in args.event or []:
+        transition = ssm.process_event(SituationEvent(name=name))
+        if transition is None:
+            print(f"  {name}: ignored (still {ssm.current_name})")
+        else:
+            print(f"  {name}: {transition.from_state} -> "
+                  f"{transition.to_state}")
+    stats = ssm.stats()
+    print(f"final: {ssm.current_name} "
+          f"({stats['transitions']} transitions, "
+          f"{stats['events_ignored']} ignored)")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    policy = _load(args.policy)
+    ssm = policy.build_ssm()
+    print(ssm.to_dot(title=policy.name))
+    return 0
+
+
+def cmd_query(args) -> int:
+    policy = _load(args.policy)
+    compiled = compile_policy(policy, ioctl_symbols=IOCTL_SYMBOLS)
+    state = args.state or policy.initial
+    try:
+        ruleset = compiled.ruleset_for(state)
+    except KeyError as exc:
+        print(exc)
+        return 2
+    op = RuleOp(args.op)
+    cmd = None
+    if args.cmd is not None:
+        cmd = IOCTL_SYMBOLS.get(args.cmd)
+        if cmd is None:
+            if not args.cmd.isdigit():
+                print(f"unknown ioctl command {args.cmd!r}")
+                return 2
+            cmd = int(args.cmd)
+    allowed = ruleset.check(op, args.path, args.subject or "", cmd)
+    print(f"state={state} op={op.value} path={args.path}"
+          + (f" subject={args.subject}" if args.subject else "")
+          + (f" cmd={args.cmd}" if args.cmd else "")
+          + f" -> {'ALLOW' if allowed else 'DENY'}")
+    return 0 if allowed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sackctl",
+        description="SACK policy administration tool")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="validate a policy file")
+    p_check.add_argument("policy")
+    p_check.set_defaults(func=cmd_check)
+
+    p_format = sub.add_parser("format", help="print canonical form")
+    p_format.add_argument("policy")
+    p_format.set_defaults(func=cmd_format)
+
+    p_compile = sub.add_parser("compile",
+                               help="show per-state compiled rulesets")
+    p_compile.add_argument("policy")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_sim = sub.add_parser("simulate",
+                           help="drive the state machine through events")
+    p_sim.add_argument("policy")
+    p_sim.add_argument("-e", "--event", action="append",
+                       help="event name (repeatable, in order)")
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_graph = sub.add_parser("graph",
+                             help="emit the state machine as Graphviz DOT")
+    p_graph.add_argument("policy")
+    p_graph.set_defaults(func=cmd_graph)
+
+    p_query = sub.add_parser("query", help="evaluate one access")
+    p_query.add_argument("policy")
+    p_query.add_argument("--state", help="situation state "
+                                         "(default: initial)")
+    p_query.add_argument("--op", required=True,
+                         choices=[op.value for op in RuleOp])
+    p_query.add_argument("--path", required=True)
+    p_query.add_argument("--subject")
+    p_query.add_argument("--cmd", help="ioctl command name or number")
+    p_query.set_defaults(func=cmd_query)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(exc)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Smart-home generalisation of SACK (the paper's IoT claim)."""
+
+from .devices import (CAM_STATUS, CAM_STREAM_START, CAM_STREAM_STOP,
+                      HOME_IOCTL_SYMBOLS, LOCK_ENGAGE, LOCK_RELEASE,
+                      SecurityCamera, Siren, SIREN_OFF, SIREN_ON,
+                      SmartLock, THERMO_GET, THERMO_SET, Thermostat)
+from .home import (HOME_APPS, HOME_SACK_POLICY, MONITOR_UID,
+                   SmartHomeWorld, build_smart_home)
+
+__all__ = [
+    "CAM_STATUS", "CAM_STREAM_START", "CAM_STREAM_STOP",
+    "HOME_IOCTL_SYMBOLS", "LOCK_ENGAGE", "LOCK_RELEASE", "SecurityCamera",
+    "Siren", "SIREN_OFF", "SIREN_ON", "SmartLock", "THERMO_GET",
+    "THERMO_SET", "Thermostat", "HOME_APPS", "HOME_SACK_POLICY",
+    "MONITOR_UID", "SmartHomeWorld", "build_smart_home",
+]

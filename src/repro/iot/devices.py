@@ -1,0 +1,125 @@
+"""Smart-home devices for the IoT generalisation of SACK.
+
+The paper closes by claiming SACK "is a general solution at kernel space
+and, therefore, applicable to scenarios such as the smartphone, IoT and
+medical application".  This package substantiates the IoT claim: the same
+SACK machinery (states, events, SACKfs, APE) governs a smart home's
+devices, following the situational access control literature the paper
+builds on (Schuster et al.'s situation oracles, Malkin et al.'s
+optimistic access control for emergencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..kernel.devices import CharDevice, ioc_r, ioc_w
+from ..kernel.errors import Errno, KernelError
+from ..kernel.vfs.file import OpenFile
+
+# ioctl command ABI for the home devices.
+LOCK_ENGAGE = ioc_w(0x501)
+LOCK_RELEASE = ioc_w(0x502)
+CAM_STREAM_START = ioc_w(0x601)
+CAM_STREAM_STOP = ioc_w(0x602)
+CAM_STATUS = ioc_r(0x603)
+THERMO_SET = ioc_w(0x701)
+THERMO_GET = ioc_r(0x702)
+SIREN_ON = ioc_w(0x801)
+SIREN_OFF = ioc_w(0x802)
+
+HOME_IOCTL_SYMBOLS: Dict[str, int] = {
+    "LOCK_ENGAGE": LOCK_ENGAGE,
+    "LOCK_RELEASE": LOCK_RELEASE,
+    "CAM_STREAM_START": CAM_STREAM_START,
+    "CAM_STREAM_STOP": CAM_STREAM_STOP,
+    "CAM_STATUS": CAM_STATUS,
+    "THERMO_SET": THERMO_SET,
+    "THERMO_GET": THERMO_GET,
+    "SIREN_ON": SIREN_ON,
+    "SIREN_OFF": SIREN_OFF,
+}
+
+
+class SmartLock(CharDevice):
+    """Front-door smart lock."""
+
+    def __init__(self):
+        super().__init__("front_lock")
+        self.engaged = True
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == LOCK_ENGAGE:
+            self.engaged = True
+            return 0
+        if cmd == LOCK_RELEASE:
+            self.engaged = False
+            return 0
+        raise KernelError(Errno.ENOTTY, f"lock: unknown ioctl {cmd:#x}")
+
+    def read(self, task, file: OpenFile, count: int) -> bytes:
+        return (b"engaged" if self.engaged else b"released")[:count]
+
+
+class SecurityCamera(CharDevice):
+    """Indoor camera — the privacy-sensitive device."""
+
+    def __init__(self):
+        super().__init__("camera")
+        self.streaming = False
+        self.frames_served = 0
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == CAM_STREAM_START:
+            self.streaming = True
+            return 0
+        if cmd == CAM_STREAM_STOP:
+            self.streaming = False
+            return 0
+        if cmd == CAM_STATUS:
+            return 1 if self.streaming else 0
+        raise KernelError(Errno.ENOTTY, f"camera: unknown ioctl {cmd:#x}")
+
+    def read(self, task, file: OpenFile, count: int) -> bytes:
+        if not self.streaming:
+            raise KernelError(Errno.EAGAIN, "camera: not streaming")
+        self.frames_served += 1
+        return b"\x89FRAME"[:count]
+
+
+class Thermostat(CharDevice):
+    """Heating setpoint control."""
+
+    MIN_C, MAX_C = 5, 30
+
+    def __init__(self):
+        super().__init__("thermostat")
+        self.setpoint_c = 20
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == THERMO_SET:
+            if not self.MIN_C <= arg <= self.MAX_C:
+                raise KernelError(Errno.EINVAL, f"setpoint {arg}")
+            self.setpoint_c = arg
+            return self.setpoint_c
+        if cmd == THERMO_GET:
+            return self.setpoint_c
+        raise KernelError(Errno.ENOTTY,
+                          f"thermostat: unknown ioctl {cmd:#x}")
+
+
+class Siren(CharDevice):
+    """Alarm siren."""
+
+    def __init__(self):
+        super().__init__("siren")
+        self.sounding = False
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == SIREN_ON:
+            self.sounding = True
+            return 0
+        if cmd == SIREN_OFF:
+            self.sounding = False
+            return 0
+        raise KernelError(Errno.ENOTTY, f"siren: unknown ioctl {cmd:#x}")

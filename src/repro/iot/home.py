@@ -1,0 +1,192 @@
+"""The smart-home world: SACK governing household devices.
+
+Situations follow the smart-home access control literature the paper
+cites: *home* (occupants present — indoor camera streaming is a privacy
+violation), *away* (cameras may stream; locks engaged), *night*
+(locks engaged, thermostat setback), and *break_in* — the optimistic
+"break the glass" emergency where the responder service may release the
+lock and the siren sounds (Malkin et al.'s OAC, transplanted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..kernel import Kernel, OpenFlags, user_credentials
+from ..kernel.process import Task
+from ..lsm import boot_kernel
+from ..sack import SackFs, SackLsm
+from .devices import (HOME_IOCTL_SYMBOLS, SecurityCamera, Siren, SmartLock,
+                      Thermostat)
+
+#: uid of the home monitor daemon (the SDS analogue).
+MONITOR_UID = 991
+
+HOME_APPS = {
+    "automation_app": 2001,   # scenes, thermostat schedules
+    "camera_service": 2002,   # cloud streaming uploader
+    "guest_app": 2003,        # a guest's phone app
+    "responder_service": 0,   # alarm-company responder daemon
+    "home_monitor": MONITOR_UID,
+}
+
+HOME_SACK_POLICY = """
+policy smart_home;
+initial home;
+
+states {
+  home = 0 "occupants present";
+  away = 1 "house empty";
+  night = 2 "occupants sleeping";
+  break_in = 3 "intrusion detected";
+}
+
+transitions {
+  home -> away on occupants_left;
+  away -> home on occupants_returned;
+  home -> night on night_started;
+  night -> home on morning_started;
+  away -> break_in on intrusion_detected;
+  night -> break_in on intrusion_detected;
+  break_in -> home on alarm_cleared;
+}
+
+permissions {
+  STATUS "read-only device status";
+  CAMERA_STREAM "start/stop camera streaming";
+  LOCK_CONTROL "engage/release the front lock";
+  CLIMATE "set the thermostat";
+  ALARM_RESPONSE "siren + lock release for responders";
+}
+
+state_per {
+  home: STATUS, LOCK_CONTROL, CLIMATE;
+  away: STATUS, CAMERA_STREAM, CLIMATE;
+  night: STATUS, CLIMATE;
+  break_in: STATUS, CAMERA_STREAM, ALARM_RESPONSE;
+}
+
+per_rules {
+  STATUS {
+    allow read /dev/home/**;
+    allow ioctl /dev/home/camera cmd=CAM_STATUS;
+    allow ioctl /dev/home/thermostat cmd=THERMO_GET;
+  }
+  CAMERA_STREAM {
+    allow ioctl /dev/home/camera cmd=CAM_STREAM_START,CAM_STREAM_STOP subject=camera_service;
+  }
+  LOCK_CONTROL {
+    allow ioctl /dev/home/front_lock cmd=LOCK_ENGAGE,LOCK_RELEASE subject=automation_app;
+  }
+  CLIMATE {
+    allow ioctl /dev/home/thermostat cmd=THERMO_SET subject=automation_app;
+  }
+  ALARM_RESPONSE {
+    allow ioctl /dev/home/front_lock cmd=LOCK_RELEASE subject=responder_service;
+    allow ioctl /dev/home/siren cmd=SIREN_ON,SIREN_OFF subject=responder_service;
+  }
+}
+
+guard /dev/home/**;
+
+targets {
+  automation_app;
+  camera_service;
+  guest_app;
+  responder_service;
+}
+"""
+
+
+class SmartHomeWorld:
+    """A booted smart home under independent SACK."""
+
+    def __init__(self, kernel: Kernel, sack: SackLsm, sackfs: SackFs,
+                 devices: Dict[str, object], tasks: Dict[str, Task]):
+        self.kernel = kernel
+        self.sack = sack
+        self.sackfs = sackfs
+        self.devices = devices
+        self.tasks = tasks
+
+    @property
+    def situation(self) -> Optional[str]:
+        return self.sack.current_state
+
+    def task(self, app: str) -> Task:
+        return self.tasks[app]
+
+    def send_event(self, event: str) -> None:
+        """The home monitor reports a situation event."""
+        self.kernel.write_file(self.tasks["home_monitor"],
+                               "/sys/kernel/security/SACK/events",
+                               f"{event}\n".encode(), create=False)
+
+    def device_ioctl(self, app: str, device: str, cmd: int,
+                     arg: int = 0) -> int:
+        task = self.task(app)
+        fd = self.kernel.sys_open(task, f"/dev/home/{device}",
+                                  OpenFlags.O_RDONLY)
+        try:
+            return self.kernel.sys_ioctl(task, fd, cmd, arg)
+        finally:
+            self.kernel.sys_close(task, fd)
+
+    # -- scenario helpers -----------------------------------------------------
+    def everyone_leaves(self) -> None:
+        self.send_event("occupants_left")
+
+    def everyone_returns(self) -> None:
+        self.send_event("occupants_returned")
+
+    def nightfall(self) -> None:
+        self.send_event("night_started")
+
+    def morning(self) -> None:
+        self.send_event("morning_started")
+
+    def window_breaks(self) -> None:
+        self.send_event("intrusion_detected")
+
+    def all_clear(self) -> None:
+        self.send_event("alarm_cleared")
+
+
+def build_smart_home(policy_text: str = HOME_SACK_POLICY
+                     ) -> SmartHomeWorld:
+    """Assemble and boot the smart home."""
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    sackfs = SackFs(kernel, sack, authorized_event_uids={MONITOR_UID},
+                    ioctl_symbols=HOME_IOCTL_SYMBOLS)
+
+    devices = {
+        "front_lock": SmartLock(),
+        "camera": SecurityCamera(),
+        "thermostat": Thermostat(),
+        "siren": Siren(),
+    }
+    kernel.vfs.makedirs("/dev/home")
+    for name, driver in devices.items():
+        rdev = kernel.devices.alloc_rdev()
+        kernel.devices.register(rdev, driver)
+        kernel.vfs.mknod(f"/dev/home/{name}", rdev, mode=0o666)
+
+    init = kernel.procs.init
+    tasks: Dict[str, Task] = {}
+    for name, uid in HOME_APPS.items():
+        exe = f"/usr/bin/{name}"
+        kernel.vfs.create_file(exe, mode=0o755)
+        task = kernel.sys_fork(init)
+        if uid == 0:
+            from ..kernel import Capability
+            task.cred = init.cred.dropping_caps(
+                Capability.CAP_MAC_OVERRIDE, Capability.CAP_MAC_ADMIN)
+        else:
+            task.cred = user_credentials(uid)
+        kernel.sys_execve(task, exe, comm=name)
+        tasks[name] = task
+
+    kernel.write_file(init, "/sys/kernel/security/SACK/policy",
+                      policy_text.encode(), create=False)
+    return SmartHomeWorld(kernel, sack, sackfs, devices, tasks)

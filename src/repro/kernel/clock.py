@@ -1,0 +1,58 @@
+"""Virtual time for the simulated kernel.
+
+All *functional* behaviour in the simulator (timestamps, transition
+frequencies, SDS polling periods) uses a :class:`VirtualClock` so runs are
+deterministic.  Benchmarks measure real elapsed time separately with
+``time.perf_counter_ns``; the virtual clock never feeds benchmark numbers.
+"""
+
+from __future__ import annotations
+
+NSEC_PER_USEC = 1_000
+NSEC_PER_MSEC = 1_000_000
+NSEC_PER_SEC = 1_000_000_000
+
+
+class VirtualClock:
+    """Monotonic, manually-advanced nanosecond clock."""
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError("clock cannot start before zero")
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now_ns
+
+    @property
+    def now_us(self) -> float:
+        return self._now_ns / NSEC_PER_USEC
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ns / NSEC_PER_MSEC
+
+    @property
+    def now_s(self) -> float:
+        return self._now_ns / NSEC_PER_SEC
+
+    def advance_ns(self, delta_ns: int) -> int:
+        """Move time forward by *delta_ns* nanoseconds; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError("time cannot move backwards")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_us(self, delta_us: float) -> int:
+        return self.advance_ns(int(delta_us * NSEC_PER_USEC))
+
+    def advance_ms(self, delta_ms: float) -> int:
+        return self.advance_ns(int(delta_ms * NSEC_PER_MSEC))
+
+    def advance_s(self, delta_s: float) -> int:
+        return self.advance_ns(int(delta_s * NSEC_PER_SEC))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now_ns={self._now_ns})"

@@ -1,0 +1,106 @@
+"""Character devices and the device registry.
+
+CAV hardware (doors, windows, audio, CAN) appears to user space as character
+device nodes under ``/dev/car``; SACK's case study gates ``write`` and
+``ioctl`` on exactly these nodes.  Drivers subclass :class:`CharDevice`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .errors import Errno, KernelError
+from .vfs.file import OpenFile
+
+#: Conventional major number for the simulated vehicle devices.
+CAR_DEVICE_MAJOR = 240
+
+# Linux _IOC direction bits (bits 30-31 of the command number).
+IOC_NONE = 0
+IOC_WRITE = 1
+IOC_READ = 2
+_IOC_DIRSHIFT = 30
+
+
+def ioc(direction: int, nr: int) -> int:
+    """Build an ioctl command number with _IOC-style direction bits."""
+    return (direction << _IOC_DIRSHIFT) | nr
+
+
+def ioc_r(nr: int) -> int:
+    """A read-direction ioctl (``_IOR``): device state flows to the caller."""
+    return ioc(IOC_READ, nr)
+
+
+def ioc_w(nr: int) -> int:
+    """A write-direction ioctl (``_IOW``): the caller changes device state."""
+    return ioc(IOC_WRITE, nr)
+
+
+def ioctl_direction(cmd: int) -> int:
+    """Extract the direction bits from an ioctl command number."""
+    return (cmd >> _IOC_DIRSHIFT) & 0x3
+
+
+def ioctl_is_write(cmd: int) -> bool:
+    """Treat write-direction and direction-less ioctls as state-changing."""
+    return ioctl_direction(cmd) != IOC_READ
+
+
+class CharDevice:
+    """Base class for character-device drivers.
+
+    Subclasses override the file operations they support; unsupported
+    operations fail with the errno Linux drivers typically return.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def open(self, task, file: OpenFile) -> None:
+        """Called when the node is opened; may initialise private_data."""
+
+    def release(self, task, file: OpenFile) -> None:
+        """Called when the last reference to the open file is dropped."""
+
+    def read(self, task, file: OpenFile, count: int) -> bytes:
+        raise KernelError(Errno.EINVAL, f"{self.name}: read not supported")
+
+    def write(self, task, file: OpenFile, data: bytes) -> int:
+        raise KernelError(Errno.EINVAL, f"{self.name}: write not supported")
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        raise KernelError(Errno.ENOTTY, f"{self.name}: unknown ioctl {cmd}")
+
+
+class DeviceRegistry:
+    """Maps ``(major, minor)`` device numbers to driver instances."""
+
+    def __init__(self):
+        self._drivers: Dict[Tuple[int, int], CharDevice] = {}
+        self._next_minor: Dict[int, int] = {}
+
+    def register(self, rdev: Tuple[int, int], driver: CharDevice) -> None:
+        if rdev in self._drivers:
+            raise KernelError(Errno.EBUSY, f"device {rdev} already registered")
+        self._drivers[rdev] = driver
+
+    def alloc_rdev(self, major: int = CAR_DEVICE_MAJOR) -> Tuple[int, int]:
+        """Allocate the next free minor number under *major*."""
+        minor = self._next_minor.get(major, 0)
+        while (major, minor) in self._drivers:
+            minor += 1
+        self._next_minor[major] = minor + 1
+        return (major, minor)
+
+    def lookup(self, rdev: Tuple[int, int]) -> CharDevice:
+        try:
+            return self._drivers[rdev]
+        except KeyError:
+            raise KernelError(Errno.ENODEV, f"no driver for {rdev}") from None
+
+    def unregister(self, rdev: Tuple[int, int]) -> None:
+        self._drivers.pop(rdev, None)
+
+    def __len__(self) -> int:
+        return len(self._drivers)

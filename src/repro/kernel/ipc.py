@@ -1,0 +1,194 @@
+"""IPC primitives: pipes, UNIX sockets, and a loopback TCP stack.
+
+These exist so the LMBench-style bandwidth benchmarks (pipe, AF_UNIX, TCP)
+exercise real code paths through the LSM socket hooks, and so the IVI apps
+can talk to each other the way the paper's user-space stack does.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from .errors import Errno, KernelError
+
+#: Default kernel buffer size for pipes and sockets (64 KiB, as in Linux).
+PIPE_BUF_SIZE = 64 * 1024
+
+
+class ByteChannel:
+    """A bounded byte FIFO shared by one writer end and one reader end."""
+
+    def __init__(self, capacity: int = PIPE_BUF_SIZE):
+        self.capacity = capacity
+        self._chunks: Deque[bytes] = deque()
+        self._size = 0
+        self.writer_closed = False
+        self.reader_closed = False
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def space(self) -> int:
+        return self.capacity - self._size
+
+    def push(self, data: bytes) -> int:
+        """Write up to the free space; returns bytes accepted."""
+        if self.reader_closed:
+            raise KernelError(Errno.EPIPE, "reader closed")
+        accept = min(len(data), self.space)
+        if accept == 0 and len(data) > 0:
+            raise KernelError(Errno.EAGAIN, "channel full")
+        if accept:
+            self._chunks.append(bytes(data[:accept]))
+            self._size += accept
+        return accept
+
+    def pull(self, count: int) -> bytes:
+        """Read up to *count* bytes; empty bytes means EOF when writer gone."""
+        if self._size == 0:
+            if self.writer_closed:
+                return b""
+            raise KernelError(Errno.EAGAIN, "channel empty")
+        out = bytearray()
+        while self._chunks and len(out) < count:
+            chunk = self._chunks[0]
+            take = min(len(chunk), count - len(out))
+            out.extend(chunk[:take])
+            if take == len(chunk):
+                self._chunks.popleft()
+            else:
+                self._chunks[0] = chunk[take:]
+        self._size -= len(out)
+        return bytes(out)
+
+
+class Pipe:
+    """An anonymous pipe: a channel plus its two endpoints."""
+
+    def __init__(self, capacity: int = PIPE_BUF_SIZE):
+        self.channel = ByteChannel(capacity)
+
+    def write(self, data: bytes) -> int:
+        return self.channel.push(data)
+
+    def read(self, count: int) -> bytes:
+        return self.channel.pull(count)
+
+    def close_writer(self) -> None:
+        self.channel.writer_closed = True
+
+    def close_reader(self) -> None:
+        self.channel.reader_closed = True
+
+
+class SocketFamily(enum.Enum):
+    AF_UNIX = "unix"
+    AF_INET = "inet"
+
+
+class SocketState(enum.Enum):
+    NEW = "new"
+    LISTENING = "listening"
+    CONNECTED = "connected"
+    CLOSED = "closed"
+
+
+class Socket:
+    """A stream socket endpoint (UNIX or loopback TCP)."""
+
+    _id_counter = itertools.count(1)
+
+    def __init__(self, family: SocketFamily,
+                 capacity: int = PIPE_BUF_SIZE):
+        self.id = next(Socket._id_counter)
+        self.family = family
+        self.state = SocketState.NEW
+        self.capacity = capacity
+        self.bound_addr: Optional[object] = None
+        self.peer: Optional["Socket"] = None
+        self.rx: Optional[ByteChannel] = None
+        self.tx: Optional[ByteChannel] = None
+        self.backlog: Deque["Socket"] = deque()
+        #: Per-LSM state (``sock->sk_security``).
+        self.security: Dict[str, object] = {}
+
+    def send(self, data: bytes) -> int:
+        if self.state is not SocketState.CONNECTED or self.tx is None:
+            raise KernelError(Errno.ENOTCONN, "socket not connected")
+        return self.tx.push(data)
+
+    def recv(self, count: int) -> bytes:
+        if self.state is not SocketState.CONNECTED or self.rx is None:
+            raise KernelError(Errno.ENOTCONN, "socket not connected")
+        return self.rx.pull(count)
+
+    def close(self) -> None:
+        if self.tx is not None:
+            self.tx.writer_closed = True
+        if self.rx is not None:
+            self.rx.reader_closed = True
+        self.state = SocketState.CLOSED
+
+
+def connect_pair(a: Socket, b: Socket,
+                 capacity: int = PIPE_BUF_SIZE) -> None:
+    """Wire two sockets together with a channel in each direction."""
+    ab = ByteChannel(capacity)
+    ba = ByteChannel(capacity)
+    a.tx, a.rx = ab, ba
+    b.tx, b.rx = ba, ab
+    a.peer, b.peer = b, a
+    a.state = b.state = SocketState.CONNECTED
+
+
+class NetworkStack:
+    """Loopback-only network: named listeners and connection setup.
+
+    UNIX sockets bind to filesystem-ish string paths; INET sockets bind to
+    ``(host, port)`` tuples.  There is no routing — everything is local,
+    which matches the LMBench local-communication benchmarks.
+    """
+
+    def __init__(self):
+        self._listeners: Dict[object, Socket] = {}
+
+    def socket(self, family: SocketFamily) -> Socket:
+        return Socket(family)
+
+    def bind(self, sock: Socket, addr: object) -> None:
+        if addr in self._listeners:
+            raise KernelError(Errno.EADDRINUSE, str(addr))
+        sock.bound_addr = addr
+
+    def listen(self, sock: Socket, backlog: int = 16) -> None:
+        if sock.bound_addr is None:
+            raise KernelError(Errno.EINVAL, "socket not bound")
+        sock.state = SocketState.LISTENING
+        self._listeners[sock.bound_addr] = sock
+
+    def connect(self, sock: Socket, addr: object) -> None:
+        listener = self._listeners.get(addr)
+        if listener is None or listener.state is not SocketState.LISTENING:
+            raise KernelError(Errno.ECONNREFUSED, str(addr))
+        if listener.family is not sock.family:
+            raise KernelError(Errno.EINVAL, "address family mismatch")
+        server_side = Socket(listener.family, capacity=listener.capacity)
+        connect_pair(sock, server_side)
+        listener.backlog.append(server_side)
+
+    def accept(self, listener: Socket) -> Socket:
+        if listener.state is not SocketState.LISTENING:
+            raise KernelError(Errno.EINVAL, "socket not listening")
+        if not listener.backlog:
+            raise KernelError(Errno.EAGAIN, "no pending connection")
+        return listener.backlog.popleft()
+
+    def close_listener(self, sock: Socket) -> None:
+        if sock.bound_addr is not None:
+            self._listeners.pop(sock.bound_addr, None)
+        sock.close()

@@ -1,0 +1,125 @@
+"""A miniature mmap layer for the simulated kernel.
+
+Models just enough of the VM subsystem for the LMBench mmap benchmarks:
+file-backed mappings with page-granular fault-in, plus anonymous mappings
+used by the context-switch benchmark's working sets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Optional
+
+from .errors import Errno, KernelError
+from .vfs.inode import Inode
+
+PAGE_SIZE = 4096
+
+
+class MapProt(enum.IntFlag):
+    PROT_NONE = 0x0
+    PROT_READ = 0x1
+    PROT_WRITE = 0x2
+    PROT_EXEC = 0x4
+
+
+class VmArea:
+    """One virtual memory area (a single ``mmap`` result)."""
+
+    _id_counter = itertools.count(1)
+
+    def __init__(self, length: int, prot: MapProt,
+                 inode: Optional[Inode] = None, offset: int = 0):
+        if length <= 0:
+            raise KernelError(Errno.EINVAL, "mapping length must be positive")
+        if offset % PAGE_SIZE != 0:
+            raise KernelError(Errno.EINVAL, "offset must be page aligned")
+        self.id = next(VmArea._id_counter)
+        self.length = length
+        self.prot = prot
+        self.inode = inode
+        self.offset = offset
+        self.pages: Dict[int, bytearray] = {}
+        self.fault_count = 0
+        self.unmapped = False
+
+    @property
+    def npages(self) -> int:
+        return (self.length + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def _fault_in(self, page_index: int) -> bytearray:
+        """Materialise a page, copying file content for file mappings."""
+        if page_index < 0 or page_index >= self.npages:
+            raise KernelError(Errno.EFAULT,
+                              f"page {page_index} outside mapping")
+        page = self.pages.get(page_index)
+        if page is None:
+            self.fault_count += 1
+            page = bytearray(PAGE_SIZE)
+            if self.inode is not None and self.inode.data is not None:
+                start = self.offset + page_index * PAGE_SIZE
+                src = self.inode.data[start:start + PAGE_SIZE]
+                page[:len(src)] = src
+            self.pages[page_index] = page
+        return page
+
+    def read(self, addr: int, count: int) -> bytes:
+        """Read *count* bytes starting at mapping-relative *addr*."""
+        if self.unmapped:
+            raise KernelError(Errno.EFAULT, "use after munmap")
+        if not self.prot & MapProt.PROT_READ:
+            raise KernelError(Errno.EACCES, "mapping not readable")
+        if addr < 0 or addr + count > self.length:
+            raise KernelError(Errno.EFAULT, "read outside mapping")
+        out = bytearray()
+        while count > 0:
+            page = self._fault_in(addr // PAGE_SIZE)
+            page_off = addr % PAGE_SIZE
+            take = min(count, PAGE_SIZE - page_off)
+            out.extend(page[page_off:page_off + take])
+            addr += take
+            count -= take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        if self.unmapped:
+            raise KernelError(Errno.EFAULT, "use after munmap")
+        if not self.prot & MapProt.PROT_WRITE:
+            raise KernelError(Errno.EACCES, "mapping not writable")
+        if addr < 0 or addr + len(data) > self.length:
+            raise KernelError(Errno.EFAULT, "write outside mapping")
+        pos = 0
+        while pos < len(data):
+            page = self._fault_in((addr + pos) // PAGE_SIZE)
+            page_off = (addr + pos) % PAGE_SIZE
+            take = min(len(data) - pos, PAGE_SIZE - page_off)
+            page[page_off:page_off + take] = data[pos:pos + take]
+            pos += take
+
+
+class AddressSpace:
+    """The set of live mappings of one task (``mm_struct``)."""
+
+    def __init__(self):
+        self.areas: Dict[int, VmArea] = {}
+
+    def add(self, area: VmArea) -> VmArea:
+        self.areas[area.id] = area
+        return area
+
+    def remove(self, area_id: int) -> None:
+        area = self.areas.pop(area_id, None)
+        if area is None:
+            raise KernelError(Errno.EINVAL, f"no mapping {area_id}")
+        area.unmapped = True
+        area.pages.clear()
+
+    def clear(self) -> None:
+        for area in self.areas.values():
+            area.unmapped = True
+            area.pages.clear()
+        self.areas.clear()
+
+    def __len__(self) -> int:
+        return len(self.areas)

@@ -1,0 +1,154 @@
+"""Tasks and the process table.
+
+Each :class:`Task` mirrors the parts of ``task_struct`` that access control
+touches: credentials, the fd table, the executable path (AppArmor attaches
+profiles by exe path), a per-LSM security blob, and an address space.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Optional
+
+from .credentials import Credentials, ROOT_CREDENTIALS
+from .errors import Errno, KernelError
+from .memory import AddressSpace
+
+#: Per-process fd table size, mirroring a modest RLIMIT_NOFILE.
+MAX_FDS = 1024
+
+
+class FdKind(enum.Enum):
+    FILE = "file"
+    PIPE_READ = "pipe_read"
+    PIPE_WRITE = "pipe_write"
+    SOCKET = "socket"
+
+
+class FileDescriptor:
+    """One fd-table slot: a kind tag plus the kernel object it references."""
+
+    def __init__(self, kind: FdKind, obj: object):
+        self.kind = kind
+        self.obj = obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FileDescriptor({self.kind.value}, {self.obj!r})"
+
+
+class TaskState(enum.Enum):
+    RUNNING = "running"
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+
+class Task:
+    """A process in the simulated kernel."""
+
+    def __init__(self, pid: int, ppid: int, comm: str,
+                 cred: Credentials, cwd: str = "/",
+                 exe_path: str = ""):
+        self.pid = pid
+        self.ppid = ppid
+        self.comm = comm
+        self.cred = cred
+        self.cwd = cwd
+        self.exe_path = exe_path or f"/proc/{pid}/exe"
+        self.state = TaskState.RUNNING
+        self.exit_code: Optional[int] = None
+        self.fds: Dict[int, FileDescriptor] = {}
+        self._next_fd = 0
+        self.mm = AddressSpace()
+        #: Per-LSM state, keyed by module name (``task->security``).
+        self.security: Dict[str, object] = {}
+
+    # -- fd table ------------------------------------------------------------
+    def install_fd(self, kind: FdKind, obj: object) -> int:
+        """Place *obj* in the lowest free fd slot; returns the fd number."""
+        if len(self.fds) >= MAX_FDS:
+            raise KernelError(Errno.EMFILE, f"pid {self.pid}")
+        fd = 0
+        while fd in self.fds:
+            fd += 1
+        self.fds[fd] = FileDescriptor(kind, obj)
+        return fd
+
+    def get_fd(self, fd: int) -> FileDescriptor:
+        try:
+            return self.fds[fd]
+        except KeyError:
+            raise KernelError(Errno.EBADF, f"pid {self.pid} fd {fd}") from None
+
+    def remove_fd(self, fd: int) -> FileDescriptor:
+        entry = self.get_fd(fd)
+        del self.fds[fd]
+        return entry
+
+    @property
+    def is_alive(self) -> bool:
+        return self.state is TaskState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Task(pid={self.pid}, comm={self.comm!r})"
+
+
+class ProcessTable:
+    """All tasks in the system, with fork/exit/reap mechanics.
+
+    Like the VFS this is mechanism only — the syscall layer invokes LSM
+    hooks (``task_alloc``, ``bprm_check_security``) around these calls.
+    """
+
+    def __init__(self):
+        self._pids = itertools.count(1)
+        self.tasks: Dict[int, Task] = {}
+        init = Task(pid=next(self._pids), ppid=0, comm="init",
+                    cred=ROOT_CREDENTIALS, exe_path="/sbin/init")
+        self.tasks[init.pid] = init
+        self.init = init
+
+    def get(self, pid: int) -> Task:
+        task = self.tasks.get(pid)
+        if task is None:
+            raise KernelError(Errno.ESRCH, f"no task {pid}")
+        return task
+
+    def spawn(self, parent: Task, comm: Optional[str] = None) -> Task:
+        """Fork *parent*: duplicate creds, cwd, fd table and security blob."""
+        if not parent.is_alive:
+            raise KernelError(Errno.ESRCH, f"parent {parent.pid} not running")
+        child = Task(pid=next(self._pids), ppid=parent.pid,
+                     comm=comm or parent.comm, cred=parent.cred,
+                     cwd=parent.cwd, exe_path=parent.exe_path)
+        # fds are shared objects, new table — matching fork() semantics.
+        child.fds = dict(parent.fds)
+        child._next_fd = parent._next_fd
+        # LSM task blobs are copied by value where they are simple;
+        # modules that need deep state handle it in their task_alloc hook.
+        child.security = dict(parent.security)
+        self.tasks[child.pid] = child
+        return child
+
+    def exit(self, task: Task, code: int = 0) -> None:
+        if task.pid == self.init.pid:
+            raise KernelError(Errno.EPERM, "init cannot exit")
+        task.state = TaskState.ZOMBIE
+        task.exit_code = code
+        task.fds.clear()
+        task.mm.clear()
+
+    def reap(self, parent: Task) -> Optional[Task]:
+        """Collect one zombie child of *parent*; None when there is none."""
+        for task in self.tasks.values():
+            if task.ppid == parent.pid and task.state is TaskState.ZOMBIE:
+                task.state = TaskState.DEAD
+                del self.tasks[task.pid]
+                return task
+        return None
+
+    def children_of(self, pid: int):
+        return [t for t in self.tasks.values() if t.ppid == pid]
+
+    def alive_count(self) -> int:
+        return sum(1 for t in self.tasks.values() if t.is_alive)

@@ -1,0 +1,103 @@
+"""The security-hook interface the syscall layer calls into.
+
+This is the seam between the kernel substrate and the LSM framework:
+:mod:`repro.kernel.syscalls` calls these methods at the same points Linux
+calls ``security_*()``; :class:`repro.lsm.framework.LsmFramework` implements
+them by walking the registered module stack.  :class:`NullSecurity` is the
+``CONFIG_SECURITY=n`` build — every hook allows.
+
+All hooks return 0 to allow or a negative errno to deny.
+"""
+
+from __future__ import annotations
+
+from .credentials import Capability
+
+
+class SecurityHooks:
+    """No-op implementation; also documents the full hook surface."""
+
+    name = "none"
+
+    # -- task hooks ----------------------------------------------------------
+    def task_alloc(self, parent, child) -> int:
+        return 0
+
+    def bprm_check_security(self, task, exe_path: str) -> int:
+        return 0
+
+    def bprm_committed_creds(self, task, exe_path: str) -> None:
+        pass
+
+    def task_kill(self, task, target) -> int:
+        return 0
+
+    def capable(self, task, cap: Capability) -> int:
+        """0 when *task* may use *cap* (default: possession suffices)."""
+        return 0 if task.cred.has_cap(cap) else -1
+
+    # -- inode hooks ---------------------------------------------------------
+    def inode_create(self, task, parent_inode, path: str, mode: int) -> int:
+        return 0
+
+    def inode_mkdir(self, task, parent_inode, path: str, mode: int) -> int:
+        return 0
+
+    def inode_mknod(self, task, parent_inode, path: str, mode: int) -> int:
+        return 0
+
+    def inode_unlink(self, task, inode, path: str) -> int:
+        return 0
+
+    def inode_rmdir(self, task, inode, path: str) -> int:
+        return 0
+
+    def inode_rename(self, task, old_path: str, new_path: str) -> int:
+        return 0
+
+    def inode_getattr(self, task, path: str) -> int:
+        return 0
+
+    def inode_setattr(self, task, path: str) -> int:
+        return 0
+
+    # -- file hooks ----------------------------------------------------------
+    def file_open(self, task, file) -> int:
+        return 0
+
+    def file_permission(self, task, file, mask: int) -> int:
+        return 0
+
+    def file_ioctl(self, task, file, cmd: int, arg: int) -> int:
+        return 0
+
+    def mmap_file(self, task, file, prot: int) -> int:
+        return 0
+
+    # -- socket hooks ----------------------------------------------------------
+    def socket_create(self, task, family) -> int:
+        return 0
+
+    def socket_bind(self, task, sock, addr) -> int:
+        return 0
+
+    def socket_listen(self, task, sock) -> int:
+        return 0
+
+    def socket_connect(self, task, sock, addr) -> int:
+        return 0
+
+    def socket_accept(self, task, sock) -> int:
+        return 0
+
+    def socket_sendmsg(self, task, sock, size: int) -> int:
+        return 0
+
+    def socket_recvmsg(self, task, sock, size: int) -> int:
+        return 0
+
+
+class NullSecurity(SecurityHooks):
+    """Kernel built without any LSM — used for the no-LSM baselines."""
+
+    name = "null"

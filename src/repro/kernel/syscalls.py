@@ -1,0 +1,512 @@
+"""The syscall layer: DAC checks, LSM hook invocation, and dispatch.
+
+:class:`Kernel` assembles the substrate (clock, VFS, processes, devices,
+network, scheduler) behind a Linux-shaped syscall API.  Every syscall takes
+the calling :class:`~repro.kernel.process.Task` as its first argument — the
+simulator's stand-in for ``current``.
+
+Ordering matches Linux: DAC (mode bits) first, then the LSM hook, then the
+operation.  A denial from either raises :class:`KernelError` with ``EACCES``
+/ ``EPERM`` so callers cannot tell which layer refused (as in Linux).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .clock import VirtualClock
+from .credentials import Capability
+from .devices import DeviceRegistry
+from .errors import Errno, KernelError
+from .ipc import NetworkStack, Pipe, Socket, SocketFamily
+from .memory import MapProt, VmArea
+from .process import FdKind, ProcessTable, Task
+from .scheduler import Scheduler
+from .security import NullSecurity, SecurityHooks
+from .vfs import (OpenFile, OpenFlags, VirtualFileSystem, normalize)
+
+# Access masks used by file_permission / DAC checks (Linux MAY_*).
+MAY_EXEC = 0x1
+MAY_WRITE = 0x2
+MAY_READ = 0x4
+
+
+class AuditRecord:
+    """One security-relevant event (denials, state transitions, ...)."""
+
+    def __init__(self, when_ns: int, kind: str, detail: str,
+                 pid: int = 0, comm: str = ""):
+        self.when_ns = when_ns
+        self.kind = kind
+        self.detail = detail
+        self.pid = pid
+        self.comm = comm
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AuditRecord({self.kind}, {self.detail!r}, pid={self.pid})"
+
+
+class AuditLog:
+    """Ring buffer of audit records, queryable by kind."""
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self.records: List[AuditRecord] = []
+
+    def emit(self, record: AuditRecord) -> None:
+        self.records.append(record)
+        if len(self.records) > self.capacity:
+            del self.records[: len(self.records) - self.capacity]
+
+    def by_kind(self, kind: str) -> List[AuditRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Kernel:
+    """The assembled simulated kernel."""
+
+    def __init__(self, security: Optional[SecurityHooks] = None,
+                 clock: Optional[VirtualClock] = None):
+        self.clock = clock or VirtualClock()
+        self.vfs = VirtualFileSystem(self.clock)
+        self.procs = ProcessTable()
+        self.devices = DeviceRegistry()
+        self.net = NetworkStack()
+        self.scheduler = Scheduler()
+        self.audit = AuditLog()
+        self.security: SecurityHooks = security or NullSecurity()
+        self.syscall_counts: Dict[str, int] = {}
+        self._build_base_tree()
+
+    def _build_base_tree(self) -> None:
+        for d in ("/dev", "/etc", "/tmp", "/proc", "/sys", "/usr/bin",
+                  "/usr/lib", "/var/log", "/home"):
+            self.vfs.makedirs(d)
+        self.vfs.mount("devtmpfs", "/dev")
+        self.vfs.mount("proc", "/proc")
+        self.vfs.mount("sysfs", "/sys")
+
+    # -- helpers --------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
+
+    def _check(self, rc: int, task: Task, what: str) -> None:
+        """Translate an LSM hook return code into a raised denial."""
+        if rc != 0:
+            errno = Errno(-rc) if -rc in Errno._value2member_map_ else Errno.EACCES
+            self.audit.emit(AuditRecord(self.clock.now_ns, "denied",
+                                        what, task.pid, task.comm))
+            raise KernelError(errno, what)
+
+    def capable(self, task: Task, cap: Capability) -> bool:
+        """``capable()``: does *task* hold *cap*, per the security stack?"""
+        return self.security.capable(task, cap) == 0
+
+    def _dac_permission(self, task: Task, inode, mask: int,
+                        path: str) -> None:
+        """Classic UNIX mode-bit check with CAP_DAC_OVERRIDE escape."""
+        cred = task.cred
+        if cred.euid == 0 or self.capable(task, Capability.CAP_DAC_OVERRIDE):
+            return
+        if cred.euid == inode.uid:
+            bits = (inode.mode >> 6) & 0o7
+        elif cred.egid == inode.gid:
+            bits = (inode.mode >> 3) & 0o7
+        else:
+            bits = inode.mode & 0o7
+        want = 0
+        if mask & MAY_READ:
+            want |= 0o4
+        if mask & MAY_WRITE:
+            want |= 0o2
+        if mask & MAY_EXEC:
+            want |= 0o1
+        if (bits & want) != want:
+            raise KernelError(Errno.EACCES, f"dac: {path}")
+
+    # -- process syscalls -------------------------------------------------------
+    def sys_getpid(self, task: Task) -> int:
+        self._count("getpid")
+        return task.pid
+
+    def sys_fork(self, task: Task) -> Task:
+        """Fork ``task``; returns the child Task (the simulator's 'pid')."""
+        self._count("fork")
+        child = self.procs.spawn(task)
+        rc = self.security.task_alloc(task, child)
+        if rc != 0:
+            self.procs.exit(child, code=-rc)
+            self.procs.reap(task)
+            self._check(rc, task, "task_alloc")
+        return child
+
+    def sys_execve(self, task: Task, path: str,
+                   comm: Optional[str] = None) -> None:
+        """Replace the task image with *path* (must be an executable file)."""
+        self._count("execve")
+        dentry = self.vfs.resolve(path, task.cwd)
+        if dentry.inode.is_dir:
+            raise KernelError(Errno.EISDIR, path)
+        self._dac_permission(task, dentry.inode, MAY_EXEC, path)
+        exe_path = dentry.path()
+        self._check(self.security.bprm_check_security(task, exe_path),
+                    task, f"exec {exe_path}")
+        task.exe_path = exe_path
+        task.comm = comm or exe_path.rsplit("/", 1)[-1]
+        task.mm.clear()
+        self.security.bprm_committed_creds(task, exe_path)
+
+    def sys_exit(self, task: Task, code: int = 0) -> None:
+        self._count("exit")
+        self.scheduler.remove(task)
+        self.procs.exit(task, code)
+
+    def sys_waitpid(self, task: Task) -> Optional[Task]:
+        self._count("waitpid")
+        return self.procs.reap(task)
+
+    def sys_kill(self, task: Task, pid: int) -> None:
+        self._count("kill")
+        target = self.procs.get(pid)
+        if (task.cred.euid != 0 and task.cred.euid != target.cred.uid
+                and not self.capable(task, Capability.CAP_KILL)):
+            raise KernelError(Errno.EPERM, f"kill {pid}")
+        self._check(self.security.task_kill(task, target), task, f"kill {pid}")
+        self.procs.exit(target, code=-9)
+
+    # -- filesystem syscalls -----------------------------------------------------
+    def sys_open(self, task: Task, path: str, flags: OpenFlags = OpenFlags.O_RDONLY,
+                 mode: int = 0o644) -> int:
+        """Open (optionally creating) *path*; returns an fd."""
+        self._count("open")
+        if not isinstance(flags, OpenFlags):
+            flags = OpenFlags(flags)
+        norm = normalize(path, task.cwd)
+        dentry = self.vfs.try_resolve(norm)
+        if dentry is None:
+            if not flags & OpenFlags.O_CREAT:
+                raise KernelError(Errno.ENOENT, norm)
+            parent = self.vfs.resolve(norm.rsplit("/", 1)[0] or "/")
+            self._dac_permission(task, parent.inode, MAY_WRITE, norm)
+            self._check(self.security.inode_create(task, parent.inode,
+                                                   norm, mode),
+                        task, f"create {norm}")
+            dentry = self.vfs.create_file(norm, mode=mode,
+                                          uid=task.cred.euid,
+                                          gid=task.cred.egid)
+        elif flags & OpenFlags.O_CREAT and flags & OpenFlags.O_EXCL:
+            raise KernelError(Errno.EEXIST, norm)
+
+        inode = dentry.inode
+        raw = int(flags)
+        wants_write = bool(raw & 0x3)          # O_WRONLY or O_RDWR
+        wants_read = (raw & 0x1) == 0          # not O_WRONLY
+        if inode.is_dir and wants_write:
+            raise KernelError(Errno.EISDIR, norm)
+        mask = (MAY_READ if wants_read else 0) | \
+            (MAY_WRITE if wants_write else 0)
+        self._dac_permission(task, inode, mask, norm)
+
+        driver = None
+        if inode.is_chardev:
+            driver = self.devices.lookup(inode.rdev)
+        file = OpenFile(dentry, inode, flags, driver=driver)
+        self._check(self.security.file_open(task, file), task, f"open {norm}")
+        if driver is not None:
+            driver.open(task, file)
+        if flags & OpenFlags.O_TRUNC and inode.is_regular and not inode.is_pseudo:
+            inode.truncate(0)
+        if flags & OpenFlags.O_APPEND and inode.is_regular and not inode.is_pseudo:
+            file.pos = inode.size
+        return task.install_fd(FdKind.FILE, file)
+
+    def sys_close(self, task: Task, fd: int) -> None:
+        self._count("close")
+        entry = task.remove_fd(fd)
+        if entry.kind is FdKind.FILE:
+            file: OpenFile = entry.obj
+            if not file.closed:
+                file.closed = True
+                if file.driver is not None:
+                    file.driver.release(task, file)
+        elif entry.kind is FdKind.PIPE_READ:
+            entry.obj.close_reader()
+        elif entry.kind is FdKind.PIPE_WRITE:
+            entry.obj.close_writer()
+        elif entry.kind is FdKind.SOCKET:
+            sock: Socket = entry.obj
+            self.net.close_listener(sock)
+
+    def sys_read(self, task: Task, fd: int, count: int) -> bytes:
+        self._count("read")
+        entry = task.get_fd(fd)
+        if entry.kind is FdKind.PIPE_READ:
+            return entry.obj.read(count)
+        if entry.kind is FdKind.SOCKET:
+            return self.sys_recv(task, fd, count)
+        if entry.kind is not FdKind.FILE:
+            raise KernelError(Errno.EBADF, f"fd {fd}")
+        file: OpenFile = entry.obj
+        file.require_readable()
+        self._check(self.security.file_permission(task, file, MAY_READ),
+                    task, f"read {file.path}")
+        inode = file.inode
+        if inode.is_pseudo:
+            if inode.pseudo_ops.read is None:
+                raise KernelError(Errno.EINVAL, f"{file.path} is write-only")
+            content = inode.pseudo_ops.read(task)
+            data = content[file.pos:file.pos + count]
+            file.pos += len(data)
+            return data
+        if file.driver is not None:
+            return file.driver.read(task, file, count)
+        data = inode.read_at(file.pos, count)
+        file.pos += len(data)
+        inode.atime_ns = self.clock.now_ns
+        return data
+
+    def sys_write(self, task: Task, fd: int, data: bytes) -> int:
+        self._count("write")
+        entry = task.get_fd(fd)
+        if entry.kind is FdKind.PIPE_WRITE:
+            return entry.obj.write(data)
+        if entry.kind is FdKind.SOCKET:
+            return self.sys_send(task, fd, data)
+        if entry.kind is not FdKind.FILE:
+            raise KernelError(Errno.EBADF, f"fd {fd}")
+        file: OpenFile = entry.obj
+        file.require_writable()
+        self._check(self.security.file_permission(task, file, MAY_WRITE),
+                    task, f"write {file.path}")
+        inode = file.inode
+        if inode.is_pseudo:
+            if inode.pseudo_ops.write is None:
+                raise KernelError(Errno.EINVAL, f"{file.path} is read-only")
+            return inode.pseudo_ops.write(task, bytes(data))
+        if file.driver is not None:
+            return file.driver.write(task, file, bytes(data))
+        written = inode.write_at(file.pos, bytes(data))
+        file.pos += written
+        inode.mtime_ns = self.clock.now_ns
+        return written
+
+    def sys_ioctl(self, task: Task, fd: int, cmd: int, arg: int = 0) -> int:
+        self._count("ioctl")
+        entry = task.get_fd(fd)
+        if entry.kind is not FdKind.FILE:
+            raise KernelError(Errno.ENOTTY, f"fd {fd}")
+        file: OpenFile = entry.obj
+        file.require_open()
+        self._check(self.security.file_ioctl(task, file, cmd, arg),
+                    task, f"ioctl {file.path} cmd={cmd}")
+        if file.driver is None:
+            raise KernelError(Errno.ENOTTY, file.path)
+        return file.driver.ioctl(task, file, cmd, arg)
+
+    def sys_stat(self, task: Task, path: str) -> Dict[str, object]:
+        self._count("stat")
+        dentry = self.vfs.resolve(path, task.cwd)
+        self._check(self.security.inode_getattr(task, dentry.path()),
+                    task, f"stat {path}")
+        return dentry.inode.stat()
+
+    def sys_mkdir(self, task: Task, path: str, mode: int = 0o755) -> None:
+        self._count("mkdir")
+        norm = normalize(path, task.cwd)
+        parent = self.vfs.resolve(norm.rsplit("/", 1)[0] or "/")
+        self._dac_permission(task, parent.inode, MAY_WRITE, norm)
+        self._check(self.security.inode_mkdir(task, parent.inode, norm, mode),
+                    task, f"mkdir {norm}")
+        self.vfs.mkdir(norm, mode=mode, uid=task.cred.euid, gid=task.cred.egid)
+
+    def sys_rmdir(self, task: Task, path: str) -> None:
+        self._count("rmdir")
+        dentry = self.vfs.resolve(path, task.cwd, follow_symlinks=False)
+        self._check(self.security.inode_rmdir(task, dentry.inode,
+                                              dentry.path()),
+                    task, f"rmdir {path}")
+        self.vfs.rmdir(dentry.path())
+
+    def sys_unlink(self, task: Task, path: str) -> None:
+        self._count("unlink")
+        dentry = self.vfs.resolve(path, task.cwd, follow_symlinks=False)
+        parent = dentry.parent
+        if parent is not None:
+            self._dac_permission(task, parent.inode, MAY_WRITE, path)
+        self._check(self.security.inode_unlink(task, dentry.inode,
+                                               dentry.path()),
+                    task, f"unlink {path}")
+        self.vfs.unlink(dentry.path())
+
+    def sys_rename(self, task: Task, old: str, new: str) -> None:
+        self._count("rename")
+        old_norm = normalize(old, task.cwd)
+        new_norm = normalize(new, task.cwd)
+        self._check(self.security.inode_rename(task, old_norm, new_norm),
+                    task, f"rename {old_norm} -> {new_norm}")
+        self.vfs.rename(old_norm, new_norm)
+
+    def sys_mknod(self, task: Task, path: str, rdev: Tuple[int, int],
+                  mode: int = 0o600) -> None:
+        self._count("mknod")
+        if not self.capable(task, Capability.CAP_MKNOD):
+            raise KernelError(Errno.EPERM, f"mknod {path}")
+        norm = normalize(path, task.cwd)
+        parent = self.vfs.resolve(norm.rsplit("/", 1)[0] or "/")
+        self._check(self.security.inode_mknod(task, parent.inode, norm, mode),
+                    task, f"mknod {norm}")
+        self.vfs.mknod(norm, rdev, mode=mode, uid=task.cred.euid,
+                       gid=task.cred.egid)
+
+    def sys_chdir(self, task: Task, path: str) -> None:
+        self._count("chdir")
+        dentry = self.vfs.resolve(path, task.cwd)
+        if not dentry.inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, path)
+        task.cwd = dentry.path()
+
+    def sys_chmod(self, task: Task, path: str, mode: int) -> None:
+        self._count("chmod")
+        dentry = self.vfs.resolve(path, task.cwd)
+        inode = dentry.inode
+        if (task.cred.euid != inode.uid
+                and not self.capable(task, Capability.CAP_FOWNER)):
+            raise KernelError(Errno.EPERM, f"chmod {path}")
+        self._check(self.security.inode_setattr(task, dentry.path()),
+                    task, f"chmod {path}")
+        inode.mode = mode & 0o7777
+
+    def sys_chown(self, task: Task, path: str, uid: int, gid: int) -> None:
+        self._count("chown")
+        dentry = self.vfs.resolve(path, task.cwd)
+        if not self.capable(task, Capability.CAP_CHOWN):
+            raise KernelError(Errno.EPERM, f"chown {path}")
+        self._check(self.security.inode_setattr(task, dentry.path()),
+                    task, f"chown {path}")
+        dentry.inode.uid = uid
+        dentry.inode.gid = gid
+
+    def sys_lseek(self, task: Task, fd: int, pos: int) -> int:
+        self._count("lseek")
+        entry = task.get_fd(fd)
+        if entry.kind is not FdKind.FILE:
+            raise KernelError(Errno.ESPIPE, f"fd {fd}")
+        file: OpenFile = entry.obj
+        file.require_open()
+        if pos < 0:
+            raise KernelError(Errno.EINVAL, "negative offset")
+        file.pos = pos
+        return pos
+
+    # -- pipes / sockets --------------------------------------------------------
+    def sys_pipe(self, task: Task) -> Tuple[int, int]:
+        self._count("pipe")
+        pipe = Pipe()
+        r_fd = task.install_fd(FdKind.PIPE_READ, pipe)
+        w_fd = task.install_fd(FdKind.PIPE_WRITE, pipe)
+        return r_fd, w_fd
+
+    def sys_socket(self, task: Task, family: SocketFamily) -> int:
+        self._count("socket")
+        self._check(self.security.socket_create(task, family),
+                    task, f"socket {family.value}")
+        sock = self.net.socket(family)
+        return task.install_fd(FdKind.SOCKET, sock)
+
+    def _sock_of(self, task: Task, fd: int) -> Socket:
+        entry = task.get_fd(fd)
+        if entry.kind is not FdKind.SOCKET:
+            raise KernelError(Errno.EBADF, f"fd {fd} is not a socket")
+        return entry.obj
+
+    def sys_bind(self, task: Task, fd: int, addr: object) -> None:
+        self._count("bind")
+        sock = self._sock_of(task, fd)
+        self._check(self.security.socket_bind(task, sock, addr),
+                    task, f"bind {addr}")
+        self.net.bind(sock, addr)
+
+    def sys_listen(self, task: Task, fd: int, backlog: int = 16) -> None:
+        self._count("listen")
+        sock = self._sock_of(task, fd)
+        self._check(self.security.socket_listen(task, sock),
+                    task, "listen")
+        self.net.listen(sock, backlog)
+
+    def sys_connect(self, task: Task, fd: int, addr: object) -> None:
+        self._count("connect")
+        sock = self._sock_of(task, fd)
+        self._check(self.security.socket_connect(task, sock, addr),
+                    task, f"connect {addr}")
+        self.net.connect(sock, addr)
+
+    def sys_accept(self, task: Task, fd: int) -> int:
+        self._count("accept")
+        listener = self._sock_of(task, fd)
+        self._check(self.security.socket_accept(task, listener),
+                    task, "accept")
+        conn = self.net.accept(listener)
+        return task.install_fd(FdKind.SOCKET, conn)
+
+    def sys_send(self, task: Task, fd: int, data: bytes) -> int:
+        self._count("send")
+        sock = self._sock_of(task, fd)
+        self._check(self.security.socket_sendmsg(task, sock, len(data)),
+                    task, "send")
+        return sock.send(data)
+
+    def sys_recv(self, task: Task, fd: int, count: int) -> bytes:
+        self._count("recv")
+        sock = self._sock_of(task, fd)
+        self._check(self.security.socket_recvmsg(task, sock, count),
+                    task, "recv")
+        return sock.recv(count)
+
+    # -- memory ----------------------------------------------------------------
+    def sys_mmap(self, task: Task, length: int, prot: MapProt,
+                 fd: Optional[int] = None, offset: int = 0) -> VmArea:
+        self._count("mmap")
+        inode = None
+        file = None
+        if fd is not None:
+            entry = task.get_fd(fd)
+            if entry.kind is not FdKind.FILE:
+                raise KernelError(Errno.EBADF, f"fd {fd}")
+            file = entry.obj
+            file.require_open()
+            inode = file.inode
+            if not inode.is_regular or inode.is_pseudo:
+                raise KernelError(Errno.ENODEV, file.path)
+        self._check(self.security.mmap_file(task, file, int(prot)),
+                    task, "mmap")
+        return task.mm.add(VmArea(length, prot, inode=inode, offset=offset))
+
+    def sys_munmap(self, task: Task, area: VmArea) -> None:
+        self._count("munmap")
+        task.mm.remove(area.id)
+
+    # -- convenience (used by SDS / IVI user-space code) -------------------------
+    def write_file(self, task: Task, path: str, data: bytes,
+                   create: bool = True, append: bool = False) -> int:
+        """open+write+close helper used heavily by user-space components."""
+        flags = OpenFlags.O_WRONLY
+        if create:
+            flags |= OpenFlags.O_CREAT
+        if append:
+            flags |= OpenFlags.O_APPEND
+        fd = self.sys_open(task, path, flags)
+        try:
+            return self.sys_write(task, fd, data)
+        finally:
+            self.sys_close(task, fd)
+
+    def read_file(self, task: Task, path: str,
+                  count: int = 1 << 20) -> bytes:
+        fd = self.sys_open(task, path, OpenFlags.O_RDONLY)
+        try:
+            return self.sys_read(task, fd, count)
+        finally:
+            self.sys_close(task, fd)

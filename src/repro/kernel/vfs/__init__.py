@@ -1,0 +1,14 @@
+"""Virtual filesystem for the simulated kernel."""
+
+from .dentry import Dentry
+from .file import OpenFile, OpenFlags
+from .filesystem import VirtualFileSystem
+from .inode import FileType, Inode, PseudoFileOps
+from .mount import Mount, MountTable
+from .path import NAME_MAX, PATH_MAX, is_subpath, normalize, split_parent
+
+__all__ = [
+    "Dentry", "OpenFile", "OpenFlags", "VirtualFileSystem", "FileType",
+    "Inode", "PseudoFileOps", "Mount", "MountTable", "normalize",
+    "split_parent", "is_subpath", "PATH_MAX", "NAME_MAX",
+]

@@ -1,0 +1,182 @@
+"""The virtual filesystem: a dentry tree plus namespace operations.
+
+This layer is *mechanism only* — it performs no permission checks.  DAC
+checks and LSM hooks live in :mod:`repro.kernel.syscalls`, mirroring the
+Linux split between ``fs/namei.c`` mechanics and ``security/`` policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..clock import VirtualClock
+from ..errors import Errno, KernelError
+from .dentry import Dentry
+from .inode import FileType, Inode, PseudoFileOps
+from .mount import Mount, MountTable
+from .path import normalize, split_components, split_parent
+
+#: Maximum symlink traversals during one resolution (Linux: 40).
+MAX_SYMLINK_DEPTH = 40
+
+
+class VirtualFileSystem:
+    """A single-namespace VFS rooted at ``/``."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None):
+        self.clock = clock or VirtualClock()
+        self.root = Dentry("", Inode(FileType.DIRECTORY, mode=0o755,
+                                     now_ns=self.clock.now_ns))
+        self.mounts = MountTable()
+        self.mounts.add(Mount(fstype="ramfs", mountpoint="/"))
+
+    # -- resolution ---------------------------------------------------------
+    def resolve(self, path: str, cwd: str = "/",
+                follow_symlinks: bool = True) -> Dentry:
+        """Walk the tree and return the dentry for *path*.
+
+        Raises ``ENOENT`` for missing components, ``ENOTDIR`` when a
+        non-final component is not a directory, and ``ELOOP`` on symlink
+        cycles.
+        """
+        return self._walk(normalize(path, cwd), follow_symlinks, depth=0)
+
+    def _walk(self, norm_path: str, follow: bool, depth: int) -> Dentry:
+        if depth > MAX_SYMLINK_DEPTH:
+            raise KernelError(Errno.ELOOP, norm_path)
+        node = self.root
+        comps = split_components(norm_path)
+        for i, comp in enumerate(comps):
+            if not node.inode.is_dir:
+                raise KernelError(Errno.ENOTDIR, node.path())
+            node = node.lookup(comp)
+            is_final = i == len(comps) - 1
+            if node.inode.is_symlink and (follow or not is_final):
+                target = normalize(node.inode.symlink_target or "",
+                                   cwd=node.parent.path())
+                rest = "/".join(comps[i + 1:])
+                combined = target if not rest else target.rstrip("/") + "/" + rest
+                return self._walk(normalize(combined), follow, depth + 1)
+        return node
+
+    def try_resolve(self, path: str, cwd: str = "/") -> Optional[Dentry]:
+        """Like :meth:`resolve` but returns ``None`` on ``ENOENT``."""
+        try:
+            return self.resolve(path, cwd)
+        except KernelError as err:
+            if err.errno is Errno.ENOENT:
+                return None
+            raise
+
+    def exists(self, path: str, cwd: str = "/") -> bool:
+        return self.try_resolve(path, cwd) is not None
+
+    def _resolve_parent(self, path: str, cwd: str) -> Tuple[Dentry, str]:
+        norm = normalize(path, cwd)
+        parent_path, name = split_parent(norm)
+        parent = self.resolve(parent_path)
+        if not parent.inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, parent_path)
+        return parent, name
+
+    # -- creation -----------------------------------------------------------
+    def create_file(self, path: str, mode: int = 0o644, uid: int = 0,
+                    gid: int = 0, cwd: str = "/") -> Dentry:
+        """Create an empty regular file."""
+        parent, name = self._resolve_parent(path, cwd)
+        inode = Inode(FileType.REGULAR, mode=mode, uid=uid, gid=gid,
+                      now_ns=self.clock.now_ns)
+        return parent.attach(name, inode)
+
+    def mkdir(self, path: str, mode: int = 0o755, uid: int = 0,
+              gid: int = 0, cwd: str = "/") -> Dentry:
+        parent, name = self._resolve_parent(path, cwd)
+        inode = Inode(FileType.DIRECTORY, mode=mode, uid=uid, gid=gid,
+                      now_ns=self.clock.now_ns)
+        return parent.attach(name, inode)
+
+    def makedirs(self, path: str, mode: int = 0o755) -> Dentry:
+        """Create *path* and any missing ancestors (like ``mkdir -p``)."""
+        norm = normalize(path)
+        node = self.root
+        for comp in split_components(norm):
+            if node.has_child(comp):
+                node = node.lookup(comp)
+                if not node.inode.is_dir:
+                    raise KernelError(Errno.ENOTDIR, node.path())
+            else:
+                node = node.attach(comp, Inode(FileType.DIRECTORY, mode=mode,
+                                               now_ns=self.clock.now_ns))
+        return node
+
+    def mknod(self, path: str, rdev: Tuple[int, int], mode: int = 0o600,
+              uid: int = 0, gid: int = 0) -> Dentry:
+        """Create a character-device node with device numbers *rdev*."""
+        parent, name = self._resolve_parent(path, "/")
+        inode = Inode(FileType.CHARDEV, mode=mode, uid=uid, gid=gid,
+                      rdev=rdev, now_ns=self.clock.now_ns)
+        return parent.attach(name, inode)
+
+    def symlink(self, target: str, linkpath: str) -> Dentry:
+        parent, name = self._resolve_parent(linkpath, "/")
+        inode = Inode(FileType.SYMLINK, mode=0o777,
+                      symlink_target=target, now_ns=self.clock.now_ns)
+        return parent.attach(name, inode)
+
+    def create_pseudo(self, path: str, ops: PseudoFileOps,
+                      mode: int = 0o600) -> Dentry:
+        """Create a pseudo-file (securityfs-style) backed by callbacks."""
+        parent, name = self._resolve_parent(path, "/")
+        inode = Inode(FileType.REGULAR, mode=mode, pseudo_ops=ops,
+                      now_ns=self.clock.now_ns)
+        inode.data = None  # content comes from callbacks, not pages
+        return parent.attach(name, inode)
+
+    # -- removal ------------------------------------------------------------
+    def unlink(self, path: str, cwd: str = "/") -> Inode:
+        """Remove a non-directory entry; returns the orphaned inode."""
+        dentry = self.resolve(path, cwd, follow_symlinks=False)
+        if dentry.inode.is_dir:
+            raise KernelError(Errno.EISDIR, path)
+        if dentry.parent is None:
+            raise KernelError(Errno.EBUSY, path)
+        return dentry.parent.detach(dentry.name).inode
+
+    def rmdir(self, path: str, cwd: str = "/") -> Inode:
+        dentry = self.resolve(path, cwd, follow_symlinks=False)
+        if not dentry.inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, path)
+        if dentry.children:
+            raise KernelError(Errno.ENOTEMPTY, path)
+        if dentry.parent is None:
+            raise KernelError(Errno.EBUSY, "cannot remove root")
+        return dentry.parent.detach(dentry.name).inode
+
+    def rename(self, old: str, new: str, cwd: str = "/") -> Dentry:
+        src = self.resolve(old, cwd, follow_symlinks=False)
+        if src.parent is None:
+            raise KernelError(Errno.EBUSY, "cannot move root")
+        new_parent, new_name = self._resolve_parent(new, cwd)
+        if new_parent.has_child(new_name):
+            existing = new_parent.lookup(new_name)
+            if existing.inode.is_dir and existing.children:
+                raise KernelError(Errno.ENOTEMPTY, new)
+            new_parent.detach(new_name)
+        moved = src.parent.detach(src.name)
+        return new_parent.attach(new_name, moved.inode)
+
+    # -- queries ------------------------------------------------------------
+    def listdir(self, path: str, cwd: str = "/") -> List[str]:
+        dentry = self.resolve(path, cwd)
+        if not dentry.inode.is_dir:
+            raise KernelError(Errno.ENOTDIR, path)
+        return sorted(dentry.children)
+
+    def mount(self, fstype: str, mountpoint: str,
+              read_only: bool = False) -> Mount:
+        """Record a filesystem mount at *mountpoint* (created if missing)."""
+        self.makedirs(mountpoint)
+        mount = Mount(fstype=fstype, mountpoint=normalize(mountpoint),
+                      read_only=read_only)
+        self.mounts.add(mount)
+        return mount

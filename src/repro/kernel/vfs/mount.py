@@ -1,0 +1,48 @@
+"""Mount records for the simulated VFS.
+
+The simulator keeps a single dentry tree; a "mount" labels a subtree with a
+filesystem type (ramfs, securityfs, devtmpfs...).  That is enough to model
+what the paper relies on: securityfs being a distinct filesystem under
+``/sys/kernel/security`` with its own access rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from .path import is_subpath
+
+
+@dataclasses.dataclass(frozen=True)
+class Mount:
+    """One mounted filesystem instance."""
+
+    fstype: str
+    mountpoint: str
+    read_only: bool = False
+
+
+class MountTable:
+    """Tracks mounts and answers "which filesystem owns this path?"."""
+
+    def __init__(self):
+        self._mounts: Dict[str, Mount] = {}
+
+    def add(self, mount: Mount) -> None:
+        self._mounts[mount.mountpoint] = mount
+
+    def remove(self, mountpoint: str) -> None:
+        self._mounts.pop(mountpoint, None)
+
+    def all(self) -> List[Mount]:
+        return sorted(self._mounts.values(), key=lambda m: m.mountpoint)
+
+    def owner_of(self, path: str) -> Mount:
+        """Return the most specific mount containing *path*."""
+        best = self._mounts["/"]
+        for mount in self._mounts.values():
+            if is_subpath(path, mount.mountpoint):
+                if len(mount.mountpoint) > len(best.mountpoint):
+                    best = mount
+        return best

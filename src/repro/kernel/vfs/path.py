@@ -1,0 +1,75 @@
+"""Path normalisation helpers for the simulated VFS.
+
+Paths are plain strings using ``/`` separators, as in Linux.  The VFS always
+works on *normalised absolute* paths: no ``.``/``..`` components, no
+duplicate slashes, no trailing slash (except the root itself).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import Errno, KernelError
+
+#: Maximum path length, mirroring Linux ``PATH_MAX``.
+PATH_MAX = 4096
+#: Maximum single component length, mirroring ``NAME_MAX``.
+NAME_MAX = 255
+
+
+def split_components(path: str) -> List[str]:
+    """Split *path* into components, dropping empty and ``.`` entries."""
+    return [c for c in path.split("/") if c not in ("", ".")]
+
+
+def normalize(path: str, cwd: str = "/") -> str:
+    """Return the canonical absolute form of *path* relative to *cwd*.
+
+    ``..`` components are resolved lexically (the simulator has no bind
+    mounts, so lexical resolution matches directory-walk resolution for
+    everything except symlinks, which the VFS resolves separately).
+    """
+    if not path:
+        raise KernelError(Errno.ENOENT, "empty path")
+    if len(path) > PATH_MAX:
+        raise KernelError(Errno.ENAMETOOLONG, path[:32] + "...")
+    # Fast path: already-canonical absolute paths (the overwhelmingly
+    # common case on hot syscall paths) skip the split/join round trip.
+    if (len(path) <= NAME_MAX and path.startswith("/")
+            and "//" not in path and "/./" not in path
+            and "/../" not in path and not path.endswith(("/.", "/.."))
+            and (len(path) == 1 or not path.endswith("/"))):
+        return path
+    if not path.startswith("/"):
+        if not cwd.startswith("/"):
+            raise KernelError(Errno.EINVAL, f"cwd must be absolute: {cwd}")
+        path = cwd.rstrip("/") + "/" + path
+
+    resolved: List[str] = []
+    for comp in split_components(path):
+        if len(comp) > NAME_MAX:
+            raise KernelError(Errno.ENAMETOOLONG, comp[:32] + "...")
+        if comp == "..":
+            if resolved:
+                resolved.pop()
+        else:
+            resolved.append(comp)
+    return "/" + "/".join(resolved)
+
+
+def split_parent(path: str) -> Tuple[str, str]:
+    """Split a normalised absolute path into ``(parent_path, basename)``.
+
+    The root path has no parent; asking for one is an error.
+    """
+    if path == "/":
+        raise KernelError(Errno.EINVAL, "root has no parent")
+    parent, _, name = path.rpartition("/")
+    return (parent or "/", name)
+
+
+def is_subpath(path: str, ancestor: str) -> bool:
+    """True when *path* lives at or below *ancestor* (both normalised)."""
+    if ancestor == "/":
+        return True
+    return path == ancestor or path.startswith(ancestor + "/")

@@ -1,0 +1,36 @@
+"""Security-blob helpers.
+
+Kernel objects (tasks, inodes, files, sockets) each carry a ``security``
+dict keyed by module name — the simulator's version of the LSM blob
+infrastructure (``lsm_blob_sizes``).  These helpers give modules a tidy,
+typo-proof way to read and initialise their slice of an object's blob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+def get_blob(obj: Any, module_name: str, default: Any = None) -> Any:
+    """Read *module_name*'s blob from a kernel object."""
+    return obj.security.get(module_name, default)
+
+
+def set_blob(obj: Any, module_name: str, value: Any) -> None:
+    """Replace *module_name*'s blob on a kernel object."""
+    obj.security[module_name] = value
+
+
+def ensure_blob(obj: Any, module_name: str,
+                factory: Callable[[], Any]) -> Any:
+    """Return the module's blob, creating it with *factory* if absent."""
+    blob = obj.security.get(module_name)
+    if blob is None:
+        blob = factory()
+        obj.security[module_name] = blob
+    return blob
+
+
+def clear_blob(obj: Any, module_name: str) -> Optional[Any]:
+    """Remove and return the module's blob (None when absent)."""
+    return obj.security.pop(module_name, None)

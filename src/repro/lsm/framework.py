@@ -1,0 +1,214 @@
+"""The LSM framework: ordered module stacking and hook dispatch.
+
+Implements the semantics the paper's compatibility evaluation (§IV-D)
+relies on: modules are consulted in the order given by the ``CONFIG_LSM``
+string ("whitelist-based"); the first module that denies short-circuits the
+call, so when SACK is listed first its check runs *before* AppArmor's, and
+AppArmor only sees accesses SACK already allowed.
+
+The capability module is always implicitly first, as in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..kernel.credentials import Capability
+from ..kernel.security import SecurityHooks
+from .capability import CapabilityLsm
+from .hooks import Hook
+from .module import LsmModule
+
+
+class HookStats:
+    """Per-(module, hook) call and denial counters."""
+
+    def __init__(self):
+        self.calls: Dict[str, int] = {}
+        self.denials: Dict[str, int] = {}
+
+    def record(self, module: str, hook: Hook, denied: bool) -> None:
+        key = f"{module}.{hook.value}"
+        self.calls[key] = self.calls.get(key, 0) + 1
+        if denied:
+            self.denials[key] = self.denials.get(key, 0) + 1
+
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    def total_denials(self) -> int:
+        return sum(self.denials.values())
+
+    def reset(self) -> None:
+        self.calls.clear()
+        self.denials.clear()
+
+
+class LsmFramework(SecurityHooks):
+    """Hook multiplexer over an ordered list of :class:`LsmModule`."""
+
+    name = "lsm"
+
+    def __init__(self, modules: Sequence[LsmModule] = (),
+                 collect_stats: bool = False):
+        self.capability = CapabilityLsm()
+        self.modules: List[LsmModule] = [self.capability, *modules]
+        self.stats = HookStats() if collect_stats else None
+        self._kernel = None
+        names = [m.name for m in self.modules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate LSM names in stack: {names}")
+        # Per-hook call lists, as Linux builds at security_init time: only
+        # modules that actually override a hook appear on its list, so
+        # unimplemented hooks cost nothing at dispatch time.
+        self._hook_lists: Dict[Hook, List] = {}
+        for hook in Hook:
+            entries = []
+            for module in self.modules:
+                method = getattr(type(module), hook.value, None)
+                if method is not None and method is not getattr(
+                        LsmModule, hook.value):
+                    entries.append((module.name,
+                                    getattr(module, hook.value)))
+            self._hook_lists[hook] = entries
+
+    @classmethod
+    def from_config(cls, config_lsm: str,
+                    registry: Dict[str, LsmModule],
+                    collect_stats: bool = False) -> "LsmFramework":
+        """Build a stack from a ``CONFIG_LSM="sack,apparmor"`` string.
+
+        *registry* maps module names to instances; unknown names raise
+        ``KeyError`` (a misconfigured kernel fails to boot).
+        """
+        names = [n.strip() for n in config_lsm.split(",") if n.strip()]
+        modules = []
+        for name in names:
+            if name == "capability":
+                continue  # always present, always first
+            modules.append(registry[name])
+        return cls(modules, collect_stats=collect_stats)
+
+    @property
+    def config_lsm(self) -> str:
+        """The effective ``CONFIG_LSM`` string for this stack."""
+        return ",".join(m.name for m in self.modules)
+
+    def attach(self, kernel) -> None:
+        """Give every module a back-reference to the booted kernel."""
+        self._kernel = kernel
+        for module in self.modules:
+            module.registered(kernel)
+
+    def module_named(self, name: str) -> LsmModule:
+        for module in self.modules:
+            if module.name == name:
+                return module
+        raise KeyError(name)
+
+    # -- dispatch core ---------------------------------------------------------
+    def _call_int(self, hook: Hook, *args) -> int:
+        """Walk the hook's call list; first nonzero return wins (deny)."""
+        stats = self.stats
+        for name, method in self._hook_lists[hook]:
+            rc = method(*args)
+            if stats is not None:
+                stats.record(name, hook, denied=rc != 0)
+            if rc != 0:
+                return rc
+        return 0
+
+    def _call_void(self, hook: Hook, *args) -> None:
+        for name, method in self._hook_lists[hook]:
+            method(*args)
+            if self.stats is not None:
+                self.stats.record(name, hook, denied=False)
+
+    # -- SecurityHooks implementation -------------------------------------------
+    def task_alloc(self, parent, child) -> int:
+        return self._call_int(Hook.TASK_ALLOC, parent, child)
+
+    def bprm_check_security(self, task, exe_path: str) -> int:
+        return self._call_int(Hook.BPRM_CHECK_SECURITY, task, exe_path)
+
+    def bprm_committed_creds(self, task, exe_path: str) -> None:
+        self._call_void(Hook.BPRM_COMMITTED_CREDS, task, exe_path)
+
+    def task_kill(self, task, target) -> int:
+        return self._call_int(Hook.TASK_KILL, task, target)
+
+    def capable(self, task, cap: Capability) -> int:
+        return self._call_int(Hook.CAPABLE, task, cap)
+
+    def inode_create(self, task, parent_inode, path: str, mode: int) -> int:
+        return self._call_int(Hook.INODE_CREATE, task, parent_inode, path, mode)
+
+    def inode_mkdir(self, task, parent_inode, path: str, mode: int) -> int:
+        return self._call_int(Hook.INODE_MKDIR, task, parent_inode, path, mode)
+
+    def inode_mknod(self, task, parent_inode, path: str, mode: int) -> int:
+        return self._call_int(Hook.INODE_MKNOD, task, parent_inode, path, mode)
+
+    def inode_unlink(self, task, inode, path: str) -> int:
+        return self._call_int(Hook.INODE_UNLINK, task, inode, path)
+
+    def inode_rmdir(self, task, inode, path: str) -> int:
+        return self._call_int(Hook.INODE_RMDIR, task, inode, path)
+
+    def inode_rename(self, task, old_path: str, new_path: str) -> int:
+        return self._call_int(Hook.INODE_RENAME, task, old_path, new_path)
+
+    def inode_getattr(self, task, path: str) -> int:
+        return self._call_int(Hook.INODE_GETATTR, task, path)
+
+    def inode_setattr(self, task, path: str) -> int:
+        return self._call_int(Hook.INODE_SETATTR, task, path)
+
+    def file_open(self, task, file) -> int:
+        return self._call_int(Hook.FILE_OPEN, task, file)
+
+    def file_permission(self, task, file, mask: int) -> int:
+        return self._call_int(Hook.FILE_PERMISSION, task, file, mask)
+
+    def file_ioctl(self, task, file, cmd: int, arg: int) -> int:
+        return self._call_int(Hook.FILE_IOCTL, task, file, cmd, arg)
+
+    def mmap_file(self, task, file, prot: int) -> int:
+        return self._call_int(Hook.MMAP_FILE, task, file, prot)
+
+    def socket_create(self, task, family) -> int:
+        return self._call_int(Hook.SOCKET_CREATE, task, family)
+
+    def socket_bind(self, task, sock, addr) -> int:
+        return self._call_int(Hook.SOCKET_BIND, task, sock, addr)
+
+    def socket_listen(self, task, sock) -> int:
+        return self._call_int(Hook.SOCKET_LISTEN, task, sock)
+
+    def socket_connect(self, task, sock, addr) -> int:
+        return self._call_int(Hook.SOCKET_CONNECT, task, sock, addr)
+
+    def socket_accept(self, task, sock) -> int:
+        return self._call_int(Hook.SOCKET_ACCEPT, task, sock)
+
+    def socket_sendmsg(self, task, sock, size: int) -> int:
+        return self._call_int(Hook.SOCKET_SENDMSG, task, sock, size)
+
+    def socket_recvmsg(self, task, sock, size: int) -> int:
+        return self._call_int(Hook.SOCKET_RECVMSG, task, sock, size)
+
+
+def boot_kernel(modules: Sequence[LsmModule] = (),
+                collect_stats: bool = False,
+                clock=None):
+    """Boot a kernel with the given LSM stack; returns ``(kernel, framework)``.
+
+    The returned framework is already attached (modules hold a kernel
+    back-reference), matching the real boot order where ``security_init``
+    runs before init starts.
+    """
+    from ..kernel.syscalls import Kernel
+    framework = LsmFramework(modules, collect_stats=collect_stats)
+    kernel = Kernel(security=framework, clock=clock)
+    framework.attach(kernel)
+    return kernel, framework

@@ -1,0 +1,11 @@
+"""Smartphone generalisation of SACK (the paper's third claimed domain)."""
+
+from .phone import (CAM_CAPTURE, CONTEXT_UID, GPS_READ_FIX,
+                    MIC_RECORD_START, MIC_RECORD_STOP, PHONE_APPS,
+                    PHONE_IOCTL_SYMBOLS, PHONE_SACK_POLICY, PhoneWorld,
+                    SMS_SEND, build_phone)
+
+__all__ = ["CAM_CAPTURE", "CONTEXT_UID", "GPS_READ_FIX",
+           "MIC_RECORD_START", "MIC_RECORD_STOP", "PHONE_APPS",
+           "PHONE_IOCTL_SYMBOLS", "PHONE_SACK_POLICY", "PhoneWorld",
+           "SMS_SEND", "build_phone"]

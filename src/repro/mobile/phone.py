@@ -1,0 +1,207 @@
+"""A situation-aware smartphone under SACK.
+
+The third domain from the paper's conclusion.  The situations come from
+the smartphone context-policy literature the paper surveys (Apex, CRePE,
+MOSES, FlaskDroid): *normal* use, *in_meeting* (microphone/camera are
+privacy-critical; the calendar is the detector), *driving* (distracting
+messaging is restricted — the motivation shared with the vehicle's volume
+case), and *locked* (screen off in a pocket: sensors only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel import Capability, Kernel, OpenFlags, user_credentials
+from ..kernel.devices import CharDevice, ioc_r, ioc_w
+from ..kernel.errors import Errno, KernelError
+from ..kernel.process import Task
+from ..kernel.vfs.file import OpenFile
+from ..lsm import boot_kernel
+from ..sack import SackFs, SackLsm
+
+MIC_RECORD_START = ioc_w(0x901)
+MIC_RECORD_STOP = ioc_w(0x902)
+CAM_CAPTURE = ioc_w(0xA01)
+SMS_SEND = ioc_w(0xB01)
+GPS_READ_FIX = ioc_r(0xC01)
+
+PHONE_IOCTL_SYMBOLS: Dict[str, int] = {
+    "MIC_RECORD_START": MIC_RECORD_START,
+    "MIC_RECORD_STOP": MIC_RECORD_STOP,
+    "CAM_CAPTURE": CAM_CAPTURE,
+    "SMS_SEND": SMS_SEND,
+    "GPS_READ_FIX": GPS_READ_FIX,
+}
+
+
+class Microphone(CharDevice):
+    def __init__(self):
+        super().__init__("mic")
+        self.recording = False
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == MIC_RECORD_START:
+            self.recording = True
+            return 0
+        if cmd == MIC_RECORD_STOP:
+            self.recording = False
+            return 0
+        raise KernelError(Errno.ENOTTY, f"mic: unknown ioctl {cmd:#x}")
+
+
+class Camera(CharDevice):
+    def __init__(self):
+        super().__init__("cam")
+        self.captures = 0
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == CAM_CAPTURE:
+            self.captures += 1
+            return self.captures
+        raise KernelError(Errno.ENOTTY, f"cam: unknown ioctl {cmd:#x}")
+
+
+class SmsModem(CharDevice):
+    def __init__(self):
+        super().__init__("sms")
+        self.sent = 0
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == SMS_SEND:
+            self.sent += 1
+            return self.sent
+        raise KernelError(Errno.ENOTTY, f"sms: unknown ioctl {cmd:#x}")
+
+
+class Gps(CharDevice):
+    def __init__(self):
+        super().__init__("gps")
+
+    def ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        if cmd == GPS_READ_FIX:
+            return 1
+        raise KernelError(Errno.ENOTTY, f"gps: unknown ioctl {cmd:#x}")
+
+
+#: uid of the context service (calendar + activity recognition).
+CONTEXT_UID = 992
+
+PHONE_APPS = {
+    "voice_assistant": 3001,
+    "social_app": 3002,
+    "nav_app": 3003,
+    "context_service": CONTEXT_UID,
+}
+
+PHONE_SACK_POLICY = """
+policy smartphone;
+initial normal;
+
+states {
+  normal = 0;
+  in_meeting = 1 "calendar says: meeting in progress";
+  driving = 2 "activity recognition: in a moving car";
+  locked = 3 "screen locked, in pocket";
+}
+
+transitions {
+  normal -> in_meeting on meeting_started;
+  in_meeting -> normal on meeting_ended;
+  normal -> driving on driving_started;
+  driving -> normal on driving_ended;
+  normal -> locked on screen_locked;
+  locked -> normal on screen_unlocked;
+}
+
+permissions {
+  SENSORS "location fixes";
+  MICROPHONE "record audio";
+  CAMERA "take pictures";
+  MESSAGING "send SMS";
+}
+
+state_per {
+  normal: SENSORS, MICROPHONE, CAMERA, MESSAGING;
+  in_meeting: SENSORS, MESSAGING;
+  driving: SENSORS, MICROPHONE;
+  locked: SENSORS;
+}
+
+per_rules {
+  SENSORS {
+    allow read /dev/phone/**;
+    allow ioctl /dev/phone/gps cmd=GPS_READ_FIX;
+  }
+  MICROPHONE {
+    allow ioctl /dev/phone/mic cmd=MIC_RECORD_START,MIC_RECORD_STOP subject=voice_assistant;
+  }
+  CAMERA {
+    allow ioctl /dev/phone/cam cmd=CAM_CAPTURE;
+  }
+  MESSAGING {
+    allow ioctl /dev/phone/sms cmd=SMS_SEND subject=social_app;
+  }
+}
+
+guard /dev/phone/**;
+"""
+
+
+class PhoneWorld:
+    """A booted smartphone under independent SACK."""
+
+    def __init__(self, kernel: Kernel, sack: SackLsm,
+                 devices: Dict[str, object], tasks: Dict[str, Task]):
+        self.kernel = kernel
+        self.sack = sack
+        self.devices = devices
+        self.tasks = tasks
+
+    @property
+    def situation(self) -> Optional[str]:
+        return self.sack.current_state
+
+    def send_event(self, event: str) -> None:
+        self.kernel.write_file(self.tasks["context_service"],
+                               "/sys/kernel/security/SACK/events",
+                               f"{event}\n".encode(), create=False)
+
+    def device_ioctl(self, app: str, device: str, cmd: int,
+                     arg: int = 0) -> int:
+        task = self.tasks[app]
+        fd = self.kernel.sys_open(task, f"/dev/phone/{device}",
+                                  OpenFlags.O_RDONLY)
+        try:
+            return self.kernel.sys_ioctl(task, fd, cmd, arg)
+        finally:
+            self.kernel.sys_close(task, fd)
+
+
+def build_phone(policy_text: str = PHONE_SACK_POLICY) -> PhoneWorld:
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    SackFs(kernel, sack, authorized_event_uids={CONTEXT_UID},
+           ioctl_symbols=PHONE_IOCTL_SYMBOLS)
+
+    devices = {"mic": Microphone(), "cam": Camera(), "sms": SmsModem(),
+               "gps": Gps()}
+    kernel.vfs.makedirs("/dev/phone")
+    for name, driver in devices.items():
+        rdev = kernel.devices.alloc_rdev()
+        kernel.devices.register(rdev, driver)
+        kernel.vfs.mknod(f"/dev/phone/{name}", rdev, mode=0o666)
+
+    init = kernel.procs.init
+    tasks: Dict[str, Task] = {}
+    for name, uid in PHONE_APPS.items():
+        exe = f"/usr/bin/{name}"
+        kernel.vfs.create_file(exe, mode=0o755)
+        task = kernel.sys_fork(init)
+        task.cred = user_credentials(uid)
+        kernel.sys_execve(task, exe, comm=name)
+        tasks[name] = task
+
+    kernel.write_file(init, "/sys/kernel/security/SACK/policy",
+                      policy_text.encode(), create=False)
+    return PhoneWorld(kernel, sack, devices, tasks)

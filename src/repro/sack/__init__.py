@@ -1,0 +1,45 @@
+"""SACK: situation-aware access control in the (simulated) Linux kernel.
+
+The paper's contribution: situation states as a security context
+(:mod:`~repro.sack.states`), situation events (:mod:`~repro.sack.events`),
+the situation state machine (:mod:`~repro.sack.ssm`), the policy language
+and compiler (:mod:`~repro.sack.policy`), the adaptive policy enforcer
+(:mod:`~repro.sack.ape`), the two prototypes — independent SACK
+(:mod:`~repro.sack.module`) and SACK-enhanced AppArmor
+(:mod:`~repro.sack.apparmor_bridge`) — and the SACKfs user/kernel channel
+(:mod:`~repro.sack.sackfs`).
+"""
+
+from .ape import AdaptivePolicyEnforcer
+from .apparmor_bridge import SACK_ORIGIN, SackAppArmorBridge, mac_rule_to_path_rule
+from .events import (CRASH_DETECTED, DRIVER_LEFT, DRIVER_RETURNED,
+                     EMERGENCY_CLEARED, EventParseError, SPEED_HIGH,
+                     SPEED_LOW, SituationEvent, VEHICLE_PARKED,
+                     VEHICLE_STARTED, parse_event_buffer, parse_event_line)
+from .module import SackLsm
+from .policy import (CompiledPolicy, Diagnostic, MacRule, PolicyCompileError,
+                     RuleDecision, RuleOp, SackPermission, SackPolicy,
+                     SackPolicyParseError, Severity, check_policy,
+                     compile_policy, format_policy, has_errors, parse_policy)
+from .sackfs import EVENTS_PATH, SackFs
+from .ssm import (ANY_STATE, SituationStateMachine, SsmError, Transition,
+                  TransitionRule)
+from .states import (EMERGENCY, NORMAL_DRIVING, PARKING_WITH_DRIVER,
+                     PARKING_WITHOUT_DRIVER, SituationState, StateSpace,
+                     paper_state_space)
+
+__all__ = [
+    "AdaptivePolicyEnforcer", "SACK_ORIGIN", "SackAppArmorBridge",
+    "mac_rule_to_path_rule", "CRASH_DETECTED", "DRIVER_LEFT",
+    "DRIVER_RETURNED", "EMERGENCY_CLEARED", "EventParseError", "SPEED_HIGH",
+    "SPEED_LOW", "SituationEvent", "VEHICLE_PARKED", "VEHICLE_STARTED",
+    "parse_event_buffer", "parse_event_line", "SackLsm", "CompiledPolicy",
+    "Diagnostic", "MacRule", "PolicyCompileError", "RuleDecision", "RuleOp",
+    "SackPermission", "SackPolicy", "SackPolicyParseError", "Severity",
+    "check_policy", "compile_policy", "format_policy", "has_errors",
+    "parse_policy", "EVENTS_PATH", "SackFs", "ANY_STATE",
+    "SituationStateMachine", "SsmError", "Transition", "TransitionRule",
+    "EMERGENCY", "NORMAL_DRIVING", "PARKING_WITH_DRIVER",
+    "PARKING_WITHOUT_DRIVER", "SituationState", "StateSpace",
+    "paper_state_space",
+]

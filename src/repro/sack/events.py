@@ -1,0 +1,83 @@
+"""Situation events: the triggers that drive state transitions.
+
+Events originate in the user-space SDS and cross into the kernel through
+SACKfs as single text lines — ``name key=value key=value`` — chosen to be
+trivially parseable at the securityfs write handler with no allocation
+beyond the split (low latency is design challenge C1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List
+
+_seq = itertools.count(1)
+
+
+class EventParseError(ValueError):
+    """Raised for malformed event lines arriving at SACKfs."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SituationEvent:
+    """One detected environmental event."""
+
+    name: str
+    payload: Dict[str, str] = dataclasses.field(default_factory=dict)
+    timestamp_ns: int = 0
+    seq: int = dataclasses.field(default_factory=lambda: next(_seq))
+
+    def to_line(self) -> str:
+        """Serialise for the SACKfs events file."""
+        parts = [self.name]
+        parts.extend(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        return " ".join(parts)
+
+
+def parse_event_line(line: str, timestamp_ns: int = 0) -> SituationEvent:
+    """Parse one event line into a :class:`SituationEvent`."""
+    line = line.strip()
+    if not line:
+        raise EventParseError("empty event line")
+    parts = line.split()
+    name = parts[0]
+    if not name.replace("_", "").isalnum():
+        raise EventParseError(f"invalid event name {name!r}")
+    payload: Dict[str, str] = {}
+    for token in parts[1:]:
+        if "=" not in token:
+            raise EventParseError(f"malformed payload token {token!r}")
+        key, _, value = token.partition("=")
+        if not key:
+            raise EventParseError(f"empty payload key in {token!r}")
+        payload[key] = value
+    return SituationEvent(name=name, payload=payload,
+                          timestamp_ns=timestamp_ns)
+
+
+def parse_event_buffer(data: bytes, timestamp_ns: int = 0
+                       ) -> List[SituationEvent]:
+    """Parse a write buffer that may carry several newline-separated events."""
+    try:
+        text = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise EventParseError(f"event buffer is not UTF-8: {exc}") from exc
+    events = []
+    for line in text.splitlines():
+        if line.strip():
+            events.append(parse_event_line(line, timestamp_ns))
+    if not events:
+        raise EventParseError("no events in buffer")
+    return events
+
+
+# Event names used throughout the reproduction (SDS detectors emit these).
+CRASH_DETECTED = "crash_detected"
+EMERGENCY_CLEARED = "emergency_cleared"
+VEHICLE_STARTED = "vehicle_started"
+VEHICLE_PARKED = "vehicle_parked"
+DRIVER_LEFT = "driver_left"
+DRIVER_RETURNED = "driver_returned"
+SPEED_HIGH = "speed_high"
+SPEED_LOW = "speed_low"

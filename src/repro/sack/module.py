@@ -1,0 +1,109 @@
+"""Independent SACK: the standalone LSM with its own policy store.
+
+This is the first of the paper's two prototypes (§III-E-3): SACK registers
+its own hooks and answers access checks from its own (situation-indexed)
+rulesets — low check latency, no dependence on other LSMs' policies.
+
+Tasks holding ``CAP_MAC_OVERRIDE`` bypass SACK, mirroring the threat-model
+boundary (§III-A): attackers are assumed unable to obtain it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.credentials import Capability
+from ..kernel.syscalls import MAY_READ, MAY_WRITE
+from ..kernel.vfs.file import OpenFile
+from ..lsm.module import LsmModule
+from .ape import AdaptivePolicyEnforcer
+from .policy.compiler import CompiledPolicy, compile_policy
+from .policy.model import RuleOp, SackPolicy
+from .ssm import SituationStateMachine
+
+MODULE_NAME = "sack"
+
+
+class SackLsm(LsmModule):
+    """The independent SACK security module."""
+
+    name = MODULE_NAME
+
+    def __init__(self):
+        self.ape: Optional[AdaptivePolicyEnforcer] = None
+        self.ssm: Optional[SituationStateMachine] = None
+        self.denial_count = 0
+
+    # -- policy lifecycle ----------------------------------------------------
+    def load_policy(self, policy: SackPolicy,
+                    ioctl_symbols=None) -> AdaptivePolicyEnforcer:
+        """Compile and activate *policy*; returns the live enforcer."""
+        compiled = compile_policy(policy, ioctl_symbols=ioctl_symbols)
+        return self.load_compiled(compiled)
+
+    def load_compiled(self, compiled: CompiledPolicy
+                      ) -> AdaptivePolicyEnforcer:
+        ssm = compiled.policy.build_ssm()
+        self.ssm = ssm
+        self.ape = AdaptivePolicyEnforcer(compiled, ssm)
+        self.audit("sack_policy_loaded",
+                   f"policy {compiled.policy.name!r}, "
+                   f"{len(compiled.rulesets)} states")
+        return self.ape
+
+    @property
+    def current_state(self) -> Optional[str]:
+        return self.ssm.current_name if self.ssm is not None else None
+
+    # -- the common check path --------------------------------------------------
+    def _check(self, task, op: RuleOp, path: str,
+               cmd: Optional[int] = None) -> int:
+        if self.ape is None:
+            return 0  # no policy loaded: SACK restricts nothing
+        if task.cred.has_cap(Capability.CAP_MAC_OVERRIDE):
+            return 0
+        if self.ape.check(op, path, task.comm, cmd):
+            return 0
+        self.denial_count += 1
+        self.audit("sack_denied",
+                   f"{op.value} {path} (state={self.ape.current_state})",
+                   task)
+        return self.EACCES
+
+    # -- hooks -------------------------------------------------------------------
+    def file_open(self, task, file: OpenFile) -> int:
+        path = file.path
+        if file.wants_read:
+            rc = self._check(task, RuleOp.READ, path)
+            if rc != 0:
+                return rc
+        if file.wants_write:
+            return self._check(task, RuleOp.WRITE, path)
+        return 0
+
+    def file_permission(self, task, file: OpenFile, mask: int) -> int:
+        path = file.path
+        if mask & MAY_READ:
+            rc = self._check(task, RuleOp.READ, path)
+            if rc != 0:
+                return rc
+        if mask & MAY_WRITE:
+            return self._check(task, RuleOp.WRITE, path)
+        return 0
+
+    def file_ioctl(self, task, file: OpenFile, cmd: int, arg: int) -> int:
+        return self._check(task, RuleOp.IOCTL, file.path, cmd)
+
+    def bprm_check_security(self, task, exe_path: str) -> int:
+        return self._check(task, RuleOp.EXEC, exe_path)
+
+    def inode_create(self, task, parent_inode, path: str, mode: int) -> int:
+        return self._check(task, RuleOp.CREATE, path)
+
+    def inode_unlink(self, task, inode, path: str) -> int:
+        return self._check(task, RuleOp.UNLINK, path)
+
+    def mmap_file(self, task, file, prot: int) -> int:
+        if file is None:
+            return 0
+        return self._check(task, RuleOp.MMAP, file.path)

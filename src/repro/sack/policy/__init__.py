@@ -1,0 +1,16 @@
+"""SACK policy language, model, checker, and compiler."""
+
+from .checker import Diagnostic, Severity, check_policy, has_errors
+from .compiler import (CompiledPolicy, CompiledRule, CompiledRuleset,
+                       PolicyCompileError, compile_policy, compile_rule)
+from .language import SackPolicyParseError, format_policy, parse_policy
+from .model import (MacRule, RuleDecision, RuleOp, SackPermission,
+                    SackPolicy)
+
+__all__ = [
+    "Diagnostic", "Severity", "check_policy", "has_errors",
+    "CompiledPolicy", "CompiledRule", "CompiledRuleset",
+    "PolicyCompileError", "compile_policy", "compile_rule",
+    "SackPolicyParseError", "format_policy", "parse_policy",
+    "MacRule", "RuleDecision", "RuleOp", "SackPermission", "SackPolicy",
+]

@@ -1,0 +1,197 @@
+"""Policy checking tools (paper §III-D: "our policy-checking tools also
+handle errors and conflicts").
+
+:func:`check_policy` returns a list of diagnostics; errors make a policy
+unloadable, warnings flag probable authoring mistakes (unreachable states,
+permissions that grant nothing, rules outside any guard).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Set, Tuple
+
+from ...apparmor.globs import glob_match
+from ..ssm import ANY_STATE
+from .model import RuleDecision, SackPolicy
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity.value} {self.code}: {self.message}"
+
+
+def _err(code: str, message: str) -> Diagnostic:
+    return Diagnostic(Severity.ERROR, code, message)
+
+
+def _warn(code: str, message: str) -> Diagnostic:
+    return Diagnostic(Severity.WARNING, code, message)
+
+
+def check_policy(policy: SackPolicy) -> List[Diagnostic]:
+    """Validate *policy*; returns all diagnostics (possibly empty)."""
+    diags: List[Diagnostic] = []
+    state_names = {s.name for s in policy.states}
+
+    # E001: initial state must exist.
+    if policy.initial not in state_names:
+        diags.append(_err("E001",
+                          f"initial state {policy.initial!r} is not defined"))
+
+    # E002: transitions must reference known states; E006: determinism.
+    seen_edges: Dict[Tuple[str, str], str] = {}
+    for rule in policy.transitions:
+        if rule.from_state != ANY_STATE and rule.from_state not in state_names:
+            diags.append(_err("E002",
+                              f"transition from unknown state "
+                              f"{rule.from_state!r}"))
+        if rule.to_state not in state_names:
+            diags.append(_err("E002",
+                              f"transition to unknown state "
+                              f"{rule.to_state!r}"))
+        key = (rule.event, rule.from_state)
+        if key in seen_edges and seen_edges[key] != rule.to_state:
+            diags.append(_err(
+                "E006",
+                f"nondeterministic transitions: event {rule.event!r} from "
+                f"{rule.from_state!r} targets both {seen_edges[key]!r} and "
+                f"{rule.to_state!r}"))
+        seen_edges[key] = rule.to_state
+
+    # E003/E004: State_Per references.
+    for state, perms in policy.state_per.items():
+        if state not in state_names:
+            diags.append(_err("E003",
+                              f"state_per entry for unknown state {state!r}"))
+        for perm in perms:
+            if perm not in policy.permissions:
+                diags.append(_err("E004",
+                                  f"state {state!r} grants unknown "
+                                  f"permission {perm!r}"))
+
+    # E005: Per_Rules for undeclared permissions.
+    for perm in policy.per_rules:
+        if perm not in policy.permissions:
+            diags.append(_err("E005",
+                              f"per_rules for undeclared permission "
+                              f"{perm!r}"))
+
+    # W101: permission never granted by any state.
+    granted: Set[str] = set()
+    for perms in policy.state_per.values():
+        granted |= perms
+    for perm in policy.permissions:
+        if perm not in granted:
+            diags.append(_warn("W101",
+                               f"permission {perm!r} is never granted by "
+                               f"any state"))
+
+    # W102: permission with no MAC rules grants nothing.
+    for perm in policy.permissions:
+        if not policy.per_rules.get(perm):
+            diags.append(_warn("W102",
+                               f"permission {perm!r} maps to no MAC rules"))
+
+    # W103: unreachable states.
+    if policy.initial in state_names:
+        reachable = _reachable(policy, state_names)
+        for state in sorted(state_names - reachable):
+            diags.append(_warn("W103",
+                               f"state {state!r} is unreachable from "
+                               f"{policy.initial!r}"))
+
+    # W104: a situation-aware policy without transitions is static.
+    if not policy.transitions:
+        diags.append(_warn("W104", "policy defines no transitions; "
+                                   "permissions can never adapt"))
+
+    # W105: allow rules outside every guard are no-ops.
+    for perm, rules in policy.per_rules.items():
+        for rule in rules:
+            if rule.decision is RuleDecision.ALLOW and policy.guards:
+                if not _guard_covers(policy.guards, rule.path_glob):
+                    diags.append(_warn(
+                        "W105",
+                        f"rule '{rule.to_text()}' of {perm!r} targets a "
+                        f"path outside every guard; SACK already allows it"))
+
+    # W106: same-state allow+deny conflicts (deny always wins).
+    for state in sorted(policy.state_per):
+        rules = policy.rules_for_state(state)
+        allows = {(r.op, r.path_glob) for r in rules
+                  if r.decision is RuleDecision.ALLOW}
+        denies = {(r.op, r.path_glob) for r in rules
+                  if r.decision is RuleDecision.DENY}
+        for op, path in sorted(allows & denies,
+                               key=lambda t: (t[0].value, t[1])):
+            diags.append(_warn(
+                "W106",
+                f"state {state!r} both allows and denies {op.value} on "
+                f"{path}; deny wins"))
+
+    # W107: duplicate rules inside one permission.
+    for perm, rules in policy.per_rules.items():
+        seen: Set[str] = set()
+        for rule in rules:
+            text = rule.to_text()
+            if text in seen:
+                diags.append(_warn("W107",
+                                   f"duplicate rule in {perm!r}: {text}"))
+            seen.add(text)
+
+    return diags
+
+
+def _reachable(policy: SackPolicy, state_names: Set[str]) -> Set[str]:
+    adj: Dict[str, Set[str]] = {s: set() for s in state_names}
+    for rule in policy.transitions:
+        if rule.to_state not in state_names:
+            continue
+        if rule.from_state == ANY_STATE:
+            for s in adj:
+                adj[s].add(rule.to_state)
+        elif rule.from_state in adj:
+            adj[rule.from_state].add(rule.to_state)
+    seen = {policy.initial}
+    frontier = [policy.initial]
+    while frontier:
+        node = frontier.pop()
+        for nxt in adj.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return seen
+
+
+def _guard_covers(guards: List[str], rule_glob: str) -> bool:
+    """Heuristic: does any guard plausibly cover paths of *rule_glob*?
+
+    Exact containment of glob languages is undecidable in general for this
+    dialect; we use the practical test of matching the rule glob's literal
+    prefix against each guard.
+    """
+    probe = rule_glob
+    for wildcard in ("*", "?", "[", "{"):
+        idx = probe.find(wildcard)
+        if idx != -1:
+            probe = probe[:idx]
+    probe = probe.rstrip("/") or "/"
+    return any(glob_match(g, probe) or glob_match(g, probe + "/x")
+               or g.startswith(probe)
+               for g in guards)
+
+
+def has_errors(diags: List[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diags)

@@ -1,0 +1,328 @@
+"""The SACK policy language (paper §III-D, Table I).
+
+A single human-readable text configures all four policy interfaces.  The
+grammar is line-oriented; ``#`` starts a comment; every statement ends with
+``;``::
+
+    policy door_control;
+    initial normal;
+
+    states {
+      normal = 0 "parked or driving normally";
+      emergency = 1;
+    }
+
+    transitions {
+      normal -> emergency on crash_detected;
+      emergency -> normal on emergency_cleared;
+      * -> emergency on manual_override;
+    }
+
+    permissions {
+      NORMAL "baseline vehicle telemetry";
+      CONTROL_CAR_DOORS;
+    }
+
+    state_per {
+      normal: NORMAL;
+      emergency: NORMAL, CONTROL_CAR_DOORS;
+    }
+
+    per_rules {
+      NORMAL {
+        allow read /dev/car/**;
+      }
+      CONTROL_CAR_DOORS {
+        allow ioctl /dev/car/door cmd=DOOR_UNLOCK,DOOR_LOCK subject=rescued;
+        allow write /dev/car/door;
+      }
+    }
+
+    guard /dev/car/** write,ioctl;
+    targets { rescued; }
+
+``guard`` declares what SACK governs: accesses that hit a guard glob (for
+the guarded op classes; default all) are default-denied unless an active
+rule allows them.  ``targets`` names the AppArmor profiles the
+SACK-enhanced-AppArmor bridge rewrites.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ssm import TransitionRule
+from ..states import SituationState, StateSpace
+from .model import (MacRule, RuleDecision, RuleOp, SackPermission,
+                    SackPolicy)
+
+
+class SackPolicyParseError(ValueError):
+    """Raised for malformed policy text, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}")
+
+
+_STATE_DEF_RE = re.compile(
+    r'^(?P<name>\w+)\s*=\s*(?P<enc>\d+)\s*(?:"(?P<desc>[^"]*)")?$')
+_TRANSITION_RE = re.compile(
+    r'^(?P<from>\w+|\*)\s*->\s*(?P<to>\w+)\s+on\s+(?P<event>\w+)$')
+_PERM_DEF_RE = re.compile(r'^(?P<name>\w+)\s*(?:"(?P<desc>[^"]*)")?$')
+# An empty grant list ("locked: ;") is legal: the state grants nothing.
+_STATE_PER_RE = re.compile(r'^(?P<state>\w+)\s*:\s*(?P<perms>.*)$')
+_RULE_RE = re.compile(
+    r'^(?P<decision>allow|deny)\s+(?P<op>\w+)\s+(?P<path>/\S+)'
+    r'(?P<extras>(?:\s+\w+=\S+)*)$')
+
+
+def _strip(line: str) -> str:
+    if "#" in line:
+        line = line[:line.index("#")]
+    return line.strip()
+
+
+class _Parser:
+    """Line-oriented recursive-descent parser."""
+
+    def __init__(self, text: str):
+        self.lines = text.splitlines()
+        self.pos = 0
+        self.name = "sack-policy"
+        self.initial: Optional[str] = None
+        self.states: List[SituationState] = []
+        self.transitions: List[TransitionRule] = []
+        self.permissions: Dict[str, SackPermission] = {}
+        self.state_per: Dict[str, Set[str]] = {}
+        self.per_rules: Dict[str, List[MacRule]] = {}
+        self.guards: List[str] = []
+        self.targets: List[str] = []
+
+    def error(self, message: str) -> SackPolicyParseError:
+        return SackPolicyParseError(self.pos, message)
+
+    def next_line(self) -> Optional[Tuple[int, str]]:
+        while self.pos < len(self.lines):
+            self.pos += 1
+            line = _strip(self.lines[self.pos - 1])
+            if line:
+                return self.pos, line
+        return None
+
+    def expect_statement(self, line: str) -> str:
+        if not line.endswith(";"):
+            raise self.error(f"statement must end with ';': {line!r}")
+        return line[:-1].strip()
+
+    # -- block dispatch -----------------------------------------------------
+    def parse(self) -> SackPolicy:
+        while True:
+            item = self.next_line()
+            if item is None:
+                break
+            _, line = item
+            if line.endswith("{"):
+                head = line[:-1].strip()
+                if head == "states":
+                    self.parse_states()
+                elif head == "transitions":
+                    self.parse_transitions()
+                elif head == "permissions":
+                    self.parse_permissions()
+                elif head == "state_per":
+                    self.parse_state_per()
+                elif head == "per_rules":
+                    self.parse_per_rules()
+                elif head == "targets":
+                    self.parse_targets()
+                else:
+                    raise self.error(f"unknown block {head!r}")
+                continue
+            stmt = self.expect_statement(line)
+            if stmt.startswith("policy "):
+                self.name = stmt.split(None, 1)[1]
+            elif stmt.startswith("initial "):
+                self.initial = stmt.split(None, 1)[1]
+            elif stmt.startswith("guard "):
+                self.guards.append(stmt.split(None, 1)[1].split()[0])
+            else:
+                raise self.error(f"unknown top-level statement {stmt!r}")
+        return self.finish()
+
+    def block_lines(self):
+        """Yield statements inside a block until the closing brace."""
+        while True:
+            item = self.next_line()
+            if item is None:
+                raise self.error("unterminated block")
+            _, line = item
+            if line == "}":
+                return
+            yield line
+
+    # -- sections ------------------------------------------------------------
+    def parse_states(self) -> None:
+        for line in self.block_lines():
+            stmt = self.expect_statement(line)
+            match = _STATE_DEF_RE.match(stmt)
+            if match is None:
+                raise self.error(f"bad state definition {stmt!r}")
+            self.states.append(SituationState(
+                match.group("name"), int(match.group("enc")),
+                match.group("desc") or ""))
+
+    def parse_transitions(self) -> None:
+        for line in self.block_lines():
+            stmt = self.expect_statement(line)
+            match = _TRANSITION_RE.match(stmt)
+            if match is None:
+                raise self.error(f"bad transition {stmt!r}")
+            self.transitions.append(TransitionRule(
+                event=match.group("event"), from_state=match.group("from"),
+                to_state=match.group("to")))
+
+    def parse_permissions(self) -> None:
+        for line in self.block_lines():
+            stmt = self.expect_statement(line)
+            match = _PERM_DEF_RE.match(stmt)
+            if match is None:
+                raise self.error(f"bad permission definition {stmt!r}")
+            perm = SackPermission(match.group("name"),
+                                  match.group("desc") or "")
+            if perm.name in self.permissions:
+                raise self.error(f"duplicate permission {perm.name!r}")
+            self.permissions[perm.name] = perm
+
+    def parse_state_per(self) -> None:
+        for line in self.block_lines():
+            stmt = self.expect_statement(line)
+            match = _STATE_PER_RE.match(stmt)
+            if match is None:
+                raise self.error(f"bad state_per entry {stmt!r}")
+            state = match.group("state")
+            perms = {p.strip() for p in match.group("perms").split(",")
+                     if p.strip()}
+            if state in self.state_per:
+                raise self.error(f"duplicate state_per entry for {state!r}")
+            self.state_per[state] = perms
+
+    def parse_per_rules(self) -> None:
+        while True:
+            item = self.next_line()
+            if item is None:
+                raise self.error("unterminated per_rules block")
+            _, line = item
+            if line == "}":
+                return
+            if not line.endswith("{"):
+                raise self.error(f"expected 'PERMISSION {{', got {line!r}")
+            perm_name = line[:-1].strip()
+            rules: List[MacRule] = []
+            for rule_line in self.block_lines():
+                rules.append(self.parse_rule(rule_line))
+            if perm_name in self.per_rules:
+                raise self.error(f"duplicate per_rules for {perm_name!r}")
+            self.per_rules[perm_name] = rules
+
+    def parse_rule(self, line: str) -> MacRule:
+        stmt = self.expect_statement(line)
+        match = _RULE_RE.match(stmt)
+        if match is None:
+            raise self.error(f"bad MAC rule {stmt!r}")
+        try:
+            op = RuleOp(match.group("op"))
+        except ValueError:
+            raise self.error(f"unknown operation {match.group('op')!r}")
+        cmds: Set[str] = set()
+        subject: Optional[str] = None
+        for token in match.group("extras").split():
+            key, _, value = token.partition("=")
+            if key == "cmd":
+                cmds.update(c for c in value.split(",") if c)
+            elif key == "subject":
+                subject = value
+            else:
+                raise self.error(f"unknown rule qualifier {key!r}")
+        try:
+            return MacRule(decision=RuleDecision(match.group("decision")),
+                           op=op, path_glob=match.group("path"),
+                           ioctl_cmds=frozenset(cmds), subject=subject)
+        except ValueError as exc:
+            raise self.error(str(exc)) from exc
+
+    def parse_targets(self) -> None:
+        for line in self.block_lines():
+            stmt = self.expect_statement(line)
+            if not stmt or len(stmt.split()) != 1:
+                raise self.error(f"bad target {stmt!r}")
+            self.targets.append(stmt)
+
+    # -- assembly ------------------------------------------------------------
+    def finish(self) -> SackPolicy:
+        if not self.states:
+            raise self.error("policy defines no states")
+        try:
+            space = StateSpace(self.states)
+        except ValueError as exc:
+            raise self.error(str(exc)) from exc
+        if self.initial is None:
+            raise self.error("policy has no 'initial' statement")
+        return SackPolicy(states=space, initial=self.initial,
+                          transitions=self.transitions,
+                          permissions=self.permissions,
+                          state_per=self.state_per,
+                          per_rules=self.per_rules,
+                          guards=self.guards,
+                          targets=self.targets,
+                          name=self.name)
+
+
+def parse_policy(text: str) -> SackPolicy:
+    """Parse SACK policy text into a :class:`SackPolicy`."""
+    return _Parser(text).parse()
+
+
+def format_policy(policy: SackPolicy) -> str:
+    """Render a policy back to canonical text (round-trips via parse)."""
+    out: List[str] = [f"policy {policy.name};", f"initial {policy.initial};",
+                      "", "states {"]
+    for state in sorted(policy.states, key=lambda s: s.encoding):
+        desc = f' "{state.description}"' if state.description else ""
+        out.append(f"  {state.name} = {state.encoding}{desc};")
+    out.append("}")
+    out.append("")
+    out.append("transitions {")
+    for rule in policy.transitions:
+        out.append(f"  {rule.from_state} -> {rule.to_state} on {rule.event};")
+    out.append("}")
+    out.append("")
+    out.append("permissions {")
+    for perm in sorted(policy.permissions.values(), key=lambda p: p.name):
+        desc = f' "{perm.description}"' if perm.description else ""
+        out.append(f"  {perm.name}{desc};")
+    out.append("}")
+    out.append("")
+    out.append("state_per {")
+    for state in sorted(policy.state_per):
+        perms = ", ".join(sorted(policy.state_per[state]))
+        out.append(f"  {state}: {perms};")
+    out.append("}")
+    out.append("")
+    out.append("per_rules {")
+    for perm in sorted(policy.per_rules):
+        out.append(f"  {perm} {{")
+        for rule in policy.per_rules[perm]:
+            out.append(f"    {rule.to_text()};")
+        out.append("  }")
+    out.append("}")
+    out.append("")
+    for guard in policy.guards:
+        out.append(f"guard {guard};")
+    if policy.targets:
+        out.append("targets {")
+        for target in policy.targets:
+            out.append(f"  {target};")
+        out.append("}")
+    return "\n".join(out) + "\n"

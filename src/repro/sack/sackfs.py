@@ -1,0 +1,174 @@
+"""SACKfs: the securityfs interface of SACK (paper §III-C, §IV-A).
+
+Exposes, under ``/sys/kernel/security/SACK/``:
+
+``events``
+    Write-only.  The SDS writes situation-event lines here; each write is
+    parsed and fed to the SSM synchronously (this is the low-latency
+    user→kernel channel of design challenge C1).  Writers must either hold
+    ``CAP_MAC_ADMIN`` or run as an explicitly authorised uid.
+``current``
+    Read-only: current situation state name and encoding.
+``policy``
+    Write loads a full SACK policy text (requires ``CAP_MAC_ADMIN``);
+    read returns a summary.
+``states`` / ``state_per`` / ``per_rules``
+    Read-only dumps of the loaded policy's interfaces (Table I).
+``stats``
+    Read-only counters (events, transitions, checks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..kernel.credentials import Capability
+from ..kernel.errors import Errno, KernelError
+from ..lsm.securityfs import SecurityFs
+from .events import EventParseError, parse_event_buffer
+from .policy.language import parse_policy
+
+#: SACKfs directory name under securityfs.
+SACK_DIR = "SACK"
+EVENTS_PATH = f"/sys/kernel/security/{SACK_DIR}/events"
+
+
+class SackFs:
+    """Registers and serves the SACK securityfs files for one kernel."""
+
+    def __init__(self, kernel, module, securityfs: Optional[SecurityFs] = None,
+                 authorized_event_uids: Optional[Set[int]] = None,
+                 ioctl_symbols=None):
+        """*module* is an independent :class:`~repro.sack.module.SackLsm`
+        or a :class:`~repro.sack.apparmor_bridge.SackAppArmorBridge` —
+        anything with ``ssm``, ``current_state`` and ``load_policy``.
+        """
+        self.kernel = kernel
+        self.module = module
+        self.securityfs = securityfs or SecurityFs(kernel)
+        self.authorized_event_uids = set(authorized_event_uids or ())
+        self.ioctl_symbols = dict(ioctl_symbols or {})
+        self.events_received = 0
+        self.events_accepted = 0
+        self.events_rejected = 0
+        self._register()
+
+    # -- registration -----------------------------------------------------------
+    def _register(self) -> None:
+        fs = self.securityfs
+        fs.create_dir(SACK_DIR)
+        fs.create_file(f"{SACK_DIR}/events", write=self._write_events,
+                       mode=0o622)
+        fs.create_file(f"{SACK_DIR}/current", read=self._read_current,
+                       mode=0o644)
+        fs.create_file(f"{SACK_DIR}/policy", read=self._read_policy,
+                       write=self._write_policy, mode=0o600,
+                       write_cap=Capability.CAP_MAC_ADMIN)
+        fs.create_file(f"{SACK_DIR}/states", read=self._read_states,
+                       mode=0o644)
+        fs.create_file(f"{SACK_DIR}/state_per", read=self._read_state_per,
+                       mode=0o644)
+        fs.create_file(f"{SACK_DIR}/per_rules", read=self._read_per_rules,
+                       mode=0o644)
+        fs.create_file(f"{SACK_DIR}/stats", read=self._read_stats,
+                       mode=0o644)
+
+    # -- event channel -------------------------------------------------------------
+    def authorize_event_writer(self, uid: int) -> None:
+        """Allow *uid* (the SDS service user) to submit events."""
+        self.authorized_event_uids.add(uid)
+
+    def _writer_allowed(self, task) -> bool:
+        if task.cred.euid in self.authorized_event_uids:
+            return True
+        return self.kernel.capable(task, Capability.CAP_MAC_ADMIN)
+
+    def _write_events(self, task, data: bytes) -> int:
+        if not self._writer_allowed(task):
+            raise KernelError(Errno.EPERM,
+                              "events: writer not authorised for SACK")
+        self.events_received += 1
+        ssm = self.module.ssm
+        if ssm is None:
+            raise KernelError(Errno.ENODATA, "no SACK policy loaded")
+        try:
+            events = parse_event_buffer(data, self.kernel.clock.now_ns)
+        except EventParseError as exc:
+            self.events_rejected += 1
+            raise KernelError(Errno.EINVAL, str(exc)) from exc
+        for event in events:
+            ssm.process_event(event, now_ns=self.kernel.clock.now_ns)
+        self.events_accepted += len(events)
+        return len(data)
+
+    # -- policy files ---------------------------------------------------------------
+    def _write_policy(self, task, data: bytes) -> int:
+        # Parse, validate, and compile all happen before any live state
+        # is replaced: a rejected policy leaves the old one enforcing.
+        try:
+            policy = parse_policy(data.decode("utf-8"))
+            self.module.load_policy(policy,
+                                    ioctl_symbols=self.ioctl_symbols)
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise KernelError(Errno.EINVAL, f"policy: {exc}") from exc
+        return len(data)
+
+    def _read_policy(self, task) -> bytes:
+        policy = self._policy()
+        if policy is None:
+            return b"no policy loaded\n"
+        return policy.summary().encode()
+
+    def _policy(self):
+        # Independent SACK keeps the policy on the APE; the bridge keeps
+        # it directly.
+        ape = getattr(self.module, "ape", None)
+        if ape is not None:
+            return ape.compiled.policy
+        return getattr(self.module, "policy", None)
+
+    # -- read-only views ----------------------------------------------------------
+    def _read_current(self, task) -> bytes:
+        ssm = self.module.ssm
+        if ssm is None:
+            return b"none\n"
+        return f"{ssm.current.name} {ssm.current.encoding}\n".encode()
+
+    def _read_states(self, task) -> bytes:
+        policy = self._policy()
+        if policy is None:
+            return b""
+        lines = [f"{s.name} {s.encoding}"
+                 for s in sorted(policy.states, key=lambda s: s.encoding)]
+        return ("\n".join(lines) + "\n").encode()
+
+    def _read_state_per(self, task) -> bytes:
+        policy = self._policy()
+        if policy is None:
+            return b""
+        lines = [f"{state}: {', '.join(sorted(perms))}"
+                 for state, perms in sorted(policy.state_per.items())]
+        return ("\n".join(lines) + "\n").encode()
+
+    def _read_per_rules(self, task) -> bytes:
+        policy = self._policy()
+        if policy is None:
+            return b""
+        lines = []
+        for perm in sorted(policy.per_rules):
+            lines.append(f"{perm}:")
+            lines.extend(f"  {rule.to_text()}"
+                         for rule in policy.per_rules[perm])
+        return ("\n".join(lines) + "\n").encode()
+
+    def _read_stats(self, task) -> bytes:
+        lines = [f"events_received {self.events_received}",
+                 f"events_accepted {self.events_accepted}",
+                 f"events_rejected {self.events_rejected}"]
+        ssm = self.module.ssm
+        if ssm is not None:
+            lines.extend(f"ssm_{k} {v}" for k, v in ssm.stats().items())
+        ape = getattr(self.module, "ape", None)
+        if ape is not None:
+            lines.extend(f"ape_{k} {v}" for k, v in ape.stats().items())
+        return ("\n".join(lines) + "\n").encode()

@@ -1,0 +1,180 @@
+"""The situation state machine (SSM) — paper §III-E-1 and Algorithm 1.
+
+The SSM lives in the kernel, holds the current situation state, and
+consumes situation events forwarded by the SDS.  A transition rule is a
+pair ``(event, from_state) -> to_state``; an event that matches no rule for
+the current state is recorded and ignored (the environment changed in a way
+this policy does not care about).
+
+Listeners — the adaptive policy enforcer, the AppArmor bridge, audit — are
+notified synchronously on every transition, which is what makes permission
+updates atomic with respect to subsequent access checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from .events import SituationEvent
+from .states import SituationState, StateSpace
+
+#: ``from_state`` wildcard: the rule fires from any state.
+ANY_STATE = "*"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitionRule:
+    """``from_state --event--> to_state`` (from_state may be ``'*'``)."""
+
+    event: str
+    from_state: str
+    to_state: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """A transition that actually happened."""
+
+    event: SituationEvent
+    from_state: str
+    to_state: str
+    at_ns: int
+
+
+class SsmError(ValueError):
+    """Raised for ill-formed state machines."""
+
+
+class SituationStateMachine:
+    """Deterministic finite state machine over situation states."""
+
+    def __init__(self, states: StateSpace, rules: Iterable[TransitionRule],
+                 initial: str, history_size: int = 256):
+        self.states = states
+        if initial not in states:
+            raise SsmError(f"initial state {initial!r} is not defined")
+        self.initial = initial
+        self._current = states.get(initial)
+        # Index rules by (event, from_state); detect nondeterminism.
+        self._rules: Dict[Tuple[str, str], str] = {}
+        self.rules: List[TransitionRule] = []
+        for rule in rules:
+            self._add_rule(rule)
+        self.history: Deque[Transition] = deque(maxlen=history_size)
+        self._listeners: List[Callable[[Transition], None]] = []
+        self.events_processed = 0
+        self.events_ignored = 0
+        self.transition_count = 0
+
+    def _add_rule(self, rule: TransitionRule) -> None:
+        if rule.from_state != ANY_STATE and rule.from_state not in self.states:
+            raise SsmError(f"rule {rule} references unknown from-state")
+        if rule.to_state not in self.states:
+            raise SsmError(f"rule {rule} references unknown to-state")
+        key = (rule.event, rule.from_state)
+        existing = self._rules.get(key)
+        if existing is not None and existing != rule.to_state:
+            raise SsmError(
+                f"nondeterministic rules: event {rule.event!r} from "
+                f"{rule.from_state!r} goes to both {existing!r} and "
+                f"{rule.to_state!r}")
+        self._rules[key] = rule.to_state
+        self.rules.append(rule)
+
+    # -- observers ---------------------------------------------------------
+    @property
+    def current(self) -> SituationState:
+        return self._current
+
+    @property
+    def current_name(self) -> str:
+        return self._current.name
+
+    def add_listener(self, callback: Callable[[Transition], None]) -> None:
+        """Register a transition callback (called synchronously, in order)."""
+        self._listeners.append(callback)
+
+    # -- the transition core (Algorithm 1's loop body) ------------------------
+    def lookup(self, event_name: str, from_state: str) -> Optional[str]:
+        """Target state for (*event_name*, *from_state*), or None."""
+        target = self._rules.get((event_name, from_state))
+        if target is None:
+            target = self._rules.get((event_name, ANY_STATE))
+        return target
+
+    def process_event(self, event: SituationEvent,
+                      now_ns: int = 0) -> Optional[Transition]:
+        """Feed one event; returns the transition or None when ignored."""
+        self.events_processed += 1
+        target = self.lookup(event.name, self._current.name)
+        if target is None or target == self._current.name:
+            self.events_ignored += 1
+            return None
+        transition = Transition(event=event, from_state=self._current.name,
+                                to_state=target, at_ns=now_ns)
+        self._current = self.states.get(target)
+        self.transition_count += 1
+        self.history.append(transition)
+        for listener in self._listeners:
+            listener(transition)
+        return transition
+
+    def force_state(self, name: str) -> None:
+        """Administrative override (used by tests and policy reload)."""
+        self._current = self.states.get(name)
+
+    # -- analysis ----------------------------------------------------------
+    def reachable_states(self) -> set:
+        """States reachable from the initial state via the rule graph."""
+        adj: Dict[str, set] = {s.name: set() for s in self.states}
+        for rule in self.rules:
+            if rule.from_state == ANY_STATE:
+                for s in adj:
+                    adj[s].add(rule.to_state)
+            else:
+                adj[rule.from_state].add(rule.to_state)
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adj[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "events_processed": self.events_processed,
+            "events_ignored": self.events_ignored,
+            "transitions": self.transition_count,
+            "states": len(self.states),
+            "rules": len(self.rules),
+        }
+
+    def to_dot(self, title: str = "SSM") -> str:
+        """Render the machine as Graphviz DOT (Fig. 2-style diagrams)."""
+        lines = [f'digraph "{title}" {{',
+                 "  rankdir=LR;",
+                 "  node [shape=ellipse];",
+                 f'  __start [shape=point, label=""];',
+                 f'  __start -> "{self.initial}";']
+        for state in sorted(self.states, key=lambda s: s.encoding):
+            style = ', style=bold' if state.name == self.current_name \
+                else ""
+            lines.append(f'  "{state.name}" '
+                         f'[label="{state.name}\\n({state.encoding})"'
+                         f'{style}];')
+        for rule in self.rules:
+            sources = ([s.name for s in self.states]
+                       if rule.from_state == ANY_STATE
+                       else [rule.from_state])
+            for source in sources:
+                if source == rule.to_state:
+                    continue
+                lines.append(f'  "{source}" -> "{rule.to_state}" '
+                             f'[label="{rule.event}"];')
+        lines.append("}")
+        return "\n".join(lines)

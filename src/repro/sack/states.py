@@ -1,0 +1,87 @@
+"""Situation states: the new security context SACK introduces.
+
+A situation state abstracts "where the vehicle is, environmentally" —
+driving, parking with/without driver, emergency — into a kernel-visible
+label with a numeric encoding (paper Table I: the ``States`` interface
+"specifies situation states and their encodings").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable
+
+
+@dataclasses.dataclass(frozen=True)
+class SituationState:
+    """One situation state: name, wire encoding, human description."""
+
+    name: str
+    encoding: int
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid state name: {self.name!r}")
+        if self.encoding < 0:
+            raise ValueError(f"state encoding must be >= 0: {self.encoding}")
+
+
+class StateSpace:
+    """The set of situation states a policy defines."""
+
+    def __init__(self, states: Iterable[SituationState] = ()):
+        self._by_name: Dict[str, SituationState] = {}
+        self._by_encoding: Dict[int, SituationState] = {}
+        for state in states:
+            self.add(state)
+
+    def add(self, state: SituationState) -> None:
+        if state.name in self._by_name:
+            raise ValueError(f"duplicate state name {state.name!r}")
+        if state.encoding in self._by_encoding:
+            other = self._by_encoding[state.encoding]
+            raise ValueError(
+                f"states {other.name!r} and {state.name!r} share "
+                f"encoding {state.encoding}")
+        self._by_name[state.name] = state
+        self._by_encoding[state.encoding] = state
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def get(self, name: str) -> SituationState:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown situation state {name!r}") from None
+
+    def by_encoding(self, encoding: int) -> SituationState:
+        try:
+            return self._by_encoding[encoding]
+        except KeyError:
+            raise KeyError(f"no state with encoding {encoding}") from None
+
+    def names(self):
+        return sorted(self._by_name)
+
+
+# The four states of the paper's running example (Fig. 2).
+NORMAL_DRIVING = SituationState("driving", 0, "vehicle moving normally")
+PARKING_WITH_DRIVER = SituationState(
+    "parking_with_driver", 1, "parked, driver present")
+PARKING_WITHOUT_DRIVER = SituationState(
+    "parking_without_driver", 2, "parked, unattended")
+EMERGENCY = SituationState("emergency", 3, "crash or other emergency")
+
+
+def paper_state_space() -> StateSpace:
+    """The 4-state space from the paper's Fig. 2 example."""
+    return StateSpace([NORMAL_DRIVING, PARKING_WITH_DRIVER,
+                       PARKING_WITHOUT_DRIVER, EMERGENCY])

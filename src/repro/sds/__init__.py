@@ -1,0 +1,18 @@
+"""Situation Detection Service: sensors, detectors, and the SDS daemon."""
+
+from .detectors import (CrashDetector, Detector, DriverPresenceDetector,
+                        DrivingStateDetector, GeofenceDetector,
+                        SpeedBandDetector, default_detector_suite)
+from .sensors import (Accelerometer, CrashSensor, GpsSensor, IgnitionSensor,
+                      SeatOccupancySensor, Sensor, SpeedSensor,
+                      default_sensor_suite, sample_all)
+from .service import SdsStats, SituationDetectionService
+
+__all__ = [
+    "CrashDetector", "Detector", "DriverPresenceDetector",
+    "DrivingStateDetector", "SpeedBandDetector", "default_detector_suite",
+    "GeofenceDetector",
+    "Accelerometer", "CrashSensor", "GpsSensor", "IgnitionSensor",
+    "SeatOccupancySensor", "Sensor", "SpeedSensor", "default_sensor_suite",
+    "sample_all", "SdsStats", "SituationDetectionService",
+]

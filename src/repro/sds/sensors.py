@@ -1,0 +1,85 @@
+"""Sensors: the SDS's view of the vehicle's environment.
+
+Each sensor samples one signal from the vehicle dynamics model.  The paper
+assumes "environmental information perception is trusted" (§III-A); the
+sensors are therefore deliberately simple, faithful transducers — the
+interesting logic lives in the detectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Sensor:
+    """Base sensor: a named sampler over the dynamics model."""
+
+    name = "sensor"
+
+    def sample(self, dynamics) -> object:
+        raise NotImplementedError
+
+
+class SpeedSensor(Sensor):
+    """Vehicle speed in km/h."""
+
+    name = "speed_kmh"
+
+    def sample(self, dynamics) -> float:
+        return dynamics.speed_kmh
+
+
+class Accelerometer(Sensor):
+    """Longitudinal acceleration in m/s² (large negative = hard impact)."""
+
+    name = "accel_ms2"
+
+    def sample(self, dynamics) -> float:
+        return dynamics.accel_ms2
+
+
+class GpsSensor(Sensor):
+    """Odometer-style position along the route, in km."""
+
+    name = "position_km"
+
+    def sample(self, dynamics) -> float:
+        return dynamics.position_km
+
+
+class SeatOccupancySensor(Sensor):
+    """Is someone in the driver's seat?"""
+
+    name = "driver_present"
+
+    def sample(self, dynamics) -> bool:
+        return dynamics.driver_present
+
+
+class IgnitionSensor(Sensor):
+    """Is the engine running?"""
+
+    name = "engine_on"
+
+    def sample(self, dynamics) -> bool:
+        return dynamics.engine_on
+
+
+class CrashSensor(Sensor):
+    """Dedicated crash flag (airbag controller output)."""
+
+    name = "crashed"
+
+    def sample(self, dynamics) -> bool:
+        return dynamics.crashed
+
+
+def default_sensor_suite() -> list:
+    """The sensor set a production SDS deployment would ship."""
+    return [SpeedSensor(), Accelerometer(), GpsSensor(),
+            SeatOccupancySensor(), IgnitionSensor(), CrashSensor()]
+
+
+def sample_all(sensors, dynamics) -> Dict[str, object]:
+    """One synchronized sampling sweep across *sensors*."""
+    return {sensor.name: sensor.sample(dynamics) for sensor in sensors}

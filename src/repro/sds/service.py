@@ -1,0 +1,105 @@
+"""The Situation Detection Service (SDS) — paper §III-B, user space.
+
+The SDS is a privileged user-space daemon: it samples sensors, runs the
+detectors, and forwards detected situation events to the kernel by writing
+lines to SACKfs (``/sys/kernel/security/SACK/events``).  It is the *only*
+component that bridges situation tracking (user space) and enforcement
+(kernel) — the decoupling the paper credits for consistency and POLP.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..kernel.errors import KernelError
+from ..sack.sackfs import EVENTS_PATH
+from .detectors import Detector, default_detector_suite
+from .sensors import Sensor, default_sensor_suite, sample_all
+
+
+class SdsStats:
+    """Operational counters plus the user→kernel latency samples."""
+
+    def __init__(self):
+        self.polls = 0
+        self.events_sent = 0
+        self.events_failed = 0
+        self.send_latencies_ns: List[int] = []
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.send_latencies_ns:
+            return 0.0
+        return sum(self.send_latencies_ns) / len(self.send_latencies_ns) / 1e3
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "polls": self.polls,
+            "events_sent": self.events_sent,
+            "events_failed": self.events_failed,
+            "mean_send_latency_us": round(self.mean_latency_us, 3),
+        }
+
+
+class SituationDetectionService:
+    """Samples, detects, and transmits — one poll per vehicle tick."""
+
+    def __init__(self, kernel, task, dynamics,
+                 sensors: Optional[List[Sensor]] = None,
+                 detectors: Optional[List[Detector]] = None,
+                 events_path: str = EVENTS_PATH,
+                 poll_period_ms: float = 10.0):
+        self.kernel = kernel
+        self.task = task
+        self.dynamics = dynamics
+        self.sensors = sensors if sensors is not None else default_sensor_suite()
+        self.detectors = (detectors if detectors is not None
+                          else default_detector_suite())
+        self.events_path = events_path
+        self.poll_period_ms = poll_period_ms
+        self.stats = SdsStats()
+        self.last_samples: Dict[str, object] = {}
+
+    def poll(self) -> List[str]:
+        """One detection cycle; returns the event names transmitted."""
+        self.stats.polls += 1
+        now_ns = self.kernel.clock.now_ns
+        samples = sample_all(self.sensors, self.dynamics)
+        self.last_samples = samples
+        sent: List[str] = []
+        for detector in self.detectors:
+            for event_name in detector.update(samples, now_ns):
+                if self.send_event(event_name, samples):
+                    sent.append(event_name)
+        return sent
+
+    def send_event(self, event_name: str,
+                   samples: Optional[Dict[str, object]] = None) -> bool:
+        """Write one event line to SACKfs; returns success."""
+        payload = ""
+        if samples and "speed_kmh" in samples:
+            payload = f" speed={samples['speed_kmh']:.0f}"
+        line = f"{event_name}{payload}\n".encode()
+        start = time.perf_counter_ns()
+        try:
+            self.kernel.write_file(self.task, self.events_path, line,
+                                   create=False)
+        except KernelError:
+            self.stats.events_failed += 1
+            return False
+        self.stats.send_latencies_ns.append(time.perf_counter_ns() - start)
+        self.stats.events_sent += 1
+        return True
+
+    def run(self, ticks: int, step_dynamics: bool = True,
+            dt_s: Optional[float] = None) -> List[str]:
+        """Run *ticks* poll cycles, advancing dynamics and virtual time."""
+        dt_s = dt_s if dt_s is not None else self.poll_period_ms / 1e3
+        all_events: List[str] = []
+        for _ in range(ticks):
+            if step_dynamics:
+                self.dynamics.step(dt_s)
+            self.kernel.clock.advance_ms(self.poll_period_ms)
+            all_events.extend(self.poll())
+        return all_events

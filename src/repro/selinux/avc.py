@@ -1,0 +1,59 @@
+"""The access vector cache (AVC).
+
+Real SELinux answers most checks from a cache of recently computed access
+vectors; policy reloads flush it.  The SACK-SELinux bridge relies on the
+flush: after a situation transition rewrites the AV table, stale cached
+decisions must not survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .policy import SelinuxPolicy
+
+
+class AccessVectorCache:
+    """Memoises ``(source, target, class) -> allowed perms``."""
+
+    def __init__(self, policy: SelinuxPolicy, capacity: int = 4096):
+        self.policy = policy
+        self.capacity = capacity
+        self._cache: Dict[Tuple[str, str, str], Set[str]] = {}
+        self._policy_revision = policy.revision
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def _maybe_flush(self) -> None:
+        if self.policy.revision != self._policy_revision:
+            self.flush()
+            self._policy_revision = self.policy.revision
+
+    def flush(self) -> None:
+        self._cache.clear()
+        self.flushes += 1
+
+    def allowed(self, source: str, target: str, tclass: str,
+                perm: str) -> bool:
+        self._maybe_flush()
+        key = (source, target, tclass)
+        vector = self._cache.get(key)
+        if vector is None:
+            self.misses += 1
+            vector = set(self.policy.allowed_perms(source, target, tclass))
+            if len(self._cache) >= self.capacity:
+                self._cache.clear()  # crude but bounded, like avc reclaim
+            self._cache[key] = vector
+        else:
+            self.hits += 1
+        return perm in vector
+
+    def stats(self) -> Dict[str, int]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "flushes": self.flushes,
+            "hit_rate_pct": (self.hits * 100 // total) if total else 0,
+        }

@@ -1,0 +1,58 @@
+"""SELinux security contexts: ``user:role:type`` labels.
+
+The paper grounds SACK in the type-enforcement (TE) model "where access
+decisions are based on the types of subjects and objects" (§II-A-4,
+citing Badger et al.).  This package provides a TE implementation so the
+SACK bridge can be demonstrated against a second, differently-shaped
+enforcement backend (DESIGN.md: "SACK separates policy and implementation
+to ensure compatibility with different enforcement approaches").
+
+We model the classic three-field context (MLS levels omitted, as in the
+paper's discussion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+class ContextError(ValueError):
+    """Raised for malformed security contexts."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SecurityContext:
+    """An SELinux-style security context."""
+
+    user: str
+    role: str
+    type: str
+
+    def __post_init__(self):
+        for field in (self.user, self.role, self.type):
+            if not _IDENT_RE.match(field):
+                raise ContextError(f"bad context field {field!r}")
+
+    def __str__(self) -> str:
+        return f"{self.user}:{self.role}:{self.type}"
+
+    def with_type(self, new_type: str) -> "SecurityContext":
+        return dataclasses.replace(self, type=new_type)
+
+
+def parse_context(text: str) -> SecurityContext:
+    """Parse ``user:role:type`` into a :class:`SecurityContext`."""
+    parts = text.strip().split(":")
+    if len(parts) != 3:
+        raise ContextError(f"context needs 3 fields: {text!r}")
+    return SecurityContext(*parts)
+
+
+# Well-known contexts used by the simulator's base policy.
+KERNEL_CONTEXT = SecurityContext("system_u", "system_r", "kernel_t")
+INIT_CONTEXT = SecurityContext("system_u", "system_r", "init_t")
+UNLABELED = SecurityContext("system_u", "object_r", "unlabeled_t")
+DEFAULT_FILE_CONTEXT = SecurityContext("system_u", "object_r", "file_t")

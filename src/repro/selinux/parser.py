@@ -1,0 +1,119 @@
+"""Parser for the simplified SELinux TE policy language.
+
+Statement forms::
+
+    type media_app_t;
+    allow media_app_t car_audio_t : chr_file { read ioctl };
+    allow media_app_t media_file_t : file { read write };
+    neverallow media_app_t car_door_t : chr_file { write ioctl };
+    type_transition init_t media_app_exec_t : process media_app_t;
+    filecon /dev/car/audio system_u:object_r:car_audio_t;
+    filecon /var/media/** system_u:object_r:media_file_t;
+
+``#`` starts a comment; statements end with ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from .context import parse_context
+from .policy import (AvRule, FileContext, SelinuxPolicy, SelinuxPolicyError,
+                     TypeTransition)
+
+
+class SelinuxParseError(ValueError):
+    """Raised on malformed TE policy text, with a line number."""
+
+    def __init__(self, lineno: int, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}")
+
+
+_TYPE_RE = re.compile(r"^type\s+(?P<name>\w+)$")
+_AV_RE = re.compile(
+    r"^(?P<kind>allow|neverallow)\s+(?P<source>\w+)\s+(?P<target>\w+)\s*"
+    r":\s*(?P<class>\w+)\s*\{(?P<perms>[^}]*)\}$")
+_TRANSITION_RE = re.compile(
+    r"^type_transition\s+(?P<source>\w+)\s+(?P<exec>\w+)\s*:\s*process\s+"
+    r"(?P<new>\w+)$")
+_FILECON_RE = re.compile(
+    r"^filecon\s+(?P<glob>/\S+)\s+(?P<context>\S+)$")
+
+
+def _strip(line: str) -> str:
+    if "#" in line:
+        line = line[:line.index("#")]
+    return line.strip()
+
+
+def parse_te_policy(text: str,
+                    policy: SelinuxPolicy | None = None) -> SelinuxPolicy:
+    """Parse *text* into (or onto) a :class:`SelinuxPolicy`."""
+    policy = policy if policy is not None else SelinuxPolicy()
+    pending: List[tuple] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        if not line.endswith(";"):
+            raise SelinuxParseError(lineno,
+                                    f"statement must end with ';': {raw!r}")
+        stmt = line[:-1].strip()
+
+        match = _TYPE_RE.match(stmt)
+        if match:
+            policy.declare_type(match.group("name"))
+            continue
+
+        match = _AV_RE.match(stmt)
+        if match:
+            perms = frozenset(match.group("perms").split())
+            if not perms:
+                raise SelinuxParseError(lineno, "empty permission set")
+            pending.append((lineno, match.group("kind"), AvRule(
+                source=match.group("source"), target=match.group("target"),
+                tclass=match.group("class"), perms=perms)))
+            continue
+
+        match = _TRANSITION_RE.match(stmt)
+        if match:
+            pending.append((lineno, "transition", TypeTransition(
+                source=match.group("source"),
+                exec_type=match.group("exec"),
+                new_type=match.group("new"))))
+            continue
+
+        match = _FILECON_RE.match(stmt)
+        if match:
+            try:
+                context = parse_context(match.group("context"))
+            except ValueError as exc:
+                raise SelinuxParseError(lineno, str(exc)) from exc
+            pending.append((lineno, "filecon", FileContext(
+                glob=match.group("glob"), context=context)))
+            continue
+
+        raise SelinuxParseError(lineno, f"unrecognised statement {stmt!r}")
+
+    # Apply after all type declarations so ordering inside the file is
+    # free, but neverallow before allow so violations are caught.
+    for lineno, kind, item in pending:
+        try:
+            if kind == "neverallow":
+                policy.add_neverallow(item)
+        except SelinuxPolicyError as exc:
+            raise SelinuxParseError(lineno, str(exc)) from exc
+    for lineno, kind, item in pending:
+        try:
+            if kind == "allow":
+                policy.add_rule(item)
+            elif kind == "transition":
+                policy.add_transition(item)
+            elif kind == "filecon":
+                policy.add_file_context(item)
+        except SelinuxPolicyError as exc:
+            raise SelinuxParseError(lineno, str(exc)) from exc
+    return policy

@@ -1,0 +1,28 @@
+"""Vehicle & IVI emulation: dynamics, CAN, devices, the IVI world, attacks."""
+
+from .attacks import (Attack, AttackResult, KoffeeAttack, VolumeMaxAttack,
+                      run_attack_campaign)
+from .can import (CAN_ID_AUDIO, CAN_ID_CRASH, CAN_ID_DOOR, CAN_ID_ENGINE,
+                  CAN_ID_SPEED, CAN_ID_WINDOW, CanBus, CanFrame)
+from .devices import (AudioDevice, DOOR_LOCK, DOOR_UNLOCK, DoorDevice,
+                      ENGINE_START, ENGINE_STOP, EngineDevice,
+                      IOCTL_SYMBOLS, SpeedometerDevice, VOLUME_GET,
+                      VOLUME_SET, WINDOW_DOWN, WINDOW_SET, WINDOW_UP,
+                      WindowDevice)
+from .dynamics import VehicleDynamics
+from .ivi import (DEFAULT_SACK_POLICY, EnforcementConfig, IVI_APPARMOR_PROFILES,
+                  IVI_APPS, IviWorld, PermissionDenied, PermissionFramework,
+                  SDS_UID, build_ivi_world)
+
+__all__ = [
+    "Attack", "AttackResult", "KoffeeAttack", "VolumeMaxAttack",
+    "run_attack_campaign", "CanBus", "CanFrame", "CAN_ID_AUDIO",
+    "CAN_ID_CRASH", "CAN_ID_DOOR", "CAN_ID_ENGINE", "CAN_ID_SPEED",
+    "CAN_ID_WINDOW", "AudioDevice", "DoorDevice", "EngineDevice",
+    "SpeedometerDevice", "WindowDevice", "DOOR_LOCK", "DOOR_UNLOCK",
+    "ENGINE_START", "ENGINE_STOP", "IOCTL_SYMBOLS", "VOLUME_GET",
+    "VOLUME_SET", "WINDOW_DOWN", "WINDOW_SET", "WINDOW_UP",
+    "VehicleDynamics", "DEFAULT_SACK_POLICY", "EnforcementConfig",
+    "IVI_APPARMOR_PROFILES", "IVI_APPS", "IviWorld", "PermissionDenied",
+    "PermissionFramework", "SDS_UID", "build_ivi_world",
+]

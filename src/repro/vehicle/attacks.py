@@ -1,0 +1,122 @@
+"""Attack simulations from the paper's motivation and evaluation.
+
+Two attacks, both characterised by *bypassing the user-space permission
+framework* and talking to the kernel directly — the paper's core threat:
+
+* :class:`KoffeeAttack` (CVE-2020-8539): a compromised IVI app injects
+  vehicle-control commands (here: unlock the doors) straight at the device
+  node, skipping every middleware check.
+* :class:`VolumeMaxAttack` (CVE-2023-6073, VW ID.3): a compromised app
+  forces audio volume to maximum — dangerous while driving, merely rude
+  while parked, which is precisely why the mitigation must be
+  situation-aware.
+
+Each attack reports whether the *kernel* stopped it, and the tests compare
+outcomes across enforcement configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..kernel import KernelError, OpenFlags
+from .devices import DOOR_UNLOCK, VOLUME_SET
+from .ivi import IviWorld
+
+
+@dataclasses.dataclass
+class AttackResult:
+    """Outcome of one attack attempt."""
+
+    attack: str
+    compromised_app: str
+    situation: Optional[str]
+    blocked: bool
+    error: Optional[str]
+    effect: str
+
+    def __str__(self) -> str:
+        verdict = "BLOCKED" if self.blocked else "SUCCEEDED"
+        return (f"{self.attack} from {self.compromised_app} "
+                f"[situation={self.situation}]: {verdict} — {self.effect}")
+
+
+class Attack:
+    """Base class: an attacker with code execution inside one IVI app."""
+
+    name = "attack"
+
+    def __init__(self, world: IviWorld, compromised_app: str = "media_app"):
+        self.world = world
+        self.compromised_app = compromised_app
+
+    def _attempt_ioctl(self, device: str, cmd: int, arg: int,
+                       effect_ok: str) -> AttackResult:
+        """Open the device node directly and fire the ioctl.
+
+        Deliberately does NOT consult ``world.permissions`` — that is the
+        bypass.  Only the kernel can stop this.
+        """
+        kernel = self.world.kernel
+        task = self.world.task(self.compromised_app)
+        situation = self.world.situation
+        try:
+            fd = kernel.sys_open(task, f"/dev/car/{device}",
+                                 OpenFlags.O_RDONLY)
+            try:
+                kernel.sys_ioctl(task, fd, cmd, arg)
+            finally:
+                kernel.sys_close(task, fd)
+        except KernelError as err:
+            return AttackResult(attack=self.name,
+                                compromised_app=self.compromised_app,
+                                situation=situation, blocked=True,
+                                error=str(err), effect="no effect")
+        return AttackResult(attack=self.name,
+                            compromised_app=self.compromised_app,
+                            situation=situation, blocked=False,
+                            error=None, effect=effect_ok)
+
+    def run(self) -> AttackResult:
+        raise NotImplementedError
+
+
+class KoffeeAttack(Attack):
+    """Command injection: unlock all doors from a compromised app."""
+
+    name = "koffee_door_unlock"
+
+    def run(self) -> AttackResult:
+        result = self._attempt_ioctl("door", DOOR_UNLOCK, 0,
+                                     effect_ok="all doors unlocked")
+        door = self.world.devices["door"]
+        if not result.blocked and door.all_locked:
+            # The ioctl returned but nothing moved — count as blocked.
+            result.blocked = True
+            result.effect = "no physical effect"
+        return result
+
+
+class VolumeMaxAttack(Attack):
+    """CVE-2023-6073: force audio volume to maximum."""
+
+    name = "cve_2023_6073_volume_max"
+
+    def run(self) -> AttackResult:
+        audio = self.world.devices["audio"]
+        before = audio.volume
+        result = self._attempt_ioctl("audio", VOLUME_SET, audio.MAX_VOLUME,
+                                     effect_ok="volume forced to maximum")
+        if not result.blocked and audio.volume == before != audio.MAX_VOLUME:
+            result.blocked = True
+            result.effect = "no physical effect"
+        return result
+
+
+def run_attack_campaign(world: IviWorld,
+                        compromised_app: str = "media_app"
+                        ) -> List[AttackResult]:
+    """Run every attack against *world* in its current situation."""
+    return [KoffeeAttack(world, compromised_app).run(),
+            VolumeMaxAttack(world, compromised_app).run()]

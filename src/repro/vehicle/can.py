@@ -1,0 +1,66 @@
+"""A miniature CAN bus.
+
+Device drivers broadcast state changes as CAN frames; the IVI display and
+the tests subscribe to observe what physically happened (did the door
+actually unlock?).  Arbitration ids follow the usual convention of lower =
+higher priority.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+# Arbitration ids for the simulated vehicle's frames.
+CAN_ID_CRASH = 0x010
+CAN_ID_DOOR = 0x120
+CAN_ID_WINDOW = 0x130
+CAN_ID_AUDIO = 0x140
+CAN_ID_ENGINE = 0x100
+CAN_ID_SPEED = 0x0C0
+
+
+@dataclasses.dataclass(frozen=True)
+class CanFrame:
+    """One classic CAN data frame (payload <= 8 bytes)."""
+
+    arb_id: int
+    data: bytes
+    timestamp_ns: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.arb_id <= 0x7FF:
+            raise ValueError(f"arbitration id out of 11-bit range: "
+                             f"{self.arb_id:#x}")
+        if len(self.data) > 8:
+            raise ValueError("classic CAN payload is at most 8 bytes")
+
+
+class CanBus:
+    """Broadcast bus with per-id subscriptions and a frame log."""
+
+    def __init__(self, log_size: int = 1024):
+        self._subscribers: Dict[Optional[int], List[Callable]] = {}
+        self.log: Deque[CanFrame] = deque(maxlen=log_size)
+        self.frames_sent = 0
+
+    def subscribe(self, callback: Callable[[CanFrame], None],
+                  arb_id: Optional[int] = None) -> None:
+        """Subscribe to frames with *arb_id* (None = all frames)."""
+        self._subscribers.setdefault(arb_id, []).append(callback)
+
+    def send(self, frame: CanFrame) -> None:
+        self.frames_sent += 1
+        self.log.append(frame)
+        for callback in self._subscribers.get(frame.arb_id, ()):
+            callback(frame)
+        for callback in self._subscribers.get(None, ()):
+            callback(frame)
+
+    def frames_with_id(self, arb_id: int) -> List[CanFrame]:
+        return [f for f in self.log if f.arb_id == arb_id]
+
+    def last_frame(self, arb_id: int) -> Optional[CanFrame]:
+        frames = self.frames_with_id(arb_id)
+        return frames[-1] if frames else None

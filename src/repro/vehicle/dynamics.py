@@ -1,0 +1,89 @@
+"""Vehicle dynamics: the physical world the sensors observe.
+
+A deliberately simple longitudinal model — speed, position, commanded
+acceleration — plus the discrete facts access control cares about: engine
+state, driver presence, and a crash flag.  A crash is modelled as the
+severe deceleration pulse crash detectors key on.
+"""
+
+from __future__ import annotations
+
+KMH_PER_MS = 3.6
+
+
+class VehicleDynamics:
+    """Longitudinal vehicle state, stepped at a fixed dt."""
+
+    def __init__(self, speed_kmh: float = 0.0, driver_present: bool = True,
+                 engine_on: bool = False):
+        self.speed_kmh = speed_kmh
+        self.position_km = 0.0
+        self.accel_ms2 = 0.0
+        self.commanded_accel_ms2 = 0.0
+        self.driver_present = driver_present
+        self.engine_on = engine_on
+        self.crashed = False
+        self.elapsed_s = 0.0
+
+    # -- controls -----------------------------------------------------------
+    def start_engine(self) -> None:
+        self.engine_on = True
+
+    def stop_engine(self) -> None:
+        self.engine_on = False
+        self.commanded_accel_ms2 = 0.0
+
+    def accelerate(self, accel_ms2: float) -> None:
+        """Command a longitudinal acceleration (negative = braking)."""
+        if not self.engine_on and accel_ms2 > 0:
+            raise RuntimeError("cannot accelerate with the engine off")
+        self.commanded_accel_ms2 = accel_ms2
+
+    def cruise(self) -> None:
+        self.commanded_accel_ms2 = 0.0
+
+    def crash(self) -> None:
+        """An impact: speed collapses to zero within one step."""
+        self.crashed = True
+        self.engine_on = False
+
+    def clear_emergency(self) -> None:
+        """Rescue completed / system reset after a crash."""
+        self.crashed = False
+        self.accel_ms2 = 0.0
+
+    def set_driver_present(self, present: bool) -> None:
+        self.driver_present = present
+
+    # -- integration --------------------------------------------------------
+    def step(self, dt_s: float) -> None:
+        """Advance the model by *dt_s* seconds."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        self.elapsed_s += dt_s
+        old_speed_ms = self.speed_kmh / KMH_PER_MS
+        if self.crashed and self.speed_kmh > 0:
+            # Impact: full stop this step; accel is the impact pulse.
+            new_speed_ms = 0.0
+        else:
+            new_speed_ms = max(0.0,
+                               old_speed_ms + self.commanded_accel_ms2 * dt_s)
+            if not self.engine_on:
+                # Rolling drag when coasting with the engine off.
+                new_speed_ms = max(0.0, new_speed_ms - 0.5 * dt_s)
+        self.accel_ms2 = (new_speed_ms - old_speed_ms) / dt_s
+        self.position_km += (old_speed_ms + new_speed_ms) / 2 * dt_s / 1000.0
+        self.speed_kmh = new_speed_ms * KMH_PER_MS
+
+    @property
+    def is_moving(self) -> bool:
+        return self.speed_kmh > 0.5
+
+    @property
+    def is_parked(self) -> bool:
+        return not self.is_moving and not self.engine_on
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"VehicleDynamics(speed={self.speed_kmh:.1f}km/h, "
+                f"engine={'on' if self.engine_on else 'off'}, "
+                f"crashed={self.crashed})")

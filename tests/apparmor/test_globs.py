@@ -1,0 +1,136 @@
+"""Tests for AppArmor glob matching, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apparmor.globs import (GlobError, compile_glob, glob_match,
+                                  literal_prefix_len)
+
+
+class TestBasicGlobs:
+    def test_literal(self):
+        assert glob_match("/etc/passwd", "/etc/passwd")
+        assert not glob_match("/etc/passwd", "/etc/shadow")
+
+    def test_star_within_segment(self):
+        assert glob_match("/dev/car/*", "/dev/car/door")
+        assert not glob_match("/dev/car/*", "/dev/car/a/b")
+
+    def test_star_partial_segment(self):
+        assert glob_match("/tmp/man.*", "/tmp/man.1234")
+        assert not glob_match("/tmp/man.*", "/tmp/woman.1")
+
+    def test_doublestar_crosses_segments(self):
+        assert glob_match("/dev/car/**", "/dev/car/door")
+        assert glob_match("/dev/car/**", "/dev/car/a/b/c")
+        assert not glob_match("/dev/car/**", "/dev/other")
+
+    def test_doublestar_requires_something(self):
+        # /dev/car/** does not match /dev/car itself (trailing component
+        # required) but ** mid-pattern can match empty.
+        assert not glob_match("/dev/car/**", "/dev/ca")
+
+    def test_question_mark(self):
+        assert glob_match("/dev/tty?", "/dev/tty1")
+        assert not glob_match("/dev/tty?", "/dev/tty10")
+        assert not glob_match("/dev/tty?", "/dev/tty/")
+
+    def test_char_class(self):
+        assert glob_match("/dev/sd[ab]", "/dev/sda")
+        assert glob_match("/dev/sd[ab]", "/dev/sdb")
+        assert not glob_match("/dev/sd[ab]", "/dev/sdc")
+
+    def test_char_range(self):
+        assert glob_match("/dev/loop[0-9]", "/dev/loop7")
+        assert not glob_match("/dev/loop[0-9]", "/dev/loopx")
+
+    def test_negated_class(self):
+        assert glob_match("/x/[^a]", "/x/b")
+        assert not glob_match("/x/[^a]", "/x/a")
+
+    def test_alternation(self):
+        glob = "/var/{log,cache}/**"
+        assert glob_match(glob, "/var/log/app.log")
+        assert glob_match(glob, "/var/cache/man/index")
+        assert not glob_match(glob, "/var/lib/x")
+
+    def test_nested_alternation(self):
+        glob = "/a/{b,{c,d}}/e"
+        assert glob_match(glob, "/a/b/e")
+        assert glob_match(glob, "/a/c/e")
+        assert glob_match(glob, "/a/d/e")
+        assert not glob_match(glob, "/a/x/e")
+
+    def test_regex_metachars_are_literal(self):
+        assert glob_match("/a/b.c", "/a/b.c")
+        assert not glob_match("/a/b.c", "/a/bxc")
+        assert glob_match("/a/b+c", "/a/b+c")
+        assert not glob_match("/a/b+c", "/a/bbc")
+
+    def test_match_is_anchored(self):
+        assert not glob_match("/dev/car", "/dev/car/door")
+        assert not glob_match("car", "/dev/car")
+
+
+class TestGlobErrors:
+    def test_unterminated_class(self):
+        with pytest.raises(GlobError):
+            compile_glob("/a/[abc")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(GlobError):
+            compile_glob("/a/{b,c")
+
+
+class TestLiteralPrefix:
+    def test_no_wildcards(self):
+        assert literal_prefix_len("/usr/bin/app") == len("/usr/bin/app")
+
+    def test_star_cuts(self):
+        assert literal_prefix_len("/usr/*/app") == len("/usr/")
+
+    def test_leading_wildcard(self):
+        assert literal_prefix_len("**") == 0
+
+    def test_specificity_ordering(self):
+        attachments = ["/usr/**", "/usr/bin/*", "/usr/bin/media_app"]
+        ranked = sorted(attachments, key=literal_prefix_len)
+        assert ranked[-1] == "/usr/bin/media_app"
+
+
+# -- property tests --------------------------------------------------------
+
+segments = st.text(alphabet="abcde", min_size=1, max_size=5)
+paths = st.lists(segments, min_size=1, max_size=4).map(
+    lambda parts: "/" + "/".join(parts))
+
+
+class TestGlobProperties:
+    @given(paths)
+    def test_every_path_matches_itself(self, path):
+        assert glob_match(path, path)
+
+    @given(paths)
+    def test_doublestar_matches_everything_under_root(self, path):
+        assert glob_match("/**", path)
+
+    @given(paths)
+    def test_star_never_crosses_slash(self, path):
+        # "/*" must match exactly the single-segment paths.
+        single_segment = path.count("/") == 1
+        assert glob_match("/*", path) == single_segment
+
+    @given(paths, paths)
+    def test_alternation_is_union(self, a, b):
+        glob = "{" + a + "," + b + "}"
+        for probe in (a, b):
+            assert glob_match(glob, probe)
+
+    @given(paths)
+    def test_prefix_doublestar_extension(self, path):
+        assert glob_match(path + "/**", path + "/x")
+        assert glob_match(path + "/**", path + "/x/y/z")
+
+    @given(paths)
+    def test_compile_is_cached_and_stable(self, path):
+        assert compile_glob(path) is compile_glob(path)

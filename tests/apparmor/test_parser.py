@@ -1,0 +1,119 @@
+"""Tests for the AppArmor profile parser."""
+
+import pytest
+
+from repro.apparmor.parser import AppArmorParseError, parse_profiles
+from repro.apparmor.profile import ExecMode, FilePerm, ProfileMode
+
+
+GOOD = """
+# IVI media player
+profile media /usr/bin/media flags=(complain) {
+  /usr/lib/** rm,            # libraries
+  /var/media/** rw,
+  deny /dev/car/** w,
+  /usr/bin/helper px,
+  capability net_admin,
+  deny capability sys_admin,
+  network inet stream,
+  network unix,
+}
+
+/usr/bin/classic {
+  /etc/conf r,
+}
+"""
+
+
+class TestParseGood:
+    def setup_method(self):
+        self.profiles = parse_profiles(GOOD)
+
+    def test_two_profiles(self):
+        assert [p.name for p in self.profiles] == ["media",
+                                                   "/usr/bin/classic"]
+
+    def test_attachment_and_flags(self):
+        media = self.profiles[0]
+        assert media.attachment == "/usr/bin/media"
+        assert media.mode is ProfileMode.COMPLAIN
+
+    def test_classic_header_defaults(self):
+        classic = self.profiles[1]
+        assert classic.attachment == "/usr/bin/classic"
+        assert classic.mode is ProfileMode.ENFORCE
+
+    def test_file_rules(self):
+        media = self.profiles[0]
+        assert media.allows_file("/var/media/song.mp3",
+                                 FilePerm.READ | FilePerm.WRITE)
+        assert media.allows_file("/usr/lib/libx.so",
+                                 FilePerm.READ | FilePerm.MMAP)
+
+    def test_deny_rule(self):
+        media = self.profiles[0]
+        assert not media.allows_file("/dev/car/door", FilePerm.WRITE)
+
+    def test_exec_rule(self):
+        media = self.profiles[0]
+        assert media.exec_mode_for("/usr/bin/helper") is ExecMode.PROFILE
+
+    def test_capabilities(self):
+        media = self.profiles[0]
+        assert "net_admin" in media.capabilities
+        assert "sys_admin" in media.deny_capabilities
+
+    def test_network_rules(self):
+        media = self.profiles[0]
+        assert media.allows_network("inet", "stream")
+        assert media.allows_network("unix", "dgram")
+
+    def test_comments_stripped(self):
+        # no rule should reference the comment text
+        media = self.profiles[0]
+        assert all("libraries" not in r.glob for r in media.path_rules)
+
+
+class TestParseErrors:
+    def test_missing_comma(self):
+        with pytest.raises(AppArmorParseError) as exc:
+            parse_profiles("profile p {\n  /a r\n}")
+        assert "','" in str(exc.value)
+
+    def test_unterminated_profile(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("profile p {\n  /a r,\n")
+
+    def test_garbage_header(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("not a header\n")
+
+    def test_bad_permission_char(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("profile p {\n  /a rq,\n}")
+
+    def test_bad_capability_rule(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("profile p {\n  capability a b,\n}")
+
+    def test_bad_network_rule(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("profile p {\n  network a b c d,\n}")
+
+    def test_rule_without_leading_slash(self):
+        with pytest.raises(AppArmorParseError):
+            parse_profiles("profile p {\n  relative/path r,\n}")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AppArmorParseError) as exc:
+            parse_profiles("profile p {\n  /a r\n}")
+        assert exc.value.lineno == 2
+
+
+class TestDefaults:
+    def test_ubuntu_defaults_load(self):
+        from repro.apparmor import PolicyDb, load_ubuntu_defaults
+        db = PolicyDb()
+        count = load_ubuntu_defaults(db)
+        assert count >= 8
+        assert db.get("sbin.dhclient") is not None

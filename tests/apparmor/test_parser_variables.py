@@ -1,0 +1,80 @@
+"""Tests for AppArmor profile variables."""
+
+import pytest
+
+from repro.apparmor.parser import AppArmorParseError, parse_profiles
+from repro.apparmor.profile import FilePerm
+
+
+class TestVariables:
+    def test_single_value_substitution(self):
+        text = """
+@{HOME} = /home
+profile p /usr/bin/p {
+  @{HOME}/** r,
+}
+"""
+        profile = parse_profiles(text)[0]
+        assert profile.allows_file("/home/user/doc", FilePerm.READ)
+        assert not profile.allows_file("/etc/x", FilePerm.READ)
+
+    def test_multi_value_becomes_alternation(self):
+        text = """
+@{MEDIA} = /var/media /srv/media
+profile p /usr/bin/p {
+  @{MEDIA}/** rw,
+}
+"""
+        profile = parse_profiles(text)[0]
+        assert profile.allows_file("/var/media/a.mp3", FilePerm.WRITE)
+        assert profile.allows_file("/srv/media/b.mp3", FilePerm.WRITE)
+        assert not profile.allows_file("/opt/media/c.mp3", FilePerm.WRITE)
+
+    def test_plus_equals_appends(self):
+        text = """
+@{DIRS} = /a
+@{DIRS} += /b
+profile p /usr/bin/p {
+  @{DIRS}/** r,
+}
+"""
+        profile = parse_profiles(text)[0]
+        assert profile.allows_file("/a/x", FilePerm.READ)
+        assert profile.allows_file("/b/x", FilePerm.READ)
+
+    def test_nested_variables(self):
+        text = """
+@{ROOT} = /srv
+@{DATA} = @{ROOT}/data
+profile p /usr/bin/p {
+  @{DATA}/** r,
+}
+"""
+        profile = parse_profiles(text)[0]
+        assert profile.allows_file("/srv/data/x", FilePerm.READ)
+
+    def test_variable_in_attachment(self):
+        text = """
+@{BIN} = /usr/bin
+profile p @{BIN}/tool {
+  @{BIN}/tool rm,
+}
+"""
+        profile = parse_profiles(text)[0]
+        assert profile.attachment == "/usr/bin/tool"
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(AppArmorParseError) as exc:
+            parse_profiles("profile p /p {\n  @{NOPE}/x r,\n}")
+        assert "undefined variable" in str(exc.value)
+
+    def test_self_reference_rejected(self):
+        text = """
+@{LOOP} = @{LOOP}/x
+profile p /p {
+  @{LOOP} r,
+}
+"""
+        with pytest.raises(AppArmorParseError) as exc:
+            parse_profiles(text)
+        assert "too deep" in str(exc.value)

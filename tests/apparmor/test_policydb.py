@@ -1,0 +1,85 @@
+"""Tests for the live AppArmor policy store."""
+
+import pytest
+
+from repro.apparmor.policydb import PolicyDb
+from repro.apparmor.profile import FilePerm, PathRule, Profile
+
+
+@pytest.fixture
+def db():
+    return PolicyDb()
+
+
+class TestLoading:
+    def test_load_and_get(self, db):
+        db.load_profile(Profile("p", attachment="/usr/bin/p"))
+        assert db.get("p").name == "p"
+        assert db.get("missing") is None
+
+    def test_revision_bumps(self, db):
+        rev = db.revision
+        db.load_profile(Profile("p"))
+        assert db.revision == rev + 1
+
+    def test_load_text(self, db):
+        db.load_text("profile a /bin/a {\n  /etc/x r,\n}")
+        assert db.get("a") is not None
+
+    def test_replace_existing(self, db):
+        db.load_profile(Profile("p"))
+        replacement = Profile("p", path_rules=[PathRule("/x", FilePerm.READ)])
+        db.replace_profile(replacement)
+        assert db.get("p").rule_count() == 1
+        assert db.replace_count == 1
+
+    def test_replace_missing_raises(self, db):
+        with pytest.raises(KeyError):
+            db.replace_profile(Profile("ghost"))
+
+    def test_remove(self, db):
+        db.load_profile(Profile("p"))
+        db.remove_profile("p")
+        assert db.get("p") is None
+
+    def test_total_rules(self, db):
+        db.load_profile(Profile("a", path_rules=[
+            PathRule("/x", FilePerm.READ)]))
+        db.load_profile(Profile("b", capabilities={"chown"}))
+        assert db.total_rules() == 2
+
+
+class TestAttachment:
+    def test_exact_attachment(self, db):
+        db.load_profile(Profile("app", attachment="/usr/bin/app"))
+        assert db.attach_for_exe("/usr/bin/app").name == "app"
+        assert db.attach_for_exe("/usr/bin/other") is None
+
+    def test_glob_attachment(self, db):
+        db.load_profile(Profile("anybin", attachment="/usr/bin/*"))
+        assert db.attach_for_exe("/usr/bin/thing").name == "anybin"
+
+    def test_most_specific_wins(self, db):
+        db.load_profile(Profile("broad", attachment="/usr/**"))
+        db.load_profile(Profile("narrow", attachment="/usr/bin/app"))
+        assert db.attach_for_exe("/usr/bin/app").name == "narrow"
+        assert db.attach_for_exe("/usr/lib/lib.so").name == "broad"
+
+    def test_profile_without_attachment_never_attaches(self, db):
+        db.load_profile(Profile("hat"))
+        assert db.attach_for_exe("/usr/bin/hat") is None
+
+    def test_cache_invalidated_on_policy_change(self, db):
+        db.load_profile(Profile("a", attachment="/usr/bin/app"))
+        assert db.attach_for_exe("/usr/bin/app").name == "a"
+        db.load_profile(Profile("b", attachment="/usr/bin/*"))
+        db.remove_profile("a")
+        assert db.attach_for_exe("/usr/bin/app").name == "b"
+
+    def test_cache_returns_fresh_object_after_replace(self, db):
+        db.load_profile(Profile("a", attachment="/usr/bin/app"))
+        db.attach_for_exe("/usr/bin/app")
+        updated = Profile("a", attachment="/usr/bin/app",
+                          path_rules=[PathRule("/new", FilePerm.READ)])
+        db.replace_profile(updated)
+        assert db.attach_for_exe("/usr/bin/app").rule_count() == 1

@@ -1,0 +1,148 @@
+"""Tests for AppArmor profile semantics."""
+
+import pytest
+
+from repro.apparmor.profile import (ExecMode, FilePerm, NetworkRule,
+                                    PathRule, Profile, ProfileMode,
+                                    parse_perms, perms_to_string)
+
+
+class TestParsePerms:
+    def test_basic(self):
+        perms, exec_mode = parse_perms("rw")
+        assert perms == FilePerm.READ | FilePerm.WRITE
+        assert exec_mode is None
+
+    def test_mmap_and_lock(self):
+        perms, _ = parse_perms("rmk")
+        assert perms & FilePerm.MMAP
+        assert perms & FilePerm.LOCK
+
+    def test_exec_modes(self):
+        assert parse_perms("px")[1] is ExecMode.PROFILE
+        assert parse_perms("ux")[1] is ExecMode.UNCONFINED
+        assert parse_perms("ix")[1] is ExecMode.INHERIT
+        assert parse_perms("x")[1] is ExecMode.INHERIT
+
+    def test_rpx_combination(self):
+        perms, mode = parse_perms("rpx")
+        assert perms & FilePerm.READ
+        assert perms & FilePerm.EXEC
+        assert mode is ExecMode.PROFILE
+
+    def test_unknown_char_rejected(self):
+        with pytest.raises(ValueError):
+            parse_perms("rz")
+
+    def test_roundtrip(self):
+        perms, _ = parse_perms("rwm")
+        assert set(perms_to_string(perms)) == {"r", "w", "m"}
+
+
+class TestEffectivePerms:
+    def test_union_of_allows(self):
+        profile = Profile("p", path_rules=[
+            PathRule("/data/**", FilePerm.READ),
+            PathRule("/data/mine/**", FilePerm.WRITE),
+        ])
+        assert profile.effective_perms("/data/mine/f") == \
+            FilePerm.READ | FilePerm.WRITE
+        assert profile.effective_perms("/data/other") == FilePerm.READ
+
+    def test_deny_overrides_allow_regardless_of_order(self):
+        rules = [PathRule("/dev/**", FilePerm.WRITE),
+                 PathRule("/dev/car/**", FilePerm.WRITE, deny=True)]
+        for ordering in (rules, rules[::-1]):
+            profile = Profile("p", path_rules=ordering)
+            assert not profile.allows_file("/dev/car/door", FilePerm.WRITE)
+            assert profile.allows_file("/dev/null", FilePerm.WRITE)
+
+    def test_deny_subtracts_only_named_perms(self):
+        profile = Profile("p", path_rules=[
+            PathRule("/f", FilePerm.READ | FilePerm.WRITE),
+            PathRule("/f", FilePerm.WRITE, deny=True),
+        ])
+        assert profile.allows_file("/f", FilePerm.READ)
+        assert not profile.allows_file("/f", FilePerm.WRITE)
+
+    def test_unmatched_path_denied(self):
+        profile = Profile("p", path_rules=[PathRule("/a", FilePerm.READ)])
+        assert not profile.allows_file("/b", FilePerm.READ)
+
+    def test_empty_request_allowed(self):
+        profile = Profile("p")
+        assert profile.allows_file("/anything", FilePerm.NONE)
+
+
+class TestExecMode:
+    def test_exec_mode_for(self):
+        profile = Profile("p", path_rules=[
+            PathRule("/usr/bin/helper", FilePerm.EXEC,
+                     exec_mode=ExecMode.PROFILE),
+        ])
+        assert profile.exec_mode_for("/usr/bin/helper") is ExecMode.PROFILE
+        assert profile.exec_mode_for("/usr/bin/other") is None
+
+    def test_exec_denied_by_deny_rule(self):
+        profile = Profile("p", path_rules=[
+            PathRule("/bin/**", FilePerm.EXEC, exec_mode=ExecMode.INHERIT),
+            PathRule("/bin/su", FilePerm.EXEC, deny=True),
+        ])
+        assert profile.exec_mode_for("/bin/ls") is ExecMode.INHERIT
+        assert profile.exec_mode_for("/bin/su") is None
+
+
+class TestCapabilitiesAndNetwork:
+    def test_capability_allowed_when_listed(self):
+        profile = Profile("p", capabilities={"net_admin"})
+        assert profile.allows_capability("net_admin")
+        assert not profile.allows_capability("sys_admin")
+
+    def test_deny_capability_wins(self):
+        profile = Profile("p", capabilities={"net_admin"},
+                          deny_capabilities={"net_admin"})
+        assert not profile.allows_capability("net_admin")
+
+    def test_network_family_and_type(self):
+        profile = Profile("p", network_rules=[NetworkRule("inet", "stream")])
+        assert profile.allows_network("inet", "stream")
+        assert not profile.allows_network("inet", "dgram")
+        assert not profile.allows_network("unix", "stream")
+
+    def test_network_family_only_matches_any_type(self):
+        profile = Profile("p", network_rules=[NetworkRule("unix")])
+        assert profile.allows_network("unix", "stream")
+        assert profile.allows_network("unix", "dgram")
+
+    def test_network_deny(self):
+        profile = Profile("p", network_rules=[
+            NetworkRule("inet"), NetworkRule("inet", "dgram", deny=True)])
+        assert profile.allows_network("inet", "stream")
+        assert not profile.allows_network("inet", "dgram")
+
+
+class TestRuleEditing:
+    def test_origin_tagging_and_removal(self):
+        profile = Profile("p", path_rules=[
+            PathRule("/static", FilePerm.READ, origin="static")])
+        profile.add_rule(PathRule("/dyn1", FilePerm.WRITE, origin="sack"))
+        profile.add_rule(PathRule("/dyn2", FilePerm.WRITE, origin="sack"))
+        assert profile.rule_count() == 3
+        removed = profile.remove_rules_by_origin("sack")
+        assert removed == 2
+        assert profile.rule_count() == 1
+        assert profile.allows_file("/static", FilePerm.READ)
+
+    def test_clone_is_independent(self):
+        profile = Profile("p", path_rules=[PathRule("/a", FilePerm.READ)],
+                          capabilities={"chown"})
+        copy = profile.clone()
+        copy.add_rule(PathRule("/b", FilePerm.WRITE))
+        copy.capabilities.add("kill")
+        assert profile.rule_count() == 2  # 1 path + 1 capability
+        assert not profile.allows_file("/b", FilePerm.WRITE)
+        assert "kill" not in profile.capabilities
+
+    def test_clone_preserves_mode(self):
+        profile = Profile("p", mode=ProfileMode.COMPLAIN)
+        assert profile.clone().mode is ProfileMode.COMPLAIN

@@ -1,0 +1,91 @@
+"""Property-based tests over AppArmor profile semantics."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apparmor.profile import FilePerm, PathRule, Profile
+
+PATHS = ["/dev/car/door", "/dev/car/**", "/var/media/**",
+         "/var/media/a.mp3", "/etc/conf", "/**"]
+PERMS = [FilePerm.READ, FilePerm.WRITE, FilePerm.READ | FilePerm.WRITE,
+         FilePerm.MMAP]
+PROBE_PATHS = ["/dev/car/door", "/dev/car/x/y", "/var/media/a.mp3",
+               "/etc/conf", "/unrelated"]
+PROBE_PERMS = [FilePerm.READ, FilePerm.WRITE]
+
+
+@st.composite
+def path_rules(draw):
+    return PathRule(draw(st.sampled_from(PATHS)),
+                    draw(st.sampled_from(PERMS)),
+                    deny=draw(st.booleans()))
+
+
+def profile_decisions(profile):
+    return tuple(profile.allows_file(path, perm)
+                 for path in PROBE_PATHS for perm in PROBE_PERMS)
+
+
+class TestProfileProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(path_rules(), max_size=8), st.randoms())
+    def test_decision_independent_of_rule_order(self, rules, rng):
+        """AppArmor semantics are set-based: shuffling rules must not
+        change any decision."""
+        original = Profile("p", path_rules=list(rules))
+        shuffled_rules = list(rules)
+        rng.shuffle(shuffled_rules)
+        shuffled = Profile("p", path_rules=shuffled_rules)
+        assert profile_decisions(original) == profile_decisions(shuffled)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(path_rules(), max_size=8), path_rules())
+    def test_deny_rule_monotone(self, rules, extra):
+        before = Profile("p", path_rules=list(rules))
+        deny = PathRule(extra.glob, extra.perms, deny=True)
+        after = Profile("p", path_rules=list(rules) + [deny])
+        for was, now in zip(profile_decisions(before),
+                            profile_decisions(after)):
+            assert now <= was
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(path_rules(), max_size=8), path_rules())
+    def test_allow_rule_monotone(self, rules, extra):
+        before = Profile("p", path_rules=list(rules))
+        allow = PathRule(extra.glob, extra.perms, deny=False)
+        after = Profile("p", path_rules=list(rules) + [allow])
+        for was, now in zip(profile_decisions(before),
+                            profile_decisions(after)):
+            assert was <= now
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(path_rules(), max_size=8))
+    def test_effective_perms_consistent_with_allows(self, rules):
+        profile = Profile("p", path_rules=list(rules))
+        for path in PROBE_PATHS:
+            effective = profile.effective_perms(path)
+            for perm in PROBE_PERMS:
+                assert profile.allows_file(path, perm) == \
+                    ((effective & perm) == perm)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(path_rules(), max_size=8))
+    def test_clone_preserves_decisions(self, rules):
+        profile = Profile("p", path_rules=list(rules))
+        assert profile_decisions(profile) == \
+            profile_decisions(profile.clone())
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(path_rules(), max_size=6),
+           st.lists(path_rules(), max_size=4))
+    def test_origin_retraction_restores_decisions(self, static, dynamic):
+        """Injecting tagged rules and retracting them is a no-op — the
+        invariant the SACK bridge's correctness rests on."""
+        profile = Profile("p", path_rules=list(static))
+        before = profile_decisions(profile)
+        for rule in dynamic:
+            profile.add_rule(PathRule(rule.glob, rule.perms,
+                                      deny=rule.deny, origin="sack"))
+        profile.remove_rules_by_origin("sack")
+        assert profile_decisions(profile) == before

@@ -1,0 +1,119 @@
+"""Tests for the benchmark harness (tiny scales — mechanics, not numbers)."""
+
+import pytest
+
+from repro.bench.harness import (CONFIG_APPARMOR, CONFIG_NO_LSM,
+                                 CONFIG_SACK_APPARMOR,
+                                 CONFIG_SACK_INDEPENDENT,
+                                 build_rule_count_world,
+                                 build_state_count_world, build_world,
+                                 make_synthetic_policy, run_event_latency,
+                                 run_frequency_sweep, run_hook_census,
+                                 run_lmbench, run_rule_sweep,
+                                 run_state_sweep,
+                                 run_transition_cost_ablation,
+                                 run_transport_ablation)
+from repro.bench.lmbench import FILE_OP_BENCHES
+from repro.sack.policy.checker import check_policy, has_errors
+
+
+class TestBuildWorld:
+    def test_no_lsm(self):
+        world = build_world(CONFIG_NO_LSM)
+        assert world.sack is None and world.apparmor is None
+
+    def test_apparmor(self):
+        world = build_world(CONFIG_APPARMOR)
+        assert world.apparmor is not None
+        assert len(world.apparmor.policy) > 8  # ubuntu + ivi profiles
+
+    def test_sack_independent_policy_loaded(self):
+        world = build_world(CONFIG_SACK_INDEPENDENT)
+        assert world.sack.current_state == "parking_with_driver"
+
+    def test_sack_apparmor_bridge_wired(self):
+        world = build_world(CONFIG_SACK_APPARMOR)
+        assert world.bridge.current_state == "parking_with_driver"
+        assert world.bridge.apparmor is world.apparmor
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_world("bogus")
+
+
+class TestSyntheticPolicy:
+    def test_requested_rule_count(self):
+        policy = make_synthetic_policy(50, n_states=4)
+        assert policy.rule_count() == 50
+        assert len(policy.states) == 4
+
+    def test_policy_is_clean(self):
+        diags = check_policy(make_synthetic_policy(20))
+        assert not has_errors(diags)
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_policy(10, n_states=0)
+
+    def test_rule_count_world(self):
+        world = build_rule_count_world(30)
+        assert world.bridge.policy.rule_count() == 30
+
+    def test_rule_count_zero_is_plain_apparmor(self):
+        world = build_rule_count_world(0)
+        assert world.bridge is None and world.apparmor is not None
+
+    def test_state_count_world(self):
+        world = build_state_count_world(7)
+        assert len(world.sack.ape.compiled.rulesets) == 7
+
+
+class TestSweepMechanics:
+    def test_run_lmbench_shape(self):
+        results = run_lmbench(configs=[CONFIG_APPARMOR,
+                                       CONFIG_SACK_INDEPENDENT],
+                              benches=["syscall", "stat"],
+                              scale=0.01, repetitions=2)
+        assert set(results) == {CONFIG_APPARMOR, CONFIG_SACK_INDEPENDENT}
+        assert set(results[CONFIG_APPARMOR]) == {"syscall", "stat"}
+
+    def test_rule_sweep_shape(self):
+        sweep = run_rule_sweep(rule_counts=(0, 10), benches=["stat"],
+                               repetitions=1, scale=0.01)
+        assert set(sweep) == {0, 10}
+
+    def test_state_sweep_includes_baseline(self):
+        sweep = run_state_sweep(state_counts=(2,), scale=0.01,
+                                repetitions=1)
+        assert "baseline" in sweep and 2 in sweep
+        assert set(sweep[2]) == set(FILE_OP_BENCHES)
+
+    def test_frequency_sweep_transitions_happen(self):
+        results = run_frequency_sweep(periods_ms=(1,), accesses=500)
+        assert results[1]["transitions"] > 0
+        assert results["baseline"]["transitions"] == 0
+
+    def test_event_latency_full_accuracy(self):
+        out = run_event_latency(samples_per_event=5)
+        assert len(out) == 4
+        for metrics in out.values():
+            assert metrics["accuracy_pct"] == 100.0
+            assert metrics["mean_us"] > 0
+
+    def test_transport_ablation_keys(self):
+        out = run_transport_ablation(samples=20)
+        assert set(out) == {"sackfs_us", "af_unix_relay_us", "tcp_relay_us"}
+        assert all(v > 0 for v in out.values())
+
+    def test_transition_cost_ablation(self):
+        out = run_transition_cost_ablation(rule_counts=(10,), transitions=10)
+        assert out[10]["independent_us"] > 0
+        assert out[10]["bridge_us"] > 0
+
+    def test_hook_census_counts(self):
+        census = run_hook_census(configs=[CONFIG_APPARMOR,
+                                          CONFIG_SACK_INDEPENDENT],
+                                 benches=["stat"], scale=0.01)
+        assert census[CONFIG_SACK_INDEPENDENT]["sack_hook_calls"] > 0
+        assert census[CONFIG_APPARMOR]["sack_hook_calls"] == 0
+        assert census[CONFIG_APPARMOR]["syscalls"] > 0

@@ -1,0 +1,65 @@
+"""Tests for the LMBench-style suite (tiny scale, sanity of mechanics)."""
+
+import pytest
+
+from repro.bench.lmbench import (BenchResult, FILE_OP_BENCHES, LmbenchSuite,
+                                 TABLE2_BENCHES)
+from repro.kernel import Kernel
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return LmbenchSuite(Kernel(), scale=0.01)
+
+
+class TestIndividualBenches:
+    @pytest.mark.parametrize("name", TABLE2_BENCHES)
+    def test_bench_returns_sane_result(self, suite, name):
+        result = getattr(suite, f"bench_{name}")()
+        assert isinstance(result, BenchResult)
+        assert result.value > 0
+        assert result.name == name
+        if name.endswith("_bw"):
+            assert result.unit == "MB/s"
+            assert not result.smaller_is_better
+        else:
+            assert result.unit == "ns/op"
+            assert result.smaller_is_better
+
+    def test_io_bench(self, suite):
+        result = suite.bench_io()
+        assert result.value > 0
+
+    def test_benches_are_repeatable(self, suite):
+        # Running twice must not error (files cleaned up, fds closed).
+        suite.bench_file_create_0k()
+        suite.bench_file_create_0k()
+        suite.bench_af_unix_bw()
+        suite.bench_af_unix_bw()
+
+
+class TestSuiteMechanics:
+    def test_run_full_table2_set(self, suite):
+        results = suite.run()
+        assert set(results) == set(TABLE2_BENCHES)
+
+    def test_run_subset(self, suite):
+        results = suite.run(FILE_OP_BENCHES)
+        assert set(results) == set(FILE_OP_BENCHES)
+
+    def test_no_fd_leaks(self, suite):
+        suite.run(FILE_OP_BENCHES)
+        assert len(suite.task.fds) == 0
+
+    def test_no_task_leaks(self):
+        kernel = Kernel()
+        suite = LmbenchSuite(kernel, scale=0.01)
+        before = kernel.procs.alive_count()
+        suite.bench_fork()
+        suite.bench_exec()
+        suite.bench_ctxsw_2p_0k()
+        assert kernel.procs.alive_count() == before
+
+    def test_ms_per_op_conversion(self):
+        result = BenchResult("x", 2_000_000, "ns/op", 1, True)
+        assert result.ms_per_op == 2.0

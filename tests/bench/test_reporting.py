@@ -1,0 +1,72 @@
+"""Tests for paper-style table rendering."""
+
+from repro.bench.lmbench import BenchResult
+from repro.bench.reporting import (format_delta, format_value,
+                                   mean_abs_overhead_pct,
+                                   render_comparison_table,
+                                   render_sweep_table)
+
+
+def res(name, value, unit="ns/op", smaller=True):
+    return BenchResult(name, value, unit, 100, smaller)
+
+
+class TestFormatDelta:
+    def test_slower_latency_is_down_arrow(self):
+        assert format_delta(100, 103, smaller_is_better=True) == "(v3.00%)"
+
+    def test_faster_latency_is_up_arrow(self):
+        assert format_delta(100, 97, smaller_is_better=True) == "(^3.00%)"
+
+    def test_higher_bandwidth_is_up_arrow(self):
+        assert format_delta(100, 110, smaller_is_better=False) == \
+            "(^10.00%)"
+
+    def test_lower_bandwidth_is_down_arrow(self):
+        assert format_delta(100, 90, smaller_is_better=False) == "(v10.00%)"
+
+    def test_tiny_delta_is_equal(self):
+        assert format_delta(100, 100.001, smaller_is_better=True) == "(=)"
+
+
+class TestFormatValue:
+    def test_ns(self):
+        assert "ns" in format_value(res("x", 250))
+
+    def test_us(self):
+        assert "us" in format_value(res("x", 12_000))
+
+    def test_ms(self):
+        assert "ms" in format_value(res("x", 3_000_000))
+
+    def test_bandwidth(self):
+        assert "MB/s" in format_value(res("x", 1234, unit="MB/s",
+                                          smaller=False))
+
+
+class TestTables:
+    def _results(self):
+        return {
+            "base": {"syscall": res("syscall", 100),
+                     "pipe_bw": res("pipe_bw", 1000, "MB/s", False)},
+            "sack": {"syscall": res("syscall", 102),
+                     "pipe_bw": res("pipe_bw", 990, "MB/s", False)},
+        }
+
+    def test_comparison_table_renders(self):
+        table = render_comparison_table(self._results(), "base", "Table II")
+        assert "Table II" in table
+        assert "syscall" in table
+        assert "(v2.00%)" in table
+        assert "baseline" in table
+
+    def test_sweep_table_renders(self):
+        sweep = {0: {"stat": res("stat", 100)},
+                 10: {"stat": res("stat", 101)}}
+        table = render_sweep_table(sweep, 0, "Table III")
+        assert "Table III" in table
+        assert "(v1.00%)" in table
+
+    def test_mean_abs_overhead(self):
+        value = mean_abs_overhead_pct(self._results(), "base", "sack")
+        assert value == (2.0 + 1.0) / 2

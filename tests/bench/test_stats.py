@@ -1,0 +1,50 @@
+"""Tests for benchmark statistics helpers."""
+
+import pytest
+
+from repro.bench.lmbench import BenchResult
+from repro.bench.stats import (mean, mean_results, median, median_results,
+                               pct_delta, stdev)
+
+
+class TestScalars:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_stdev(self):
+        assert stdev([2, 2, 2]) == 0
+        assert stdev([1, 3]) == pytest.approx(1.4142, rel=1e-3)
+        assert stdev([5]) == 0
+
+    def test_pct_delta(self):
+        assert pct_delta(100, 103) == pytest.approx(3.0)
+        assert pct_delta(100, 97) == pytest.approx(-3.0)
+        assert pct_delta(0, 50) == 0.0
+
+
+class TestResultMerging:
+    def _runs(self):
+        def res(v):
+            return {"b": BenchResult("b", v, "ns/op", 10, True)}
+        return [res(10.0), res(20.0), res(90.0)]
+
+    def test_mean_results(self):
+        merged = mean_results(self._runs())
+        assert merged["b"].value == pytest.approx(40.0)
+        assert merged["b"].unit == "ns/op"
+
+    def test_median_results_robust_to_outlier(self):
+        merged = median_results(self._runs())
+        assert merged["b"].value == 20.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_results([])

@@ -1,0 +1,17 @@
+"""Shared fixtures for the SACK reproduction test suite."""
+
+import pytest
+
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    """A bare kernel with no security modules."""
+    return Kernel()
+
+
+@pytest.fixture
+def init(kernel):
+    """The init task of the bare kernel."""
+    return kernel.procs.init

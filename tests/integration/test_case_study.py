@@ -1,0 +1,71 @@
+"""E6 — the paper's case study (§IV-C-1, Fig. 4).
+
+"Allow unlock car door only in emergencies": in the normal situation,
+ioctl and write on the window and door devices are denied; after a crash
+event the rescue daemon can open doors and windows; the rights disappear
+when the emergency clears.  Run against both prototypes.
+"""
+
+import pytest
+
+from repro.kernel import KernelError
+from repro.vehicle import (DOOR_UNLOCK, EnforcementConfig, WINDOW_SET,
+                           build_ivi_world)
+
+PROTOTYPES = [EnforcementConfig.SACK_INDEPENDENT,
+              EnforcementConfig.SACK_APPARMOR]
+
+
+@pytest.mark.parametrize("config", PROTOTYPES)
+class TestCaseStudy:
+    def test_full_scenario(self, config):
+        world = build_ivi_world(config)
+
+        # Phase 1: normal situation — the sensitive permission must not
+        # be grantable (POLP): even the rescue daemon is denied.
+        assert world.situation == "parking_with_driver"
+        with pytest.raises(KernelError):
+            world.device_ioctl("rescue_daemon", "door", DOOR_UNLOCK)
+        with pytest.raises(KernelError):
+            world.device_ioctl("rescue_daemon", "window", WINDOW_SET, 100)
+        assert world.devices["door"].all_locked
+
+        # Phase 2: driving, still locked down.
+        world.drive_to_speed(60)
+        assert world.situation == "driving"
+        with pytest.raises(KernelError):
+            world.device_ioctl("rescue_daemon", "door", DOOR_UNLOCK)
+
+        # Phase 3: crash -> emergency; OAC "break the glass".
+        world.trigger_crash()
+        assert world.situation == "emergency"
+        world.rescue_unlock_doors()
+        assert not world.devices["door"].all_locked
+        assert world.devices["window"].position == 100
+
+        # Phase 4: other apps still cannot touch the doors.
+        with pytest.raises(KernelError):
+            world.device_ioctl("media_app", "door", DOOR_UNLOCK)
+
+        # Phase 5: emergency cleared -> rights revoked again.
+        world.clear_emergency()
+        assert world.situation == "parking_with_driver"
+        with pytest.raises(KernelError):
+            world.device_ioctl("rescue_daemon", "door", DOOR_UNLOCK)
+
+    def test_event_travels_through_sackfs(self, config):
+        """The crash event must arrive via the securityfs write path."""
+        world = build_ivi_world(config)
+        sackfs = world.sackfs
+        before = sackfs.events_accepted
+        world.trigger_crash()
+        assert sackfs.events_accepted > before
+
+    def test_door_state_visible_on_can_bus(self, config):
+        from repro.vehicle.can import CAN_ID_DOOR
+        world = build_ivi_world(config)
+        world.trigger_crash()
+        world.rescue_unlock_doors()
+        frame = world.bus.last_frame(CAN_ID_DOOR)
+        assert frame is not None
+        assert frame.data[0] == 0x00  # unlocked

@@ -1,0 +1,127 @@
+"""Full-pipeline integration: sensors -> detectors -> SDS -> SACKfs ->
+SSM -> APE -> enforcement, in one world."""
+
+import pytest
+
+from repro.kernel import KernelError
+from repro.vehicle import EnforcementConfig, build_ivi_world
+
+
+class TestPipeline:
+    @pytest.fixture
+    def world(self):
+        return build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+
+    def test_physical_change_alters_permissions(self, world):
+        """Speed change alone (physics -> sensors) flips access rights."""
+        # Parked: volume can be set via the deputy.
+        assert world.request_volume("media_app", 35) == 35
+        # Physics: accelerate.  No direct SSM manipulation anywhere.
+        world.drive_to_speed(70)
+        with pytest.raises(KernelError):
+            world.request_volume("media_app", 70)
+        # Physics: brake to a stop.
+        world.park()
+        assert world.request_volume("media_app", 50) == 50
+
+    def test_event_counts_consistent(self, world):
+        world.drive_to_speed(70)
+        world.park()
+        world.trigger_crash()
+        world.clear_emergency()
+        ssm = world.sack.ssm
+        sackfs = world.sackfs
+        assert sackfs.events_accepted == ssm.events_processed
+        assert ssm.transition_count >= 4
+        assert world.sds.stats.events_sent == sackfs.events_accepted
+
+    def test_remap_count_matches_transitions(self, world):
+        world.drive_to_speed(70)
+        world.trigger_crash()
+        world.clear_emergency()
+        assert world.sack.ape.remap_count == \
+            world.sack.ssm.transition_count
+
+    def test_sds_latency_stats_populated(self, world):
+        world.drive_to_speed(30)
+        world.park()
+        stats = world.sds.stats.summary()
+        assert stats["events_sent"] >= 2
+        assert stats["mean_send_latency_us"] > 0
+
+    def test_history_tells_the_story(self, world):
+        world.drive_to_speed(60)
+        world.trigger_crash()
+        states = [t.to_state for t in world.sack.ssm.history]
+        assert states[0] == "driving"
+        assert states[-1] == "emergency"
+
+    def test_stats_file_reflects_pipeline(self, world):
+        world.drive_to_speed(60)
+        data = world.kernel.read_file(
+            world.kernel.procs.init,
+            "/sys/kernel/security/SACK/stats").decode()
+        assert "ape_state driving" in data
+
+
+class TestCrossPrototypeEquivalence:
+    """Both prototypes must make the same decisions on the scenario
+    matrix — same policy, different enforcement mechanism."""
+
+    SCENARIOS = [
+        # (app, device, attr of devices module, situation setup)
+        ("rescue_daemon", "door", "DOOR_UNLOCK", "parked"),
+        ("rescue_daemon", "door", "DOOR_UNLOCK", "driving"),
+        ("rescue_daemon", "door", "DOOR_UNLOCK", "emergency"),
+        ("media_app", "door", "DOOR_UNLOCK", "emergency"),
+        ("volume_service", "audio", "VOLUME_SET", "parked"),
+        ("volume_service", "audio", "VOLUME_SET", "driving"),
+        ("media_app", "audio", "VOLUME_SET", "parked"),
+        ("nav_app", "audio", "VOLUME_GET", "driving"),
+        ("media_app", "audio", "VOLUME_GET", "parked"),
+        ("ignition_service", "engine", "ENGINE_START", "parked"),
+        ("ignition_service", "engine", "ENGINE_START", "driving"),
+    ]
+
+    def _decide(self, config, app, device, cmd_name, situation):
+        from repro.vehicle import devices as dev_mod
+        world = build_ivi_world(config)
+        if situation == "driving":
+            world.drive_to_speed(60)
+        elif situation == "emergency":
+            world.trigger_crash()
+        cmd = getattr(dev_mod, cmd_name)
+        arg = 30 if cmd_name == "VOLUME_SET" else 0
+        try:
+            world.device_ioctl(app, device, cmd, arg)
+            return "allow"
+        except KernelError:
+            return "deny"
+
+    def test_prototypes_agree_on_all_scenarios(self):
+        disagreements = []
+        for scenario in self.SCENARIOS:
+            independent = self._decide(
+                EnforcementConfig.SACK_INDEPENDENT, *scenario)
+            bridged = self._decide(
+                EnforcementConfig.SACK_APPARMOR, *scenario)
+            if independent != bridged:
+                disagreements.append((scenario, independent, bridged))
+        assert not disagreements
+
+    def test_expected_decisions_independent(self):
+        expected = {
+            ("rescue_daemon", "door", "DOOR_UNLOCK", "parked"): "deny",
+            ("rescue_daemon", "door", "DOOR_UNLOCK", "emergency"): "allow",
+            ("media_app", "door", "DOOR_UNLOCK", "emergency"): "deny",
+            ("volume_service", "audio", "VOLUME_SET", "parked"): "allow",
+            ("volume_service", "audio", "VOLUME_SET", "driving"): "deny",
+            ("media_app", "audio", "VOLUME_GET", "parked"): "allow",
+            ("ignition_service", "engine", "ENGINE_START",
+             "parked"): "allow",
+            ("ignition_service", "engine", "ENGINE_START",
+             "driving"): "deny",
+        }
+        for scenario, verdict in expected.items():
+            assert self._decide(EnforcementConfig.SACK_INDEPENDENT,
+                                *scenario) == verdict, scenario

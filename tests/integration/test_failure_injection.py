@@ -1,0 +1,145 @@
+"""Failure injection: the pipeline must degrade safely, never open up.
+
+The security property under test is *fail-closed*: whatever goes wrong —
+unauthorised writers, malformed events, policy reloads, missing policy —
+the guarded resources stay denied unless a live policy explicitly allows
+them.
+"""
+
+import pytest
+
+from repro.kernel import Errno, KernelError, user_credentials
+from repro.lsm import boot_kernel
+from repro.sack import SackFs, SackLsm, parse_policy
+from repro.sds import SituationDetectionService
+from repro.vehicle import EnforcementConfig, build_ivi_world
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+from repro.vehicle.devices import IOCTL_SYMBOLS
+
+
+class TestEventChannelFailures:
+    def test_event_write_without_policy_is_enodata(self):
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        SackFs(kernel, sack, authorized_event_uids={990})
+        task = kernel.sys_fork(kernel.procs.init)
+        task.cred = user_credentials(990)
+        with pytest.raises(KernelError) as exc:
+            kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                              b"crash_detected\n", create=False)
+        assert exc.value.errno is Errno.ENODATA
+
+    def test_sds_survives_transient_rejection(self):
+        """A failing send is counted, and later sends still work."""
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        sds = world.sds
+        good_task = sds.task
+        bad_task = world.kernel.sys_fork(world.kernel.procs.init)
+        bad_task.cred = user_credentials(4242)  # not authorised
+        sds.task = bad_task
+        assert not sds.send_event("vehicle_started")
+        assert sds.stats.events_failed == 1
+        sds.task = good_task
+        assert sds.send_event("vehicle_started")
+        assert world.situation == "driving"
+
+    def test_malformed_batch_rejected_atomically_enough(self):
+        """A malformed line poisons its whole write (parse-then-apply),
+        and the rejection is visible in the stats."""
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT,
+                                with_sds=False)
+        kernel = world.kernel
+        with pytest.raises(KernelError):
+            kernel.write_file(kernel.procs.init,
+                              "/sys/kernel/security/SACK/events",
+                              b"vehicle_started\nbad/line\n",
+                              create=False)
+        # Parse happens before apply: no partial transition occurred.
+        assert world.situation == "parking_with_driver"
+        assert world.sackfs.events_rejected == 1
+
+    def test_forged_event_cannot_break_the_glass(self):
+        """The classic attack on situation-aware systems: fake the
+        emergency, then use the emergency permissions.  The event-channel
+        authorisation must stop step one."""
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        attacker = world.task("media_app")
+        with pytest.raises(KernelError):
+            world.kernel.write_file(attacker,
+                                    "/sys/kernel/security/SACK/events",
+                                    b"crash_detected\n", create=False)
+        with pytest.raises(KernelError):
+            world.rescue_unlock_doors()  # still in normal state: denied
+
+
+class TestPolicyReloadFailures:
+    def test_bad_reload_keeps_old_policy(self):
+        """A rejected policy write must leave the old policy enforcing."""
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        kernel = world.kernel
+        with pytest.raises(KernelError):
+            kernel.write_file(kernel.procs.init,
+                              "/sys/kernel/security/SACK/policy",
+                              b"states { broken", create=False)
+        # Old policy still live: guarded door still denied.
+        with pytest.raises(KernelError):
+            world.rescue_unlock_doors()
+        assert world.situation == "parking_with_driver"
+
+    def test_reload_resets_to_initial_state(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        world.trigger_crash()
+        assert world.situation == "emergency"
+        world.kernel.write_file(world.kernel.procs.init,
+                                "/sys/kernel/security/SACK/policy",
+                                DEFAULT_SACK_POLICY.encode(),
+                                create=False)
+        assert world.situation == "parking_with_driver"
+        with pytest.raises(KernelError):
+            world.rescue_unlock_doors()
+
+    def test_semantic_errors_rejected_at_load(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        bad = DEFAULT_SACK_POLICY.replace("initial parking_with_driver",
+                                          "initial nowhere")
+        with pytest.raises(KernelError) as exc:
+            world.kernel.write_file(world.kernel.procs.init,
+                                    "/sys/kernel/security/SACK/policy",
+                                    bad.encode(), create=False)
+        assert exc.value.errno is Errno.EINVAL
+
+
+class TestSensorFailures:
+    def test_stuck_sensor_cannot_flood_the_kernel(self):
+        """Detectors are edge-triggered: a sensor stuck at 'crashed'
+        yields exactly one event, not one per poll."""
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        SackFs(kernel, sack, authorized_event_uids={990},
+               ioctl_symbols=IOCTL_SYMBOLS)
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/policy",
+                          DEFAULT_SACK_POLICY.encode(), create=False)
+        task = kernel.sys_fork(kernel.procs.init)
+        task.cred = user_credentials(990)
+        dynamics = VehicleDynamics()
+        dynamics.crash()
+        sds = SituationDetectionService(kernel, task, dynamics)
+        sds.run(50, step_dynamics=False)
+        assert sds.stats.events_sent == 1
+        assert sack.ssm.events_processed == 1
+
+    def test_dropped_detector_leaves_rest_working(self):
+        """An SDS deployed with a subset of detectors still delivers the
+        events its detectors produce."""
+        from repro.sds.detectors import CrashDetector
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        world.sds.detectors = [CrashDetector()]
+        world.dynamics.start_engine()
+        world.dynamics.accelerate(3.0)
+        world.run_sds(30)
+        # No driving detector: still parked as far as SACK knows.
+        assert world.situation == "parking_with_driver"
+        world.trigger_crash()
+        assert world.situation == "emergency"

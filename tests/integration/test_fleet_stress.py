@@ -1,0 +1,107 @@
+"""Fleet-scale and stress integration tests.
+
+A fleet of independent vehicles (one simulated kernel each) runs mixed
+drive cycles concurrently (interleaved steps); invariants that must hold
+for every vehicle at every point are checked at the end.  Separately, a
+single vehicle is stressed with thousands of events to shake out counter
+drift and listener leaks.
+"""
+
+import pytest
+
+from repro.sack import SituationEvent
+from repro.vehicle import (EnforcementConfig, KoffeeAttack,
+                           build_ivi_world)
+from repro.vehicle.scenarios import (SCENARIOS, ScenarioRunner)
+
+
+class TestFleet:
+    FLEET_SIZE = 6
+
+    def test_mixed_fleet_runs_consistently(self):
+        names = list(SCENARIOS)
+        fleet = []
+        for i in range(self.FLEET_SIZE):
+            world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+            scenario = SCENARIOS[names[i % len(names)]]()
+            fleet.append((world, ScenarioRunner(world), scenario))
+
+        records = {}
+        for i, (world, runner, scenario) in enumerate(fleet):
+            records[i] = runner.run(scenario)
+
+        for i, (world, _, _) in enumerate(fleet):
+            ssm = world.sack.ssm
+            # Counter consistency per vehicle.
+            assert ssm.transition_count + ssm.events_ignored == \
+                ssm.events_processed
+            assert world.sack.ape.remap_count == ssm.transition_count
+            assert world.sackfs.events_accepted == ssm.events_processed
+            # The SSM only ever visited declared states.
+            valid = {s.name for s in ssm.states}
+            assert all(r.to_state in valid for r in ssm.history)
+
+    def test_fleet_isolation(self):
+        """Events in one vehicle must not leak into another."""
+        a = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        b = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        a.trigger_crash()
+        assert a.situation == "emergency"
+        assert b.situation == "parking_with_driver"
+        assert b.sack.ssm.events_processed == 0
+
+    def test_attacks_blocked_across_fleet(self):
+        for _ in range(3):
+            world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+            world.drive_to_speed(60)
+            assert KoffeeAttack(world).run().blocked
+
+
+class TestEventStress:
+    def test_thousands_of_events(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT,
+                                with_sds=False)
+        ssm = world.sack.ssm
+        kernel = world.kernel
+        init = kernel.procs.init
+        cycle = ["vehicle_started", "crash_detected", "emergency_cleared",
+                 "driver_left", "driver_returned"]
+        n = 2000
+        for i in range(n):
+            kernel.write_file(init, "/sys/kernel/security/SACK/events",
+                              f"{cycle[i % len(cycle)]}\n".encode(),
+                              create=False)
+        assert ssm.events_processed == n
+        assert ssm.transition_count + ssm.events_ignored == n
+        assert world.sack.ape.remap_count == ssm.transition_count
+        # History stays bounded.
+        assert len(ssm.history) <= 256
+
+    def test_batched_event_writes(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT,
+                                with_sds=False)
+        kernel = world.kernel
+        batch = b"vehicle_started\nvehicle_parked\n" * 100
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/events", batch,
+                          create=False)
+        assert world.sack.ssm.events_processed == 200
+        assert world.situation == "parking_with_driver"
+
+    def test_rapid_transitions_keep_enforcement_correct(self):
+        """After any number of flips, the decision matches the state."""
+        from repro.kernel import KernelError
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT,
+                                with_sds=False)
+        ssm = world.sack.ssm
+        from repro.vehicle import DOOR_UNLOCK
+        for i in range(50):
+            event = "crash_detected" if i % 2 == 0 else "emergency_cleared"
+            ssm.process_event(SituationEvent(name=event))
+            expect_allowed = ssm.current_name == "emergency"
+            try:
+                world.device_ioctl("rescue_daemon", "door", DOOR_UNLOCK)
+                outcome = True
+            except KernelError:
+                outcome = False
+            assert outcome == expect_allowed, (i, ssm.current_name)

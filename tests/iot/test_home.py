@@ -1,0 +1,136 @@
+"""Tests for the smart-home generalisation of SACK."""
+
+import pytest
+
+from repro.iot import (CAM_STATUS, CAM_STREAM_START, LOCK_ENGAGE,
+                       LOCK_RELEASE, SIREN_ON, THERMO_GET, THERMO_SET,
+                       build_smart_home)
+from repro.kernel import KernelError
+
+
+@pytest.fixture
+def home():
+    return build_smart_home()
+
+
+class TestBoot:
+    def test_initial_situation(self, home):
+        assert home.situation == "home"
+
+    def test_devices_present(self, home):
+        listing = home.kernel.vfs.listdir("/dev/home")
+        assert set(listing) == {"front_lock", "camera", "thermostat",
+                                "siren"}
+
+    def test_apps_running(self, home):
+        assert set(home.tasks) == {"automation_app", "camera_service",
+                                   "guest_app", "responder_service",
+                                   "home_monitor"}
+
+
+class TestPrivacy:
+    def test_camera_stream_denied_while_home(self, home):
+        with pytest.raises(KernelError):
+            home.device_ioctl("camera_service", "camera",
+                              CAM_STREAM_START)
+        assert not home.devices["camera"].streaming
+
+    def test_camera_status_query_allowed(self, home):
+        assert home.device_ioctl("guest_app", "camera", CAM_STATUS) == 0
+
+    def test_camera_streams_when_away(self, home):
+        home.everyone_leaves()
+        assert home.situation == "away"
+        home.device_ioctl("camera_service", "camera", CAM_STREAM_START)
+        assert home.devices["camera"].streaming
+
+    def test_stream_only_for_camera_service(self, home):
+        home.everyone_leaves()
+        with pytest.raises(KernelError):
+            home.device_ioctl("guest_app", "camera", CAM_STREAM_START)
+
+    def test_returning_home_revokes_streaming_permission(self, home):
+        home.everyone_leaves()
+        home.device_ioctl("camera_service", "camera", CAM_STREAM_START)
+        home.everyone_returns()
+        with pytest.raises(KernelError):
+            home.device_ioctl("camera_service", "camera",
+                              CAM_STREAM_START)
+
+
+class TestLockAndClimate:
+    def test_automation_controls_lock_at_home(self, home):
+        home.device_ioctl("automation_app", "front_lock", LOCK_RELEASE)
+        assert not home.devices["front_lock"].engaged
+        home.device_ioctl("automation_app", "front_lock", LOCK_ENGAGE)
+        assert home.devices["front_lock"].engaged
+
+    def test_lock_control_revoked_when_away(self, home):
+        home.everyone_leaves()
+        with pytest.raises(KernelError):
+            home.device_ioctl("automation_app", "front_lock",
+                              LOCK_RELEASE)
+
+    def test_lock_control_revoked_at_night(self, home):
+        home.nightfall()
+        assert home.situation == "night"
+        with pytest.raises(KernelError):
+            home.device_ioctl("automation_app", "front_lock",
+                              LOCK_RELEASE)
+        home.morning()
+        home.device_ioctl("automation_app", "front_lock", LOCK_RELEASE)
+
+    def test_thermostat_set_by_automation_only(self, home):
+        assert home.device_ioctl("automation_app", "thermostat",
+                                 THERMO_SET, 23) == 23
+        with pytest.raises(KernelError):
+            home.device_ioctl("guest_app", "thermostat", THERMO_SET, 30)
+        assert home.device_ioctl("guest_app", "thermostat",
+                                 THERMO_GET) == 23
+
+
+class TestBreakIn:
+    def test_break_in_from_away(self, home):
+        home.everyone_leaves()
+        home.window_breaks()
+        assert home.situation == "break_in"
+
+    def test_break_in_impossible_while_home(self, home):
+        # Occupants present: the intrusion event does not match any rule.
+        home.window_breaks()
+        assert home.situation == "home"
+
+    def test_responder_gets_oac_permissions(self, home):
+        home.everyone_leaves()
+        home.window_breaks()
+        home.device_ioctl("responder_service", "siren", SIREN_ON)
+        assert home.devices["siren"].sounding
+        home.device_ioctl("responder_service", "front_lock", LOCK_RELEASE)
+        assert not home.devices["front_lock"].engaged
+
+    def test_responder_powerless_in_normal_states(self, home):
+        with pytest.raises(KernelError):
+            home.device_ioctl("responder_service", "siren", SIREN_ON)
+
+    def test_camera_streams_during_break_in(self, home):
+        home.nightfall()
+        home.window_breaks()
+        home.device_ioctl("camera_service", "camera", CAM_STREAM_START)
+        assert home.devices["camera"].streaming
+
+    def test_all_clear_restores_home(self, home):
+        home.everyone_leaves()
+        home.window_breaks()
+        home.all_clear()
+        assert home.situation == "home"
+        with pytest.raises(KernelError):
+            home.device_ioctl("responder_service", "siren", SIREN_ON)
+
+
+class TestEventAuthorization:
+    def test_guest_cannot_forge_events(self, home):
+        with pytest.raises(KernelError):
+            home.kernel.write_file(home.task("guest_app"),
+                                   "/sys/kernel/security/SACK/events",
+                                   b"occupants_left\n", create=False)
+        assert home.situation == "home"

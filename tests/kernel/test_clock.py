@@ -1,0 +1,54 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.kernel.clock import (NSEC_PER_MSEC, NSEC_PER_SEC, NSEC_PER_USEC,
+                                VirtualClock)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_ns=500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ns=-1)
+
+    def test_advance_ns(self):
+        clock = VirtualClock()
+        assert clock.advance_ns(100) == 100
+        assert clock.now_ns == 100
+
+    def test_advance_is_cumulative(self):
+        clock = VirtualClock()
+        clock.advance_ns(10)
+        clock.advance_ns(20)
+        assert clock.now_ns == 30
+
+    def test_time_cannot_go_backwards(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance_ns(-1)
+
+    def test_unit_conversions(self):
+        clock = VirtualClock()
+        clock.advance_s(1.5)
+        assert clock.now_ns == int(1.5 * NSEC_PER_SEC)
+        assert clock.now_ms == pytest.approx(1500.0)
+        assert clock.now_us == pytest.approx(1_500_000.0)
+        assert clock.now_s == pytest.approx(1.5)
+
+    def test_advance_us_and_ms(self):
+        clock = VirtualClock()
+        clock.advance_us(3)
+        assert clock.now_ns == 3 * NSEC_PER_USEC
+        clock.advance_ms(2)
+        assert clock.now_ns == 3 * NSEC_PER_USEC + 2 * NSEC_PER_MSEC
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock()
+        clock.advance_ns(0)
+        assert clock.now_ns == 0

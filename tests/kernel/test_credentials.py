@@ -1,0 +1,61 @@
+"""Tests for credentials and capabilities."""
+
+from repro.kernel.credentials import (Capability, Credentials, FULL_CAPS,
+                                      NO_CAPS, ROOT_CREDENTIALS,
+                                      user_credentials)
+
+
+class TestCredentials:
+    def test_root_has_all_caps(self):
+        for cap in Capability:
+            assert ROOT_CREDENTIALS.has_cap(cap)
+
+    def test_root_is_root(self):
+        assert ROOT_CREDENTIALS.is_root
+        assert ROOT_CREDENTIALS.uid == 0
+
+    def test_user_credentials_default_no_caps(self):
+        cred = user_credentials(1000)
+        assert cred.caps == NO_CAPS
+        assert cred.uid == 1000
+        assert cred.gid == 1000
+        assert not cred.is_root
+
+    def test_user_credentials_with_extra_caps(self):
+        cred = user_credentials(990, caps=[Capability.CAP_MAC_ADMIN])
+        assert cred.has_cap(Capability.CAP_MAC_ADMIN)
+        assert not cred.has_cap(Capability.CAP_SYS_ADMIN)
+
+    def test_with_uid_drops_caps_for_nonroot(self):
+        cred = ROOT_CREDENTIALS.with_uid(1000)
+        assert cred.caps == NO_CAPS
+        assert cred.euid == 1000
+
+    def test_with_uid_zero_keeps_caps(self):
+        cred = ROOT_CREDENTIALS.with_uid(0)
+        assert cred.caps == FULL_CAPS
+
+    def test_adding_caps_returns_new_object(self):
+        base = user_credentials(5)
+        extended = base.adding_caps(Capability.CAP_KILL)
+        assert not base.has_cap(Capability.CAP_KILL)
+        assert extended.has_cap(Capability.CAP_KILL)
+
+    def test_dropping_caps(self):
+        cred = ROOT_CREDENTIALS.dropping_caps(Capability.CAP_MAC_OVERRIDE)
+        assert not cred.has_cap(Capability.CAP_MAC_OVERRIDE)
+        assert cred.has_cap(Capability.CAP_MAC_ADMIN)
+
+    def test_with_caps_replaces_set(self):
+        cred = ROOT_CREDENTIALS.with_caps([Capability.CAP_CHOWN])
+        assert cred.caps == frozenset([Capability.CAP_CHOWN])
+
+    def test_immutability(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ROOT_CREDENTIALS.uid = 5
+
+    def test_gid_defaults_to_uid(self):
+        assert user_credentials(42).gid == 42
+        assert user_credentials(42, gid=7).gid == 7

@@ -1,0 +1,80 @@
+"""Tests for the dentry tree."""
+
+import pytest
+
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.vfs.dentry import Dentry
+from repro.kernel.vfs.inode import FileType, Inode
+
+
+def make_root():
+    return Dentry("", Inode(FileType.DIRECTORY))
+
+
+class TestDentry:
+    def test_root_path(self):
+        assert make_root().path() == "/"
+
+    def test_child_path(self):
+        root = make_root()
+        a = root.attach("a", Inode(FileType.DIRECTORY))
+        b = a.attach("b", Inode(FileType.REGULAR))
+        assert b.path() == "/a/b"
+
+    def test_lookup_found(self):
+        root = make_root()
+        child = root.attach("x", Inode(FileType.REGULAR))
+        assert root.lookup("x") is child
+
+    def test_lookup_missing_raises_enoent(self):
+        with pytest.raises(KernelError) as exc:
+            make_root().lookup("nope")
+        assert exc.value.errno is Errno.ENOENT
+
+    def test_attach_duplicate_raises_eexist(self):
+        root = make_root()
+        root.attach("x", Inode(FileType.REGULAR))
+        with pytest.raises(KernelError) as exc:
+            root.attach("x", Inode(FileType.REGULAR))
+        assert exc.value.errno is Errno.EEXIST
+
+    def test_attach_to_file_raises_enotdir(self):
+        root = make_root()
+        f = root.attach("f", Inode(FileType.REGULAR))
+        with pytest.raises(KernelError) as exc:
+            f.attach("child", Inode(FileType.REGULAR))
+        assert exc.value.errno is Errno.ENOTDIR
+
+    def test_attach_dir_bumps_parent_nlink(self):
+        root = make_root()
+        before = root.inode.nlink
+        root.attach("d", Inode(FileType.DIRECTORY))
+        assert root.inode.nlink == before + 1
+
+    def test_detach_dir_drops_parent_nlink(self):
+        root = make_root()
+        root.attach("d", Inode(FileType.DIRECTORY))
+        before = root.inode.nlink
+        root.detach("d")
+        assert root.inode.nlink == before - 1
+
+    def test_detach_returns_child(self):
+        root = make_root()
+        child = root.attach("x", Inode(FileType.REGULAR))
+        detached = root.detach("x")
+        assert detached is child
+        assert detached.parent is None
+        assert not root.has_child("x")
+
+    def test_detach_decrements_inode_nlink(self):
+        root = make_root()
+        inode = Inode(FileType.REGULAR)
+        root.attach("x", inode)
+        root.detach("x")
+        assert inode.nlink == 0
+
+    def test_iter_children(self):
+        root = make_root()
+        root.attach("a", Inode(FileType.REGULAR))
+        root.attach("b", Inode(FileType.REGULAR))
+        assert {d.name for d in root.iter_children()} == {"a", "b"}

@@ -1,0 +1,76 @@
+"""Tests for the char-device layer and ioctl direction encoding."""
+
+import pytest
+
+from repro.kernel.devices import (CharDevice, DeviceRegistry, IOC_READ,
+                                  IOC_WRITE, ioc_r, ioc_w, ioctl_direction,
+                                  ioctl_is_write)
+from repro.kernel.errors import Errno, KernelError
+
+
+class TestIoctlEncoding:
+    def test_read_direction(self):
+        cmd = ioc_r(0x42)
+        assert ioctl_direction(cmd) == IOC_READ
+        assert not ioctl_is_write(cmd)
+
+    def test_write_direction(self):
+        cmd = ioc_w(0x42)
+        assert ioctl_direction(cmd) == IOC_WRITE
+        assert ioctl_is_write(cmd)
+
+    def test_directionless_treated_as_write(self):
+        assert ioctl_is_write(0x42)
+
+    def test_nr_preserved(self):
+        assert ioc_r(0x99) & 0xFFFF == 0x99
+        assert ioc_w(0x99) & 0xFFFF == 0x99
+
+    def test_read_and_write_commands_differ(self):
+        assert ioc_r(0x10) != ioc_w(0x10)
+
+
+class TestCharDevice:
+    def test_default_ops_fail_sensibly(self):
+        dev = CharDevice("null0")
+        with pytest.raises(KernelError) as exc:
+            dev.read(None, None, 1)
+        assert exc.value.errno is Errno.EINVAL
+        with pytest.raises(KernelError) as exc:
+            dev.ioctl(None, None, 1, 0)
+        assert exc.value.errno is Errno.ENOTTY
+
+
+class TestDeviceRegistry:
+    def test_register_lookup(self):
+        reg = DeviceRegistry()
+        dev = CharDevice("d")
+        reg.register((240, 0), dev)
+        assert reg.lookup((240, 0)) is dev
+
+    def test_double_register_rejected(self):
+        reg = DeviceRegistry()
+        reg.register((240, 0), CharDevice("a"))
+        with pytest.raises(KernelError) as exc:
+            reg.register((240, 0), CharDevice("b"))
+        assert exc.value.errno is Errno.EBUSY
+
+    def test_lookup_missing_raises_enodev(self):
+        with pytest.raises(KernelError) as exc:
+            DeviceRegistry().lookup((1, 1))
+        assert exc.value.errno is Errno.ENODEV
+
+    def test_alloc_rdev_skips_taken(self):
+        reg = DeviceRegistry()
+        rdev1 = reg.alloc_rdev()
+        reg.register(rdev1, CharDevice("a"))
+        rdev2 = reg.alloc_rdev()
+        assert rdev1 != rdev2
+
+    def test_unregister(self):
+        reg = DeviceRegistry()
+        reg.register((240, 0), CharDevice("a"))
+        reg.unregister((240, 0))
+        with pytest.raises(KernelError):
+            reg.lookup((240, 0))
+        assert len(reg) == 0

@@ -1,0 +1,51 @@
+"""Tests for kernel error types."""
+
+import pytest
+
+from repro.kernel.errors import Errno, KernelError, require
+
+
+class TestErrno:
+    def test_values_match_linux(self):
+        assert Errno.EPERM == 1
+        assert Errno.ENOENT == 2
+        assert Errno.EACCES == 13
+        assert Errno.EEXIST == 17
+        assert Errno.EINVAL == 22
+        assert Errno.ENOTTY == 25
+        assert Errno.ECONNREFUSED == 111
+
+    def test_distinct_values(self):
+        values = [int(e) for e in Errno]
+        assert len(values) == len(set(values))
+
+
+class TestKernelError:
+    def test_carries_errno(self):
+        err = KernelError(Errno.EACCES, "denied")
+        assert err.errno is Errno.EACCES
+
+    def test_message_includes_errno_name(self):
+        err = KernelError(Errno.ENOENT, "/missing")
+        assert "ENOENT" in str(err)
+        assert "/missing" in str(err)
+
+    def test_int_conversion_is_negative_errno(self):
+        assert int(KernelError(Errno.EINVAL)) == -22
+
+    def test_message_defaults_to_errno_name(self):
+        assert "EPERM" in str(KernelError(Errno.EPERM))
+
+    def test_accepts_raw_int(self):
+        err = KernelError(13)
+        assert err.errno is Errno.EACCES
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, Errno.EINVAL)  # no raise
+
+    def test_raises_when_false(self):
+        with pytest.raises(KernelError) as exc:
+            require(False, Errno.EBUSY, "locked")
+        assert exc.value.errno is Errno.EBUSY

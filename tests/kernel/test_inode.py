@@ -1,0 +1,108 @@
+"""Tests for inodes."""
+
+import pytest
+
+from repro.kernel.errors import KernelError
+from repro.kernel.vfs.inode import FileType, Inode, PseudoFileOps
+
+
+class TestInodeBasics:
+    def test_unique_inode_numbers(self):
+        a = Inode(FileType.REGULAR)
+        b = Inode(FileType.REGULAR)
+        assert a.ino != b.ino
+
+    def test_mode_masked(self):
+        inode = Inode(FileType.REGULAR, mode=0o177777)
+        assert inode.mode == 0o7777
+
+    def test_directory_nlink_starts_at_two(self):
+        assert Inode(FileType.DIRECTORY).nlink == 2
+
+    def test_regular_nlink_starts_at_one(self):
+        assert Inode(FileType.REGULAR).nlink == 1
+
+    def test_type_predicates(self):
+        assert Inode(FileType.DIRECTORY).is_dir
+        assert Inode(FileType.REGULAR).is_regular
+        assert Inode(FileType.CHARDEV, rdev=(1, 2)).is_chardev
+        assert Inode(FileType.SYMLINK, symlink_target="/x").is_symlink
+
+    def test_security_blob_starts_empty(self):
+        assert Inode(FileType.REGULAR).security == {}
+
+
+class TestInodeData:
+    def test_write_then_read(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"hello")
+        assert inode.read_at(0, 5) == b"hello"
+        assert inode.size == 5
+
+    def test_read_past_end_truncates(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"ab")
+        assert inode.read_at(0, 100) == b"ab"
+
+    def test_sparse_write_zero_fills(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(4, b"x")
+        assert inode.read_at(0, 5) == b"\x00\x00\x00\x00x"
+
+    def test_overwrite_middle(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"abcdef")
+        inode.write_at(2, b"XY")
+        assert inode.read_at(0, 6) == b"abXYef"
+
+    def test_negative_offset_rejected(self):
+        inode = Inode(FileType.REGULAR)
+        with pytest.raises(KernelError):
+            inode.read_at(-1, 5)
+        with pytest.raises(KernelError):
+            inode.write_at(-1, b"x")
+
+    def test_truncate_shrinks(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"abcdef")
+        inode.truncate(2)
+        assert inode.read_at(0, 10) == b"ab"
+
+    def test_truncate_extends(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"ab")
+        inode.truncate(4)
+        assert inode.read_at(0, 10) == b"ab\x00\x00"
+
+    def test_directory_has_no_data(self):
+        inode = Inode(FileType.DIRECTORY)
+        with pytest.raises(KernelError):
+            inode.read_at(0, 1)
+
+
+class TestStat:
+    def test_stat_fields(self):
+        inode = Inode(FileType.REGULAR, mode=0o640, uid=5, gid=6,
+                      now_ns=123)
+        inode.write_at(0, b"xyz")
+        st = inode.stat()
+        assert st["type"] == "reg"
+        assert st["mode"] == 0o640
+        assert st["uid"] == 5
+        assert st["gid"] == 6
+        assert st["size"] == 3
+        assert st["atime_ns"] == 123
+
+    def test_chardev_stat_has_rdev(self):
+        inode = Inode(FileType.CHARDEV, rdev=(240, 1))
+        assert inode.stat()["rdev"] == (240, 1)
+
+
+class TestPseudo:
+    def test_pseudo_flag(self):
+        ops = PseudoFileOps(read=lambda task: b"data")
+        inode = Inode(FileType.REGULAR, pseudo_ops=ops)
+        assert inode.is_pseudo
+
+    def test_regular_is_not_pseudo(self):
+        assert not Inode(FileType.REGULAR).is_pseudo

@@ -1,0 +1,171 @@
+"""Tests for pipes, channels, and the loopback network stack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.ipc import (ByteChannel, NetworkStack, Pipe, Socket,
+                              SocketFamily, SocketState, connect_pair)
+
+
+class TestByteChannel:
+    def test_push_pull_roundtrip(self):
+        ch = ByteChannel()
+        ch.push(b"hello")
+        assert ch.pull(5) == b"hello"
+
+    def test_partial_pull(self):
+        ch = ByteChannel()
+        ch.push(b"abcdef")
+        assert ch.pull(2) == b"ab"
+        assert ch.pull(10) == b"cdef"
+
+    def test_pull_empty_raises_eagain(self):
+        with pytest.raises(KernelError) as exc:
+            ByteChannel().pull(1)
+        assert exc.value.errno is Errno.EAGAIN
+
+    def test_eof_after_writer_close(self):
+        ch = ByteChannel()
+        ch.push(b"x")
+        ch.writer_closed = True
+        assert ch.pull(10) == b"x"
+        assert ch.pull(10) == b""
+
+    def test_push_to_closed_reader_raises_epipe(self):
+        ch = ByteChannel()
+        ch.reader_closed = True
+        with pytest.raises(KernelError) as exc:
+            ch.push(b"x")
+        assert exc.value.errno is Errno.EPIPE
+
+    def test_capacity_limits_push(self):
+        ch = ByteChannel(capacity=4)
+        assert ch.push(b"abcdef") == 4
+        with pytest.raises(KernelError) as exc:
+            ch.push(b"x")
+        assert exc.value.errno is Errno.EAGAIN
+
+    def test_space_tracking(self):
+        ch = ByteChannel(capacity=10)
+        ch.push(b"abc")
+        assert ch.size == 3
+        assert ch.space == 7
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=20))
+    def test_fifo_order_preserved(self, chunks):
+        ch = ByteChannel(capacity=1 << 20)
+        for chunk in chunks:
+            ch.push(chunk)
+        total = b"".join(chunks)
+        out = bytearray()
+        while len(out) < len(total):
+            out.extend(ch.pull(7))
+        assert bytes(out) == total
+
+
+class TestPipe:
+    def test_roundtrip(self):
+        pipe = Pipe()
+        pipe.write(b"data")
+        assert pipe.read(10) == b"data"
+
+    def test_eof_semantics(self):
+        pipe = Pipe()
+        pipe.close_writer()
+        assert pipe.read(10) == b""
+
+    def test_write_after_reader_close(self):
+        pipe = Pipe()
+        pipe.close_reader()
+        with pytest.raises(KernelError):
+            pipe.write(b"x")
+
+
+class TestSockets:
+    def test_connect_pair_duplex(self):
+        a = Socket(SocketFamily.AF_UNIX)
+        b = Socket(SocketFamily.AF_UNIX)
+        connect_pair(a, b)
+        a.send(b"ping")
+        assert b.recv(10) == b"ping"
+        b.send(b"pong")
+        assert a.recv(10) == b"pong"
+
+    def test_send_unconnected_raises(self):
+        with pytest.raises(KernelError) as exc:
+            Socket(SocketFamily.AF_INET).send(b"x")
+        assert exc.value.errno is Errno.ENOTCONN
+
+    def test_close_marks_channels(self):
+        a = Socket(SocketFamily.AF_UNIX)
+        b = Socket(SocketFamily.AF_UNIX)
+        connect_pair(a, b)
+        a.close()
+        assert a.state is SocketState.CLOSED
+        assert b.recv(10) == b""  # EOF
+
+
+class TestNetworkStack:
+    def setup_method(self):
+        self.net = NetworkStack()
+
+    def _listener(self, family=SocketFamily.AF_INET, addr=("127.0.0.1", 80)):
+        server = self.net.socket(family)
+        self.net.bind(server, addr)
+        self.net.listen(server)
+        return server, addr
+
+    def test_connect_accept(self):
+        server, addr = self._listener()
+        client = self.net.socket(SocketFamily.AF_INET)
+        self.net.connect(client, addr)
+        conn = self.net.accept(server)
+        client.send(b"hello")
+        assert conn.recv(10) == b"hello"
+
+    def test_connect_refused_when_no_listener(self):
+        client = self.net.socket(SocketFamily.AF_INET)
+        with pytest.raises(KernelError) as exc:
+            self.net.connect(client, ("127.0.0.1", 9999))
+        assert exc.value.errno is Errno.ECONNREFUSED
+
+    def test_bind_conflict(self):
+        self._listener()
+        other = self.net.socket(SocketFamily.AF_INET)
+        with pytest.raises(KernelError) as exc:
+            self.net.bind(other, ("127.0.0.1", 80))
+        assert exc.value.errno is Errno.EADDRINUSE
+
+    def test_family_mismatch_rejected(self):
+        self._listener(SocketFamily.AF_INET, ("127.0.0.1", 81))
+        client = self.net.socket(SocketFamily.AF_UNIX)
+        with pytest.raises(KernelError) as exc:
+            self.net.connect(client, ("127.0.0.1", 81))
+        assert exc.value.errno is Errno.EINVAL
+
+    def test_accept_without_pending_raises_eagain(self):
+        server, _ = self._listener(addr=("127.0.0.1", 82))
+        with pytest.raises(KernelError) as exc:
+            self.net.accept(server)
+        assert exc.value.errno is Errno.EAGAIN
+
+    def test_listen_unbound_raises(self):
+        sock = self.net.socket(SocketFamily.AF_INET)
+        with pytest.raises(KernelError):
+            self.net.listen(sock)
+
+    def test_close_listener_frees_address(self):
+        server, addr = self._listener(addr=("127.0.0.1", 83))
+        self.net.close_listener(server)
+        replacement = self.net.socket(SocketFamily.AF_INET)
+        self.net.bind(replacement, addr)  # no EADDRINUSE
+
+    def test_unix_path_addresses(self):
+        server, addr = self._listener(SocketFamily.AF_UNIX, "/run/app.sock")
+        client = self.net.socket(SocketFamily.AF_UNIX)
+        self.net.connect(client, "/run/app.sock")
+        conn = self.net.accept(server)
+        client.send(b"u")
+        assert conn.recv(1) == b"u"

@@ -1,0 +1,99 @@
+"""Tests for the mmap layer."""
+
+import pytest
+
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.memory import (AddressSpace, MapProt, PAGE_SIZE, VmArea)
+from repro.kernel.vfs.inode import FileType, Inode
+
+
+class TestVmArea:
+    def test_anonymous_read_write(self):
+        area = VmArea(PAGE_SIZE * 2, MapProt.PROT_READ | MapProt.PROT_WRITE)
+        area.write(100, b"hello")
+        assert area.read(100, 5) == b"hello"
+
+    def test_anonymous_zero_filled(self):
+        area = VmArea(PAGE_SIZE, MapProt.PROT_READ)
+        assert area.read(0, 4) == b"\x00" * 4
+
+    def test_file_backed_content(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"filedata")
+        area = VmArea(PAGE_SIZE, MapProt.PROT_READ, inode=inode)
+        assert area.read(0, 8) == b"filedata"
+
+    def test_file_backed_offset(self):
+        inode = Inode(FileType.REGULAR)
+        inode.write_at(0, b"\x00" * PAGE_SIZE + b"second")
+        area = VmArea(PAGE_SIZE, MapProt.PROT_READ, inode=inode,
+                      offset=PAGE_SIZE)
+        assert area.read(0, 6) == b"second"
+
+    def test_cross_page_access(self):
+        area = VmArea(PAGE_SIZE * 2, MapProt.PROT_READ | MapProt.PROT_WRITE)
+        data = b"x" * 100
+        area.write(PAGE_SIZE - 50, data)
+        assert area.read(PAGE_SIZE - 50, 100) == data
+
+    def test_fault_counting(self):
+        area = VmArea(PAGE_SIZE * 4, MapProt.PROT_READ)
+        for off in range(0, PAGE_SIZE * 4, PAGE_SIZE):
+            area.read(off, 1)
+        assert area.fault_count == 4
+        area.read(0, 1)
+        assert area.fault_count == 4  # already resident
+
+    def test_read_outside_mapping_faults(self):
+        area = VmArea(PAGE_SIZE, MapProt.PROT_READ)
+        with pytest.raises(KernelError) as exc:
+            area.read(PAGE_SIZE - 1, 2)
+        assert exc.value.errno is Errno.EFAULT
+
+    def test_write_to_readonly_mapping(self):
+        area = VmArea(PAGE_SIZE, MapProt.PROT_READ)
+        with pytest.raises(KernelError) as exc:
+            area.write(0, b"x")
+        assert exc.value.errno is Errno.EACCES
+
+    def test_read_from_noread_mapping(self):
+        area = VmArea(PAGE_SIZE, MapProt.PROT_WRITE)
+        with pytest.raises(KernelError):
+            area.read(0, 1)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(KernelError):
+            VmArea(0, MapProt.PROT_READ)
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(KernelError):
+            VmArea(PAGE_SIZE, MapProt.PROT_READ, offset=100)
+
+    def test_use_after_unmap(self):
+        mm = AddressSpace()
+        area = mm.add(VmArea(PAGE_SIZE, MapProt.PROT_READ))
+        mm.remove(area.id)
+        with pytest.raises(KernelError) as exc:
+            area.read(0, 1)
+        assert exc.value.errno is Errno.EFAULT
+
+
+class TestAddressSpace:
+    def test_add_remove(self):
+        mm = AddressSpace()
+        area = mm.add(VmArea(PAGE_SIZE, MapProt.PROT_READ))
+        assert len(mm) == 1
+        mm.remove(area.id)
+        assert len(mm) == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KernelError):
+            AddressSpace().remove(999)
+
+    def test_clear_unmaps_all(self):
+        mm = AddressSpace()
+        a = mm.add(VmArea(PAGE_SIZE, MapProt.PROT_READ))
+        b = mm.add(VmArea(PAGE_SIZE, MapProt.PROT_READ))
+        mm.clear()
+        assert len(mm) == 0
+        assert a.unmapped and b.unmapped

@@ -1,0 +1,131 @@
+"""Tests for VFS path normalisation, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.vfs.path import (NAME_MAX, PATH_MAX, is_subpath,
+                                   normalize, split_components, split_parent)
+
+
+class TestNormalize:
+    def test_absolute_passthrough(self):
+        assert normalize("/a/b/c") == "/a/b/c"
+
+    def test_root(self):
+        assert normalize("/") == "/"
+
+    def test_duplicate_slashes(self):
+        assert normalize("//a///b") == "/a/b"
+
+    def test_trailing_slash(self):
+        assert normalize("/a/b/") == "/a/b"
+
+    def test_dot_components(self):
+        assert normalize("/a/./b/.") == "/a/b"
+
+    def test_dotdot_components(self):
+        assert normalize("/a/b/../c") == "/a/c"
+
+    def test_dotdot_past_root(self):
+        assert normalize("/../../a") == "/a"
+
+    def test_relative_with_cwd(self):
+        assert normalize("x/y", cwd="/home/user") == "/home/user/x/y"
+
+    def test_relative_dotdot_with_cwd(self):
+        assert normalize("../y", cwd="/home/user") == "/home/y"
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(KernelError) as exc:
+            normalize("")
+        assert exc.value.errno is Errno.ENOENT
+
+    def test_relative_cwd_rejected(self):
+        with pytest.raises(KernelError):
+            normalize("x", cwd="relative")
+
+    def test_path_max_enforced(self):
+        with pytest.raises(KernelError) as exc:
+            normalize("/" + "a" * (PATH_MAX + 1))
+        assert exc.value.errno is Errno.ENAMETOOLONG
+
+    def test_name_max_enforced(self):
+        with pytest.raises(KernelError) as exc:
+            normalize("/x/" + "b/" * 10 + "a" * (NAME_MAX + 1))
+        assert exc.value.errno is Errno.ENAMETOOLONG
+
+    def test_hidden_files_kept(self):
+        assert normalize("/a/.hidden") == "/a/.hidden"
+
+
+# -- property tests -------------------------------------------------------
+
+components = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="_-"),
+    min_size=1, max_size=12)
+paths = st.lists(components, min_size=0, max_size=6).map(
+    lambda parts: "/" + "/".join(parts))
+
+
+class TestNormalizeProperties:
+    @given(paths)
+    def test_idempotent(self, path):
+        once = normalize(path)
+        assert normalize(once) == once
+
+    @given(paths)
+    def test_always_absolute(self, path):
+        assert normalize(path).startswith("/")
+
+    @given(paths)
+    def test_no_dot_components_survive(self, path):
+        comps = split_components(normalize(path))
+        assert "." not in comps
+        assert ".." not in comps
+
+    @given(paths, st.lists(st.sampled_from(["./", "../", "//"]),
+                           max_size=3))
+    def test_messy_variants_stay_under_root(self, path, noise):
+        messy = path + "/" + "".join(noise)
+        result = normalize(messy)
+        assert result.startswith("/")
+        assert "//" not in result
+
+    @given(st.lists(components, min_size=1, max_size=6))
+    def test_parent_roundtrip(self, parts):
+        path = "/" + "/".join(parts)
+        parent, name = split_parent(path)
+        assert name == parts[-1]
+        joined = parent.rstrip("/") + "/" + name
+        assert normalize(joined) == path
+
+
+class TestSplitParent:
+    def test_simple(self):
+        assert split_parent("/a/b") == ("/a", "b")
+
+    def test_top_level(self):
+        assert split_parent("/a") == ("/", "a")
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(KernelError):
+            split_parent("/")
+
+
+class TestIsSubpath:
+    def test_root_contains_everything(self):
+        assert is_subpath("/any/thing", "/")
+
+    def test_self(self):
+        assert is_subpath("/a/b", "/a/b")
+
+    def test_child(self):
+        assert is_subpath("/a/b/c", "/a/b")
+
+    def test_sibling_prefix_not_subpath(self):
+        assert not is_subpath("/a/bc", "/a/b")
+
+    def test_unrelated(self):
+        assert not is_subpath("/x", "/a")

@@ -1,0 +1,115 @@
+"""Tests for tasks and the process table."""
+
+import pytest
+
+from repro.kernel.credentials import user_credentials
+from repro.kernel.errors import Errno, KernelError
+from repro.kernel.process import (FdKind, MAX_FDS, ProcessTable, TaskState)
+
+
+@pytest.fixture
+def procs():
+    return ProcessTable()
+
+
+class TestProcessTable:
+    def test_init_exists(self, procs):
+        assert procs.init.pid == 1
+        assert procs.init.comm == "init"
+        assert procs.init.is_alive
+
+    def test_spawn_assigns_new_pid(self, procs):
+        child = procs.spawn(procs.init)
+        assert child.pid != procs.init.pid
+        assert child.ppid == procs.init.pid
+
+    def test_spawn_inherits_creds_cwd(self, procs):
+        procs.init.cwd = "/home"
+        child = procs.spawn(procs.init)
+        assert child.cred == procs.init.cred
+        assert child.cwd == "/home"
+
+    def test_spawn_copies_fd_table(self, procs):
+        fd = procs.init.install_fd(FdKind.FILE, object())
+        child = procs.spawn(procs.init)
+        assert child.get_fd(fd).obj is procs.init.get_fd(fd).obj
+        # New table: closing in child leaves parent's fd alone.
+        child.remove_fd(fd)
+        assert procs.init.get_fd(fd)
+
+    def test_spawn_copies_security_blobs(self, procs):
+        procs.init.security["apparmor"] = "profile-x"
+        child = procs.spawn(procs.init)
+        assert child.security["apparmor"] == "profile-x"
+
+    def test_spawn_from_dead_parent_fails(self, procs):
+        child = procs.spawn(procs.init)
+        procs.exit(child)
+        with pytest.raises(KernelError) as exc:
+            procs.spawn(child)
+        assert exc.value.errno is Errno.ESRCH
+
+    def test_exit_and_reap(self, procs):
+        child = procs.spawn(procs.init)
+        procs.exit(child, code=3)
+        assert child.state is TaskState.ZOMBIE
+        reaped = procs.reap(procs.init)
+        assert reaped is child
+        assert reaped.exit_code == 3
+        assert procs.reap(procs.init) is None
+
+    def test_init_cannot_exit(self, procs):
+        with pytest.raises(KernelError):
+            procs.exit(procs.init)
+
+    def test_exit_clears_resources(self, procs):
+        child = procs.spawn(procs.init)
+        child.install_fd(FdKind.FILE, object())
+        procs.exit(child)
+        assert child.fds == {}
+
+    def test_get_unknown_pid(self, procs):
+        with pytest.raises(KernelError) as exc:
+            procs.get(999)
+        assert exc.value.errno is Errno.ESRCH
+
+    def test_children_of(self, procs):
+        a = procs.spawn(procs.init)
+        b = procs.spawn(procs.init)
+        pids = {t.pid for t in procs.children_of(procs.init.pid)}
+        assert pids == {a.pid, b.pid}
+
+    def test_alive_count(self, procs):
+        child = procs.spawn(procs.init)
+        assert procs.alive_count() == 2
+        procs.exit(child)
+        assert procs.alive_count() == 1
+
+
+class TestFdTable:
+    def test_lowest_free_fd(self, procs):
+        t = procs.init
+        fd0 = t.install_fd(FdKind.FILE, "a")
+        fd1 = t.install_fd(FdKind.FILE, "b")
+        assert (fd0, fd1) == (0, 1)
+        t.remove_fd(0)
+        assert t.install_fd(FdKind.FILE, "c") == 0
+
+    def test_bad_fd_raises_ebadf(self, procs):
+        with pytest.raises(KernelError) as exc:
+            procs.init.get_fd(42)
+        assert exc.value.errno is Errno.EBADF
+
+    def test_fd_limit(self, procs):
+        t = procs.spawn(procs.init)
+        for _ in range(MAX_FDS):
+            t.install_fd(FdKind.FILE, None)
+        with pytest.raises(KernelError) as exc:
+            t.install_fd(FdKind.FILE, None)
+        assert exc.value.errno is Errno.EMFILE
+
+    def test_credential_change(self, procs):
+        child = procs.spawn(procs.init)
+        child.cred = user_credentials(1000)
+        assert child.cred.euid == 1000
+        assert procs.init.cred.euid == 0

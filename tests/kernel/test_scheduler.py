@@ -1,0 +1,68 @@
+"""Tests for the cooperative scheduler."""
+
+import pytest
+
+from repro.kernel.errors import KernelError
+from repro.kernel.process import ProcessTable
+from repro.kernel.scheduler import Scheduler
+
+
+@pytest.fixture
+def world():
+    procs = ProcessTable()
+    sched = Scheduler()
+    return procs, sched
+
+
+class TestScheduler:
+    def test_round_robin_order(self, world):
+        procs, sched = world
+        a = sched.add(procs.spawn(procs.init))
+        b = sched.add(procs.spawn(procs.init))
+        first = sched.switch_once()
+        second = sched.switch_once()
+        assert {first, second} == {a, b}
+        assert sched.switch_once() is first
+
+    def test_switch_counts(self, world):
+        procs, sched = world
+        sched.add(procs.spawn(procs.init))
+        sched.add(procs.spawn(procs.init))
+        for _ in range(10):
+            sched.switch_once()
+        assert sched.switch_count == 10
+
+    def test_run_counts_balanced(self, world):
+        procs, sched = world
+        a = sched.add(procs.spawn(procs.init))
+        b = sched.add(procs.spawn(procs.init))
+        for _ in range(10):
+            sched.switch_once()
+        assert a.run_count + b.run_count == 10
+        assert abs(a.run_count - b.run_count) <= 1
+
+    def test_working_set_touched(self, world):
+        procs, sched = world
+        ctx = sched.add(procs.spawn(procs.init), working_set_bytes=4096)
+        sched.add(procs.spawn(procs.init))
+        for _ in range(4):
+            sched.switch_once()
+        assert any(byte != 0 for byte in ctx.working_set)
+
+    def test_empty_ring_raises(self, world):
+        _, sched = world
+        with pytest.raises(KernelError):
+            sched.switch_once()
+
+    def test_remove_task(self, world):
+        procs, sched = world
+        t = procs.spawn(procs.init)
+        sched.add(t)
+        other = sched.add(procs.spawn(procs.init))
+        sched.remove(t)
+        assert sched.switch_once() in (other,)
+
+    def test_working_set_size(self, world):
+        procs, sched = world
+        ctx = sched.add(procs.spawn(procs.init), working_set_bytes=16384)
+        assert len(ctx.working_set) == 16384

@@ -1,0 +1,45 @@
+"""Tests for the SecurityHooks default implementation and NullSecurity."""
+
+from repro.kernel import Capability, Kernel, NullSecurity, user_credentials
+from repro.kernel.security import SecurityHooks
+from repro.lsm.hooks import DECISION_HOOKS, Hook
+
+
+class TestDefaults:
+    def test_every_decision_hook_defaults_to_allow(self):
+        hooks = SecurityHooks()
+        kernel = Kernel()
+        task = kernel.procs.init
+        # Spot-check a representative sample with plausible arguments.
+        assert hooks.file_open(task, None) == 0
+        assert hooks.file_permission(task, None, 4) == 0
+        assert hooks.inode_create(task, None, "/x", 0o644) == 0
+        assert hooks.socket_create(task, None) == 0
+        assert hooks.task_alloc(task, task) == 0
+        assert hooks.bprm_check_security(task, "/bin/x") == 0
+
+    def test_default_capable_checks_credentials(self):
+        hooks = SecurityHooks()
+        kernel = Kernel()
+        root = kernel.procs.init
+        assert hooks.capable(root, Capability.CAP_SYS_ADMIN) == 0
+        user = kernel.procs.spawn(root)
+        user.cred = user_credentials(1000)
+        assert hooks.capable(user, Capability.CAP_SYS_ADMIN) != 0
+
+    def test_hook_surface_matches_catalogue(self):
+        """Every hook in the catalogue exists on the interface (and the
+        framework can therefore dispatch all of them)."""
+        for hook in Hook:
+            assert hasattr(SecurityHooks, hook.value), hook
+
+    def test_null_security_kernel_is_wide_open(self):
+        kernel = Kernel(security=NullSecurity())
+        task = kernel.procs.spawn(kernel.procs.init)
+        task.cred = user_credentials(1000)
+        kernel.vfs.create_file("/tmp/f", mode=0o666)
+        kernel.read_file(task, "/tmp/f")  # only DAC applies
+
+    def test_decision_hooks_catalogued(self):
+        assert Hook.BPRM_COMMITTED_CREDS not in DECISION_HOOKS
+        assert Hook.FILE_OPEN in DECISION_HOOKS

@@ -1,0 +1,34 @@
+"""Tests for security blob helpers."""
+
+from repro.kernel import Kernel
+from repro.lsm.blob import clear_blob, ensure_blob, get_blob, set_blob
+
+
+class TestBlobHelpers:
+    def setup_method(self):
+        self.task = Kernel().procs.init
+
+    def test_get_default(self):
+        assert get_blob(self.task, "mod") is None
+        assert get_blob(self.task, "mod", "dflt") == "dflt"
+
+    def test_set_then_get(self):
+        set_blob(self.task, "mod", {"state": 1})
+        assert get_blob(self.task, "mod") == {"state": 1}
+
+    def test_ensure_creates_once(self):
+        first = ensure_blob(self.task, "mod", dict)
+        second = ensure_blob(self.task, "mod", dict)
+        assert first is second
+
+    def test_blobs_namespaced_by_module(self):
+        set_blob(self.task, "a", 1)
+        set_blob(self.task, "b", 2)
+        assert get_blob(self.task, "a") == 1
+        assert get_blob(self.task, "b") == 2
+
+    def test_clear(self):
+        set_blob(self.task, "mod", "x")
+        assert clear_blob(self.task, "mod") == "x"
+        assert get_blob(self.task, "mod") is None
+        assert clear_blob(self.task, "mod") is None

@@ -1,0 +1,32 @@
+"""Tests for the capability LSM (commoncap analogue)."""
+
+from repro.kernel import Capability, Kernel, user_credentials
+from repro.lsm.capability import CapabilityLsm
+
+
+class TestCapabilityLsm:
+    def setup_method(self):
+        self.kernel = Kernel()
+        self.lsm = CapabilityLsm()
+
+    def test_root_allowed(self):
+        init = self.kernel.procs.init
+        assert self.lsm.capable(init, Capability.CAP_SYS_ADMIN) == 0
+
+    def test_user_without_cap_denied(self):
+        task = self.kernel.procs.spawn(self.kernel.procs.init)
+        task.cred = user_credentials(1000)
+        assert self.lsm.capable(task, Capability.CAP_SYS_ADMIN) != 0
+
+    def test_user_with_explicit_cap_allowed(self):
+        task = self.kernel.procs.spawn(self.kernel.procs.init)
+        task.cred = user_credentials(990, caps=[Capability.CAP_MAC_ADMIN])
+        assert self.lsm.capable(task, Capability.CAP_MAC_ADMIN) == 0
+        assert self.lsm.capable(task, Capability.CAP_SYS_ADMIN) != 0
+
+    def test_denial_is_eperm(self):
+        from repro.kernel.errors import Errno
+        task = self.kernel.procs.spawn(self.kernel.procs.init)
+        task.cred = user_credentials(1)
+        assert self.lsm.capable(task, Capability.CAP_CHOWN) == \
+            -int(Errno.EPERM)

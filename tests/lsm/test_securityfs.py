@@ -1,0 +1,76 @@
+"""Tests for the securityfs layer."""
+
+import pytest
+
+from repro.kernel import (Capability, Errno, Kernel, KernelError, OpenFlags,
+                          user_credentials)
+from repro.lsm.securityfs import SECURITYFS_ROOT, SecurityFs
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    return kernel, SecurityFs(kernel)
+
+
+class TestSecurityFs:
+    def test_mounted_at_standard_path(self, world):
+        kernel, _ = world
+        mount = kernel.vfs.mounts.owner_of(SECURITYFS_ROOT)
+        assert mount.fstype == "securityfs"
+        assert mount.mountpoint == SECURITYFS_ROOT
+
+    def test_create_dir(self, world):
+        kernel, fs = world
+        path = fs.create_dir("SACK")
+        assert path == f"{SECURITYFS_ROOT}/SACK"
+        assert kernel.vfs.resolve(path).inode.is_dir
+
+    def test_read_file(self, world):
+        kernel, fs = world
+        fs.create_file("mod/status", read=lambda task: b"ok\n", mode=0o644)
+        data = kernel.read_file(kernel.procs.init,
+                                f"{SECURITYFS_ROOT}/mod/status")
+        assert data == b"ok\n"
+
+    def test_write_file(self, world):
+        kernel, fs = world
+        seen = []
+        fs.create_file("mod/ctl", write=lambda t, d: seen.append(d) or len(d))
+        kernel.write_file(kernel.procs.init, f"{SECURITYFS_ROOT}/mod/ctl",
+                          b"command", create=False)
+        assert seen == [b"command"]
+
+    def test_write_cap_enforced(self, world):
+        kernel, fs = world
+        fs.create_file("mod/policy", write=lambda t, d: len(d),
+                       mode=0o666, write_cap=Capability.CAP_MAC_ADMIN)
+        user = kernel.procs.spawn(kernel.procs.init)
+        user.cred = user_credentials(1000)
+        with pytest.raises(KernelError) as exc:
+            kernel.write_file(user, f"{SECURITYFS_ROOT}/mod/policy",
+                              b"x", create=False)
+        assert exc.value.errno is Errno.EPERM
+
+    def test_write_cap_satisfied_by_root(self, world):
+        kernel, fs = world
+        fs.create_file("mod/policy", write=lambda t, d: len(d),
+                       mode=0o666, write_cap=Capability.CAP_MAC_ADMIN)
+        assert kernel.write_file(kernel.procs.init,
+                                 f"{SECURITYFS_ROOT}/mod/policy",
+                                 b"x", create=False) == 1
+
+    def test_dac_mode_applies(self, world):
+        kernel, fs = world
+        fs.create_file("mod/private", read=lambda t: b"s", mode=0o600)
+        user = kernel.procs.spawn(kernel.procs.init)
+        user.cred = user_credentials(1000)
+        with pytest.raises(KernelError) as exc:
+            kernel.read_file(user, f"{SECURITYFS_ROOT}/mod/private")
+        assert exc.value.errno is Errno.EACCES
+
+    def test_remove(self, world):
+        kernel, fs = world
+        fs.create_file("mod/tmp", read=lambda t: b"")
+        fs.remove("mod/tmp")
+        assert not kernel.vfs.exists(f"{SECURITYFS_ROOT}/mod/tmp")

@@ -1,0 +1,91 @@
+"""Tests for the smartphone generalisation."""
+
+import pytest
+
+from repro.kernel import KernelError
+from repro.mobile import (CAM_CAPTURE, GPS_READ_FIX, MIC_RECORD_START,
+                          SMS_SEND, build_phone)
+
+
+@pytest.fixture
+def phone():
+    return build_phone()
+
+
+class TestNormalUse:
+    def test_initial_state(self, phone):
+        assert phone.situation == "normal"
+
+    def test_everything_allowed_normally(self, phone):
+        phone.device_ioctl("voice_assistant", "mic", MIC_RECORD_START)
+        assert phone.devices["mic"].recording
+        phone.device_ioctl("social_app", "cam", CAM_CAPTURE)
+        phone.device_ioctl("social_app", "sms", SMS_SEND)
+        phone.device_ioctl("nav_app", "gps", GPS_READ_FIX)
+
+    def test_mic_scoped_to_assistant(self, phone):
+        with pytest.raises(KernelError):
+            phone.device_ioctl("social_app", "mic", MIC_RECORD_START)
+
+
+class TestMeeting:
+    def test_mic_and_camera_blocked_in_meeting(self, phone):
+        phone.send_event("meeting_started")
+        assert phone.situation == "in_meeting"
+        with pytest.raises(KernelError):
+            phone.device_ioctl("voice_assistant", "mic",
+                               MIC_RECORD_START)
+        with pytest.raises(KernelError):
+            phone.device_ioctl("social_app", "cam", CAM_CAPTURE)
+
+    def test_messaging_still_works_in_meeting(self, phone):
+        phone.send_event("meeting_started")
+        phone.device_ioctl("social_app", "sms", SMS_SEND)
+
+    def test_rights_restored_after_meeting(self, phone):
+        phone.send_event("meeting_started")
+        phone.send_event("meeting_ended")
+        phone.device_ioctl("social_app", "cam", CAM_CAPTURE)
+
+
+class TestDriving:
+    def test_sms_blocked_while_driving(self, phone):
+        phone.send_event("driving_started")
+        assert phone.situation == "driving"
+        with pytest.raises(KernelError):
+            phone.device_ioctl("social_app", "sms", SMS_SEND)
+
+    def test_voice_assistant_still_listens_while_driving(self, phone):
+        phone.send_event("driving_started")
+        phone.device_ioctl("voice_assistant", "mic", MIC_RECORD_START)
+
+    def test_camera_blocked_while_driving(self, phone):
+        phone.send_event("driving_started")
+        with pytest.raises(KernelError):
+            phone.device_ioctl("social_app", "cam", CAM_CAPTURE)
+
+
+class TestLocked:
+    def test_only_sensors_when_locked(self, phone):
+        phone.send_event("screen_locked")
+        assert phone.situation == "locked"
+        phone.device_ioctl("nav_app", "gps", GPS_READ_FIX)
+        for app, device, cmd in (("voice_assistant", "mic",
+                                  MIC_RECORD_START),
+                                 ("social_app", "cam", CAM_CAPTURE),
+                                 ("social_app", "sms", SMS_SEND)):
+            with pytest.raises(KernelError):
+                phone.device_ioctl(app, device, cmd)
+
+    def test_unlock_restores(self, phone):
+        phone.send_event("screen_locked")
+        phone.send_event("screen_unlocked")
+        phone.device_ioctl("social_app", "sms", SMS_SEND)
+
+
+class TestEventAuthorization:
+    def test_apps_cannot_forge_context(self, phone):
+        with pytest.raises(KernelError):
+            phone.kernel.write_file(phone.tasks["social_app"],
+                                    "/sys/kernel/security/SACK/events",
+                                    b"screen_unlocked\n", create=False)

@@ -1,0 +1,135 @@
+"""Tests for the policy checker: every diagnostic code."""
+
+from repro.sack.policy.checker import Severity, check_policy, has_errors
+from repro.sack.policy.language import parse_policy
+from repro.sack.policy.model import (MacRule, RuleDecision, RuleOp,
+                                     SackPermission, SackPolicy)
+from repro.sack.ssm import TransitionRule
+from repro.sack.states import SituationState, StateSpace
+from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def build_policy(**overrides):
+    """A clean two-state policy; overrides inject specific defects."""
+    base = dict(
+        states=StateSpace([SituationState("a", 0), SituationState("b", 1)]),
+        initial="a",
+        transitions=[TransitionRule("go", "a", "b"),
+                     TransitionRule("back", "b", "a")],
+        permissions={"P": SackPermission("P")},
+        state_per={"a": {"P"}, "b": {"P"}},
+        per_rules={"P": [MacRule(RuleDecision.ALLOW, RuleOp.READ,
+                                 "/dev/car/x")]},
+        guards=["/dev/car/**"],
+    )
+    base.update(overrides)
+    return SackPolicy(**base)
+
+
+class TestCleanPolicy:
+    def test_no_diagnostics(self):
+        assert check_policy(build_policy()) == []
+
+    def test_default_ivi_policy_clean(self):
+        diags = check_policy(parse_policy(DEFAULT_SACK_POLICY))
+        assert not has_errors(diags)
+        assert diags == []
+
+
+class TestErrors:
+    def test_e001_unknown_initial(self):
+        policy = build_policy(initial="ghost")
+        diags = check_policy(policy)
+        assert "E001" in codes(diags)
+        assert has_errors(diags)
+
+    def test_e002_transition_unknown_states(self):
+        policy = build_policy(transitions=[
+            TransitionRule("go", "ghost", "b"),
+            TransitionRule("go2", "a", "phantom")])
+        assert "E002" in codes(check_policy(policy))
+
+    def test_e003_state_per_unknown_state(self):
+        policy = build_policy(state_per={"a": {"P"}, "ghost": {"P"}})
+        assert "E003" in codes(check_policy(policy))
+
+    def test_e004_unknown_permission_granted(self):
+        policy = build_policy(state_per={"a": {"P", "GHOST"}, "b": {"P"}})
+        assert "E004" in codes(check_policy(policy))
+
+    def test_e005_rules_for_undeclared_permission(self):
+        policy = build_policy(per_rules={
+            "P": [MacRule(RuleDecision.ALLOW, RuleOp.READ, "/dev/car/x")],
+            "GHOST": [MacRule(RuleDecision.ALLOW, RuleOp.READ,
+                              "/dev/car/y")]})
+        assert "E005" in codes(check_policy(policy))
+
+    def test_e006_nondeterministic_transitions(self):
+        policy = build_policy(transitions=[
+            TransitionRule("go", "a", "b"),
+            TransitionRule("go", "a", "a")])
+        assert "E006" in codes(check_policy(policy))
+
+
+class TestWarnings:
+    def test_w101_permission_never_granted(self):
+        policy = build_policy(permissions={
+            "P": SackPermission("P"), "ORPHAN": SackPermission("ORPHAN")},
+            per_rules={"P": [MacRule(RuleDecision.ALLOW, RuleOp.READ,
+                                     "/dev/car/x")],
+                       "ORPHAN": [MacRule(RuleDecision.ALLOW, RuleOp.READ,
+                                          "/dev/car/y")]})
+        diags = check_policy(policy)
+        assert "W101" in codes(diags)
+        assert not has_errors(diags)
+
+    def test_w102_permission_without_rules(self):
+        policy = build_policy(permissions={
+            "P": SackPermission("P"), "EMPTY": SackPermission("EMPTY")},
+            state_per={"a": {"P", "EMPTY"}, "b": {"P"}})
+        assert "W102" in codes(check_policy(policy))
+
+    def test_w103_unreachable_state(self):
+        states = StateSpace([SituationState("a", 0), SituationState("b", 1),
+                             SituationState("island", 2)])
+        policy = build_policy(states=states)
+        diags = check_policy(policy)
+        assert "W103" in codes(diags)
+        assert any("island" in d.message for d in diags)
+
+    def test_w104_no_transitions(self):
+        policy = build_policy(transitions=[])
+        assert "W104" in codes(check_policy(policy))
+
+    def test_w105_rule_outside_guards(self):
+        policy = build_policy(per_rules={"P": [
+            MacRule(RuleDecision.ALLOW, RuleOp.READ, "/etc/passwd")]})
+        assert "W105" in codes(check_policy(policy))
+
+    def test_w105_not_raised_without_guards(self):
+        policy = build_policy(guards=[], per_rules={"P": [
+            MacRule(RuleDecision.ALLOW, RuleOp.READ, "/etc/passwd")]})
+        assert "W105" not in codes(check_policy(policy))
+
+    def test_w106_allow_deny_conflict(self):
+        policy = build_policy(per_rules={"P": [
+            MacRule(RuleDecision.ALLOW, RuleOp.WRITE, "/dev/car/x"),
+            MacRule(RuleDecision.DENY, RuleOp.WRITE, "/dev/car/x")]})
+        assert "W106" in codes(check_policy(policy))
+
+    def test_w107_duplicate_rules(self):
+        rule = MacRule(RuleDecision.ALLOW, RuleOp.READ, "/dev/car/x")
+        policy = build_policy(per_rules={"P": [rule, rule]})
+        assert "W107" in codes(check_policy(policy))
+
+
+class TestDiagnosticRendering:
+    def test_str_format(self):
+        policy = build_policy(initial="ghost")
+        diag = check_policy(policy)[0]
+        assert str(diag).startswith("error E001")
+        assert diag.severity is Severity.ERROR

@@ -1,0 +1,168 @@
+"""Tests for policy compilation and ruleset decision semantics."""
+
+import pytest
+
+from repro.sack.policy.compiler import (PolicyCompileError, compile_policy,
+                                        compile_rule)
+from repro.sack.policy.language import parse_policy
+from repro.sack.policy.model import (MacRule, RuleDecision, RuleOp,
+                                     SackPermission, SackPolicy)
+from repro.sack.ssm import TransitionRule
+from repro.sack.states import SituationState, StateSpace
+
+SYMBOLS = {"DOOR_UNLOCK": 0x102, "DOOR_LOCK": 0x101, "VOLUME_SET": 0x301}
+
+
+POLICY_TEXT = """
+policy t;
+initial low;
+states {
+  low = 0;
+  high = 1;
+}
+transitions {
+  low -> high on up;
+  high -> low on down;
+}
+permissions {
+  BASE;
+  DOORS;
+}
+state_per {
+  low: BASE, DOORS;
+  high: BASE;
+}
+per_rules {
+  BASE {
+    allow read /dev/car/**;
+    deny read /dev/car/secret;
+  }
+  DOORS {
+    allow ioctl /dev/car/door cmd=DOOR_UNLOCK subject=rescue*;
+    allow write /dev/car/door;
+  }
+}
+guard /dev/car/**;
+"""
+
+
+@pytest.fixture
+def compiled():
+    return compile_policy(parse_policy(POLICY_TEXT), ioctl_symbols=SYMBOLS)
+
+
+class TestCompile:
+    def test_ruleset_per_state(self, compiled):
+        assert set(compiled.rulesets) == {"low", "high"}
+
+    def test_rule_counts_follow_state_per(self, compiled):
+        assert compiled.ruleset_for("low").rule_count == 4
+        assert compiled.ruleset_for("high").rule_count == 2
+
+    def test_unknown_state_lookup(self, compiled):
+        with pytest.raises(KeyError):
+            compiled.ruleset_for("ghost")
+
+    def test_total_rules(self, compiled):
+        assert compiled.total_rules() == 6
+
+    def test_unknown_ioctl_symbol_rejected(self):
+        with pytest.raises(PolicyCompileError) as exc:
+            compile_policy(parse_policy(POLICY_TEXT), ioctl_symbols={})
+        assert "DOOR_UNLOCK" in str(exc.value)
+
+    def test_numeric_cmds_accepted_without_symbols(self):
+        rule = MacRule(RuleDecision.ALLOW, RuleOp.IOCTL, "/d",
+                       ioctl_cmds=frozenset({"258"}))
+        compiled = compile_rule(rule, {})
+        assert compiled.cmds == frozenset({258})
+
+    def test_strict_compile_rejects_error_policies(self):
+        policy = SackPolicy(
+            states=StateSpace([SituationState("a", 0)]),
+            initial="ghost", transitions=[], permissions={},
+            state_per={}, per_rules={}, guards=[])
+        with pytest.raises(PolicyCompileError):
+            compile_policy(policy)
+
+    def test_non_strict_compile_tolerates_warning_free_errors(self):
+        policy = SackPolicy(
+            states=StateSpace([SituationState("a", 0)]),
+            initial="a", transitions=[], permissions={},
+            state_per={}, per_rules={}, guards=[])
+        compile_policy(policy, strict=False)  # W104 only, no errors anyway
+
+
+class TestDecisionSemantics:
+    def test_ungoverned_path_allowed(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        assert ruleset.check(RuleOp.WRITE, "/tmp/file", "anyone")
+
+    def test_governed_path_default_denied(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        assert not ruleset.check(RuleOp.WRITE, "/dev/car/window", "anyone")
+
+    def test_allow_rule_grants(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        assert ruleset.check(RuleOp.READ, "/dev/car/door", "anyone")
+        assert ruleset.check(RuleOp.WRITE, "/dev/car/door", "anyone")
+
+    def test_deny_beats_allow(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        # allow read /dev/car/** but deny read /dev/car/secret
+        assert not ruleset.check(RuleOp.READ, "/dev/car/secret", "anyone")
+
+    def test_state_changes_rights(self, compiled):
+        low = compiled.ruleset_for("low")
+        high = compiled.ruleset_for("high")
+        assert low.check(RuleOp.WRITE, "/dev/car/door", "x")
+        assert not high.check(RuleOp.WRITE, "/dev/car/door", "x")
+
+    def test_subject_glob_filtering(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        unlock = SYMBOLS["DOOR_UNLOCK"]
+        assert ruleset.check(RuleOp.IOCTL, "/dev/car/door", "rescue_daemon",
+                             cmd=unlock)
+        assert not ruleset.check(RuleOp.IOCTL, "/dev/car/door", "media_app",
+                                 cmd=unlock)
+
+    def test_cmd_filtering(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        lock = SYMBOLS["DOOR_LOCK"]
+        assert not ruleset.check(RuleOp.IOCTL, "/dev/car/door",
+                                 "rescue_daemon", cmd=lock)
+
+    def test_ioctl_rule_requires_cmd(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        assert not ruleset.check(RuleOp.IOCTL, "/dev/car/door",
+                                 "rescue_daemon", cmd=None)
+
+    def test_op_isolation(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        # read is allowed by BASE, but exec on the same path is not.
+        assert not ruleset.check(RuleOp.EXEC, "/dev/car/door", "x")
+
+    def test_governs(self, compiled):
+        ruleset = compiled.ruleset_for("low")
+        assert ruleset.governs("/dev/car/door")
+        assert not ruleset.governs("/etc/passwd")
+
+
+class TestModelValidation:
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            MacRule(RuleDecision.ALLOW, RuleOp.READ, "dev/x")
+
+    def test_cmds_on_read_rule_rejected(self):
+        with pytest.raises(ValueError):
+            MacRule(RuleDecision.ALLOW, RuleOp.READ, "/x",
+                    ioctl_cmds=frozenset({"1"}))
+
+    def test_bad_permission_name(self):
+        with pytest.raises(ValueError):
+            SackPermission("with space")
+
+    def test_rule_to_text_stable(self):
+        rule = MacRule(RuleDecision.ALLOW, RuleOp.IOCTL, "/d",
+                       ioctl_cmds=frozenset({"B", "A"}), subject="svc")
+        assert rule.to_text() == "allow ioctl /d cmd=A,B subject=svc"

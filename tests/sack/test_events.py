@@ -1,0 +1,84 @@
+"""Tests for situation events and their wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sack.events import (EventParseError, SituationEvent,
+                               parse_event_buffer, parse_event_line)
+
+
+class TestParseLine:
+    def test_bare_event(self):
+        event = parse_event_line("crash_detected")
+        assert event.name == "crash_detected"
+        assert event.payload == {}
+
+    def test_payload(self):
+        event = parse_event_line("crash_detected speed=88 lane=2")
+        assert event.payload == {"speed": "88", "lane": "2"}
+
+    def test_timestamp_attached(self):
+        event = parse_event_line("x", timestamp_ns=42)
+        assert event.timestamp_ns == 42
+
+    def test_whitespace_tolerated(self):
+        assert parse_event_line("  crash_detected  ").name == \
+            "crash_detected"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EventParseError):
+            parse_event_line("   ")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(EventParseError):
+            parse_event_line("bad/name")
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(EventParseError):
+            parse_event_line("evt junk")
+        with pytest.raises(EventParseError):
+            parse_event_line("evt =value")
+
+    def test_sequence_numbers_increase(self):
+        a = parse_event_line("a")
+        b = parse_event_line("b")
+        assert b.seq > a.seq
+
+
+class TestParseBuffer:
+    def test_multiple_lines(self):
+        events = parse_event_buffer(b"a\nb\nc\n")
+        assert [e.name for e in events] == ["a", "b", "c"]
+
+    def test_blank_lines_skipped(self):
+        events = parse_event_buffer(b"a\n\n\nb\n")
+        assert [e.name for e in events] == ["a", "b"]
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(EventParseError):
+            parse_event_buffer(b"\n\n")
+
+    def test_non_utf8_rejected(self):
+        with pytest.raises(EventParseError):
+            parse_event_buffer(b"\xff\xfe")
+
+
+names = st.text(alphabet="abcdefgh_", min_size=1, max_size=10).filter(
+    lambda s: s.replace("_", "").isalnum())
+keys = st.text(alphabet="abcxyz", min_size=1, max_size=5)
+values = st.text(alphabet="0123456789.", min_size=1, max_size=6)
+
+
+class TestRoundTripProperties:
+    @given(names, st.dictionaries(keys, values, max_size=4))
+    def test_to_line_parse_roundtrip(self, name, payload):
+        event = SituationEvent(name=name, payload=payload)
+        parsed = parse_event_line(event.to_line())
+        assert parsed.name == event.name
+        assert parsed.payload == event.payload
+
+    @given(st.lists(names, min_size=1, max_size=5))
+    def test_buffer_roundtrip(self, event_names):
+        buffer = "\n".join(event_names).encode() + b"\n"
+        parsed = parse_event_buffer(buffer)
+        assert [e.name for e in parsed] == event_names

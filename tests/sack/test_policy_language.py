@@ -1,0 +1,213 @@
+"""Tests for the SACK policy language parser and formatter."""
+
+import pytest
+
+from repro.sack.policy.language import (SackPolicyParseError, format_policy,
+                                        parse_policy)
+from repro.sack.policy.model import RuleDecision, RuleOp
+from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+
+
+MINIMAL = """
+policy mini;
+initial normal;
+states {
+  normal = 0;
+  emergency = 1 "crash";
+}
+transitions {
+  normal -> emergency on crash_detected;
+  * -> emergency on manual_override;
+}
+permissions {
+  NORMAL "base";
+  CONTROL_CAR_DOORS;
+}
+state_per {
+  normal: NORMAL;
+  emergency: NORMAL, CONTROL_CAR_DOORS;
+}
+per_rules {
+  NORMAL {
+    allow read /dev/car/**;
+  }
+  CONTROL_CAR_DOORS {
+    allow ioctl /dev/car/door cmd=DOOR_UNLOCK,DOOR_LOCK subject=rescued;
+    deny write /dev/car/window;
+  }
+}
+guard /dev/car/**;
+targets {
+  rescued;
+}
+"""
+
+
+class TestParseMinimal:
+    def setup_method(self):
+        self.policy = parse_policy(MINIMAL)
+
+    def test_name_and_initial(self):
+        assert self.policy.name == "mini"
+        assert self.policy.initial == "normal"
+
+    def test_states(self):
+        assert len(self.policy.states) == 2
+        assert self.policy.states.get("emergency").encoding == 1
+        assert self.policy.states.get("emergency").description == "crash"
+
+    def test_transitions(self):
+        events = {t.event for t in self.policy.transitions}
+        assert events == {"crash_detected", "manual_override"}
+        wild = [t for t in self.policy.transitions
+                if t.from_state == "*"][0]
+        assert wild.to_state == "emergency"
+
+    def test_permissions(self):
+        assert set(self.policy.permissions) == {"NORMAL",
+                                                "CONTROL_CAR_DOORS"}
+        assert self.policy.permissions["NORMAL"].description == "base"
+
+    def test_state_per(self):
+        assert self.policy.state_per["emergency"] == {"NORMAL",
+                                                      "CONTROL_CAR_DOORS"}
+
+    def test_rules(self):
+        rules = self.policy.per_rules["CONTROL_CAR_DOORS"]
+        assert len(rules) == 2
+        ioctl_rule = rules[0]
+        assert ioctl_rule.op is RuleOp.IOCTL
+        assert ioctl_rule.ioctl_cmds == {"DOOR_UNLOCK", "DOOR_LOCK"}
+        assert ioctl_rule.subject == "rescued"
+        deny_rule = rules[1]
+        assert deny_rule.decision is RuleDecision.DENY
+
+    def test_guards_and_targets(self):
+        assert self.policy.guards == ["/dev/car/**"]
+        assert self.policy.targets == ["rescued"]
+
+    def test_mapping_functions(self):
+        assert self.policy.permissions_for_state("normal") == {"NORMAL"}
+        assert len(self.policy.rules_for_state("emergency")) == 3
+        assert self.policy.rules_for_permission("NORMAL")[0].op is \
+            RuleOp.READ
+
+    def test_build_ssm(self):
+        ssm = self.policy.build_ssm()
+        assert ssm.current_name == "normal"
+
+    def test_rule_count(self):
+        assert self.policy.rule_count() == 3
+
+    def test_summary_mentions_counts(self):
+        text = self.policy.summary()
+        assert "states 2" in text
+        assert "mac_rules 3" in text
+
+
+class TestDefaultPolicyParses:
+    def test_ivi_default(self):
+        policy = parse_policy(DEFAULT_SACK_POLICY)
+        assert policy.initial == "parking_with_driver"
+        assert len(policy.states) == 4
+        assert "CONTROL_CAR_DOORS" in policy.permissions
+
+
+class TestRoundTrip:
+    def test_format_parse_roundtrip(self):
+        policy = parse_policy(MINIMAL)
+        text = format_policy(policy)
+        again = parse_policy(text)
+        assert again.name == policy.name
+        assert again.initial == policy.initial
+        assert {s.name for s in again.states} == \
+            {s.name for s in policy.states}
+        assert again.state_per == policy.state_per
+        assert again.guards == policy.guards
+        assert again.targets == policy.targets
+        assert {t.event for t in again.transitions} == \
+            {t.event for t in policy.transitions}
+        for perm in policy.per_rules:
+            assert [r.to_text() for r in again.per_rules[perm]] == \
+                [r.to_text() for r in policy.per_rules[perm]]
+
+    def test_default_policy_roundtrip(self):
+        policy = parse_policy(DEFAULT_SACK_POLICY)
+        again = parse_policy(format_policy(policy))
+        assert again.rule_count() == policy.rule_count()
+
+
+class TestParseErrors:
+    def test_no_states(self):
+        with pytest.raises(SackPolicyParseError):
+            parse_policy("policy p;\ninitial x;\n")
+
+    def test_missing_initial(self):
+        with pytest.raises(SackPolicyParseError) as exc:
+            parse_policy("states {\n  a = 0;\n}\n")
+        assert "initial" in str(exc.value)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SackPolicyParseError):
+            parse_policy("initial a\nstates {\n  a = 0;\n}")
+
+    def test_unknown_block(self):
+        with pytest.raises(SackPolicyParseError):
+            parse_policy("initial a;\nwhatever {\n}\nstates {\n a = 0;\n}")
+
+    def test_bad_transition_syntax(self):
+        bad = "initial a;\nstates {\n a = 0;\n}\ntransitions {\n a => b;\n}"
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_unknown_rule_operation(self):
+        bad = ("initial a;\nstates {\n a = 0;\n}\npermissions {\n P;\n}\n"
+               "per_rules {\n P {\n  allow teleport /x;\n }\n}")
+        with pytest.raises(SackPolicyParseError) as exc:
+            parse_policy(bad)
+        assert "teleport" in str(exc.value)
+
+    def test_relative_rule_path(self):
+        bad = ("initial a;\nstates {\n a = 0;\n}\npermissions {\n P;\n}\n"
+               "per_rules {\n P {\n  allow read dev/x;\n }\n}")
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_duplicate_permission(self):
+        bad = ("initial a;\nstates {\n a = 0;\n}\n"
+               "permissions {\n P;\n P;\n}")
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_duplicate_state_encoding(self):
+        bad = "initial a;\nstates {\n a = 0;\n b = 0;\n}"
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_unterminated_block(self):
+        with pytest.raises(SackPolicyParseError):
+            parse_policy("initial a;\nstates {\n a = 0;\n")
+
+    def test_unknown_rule_qualifier(self):
+        bad = ("initial a;\nstates {\n a = 0;\n}\npermissions {\n P;\n}\n"
+               "per_rules {\n P {\n  allow read /x frob=1;\n }\n}")
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_error_reports_line(self):
+        try:
+            parse_policy("initial a\n")
+        except SackPolicyParseError as exc:
+            assert exc.lineno == 1
+        else:  # pragma: no cover
+            pytest.fail("expected parse error")
+
+    def test_cmd_on_non_ioctl_rejected(self):
+        bad = ("initial a;\nstates {\n a = 0;\n}\npermissions {\n P;\n}\n"
+               "per_rules {\n P {\n  allow read /x cmd=1;\n }\n}")
+        with pytest.raises(SackPolicyParseError):
+            parse_policy(bad)
+
+    def test_comments_ignored(self):
+        policy = parse_policy("# leading comment\n" + MINIMAL)
+        assert policy.name == "mini"

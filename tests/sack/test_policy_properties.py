@@ -1,0 +1,172 @@
+"""Property-based tests over randomly generated SACK policies.
+
+These test semantic invariants the unit tests cannot sweep:
+* format/parse round-trips preserve every access decision;
+* compilation is deterministic;
+* the live APE always agrees with a fresh compile of the same policy;
+* deny rules are monotone (adding one never expands the allowed set);
+* the checker and compiler never crash on generator output.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sack.ape import AdaptivePolicyEnforcer
+from repro.sack.events import SituationEvent
+from repro.sack.policy.checker import check_policy
+from repro.sack.policy.compiler import compile_policy
+from repro.sack.policy.language import format_policy, parse_policy
+from repro.sack.policy.model import (MacRule, RuleDecision, RuleOp,
+                                     SackPermission, SackPolicy)
+from repro.sack.ssm import TransitionRule
+from repro.sack.states import SituationState, StateSpace
+
+# Small closed vocabularies keep the search space meaningful.
+PATHS = ["/dev/car/door", "/dev/car/audio", "/dev/car/window",
+         "/dev/car/**", "/etc/vehicle/conf"]
+SUBJECTS = [None, "rescue_daemon", "media_app"]
+OPS = [RuleOp.READ, RuleOp.WRITE, RuleOp.IOCTL]
+EVENTS = ["e0", "e1", "e2", "e3"]
+
+# Probe accesses used to compare policy semantics.
+PROBES = [(op, path, comm)
+          for op in OPS
+          for path in ["/dev/car/door", "/dev/car/audio",
+                       "/dev/car/deep/nested", "/etc/vehicle/conf",
+                       "/tmp/unrelated"]
+          for comm in ["rescue_daemon", "media_app", "other"]]
+
+
+@st.composite
+def mac_rules(draw):
+    return MacRule(
+        decision=draw(st.sampled_from([RuleDecision.ALLOW,
+                                       RuleDecision.DENY])),
+        op=draw(st.sampled_from(OPS)),
+        path_glob=draw(st.sampled_from(PATHS)),
+        subject=draw(st.sampled_from(SUBJECTS)))
+
+
+@st.composite
+def sack_policies(draw):
+    n_states = draw(st.integers(min_value=1, max_value=4))
+    state_names = [f"st{i}" for i in range(n_states)]
+    states = StateSpace([SituationState(n, i)
+                         for i, n in enumerate(state_names)])
+
+    transitions = []
+    seen_edges = set()
+    for _ in range(draw(st.integers(min_value=0, max_value=6))):
+        event = draw(st.sampled_from(EVENTS))
+        source = draw(st.sampled_from(state_names))
+        if (event, source) in seen_edges:
+            continue
+        seen_edges.add((event, source))
+        transitions.append(TransitionRule(
+            event=event, from_state=source,
+            to_state=draw(st.sampled_from(state_names))))
+
+    n_perms = draw(st.integers(min_value=1, max_value=3))
+    perm_names = [f"P{i}" for i in range(n_perms)]
+    permissions = {n: SackPermission(n) for n in perm_names}
+    per_rules = {
+        name: draw(st.lists(mac_rules(), min_size=1, max_size=3))
+        for name in perm_names}
+    state_per = {
+        state: set(draw(st.lists(st.sampled_from(perm_names),
+                                 max_size=n_perms)))
+        for state in state_names}
+    return SackPolicy(states=states, initial=state_names[0],
+                      transitions=transitions, permissions=permissions,
+                      state_per=state_per, per_rules=per_rules,
+                      guards=["/dev/car/**"], name="generated")
+
+
+def decisions(compiled, state_name):
+    ruleset = compiled.ruleset_for(state_name)
+    return tuple(ruleset.check(op, path, comm)
+                 for op, path, comm in PROBES)
+
+
+class TestGeneratedPolicies:
+    @settings(max_examples=60, deadline=None)
+    @given(sack_policies())
+    def test_checker_never_crashes(self, policy):
+        check_policy(policy)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sack_policies())
+    def test_format_parse_preserves_decisions(self, policy):
+        compiled_a = compile_policy(policy, strict=False)
+        compiled_b = compile_policy(parse_policy(format_policy(policy)),
+                                    strict=False)
+        for state in policy.states:
+            assert decisions(compiled_a, state.name) == \
+                decisions(compiled_b, state.name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sack_policies())
+    def test_compilation_deterministic(self, policy):
+        a = compile_policy(policy, strict=False)
+        b = compile_policy(policy, strict=False)
+        for state in policy.states:
+            assert decisions(a, state.name) == decisions(b, state.name)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sack_policies(),
+           st.lists(st.sampled_from(EVENTS), max_size=20))
+    def test_ape_matches_fresh_compile(self, policy, events):
+        compiled = compile_policy(policy, strict=False)
+        ssm = policy.build_ssm()
+        ape = AdaptivePolicyEnforcer(compiled, ssm)
+        for name in events:
+            ssm.process_event(SituationEvent(name=name))
+        fresh = compile_policy(policy, strict=False)
+        assert decisions(fresh, ssm.current_name) == tuple(
+            ape.check(op, path, comm) for op, path, comm in PROBES)
+
+    @settings(max_examples=40, deadline=None)
+    @given(sack_policies(), mac_rules())
+    def test_deny_rules_are_monotone(self, policy, extra):
+        """Adding a deny rule can only shrink the allowed set."""
+        before = compile_policy(policy, strict=False)
+        deny = MacRule(decision=RuleDecision.DENY, op=extra.op,
+                       path_glob=extra.path_glob, subject=extra.subject)
+        perm = next(iter(policy.per_rules))
+        policy.per_rules[perm].append(deny)
+        after = compile_policy(policy, strict=False)
+        for state in policy.states:
+            if perm not in policy.permissions_for_state(state.name):
+                continue
+            for was, now in zip(decisions(before, state.name),
+                                decisions(after, state.name)):
+                assert now <= was  # allowed may only become denied
+
+    @settings(max_examples=40, deadline=None)
+    @given(sack_policies(), mac_rules())
+    def test_allow_rules_are_monotone(self, policy, extra):
+        """Adding an allow rule can only grow the allowed set."""
+        before = compile_policy(policy, strict=False)
+        allow = MacRule(decision=RuleDecision.ALLOW, op=extra.op,
+                        path_glob=extra.path_glob, subject=extra.subject)
+        perm = next(iter(policy.per_rules))
+        policy.per_rules[perm].append(allow)
+        after = compile_policy(policy, strict=False)
+        for state in policy.states:
+            if perm not in policy.permissions_for_state(state.name):
+                continue
+            for was, now in zip(decisions(before, state.name),
+                                decisions(after, state.name)):
+                assert was <= now  # denied may only become allowed
+
+    @settings(max_examples=40, deadline=None)
+    @given(sack_policies())
+    def test_ungoverned_paths_always_allowed_absent_denies(self, policy):
+        # Strip deny rules; anything outside the guard must be allowed.
+        for perm in policy.per_rules:
+            policy.per_rules[perm] = [
+                r for r in policy.per_rules[perm]
+                if r.decision is RuleDecision.ALLOW]
+        compiled = compile_policy(policy, strict=False)
+        for state in policy.states:
+            ruleset = compiled.ruleset_for(state.name)
+            assert ruleset.check(RuleOp.WRITE, "/tmp/unrelated", "x")

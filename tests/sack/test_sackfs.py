@@ -1,0 +1,196 @@
+"""Tests for SACKfs: the securityfs interface of SACK."""
+
+import pytest
+
+from repro.kernel import (Capability, Errno, KernelError, OpenFlags,
+                          user_credentials)
+from repro.lsm import boot_kernel
+from repro.sack import SackFs, SackLsm
+
+POLICY = """
+policy fs_test;
+initial normal;
+states {
+  normal = 0;
+  emergency = 1;
+}
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions {
+  BASE;
+}
+state_per {
+  normal: BASE;
+  emergency: BASE;
+}
+per_rules {
+  BASE {
+    allow read /dev/car/**;
+  }
+}
+guard /dev/car/**;
+"""
+
+SDS_UID = 990
+
+
+@pytest.fixture
+def world():
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    sackfs = SackFs(kernel, sack, authorized_event_uids={SDS_UID})
+    kernel.write_file(kernel.procs.init,
+                      "/sys/kernel/security/SACK/policy",
+                      POLICY.encode(), create=False)
+    return kernel, sack, sackfs
+
+
+def sds_task(kernel):
+    task = kernel.sys_fork(kernel.procs.init)
+    task.comm = "sds"
+    task.cred = user_credentials(SDS_UID)
+    return task
+
+
+class TestFilesExist:
+    def test_all_interface_files_registered(self, world):
+        kernel, _, _ = world
+        listing = kernel.vfs.listdir("/sys/kernel/security/SACK")
+        assert set(listing) >= {"events", "current", "policy", "states",
+                                "state_per", "per_rules", "stats"}
+
+
+class TestEventChannel:
+    def test_authorized_uid_can_submit(self, world):
+        kernel, sack, sackfs = world
+        task = sds_task(kernel)
+        kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                          b"crash_detected\n", create=False)
+        assert sack.current_state == "emergency"
+        assert sackfs.events_accepted == 1
+
+    def test_unauthorized_uid_rejected(self, world):
+        kernel, sack, _ = world
+        intruder = kernel.sys_fork(kernel.procs.init)
+        intruder.cred = user_credentials(1234)
+        with pytest.raises(KernelError) as exc:
+            kernel.write_file(intruder,
+                              "/sys/kernel/security/SACK/events",
+                              b"crash_detected\n", create=False)
+        assert exc.value.errno in (Errno.EPERM, Errno.EACCES)
+        assert sack.current_state == "normal"
+
+    def test_cap_mac_admin_can_submit(self, world):
+        kernel, sack, _ = world
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/events",
+                          b"crash_detected\n", create=False)
+        assert sack.current_state == "emergency"
+
+    def test_multiple_events_in_one_write(self, world):
+        kernel, sack, sackfs = world
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/events",
+                          b"crash_detected\nemergency_cleared\n",
+                          create=False)
+        assert sack.current_state == "normal"
+        assert sackfs.events_accepted == 2
+
+    def test_malformed_event_is_einval(self, world):
+        kernel, _, sackfs = world
+        with pytest.raises(KernelError) as exc:
+            kernel.write_file(kernel.procs.init,
+                              "/sys/kernel/security/SACK/events",
+                              b"bad/event\n", create=False)
+        assert exc.value.errno is Errno.EINVAL
+        assert sackfs.events_rejected == 1
+
+    def test_event_with_payload(self, world):
+        kernel, sack, _ = world
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/events",
+                          b"crash_detected speed=93\n", create=False)
+        assert sack.ssm.history[-1].event.payload == {"speed": "93"}
+
+    def test_authorize_event_writer(self, world):
+        kernel, sack, sackfs = world
+        sackfs.authorize_event_writer(777)
+        task = kernel.sys_fork(kernel.procs.init)
+        task.cred = user_credentials(777)
+        kernel.write_file(task, "/sys/kernel/security/SACK/events",
+                          b"crash_detected\n", create=False)
+        assert sack.current_state == "emergency"
+
+
+class TestPolicyFile:
+    def test_policy_load_requires_cap(self):
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        SackFs(kernel, sack)
+        user = kernel.sys_fork(kernel.procs.init)
+        user.cred = user_credentials(1000)
+        with pytest.raises(KernelError):
+            kernel.write_file(user, "/sys/kernel/security/SACK/policy",
+                              POLICY.encode(), create=False)
+        assert sack.ape is None
+
+    def test_bad_policy_rejected_with_einval(self, world):
+        kernel, _, _ = world
+        with pytest.raises(KernelError) as exc:
+            kernel.write_file(kernel.procs.init,
+                              "/sys/kernel/security/SACK/policy",
+                              b"garbage {", create=False)
+        assert exc.value.errno is Errno.EINVAL
+
+    def test_policy_summary_readable(self, world):
+        kernel, _, _ = world
+        text = kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/policy")
+        assert b"policy fs_test" in text
+
+
+class TestReadViews:
+    def test_current(self, world):
+        kernel, _, _ = world
+        assert kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/current") == \
+            b"normal 0\n"
+
+    def test_states_listing(self, world):
+        kernel, _, _ = world
+        data = kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/states")
+        assert data == b"normal 0\nemergency 1\n"
+
+    def test_state_per_listing(self, world):
+        kernel, _, _ = world
+        data = kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/state_per")
+        assert b"normal: BASE" in data
+
+    def test_per_rules_listing(self, world):
+        kernel, _, _ = world
+        data = kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/per_rules")
+        assert b"allow read /dev/car/**" in data
+
+    def test_stats(self, world):
+        kernel, sack, _ = world
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/events",
+                          b"crash_detected\n", create=False)
+        data = kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/stats").decode()
+        assert "events_accepted 1" in data
+        assert "ssm_transitions 1" in data
+        assert "ape_state emergency" in data
+
+    def test_current_without_policy(self):
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        SackFs(kernel, sack)
+        assert kernel.read_file(kernel.procs.init,
+                                "/sys/kernel/security/SACK/current") == \
+            b"none\n"

@@ -1,0 +1,258 @@
+"""Tests for the situation state machine, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sack.events import SituationEvent
+from repro.sack.ssm import (ANY_STATE, SituationStateMachine, SsmError,
+                            TransitionRule)
+from repro.sack.states import SituationState, StateSpace, paper_state_space
+
+
+def fig2_rules():
+    """The transition rules of the paper's Fig. 2."""
+    return [
+        TransitionRule("vehicle_started", "parking_with_driver", "driving"),
+        TransitionRule("vehicle_parked", "driving", "parking_with_driver"),
+        TransitionRule("driver_left", "parking_with_driver",
+                       "parking_without_driver"),
+        TransitionRule("driver_returned", "parking_without_driver",
+                       "parking_with_driver"),
+        TransitionRule("crash_detected", ANY_STATE, "emergency"),
+        TransitionRule("emergency_cleared", "emergency",
+                       "parking_with_driver"),
+    ]
+
+
+def make_ssm(initial="parking_with_driver"):
+    return SituationStateMachine(paper_state_space(), fig2_rules(), initial)
+
+
+def ev(name):
+    return SituationEvent(name=name)
+
+
+class TestConstruction:
+    def test_initial_state(self):
+        assert make_ssm().current_name == "parking_with_driver"
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(SsmError):
+            make_ssm("nowhere")
+
+    def test_rule_with_unknown_from_state(self):
+        with pytest.raises(SsmError):
+            SituationStateMachine(
+                paper_state_space(),
+                [TransitionRule("x", "ghost", "driving")], "driving")
+
+    def test_rule_with_unknown_to_state(self):
+        with pytest.raises(SsmError):
+            SituationStateMachine(
+                paper_state_space(),
+                [TransitionRule("x", "driving", "ghost")], "driving")
+
+    def test_nondeterministic_rules_rejected(self):
+        with pytest.raises(SsmError) as exc:
+            SituationStateMachine(
+                paper_state_space(),
+                [TransitionRule("e", "driving", "emergency"),
+                 TransitionRule("e", "driving", "parking_with_driver")],
+                "driving")
+        assert "nondeterministic" in str(exc.value)
+
+    def test_duplicate_identical_rule_tolerated(self):
+        SituationStateMachine(
+            paper_state_space(),
+            [TransitionRule("e", "driving", "emergency"),
+             TransitionRule("e", "driving", "emergency")], "driving")
+
+
+class TestTransitions:
+    def test_matching_event_transitions(self):
+        ssm = make_ssm()
+        transition = ssm.process_event(ev("vehicle_started"), now_ns=5)
+        assert transition is not None
+        assert transition.from_state == "parking_with_driver"
+        assert transition.to_state == "driving"
+        assert transition.at_ns == 5
+        assert ssm.current_name == "driving"
+
+    def test_non_matching_event_ignored(self):
+        ssm = make_ssm()
+        assert ssm.process_event(ev("vehicle_parked")) is None
+        assert ssm.current_name == "parking_with_driver"
+        assert ssm.events_ignored == 1
+
+    def test_wildcard_rule_fires_from_any_state(self):
+        for start in ("driving", "parking_with_driver",
+                      "parking_without_driver"):
+            ssm = make_ssm("parking_with_driver")
+            ssm.force_state(start)
+            ssm.process_event(ev("crash_detected"))
+            assert ssm.current_name == "emergency"
+
+    def test_specific_rule_preferred_over_wildcard(self):
+        space = StateSpace([SituationState("a", 0), SituationState("b", 1),
+                            SituationState("c", 2)])
+        ssm = SituationStateMachine(
+            space,
+            [TransitionRule("go", ANY_STATE, "b"),
+             TransitionRule("go", "a", "c")], "a")
+        ssm.process_event(ev("go"))
+        assert ssm.current_name == "c"
+
+    def test_self_transition_not_counted(self):
+        ssm = make_ssm()
+        ssm.force_state("emergency")
+        result = ssm.process_event(ev("crash_detected"))
+        assert result is None  # already in emergency
+        assert ssm.transition_count == 0
+
+    def test_full_paper_scenario(self):
+        ssm = make_ssm()
+        for event, expected in [
+            ("vehicle_started", "driving"),
+            ("vehicle_parked", "parking_with_driver"),
+            ("driver_left", "parking_without_driver"),
+            ("driver_returned", "parking_with_driver"),
+            ("vehicle_started", "driving"),
+            ("crash_detected", "emergency"),
+            ("emergency_cleared", "parking_with_driver"),
+        ]:
+            ssm.process_event(ev(event))
+            assert ssm.current_name == expected
+
+    def test_history_recorded(self):
+        ssm = make_ssm()
+        ssm.process_event(ev("vehicle_started"))
+        ssm.process_event(ev("crash_detected"))
+        assert [t.to_state for t in ssm.history] == ["driving", "emergency"]
+
+    def test_history_bounded(self):
+        ssm = SituationStateMachine(
+            paper_state_space(),
+            fig2_rules(), "parking_with_driver", history_size=3)
+        for _ in range(5):
+            ssm.process_event(ev("vehicle_started"))
+            ssm.process_event(ev("vehicle_parked"))
+        assert len(ssm.history) == 3
+
+
+class TestListeners:
+    def test_listener_called_synchronously(self):
+        ssm = make_ssm()
+        seen = []
+        ssm.add_listener(lambda tr: seen.append(tr.to_state))
+        ssm.process_event(ev("vehicle_started"))
+        assert seen == ["driving"]
+
+    def test_listener_order(self):
+        ssm = make_ssm()
+        order = []
+        ssm.add_listener(lambda tr: order.append("first"))
+        ssm.add_listener(lambda tr: order.append("second"))
+        ssm.process_event(ev("vehicle_started"))
+        assert order == ["first", "second"]
+
+    def test_ignored_event_no_callback(self):
+        ssm = make_ssm()
+        seen = []
+        ssm.add_listener(lambda tr: seen.append(tr))
+        ssm.process_event(ev("unknown_event"))
+        assert seen == []
+
+
+class TestAnalysis:
+    def test_reachability_all_states(self):
+        ssm = make_ssm()
+        assert ssm.reachable_states() == {
+            "driving", "parking_with_driver", "parking_without_driver",
+            "emergency"}
+
+    def test_unreachable_state_detected(self):
+        space = StateSpace([SituationState("a", 0), SituationState("b", 1),
+                            SituationState("island", 2)])
+        ssm = SituationStateMachine(
+            space, [TransitionRule("go", "a", "b")], "a")
+        assert "island" not in ssm.reachable_states()
+
+    def test_stats(self):
+        ssm = make_ssm()
+        ssm.process_event(ev("vehicle_started"))
+        ssm.process_event(ev("nothing"))
+        stats = ssm.stats()
+        assert stats["events_processed"] == 2
+        assert stats["events_ignored"] == 1
+        assert stats["transitions"] == 1
+        assert stats["states"] == 4
+
+
+# -- property tests --------------------------------------------------------
+
+event_names = ["vehicle_started", "vehicle_parked", "driver_left",
+               "driver_returned", "crash_detected", "emergency_cleared",
+               "bogus_event"]
+
+
+class TestSsmProperties:
+    @given(st.lists(st.sampled_from(event_names), max_size=60))
+    def test_state_always_valid(self, sequence):
+        ssm = make_ssm()
+        valid = set(paper_state_space().names())
+        for name in sequence:
+            ssm.process_event(ev(name))
+            assert ssm.current_name in valid
+
+    @given(st.lists(st.sampled_from(event_names), max_size=60))
+    def test_deterministic_replay(self, sequence):
+        a, b = make_ssm(), make_ssm()
+        for name in sequence:
+            a.process_event(ev(name))
+            b.process_event(ev(name))
+        assert a.current_name == b.current_name
+        assert a.transition_count == b.transition_count
+
+    @given(st.lists(st.sampled_from(event_names), max_size=60))
+    def test_transitions_plus_ignored_equals_processed(self, sequence):
+        ssm = make_ssm()
+        for name in sequence:
+            ssm.process_event(ev(name))
+        assert ssm.transition_count + ssm.events_ignored == \
+            ssm.events_processed
+
+    @given(st.lists(st.sampled_from(event_names), max_size=60))
+    def test_history_matches_transition_count(self, sequence):
+        ssm = make_ssm()
+        for name in sequence:
+            ssm.process_event(ev(name))
+        assert len(ssm.history) == min(ssm.transition_count, 256)
+
+
+class TestDotExport:
+    def test_dot_contains_states_and_edges(self):
+        ssm = make_ssm()
+        dot = ssm.to_dot(title="fig2")
+        assert dot.startswith('digraph "fig2"')
+        for state in ("driving", "emergency", "parking_with_driver",
+                      "parking_without_driver"):
+            assert f'"{state}"' in dot
+        assert '[label="vehicle_started"]' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_wildcard_rule_fans_out(self):
+        ssm = make_ssm()
+        dot = ssm.to_dot()
+        # crash_detected is a wildcard rule: an edge from every state
+        # except emergency itself.
+        assert dot.count('[label="crash_detected"]') == 3
+
+    def test_initial_state_marked(self):
+        dot = make_ssm().to_dot()
+        assert '__start -> "parking_with_driver"' in dot
+
+    def test_current_state_bold(self):
+        ssm = make_ssm()
+        ssm.process_event(ev("vehicle_started"))
+        dot = ssm.to_dot()
+        assert '"driving" [label="driving\\n(0)", style=bold]' in dot

@@ -1,0 +1,68 @@
+"""Tests for situation states and the state space."""
+
+import pytest
+
+from repro.sack.states import (EMERGENCY, NORMAL_DRIVING, SituationState,
+                               StateSpace, paper_state_space)
+
+
+class TestSituationState:
+    def test_valid(self):
+        s = SituationState("driving", 0, "on the road")
+        assert s.name == "driving"
+        assert s.encoding == 0
+
+    def test_invalid_name(self):
+        with pytest.raises(ValueError):
+            SituationState("has space", 0)
+        with pytest.raises(ValueError):
+            SituationState("", 0)
+
+    def test_negative_encoding(self):
+        with pytest.raises(ValueError):
+            SituationState("x", -1)
+
+    def test_underscores_allowed(self):
+        SituationState("parking_with_driver", 1)
+
+    def test_frozen(self):
+        import dataclasses
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EMERGENCY.encoding = 9
+
+
+class TestStateSpace:
+    def test_add_and_get(self):
+        space = StateSpace([NORMAL_DRIVING])
+        assert space.get("driving") is NORMAL_DRIVING
+        assert "driving" in space
+        assert len(space) == 1
+
+    def test_duplicate_name_rejected(self):
+        space = StateSpace([NORMAL_DRIVING])
+        with pytest.raises(ValueError):
+            space.add(SituationState("driving", 5))
+
+    def test_duplicate_encoding_rejected(self):
+        space = StateSpace([NORMAL_DRIVING])
+        with pytest.raises(ValueError):
+            space.add(SituationState("other", NORMAL_DRIVING.encoding))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            StateSpace().get("ghost")
+
+    def test_by_encoding(self):
+        space = paper_state_space()
+        assert space.by_encoding(3).name == "emergency"
+        with pytest.raises(KeyError):
+            space.by_encoding(99)
+
+    def test_paper_space_has_fig2_states(self):
+        space = paper_state_space()
+        assert set(space.names()) == {"driving", "parking_with_driver",
+                                      "parking_without_driver", "emergency"}
+
+    def test_iteration(self):
+        space = paper_state_space()
+        assert {s.name for s in space} == set(space.names())

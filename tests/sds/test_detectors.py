@@ -1,0 +1,135 @@
+"""Tests for situation-event detectors: edge triggering and hysteresis."""
+
+import pytest
+
+from repro.sack import events as ev
+from repro.sds.detectors import (CrashDetector, DriverPresenceDetector,
+                                 DrivingStateDetector, SpeedBandDetector,
+                                 default_detector_suite)
+
+
+def feed(detector, sample_list):
+    out = []
+    for samples in sample_list:
+        out.extend(detector.update(samples, now_ns=0))
+    return out
+
+
+class TestCrashDetector:
+    def test_flag_triggers_once(self):
+        det = CrashDetector()
+        events = feed(det, [{"crashed": False}, {"crashed": True},
+                            {"crashed": True}])
+        assert events == [ev.CRASH_DETECTED]
+
+    def test_hard_deceleration_triggers(self):
+        det = CrashDetector(decel_threshold_ms2=40.0)
+        events = feed(det, [{"accel_ms2": -5.0}, {"accel_ms2": -80.0}])
+        assert events == [ev.CRASH_DETECTED]
+
+    def test_braking_does_not_trigger(self):
+        det = CrashDetector()
+        assert feed(det, [{"accel_ms2": -8.0}]) == []
+
+    def test_clear_event_on_recovery(self):
+        det = CrashDetector()
+        events = feed(det, [{"crashed": True}, {"crashed": False}])
+        assert events == [ev.CRASH_DETECTED, ev.EMERGENCY_CLEARED]
+
+    def test_full_cycle_repeatable(self):
+        det = CrashDetector()
+        events = feed(det, [{"crashed": True}, {"crashed": False},
+                            {"crashed": True}])
+        assert events == [ev.CRASH_DETECTED, ev.EMERGENCY_CLEARED,
+                          ev.CRASH_DETECTED]
+
+
+class TestDrivingStateDetector:
+    def test_started_edge(self):
+        det = DrivingStateDetector()
+        events = feed(det, [
+            {"speed_kmh": 0.0, "engine_on": False},
+            {"speed_kmh": 20.0, "engine_on": True},
+        ])
+        assert events == [ev.VEHICLE_STARTED]
+
+    def test_parked_edge(self):
+        det = DrivingStateDetector()
+        events = feed(det, [
+            {"speed_kmh": 20.0, "engine_on": True},
+            {"speed_kmh": 0.0, "engine_on": False},
+        ])
+        assert events == [ev.VEHICLE_STARTED, ev.VEHICLE_PARKED]
+
+    def test_boot_while_parked_emits_nothing(self):
+        det = DrivingStateDetector()
+        assert feed(det, [{"speed_kmh": 0.0, "engine_on": False}] * 3) == []
+
+    def test_no_repeat_while_driving(self):
+        det = DrivingStateDetector()
+        events = feed(det, [{"speed_kmh": s, "engine_on": True}
+                            for s in (10, 30, 50, 70)])
+        assert events == [ev.VEHICLE_STARTED]
+
+    def test_engine_off_coasting_counts_as_not_driving(self):
+        det = DrivingStateDetector()
+        events = feed(det, [
+            {"speed_kmh": 30.0, "engine_on": True},
+            {"speed_kmh": 10.0, "engine_on": False},
+        ])
+        assert events == [ev.VEHICLE_STARTED, ev.VEHICLE_PARKED]
+
+
+class TestDriverPresenceDetector:
+    def test_left_and_returned(self):
+        det = DriverPresenceDetector()
+        events = feed(det, [{"driver_present": True},
+                            {"driver_present": False},
+                            {"driver_present": True}])
+        assert events == [ev.DRIVER_LEFT, ev.DRIVER_RETURNED]
+
+    def test_initial_state_silent(self):
+        det = DriverPresenceDetector()
+        assert feed(det, [{"driver_present": True}]) == []
+        det2 = DriverPresenceDetector()
+        assert feed(det2, [{"driver_present": False}]) == []
+
+
+class TestSpeedBandDetector:
+    def test_crossing_up(self):
+        det = SpeedBandDetector(threshold_kmh=60)
+        events = feed(det, [{"speed_kmh": 30}, {"speed_kmh": 70}])
+        assert events == [ev.SPEED_HIGH]
+
+    def test_crossing_down(self):
+        det = SpeedBandDetector(threshold_kmh=60, hysteresis_kmh=5)
+        events = feed(det, [{"speed_kmh": 70}, {"speed_kmh": 40}])
+        assert events == [ev.SPEED_HIGH, ev.SPEED_LOW]
+
+    def test_hysteresis_suppresses_flapping(self):
+        det = SpeedBandDetector(threshold_kmh=60, hysteresis_kmh=5)
+        # 61 -> high; 57 sits inside the hysteresis band, so no event.
+        events = feed(det, [{"speed_kmh": 61}, {"speed_kmh": 57},
+                            {"speed_kmh": 61}, {"speed_kmh": 57}])
+        assert events == [ev.SPEED_HIGH]
+
+    def test_boot_below_threshold_silent(self):
+        det = SpeedBandDetector(threshold_kmh=60)
+        assert feed(det, [{"speed_kmh": 10}]) == []
+
+    def test_boot_above_threshold_emits_high(self):
+        det = SpeedBandDetector(threshold_kmh=60)
+        assert feed(det, [{"speed_kmh": 90}]) == [ev.SPEED_HIGH]
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedBandDetector(threshold_kmh=-1)
+        with pytest.raises(ValueError):
+            SpeedBandDetector(hysteresis_kmh=-1)
+
+
+class TestDefaultSuite:
+    def test_contains_all_detectors(self):
+        kinds = {type(d) for d in default_detector_suite()}
+        assert kinds == {CrashDetector, DrivingStateDetector,
+                         DriverPresenceDetector, SpeedBandDetector}

@@ -1,0 +1,51 @@
+"""Tests for the SDS sensor suite."""
+
+from repro.sds.sensors import (Accelerometer, CrashSensor, GpsSensor,
+                               IgnitionSensor, SeatOccupancySensor,
+                               SpeedSensor, default_sensor_suite, sample_all)
+from repro.vehicle.dynamics import VehicleDynamics
+
+
+class TestSensors:
+    def setup_method(self):
+        self.dyn = VehicleDynamics(speed_kmh=36.0, driver_present=True,
+                                   engine_on=True)
+
+    def test_speed_sensor(self):
+        assert SpeedSensor().sample(self.dyn) == 36.0
+
+    def test_accelerometer_tracks_dynamics(self):
+        self.dyn.accelerate(2.0)
+        self.dyn.step(1.0)
+        assert Accelerometer().sample(self.dyn) > 0
+
+    def test_gps_tracks_position(self):
+        self.dyn.step(10.0)
+        assert GpsSensor().sample(self.dyn) > 0
+
+    def test_seat_occupancy(self):
+        assert SeatOccupancySensor().sample(self.dyn) is True
+        self.dyn.set_driver_present(False)
+        assert SeatOccupancySensor().sample(self.dyn) is False
+
+    def test_ignition(self):
+        assert IgnitionSensor().sample(self.dyn) is True
+        self.dyn.stop_engine()
+        assert IgnitionSensor().sample(self.dyn) is False
+
+    def test_crash_sensor(self):
+        assert CrashSensor().sample(self.dyn) is False
+        self.dyn.crash()
+        assert CrashSensor().sample(self.dyn) is True
+
+    def test_default_suite_names_unique(self):
+        suite = default_sensor_suite()
+        names = [s.name for s in suite]
+        assert len(names) == len(set(names))
+        assert len(suite) == 6
+
+    def test_sample_all(self):
+        samples = sample_all(default_sensor_suite(), self.dyn)
+        assert samples["speed_kmh"] == 36.0
+        assert samples["driver_present"] is True
+        assert samples["crashed"] is False

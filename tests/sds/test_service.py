@@ -1,0 +1,105 @@
+"""Tests for the SDS daemon: sensing, detection, transmission."""
+
+import pytest
+
+from repro.kernel import user_credentials
+from repro.lsm import boot_kernel
+from repro.sack import SackFs, SackLsm
+from repro.sds import SituationDetectionService
+from repro.vehicle.devices import IOCTL_SYMBOLS
+from repro.vehicle.dynamics import VehicleDynamics
+from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+
+SDS_UID = 990
+
+
+@pytest.fixture
+def world():
+    sack = SackLsm()
+    kernel, _ = boot_kernel([sack])
+    SackFs(kernel, sack, authorized_event_uids={SDS_UID},
+           ioctl_symbols=IOCTL_SYMBOLS)
+    kernel.write_file(kernel.procs.init,
+                      "/sys/kernel/security/SACK/policy",
+                      DEFAULT_SACK_POLICY.encode(), create=False)
+    task = kernel.sys_fork(kernel.procs.init)
+    task.comm = "sds"
+    task.cred = user_credentials(SDS_UID)
+    dynamics = VehicleDynamics(driver_present=True)
+    sds = SituationDetectionService(kernel, task, dynamics)
+    return kernel, sack, sds
+
+
+class TestPolling:
+    def test_quiet_world_sends_nothing(self, world):
+        _, _, sds = world
+        assert sds.run(5) == []
+        assert sds.stats.events_sent == 0
+
+    def test_driving_detected_and_transmitted(self, world):
+        _, sack, sds = world
+        sds.dynamics.start_engine()
+        sds.dynamics.accelerate(3.0)
+        events = sds.run(20)
+        assert "vehicle_started" in events
+        assert sack.current_state == "driving"
+
+    def test_crash_reaches_kernel(self, world):
+        _, sack, sds = world
+        sds.dynamics.start_engine()
+        sds.dynamics.accelerate(5.0)
+        sds.run(30)
+        sds.dynamics.crash()
+        sds.run(2)
+        assert sack.current_state == "emergency"
+
+    def test_driver_leaves_while_parked(self, world):
+        _, sack, sds = world
+        sds.run(1)
+        sds.dynamics.set_driver_present(False)
+        events = sds.run(2)
+        assert "driver_left" in events
+        assert sack.current_state == "parking_without_driver"
+
+    def test_poll_counts(self, world):
+        _, _, sds = world
+        sds.run(7)
+        assert sds.stats.polls == 7
+
+    def test_latency_samples_collected(self, world):
+        _, _, sds = world
+        sds.dynamics.start_engine()
+        sds.dynamics.accelerate(3.0)
+        sds.run(20)
+        assert sds.stats.events_sent >= 1
+        assert len(sds.stats.send_latencies_ns) == sds.stats.events_sent
+        assert sds.stats.mean_latency_us > 0
+
+    def test_send_event_failure_counted(self, world):
+        kernel, _, sds = world
+        # Unauthorised SDS: strip its uid authorisation by using a task
+        # with a different uid.
+        sds.task = kernel.sys_fork(kernel.procs.init)
+        sds.task.cred = user_credentials(1234)
+        assert not sds.send_event("crash_detected")
+        assert sds.stats.events_failed == 1
+
+    def test_payload_includes_speed(self, world):
+        _, sack, sds = world
+        sds.dynamics.start_engine()
+        sds.dynamics.accelerate(3.0)
+        sds.run(25)
+        transition = sack.ssm.history[-1]
+        assert "speed" in transition.event.payload
+
+    def test_summary(self, world):
+        _, _, sds = world
+        summary = sds.stats.summary()
+        assert set(summary) == {"polls", "events_sent", "events_failed",
+                                "mean_send_latency_us"}
+
+    def test_virtual_clock_advances(self, world):
+        kernel, _, sds = world
+        before = kernel.clock.now_ns
+        sds.run(3)
+        assert kernel.clock.now_ns > before

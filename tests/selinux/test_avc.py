@@ -1,0 +1,63 @@
+"""Tests for the access vector cache."""
+
+from repro.selinux.avc import AccessVectorCache
+from repro.selinux.policy import AvRule, SelinuxPolicy
+
+
+def make_policy():
+    policy = SelinuxPolicy()
+    policy.declare_type("a_t")
+    policy.declare_type("b_t")
+    policy.add_rule(AvRule("a_t", "b_t", "file", frozenset({"read"})))
+    return policy
+
+
+class TestAvc:
+    def test_miss_then_hit(self):
+        avc = AccessVectorCache(make_policy())
+        assert avc.allowed("a_t", "b_t", "file", "read")
+        assert avc.misses == 1
+        assert avc.allowed("a_t", "b_t", "file", "read")
+        assert avc.hits == 1
+
+    def test_negative_decisions_cached_too(self):
+        avc = AccessVectorCache(make_policy())
+        assert not avc.allowed("a_t", "b_t", "file", "write")
+        assert not avc.allowed("a_t", "b_t", "file", "write")
+        assert avc.hits == 1
+
+    def test_policy_change_flushes(self):
+        policy = make_policy()
+        avc = AccessVectorCache(policy)
+        assert not avc.allowed("a_t", "b_t", "file", "write")
+        policy.add_rule(AvRule("a_t", "b_t", "file", frozenset({"write"})))
+        # The revision bump must invalidate the stale negative entry.
+        assert avc.allowed("a_t", "b_t", "file", "write")
+        assert avc.flushes >= 1
+
+    def test_retraction_flushes(self):
+        policy = make_policy()
+        policy.add_rule(AvRule("a_t", "b_t", "file",
+                               frozenset({"write"}), origin="sack"))
+        avc = AccessVectorCache(policy)
+        assert avc.allowed("a_t", "b_t", "file", "write")
+        policy.remove_rules_by_origin("sack")
+        assert not avc.allowed("a_t", "b_t", "file", "write")
+
+    def test_capacity_bounded(self):
+        policy = make_policy()
+        for i in range(20):
+            policy.declare_type(f"t{i}_t")
+        avc = AccessVectorCache(policy, capacity=8)
+        for i in range(20):
+            avc.allowed(f"t{i}_t", "b_t", "file", "read")
+        assert len(avc._cache) <= 8
+
+    def test_stats(self):
+        avc = AccessVectorCache(make_policy())
+        avc.allowed("a_t", "b_t", "file", "read")
+        avc.allowed("a_t", "b_t", "file", "read")
+        stats = avc.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate_pct"] == 50

@@ -1,0 +1,45 @@
+"""Tests for SELinux security contexts."""
+
+import pytest
+
+from repro.selinux.context import (ContextError, INIT_CONTEXT,
+                                   SecurityContext, parse_context)
+
+
+class TestSecurityContext:
+    def test_fields(self):
+        ctx = SecurityContext("system_u", "object_r", "car_door_t")
+        assert str(ctx) == "system_u:object_r:car_door_t"
+
+    def test_parse_roundtrip(self):
+        ctx = parse_context("user_u:user_r:user_t")
+        assert ctx == SecurityContext("user_u", "user_r", "user_t")
+        assert parse_context(str(ctx)) == ctx
+
+    def test_parse_rejects_wrong_field_count(self):
+        with pytest.raises(ContextError):
+            parse_context("just_a_type")
+        with pytest.raises(ContextError):
+            parse_context("a:b:c:d")
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(ContextError):
+            SecurityContext("sys tem", "object_r", "t")
+        with pytest.raises(ContextError):
+            SecurityContext("u", "r", "1type")
+
+    def test_with_type(self):
+        ctx = INIT_CONTEXT.with_type("media_t")
+        assert ctx.type == "media_t"
+        assert ctx.user == INIT_CONTEXT.user
+        assert INIT_CONTEXT.type == "init_t"  # original untouched
+
+    def test_hashable_and_frozen(self):
+        import dataclasses
+        ctx = parse_context("a:b:c")
+        {ctx}
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.type = "x"
+
+    def test_dots_and_dashes_allowed(self):
+        parse_context("system_u:object_r:dbus-daemon.service_t")

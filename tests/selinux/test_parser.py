@@ -1,0 +1,88 @@
+"""Tests for the TE policy language parser."""
+
+import pytest
+
+from repro.selinux.parser import SelinuxParseError, parse_te_policy
+
+GOOD = """
+# IVI type-enforcement base
+type media_t;
+type media_exec_t;
+type car_audio_t;
+type media_file_t;
+
+allow media_t car_audio_t : chr_file { read ioctl };
+allow media_t media_file_t : file { read write create unlink };
+neverallow media_t car_audio_t : chr_file { unlink };
+type_transition init_t media_exec_t : process media_t;
+filecon /dev/car/audio system_u:object_r:car_audio_t;
+filecon /var/media/** system_u:object_r:media_file_t;
+"""
+
+
+class TestParseGood:
+    def setup_method(self):
+        self.policy = parse_te_policy(GOOD)
+
+    def test_types_declared(self):
+        assert "media_t" in self.policy.types
+        assert "car_audio_t" in self.policy.types
+
+    def test_allow_rules(self):
+        assert self.policy.allows("media_t", "car_audio_t", "chr_file",
+                                  "ioctl")
+        assert self.policy.allows("media_t", "media_file_t", "file",
+                                  "create")
+        assert not self.policy.allows("media_t", "car_audio_t", "chr_file",
+                                      "write")
+
+    def test_transition(self):
+        assert self.policy.transition_for("init_t", "media_exec_t") == \
+            "media_t"
+
+    def test_file_contexts(self):
+        assert self.policy.context_for_path("/dev/car/audio").type == \
+            "car_audio_t"
+        assert self.policy.context_for_path("/var/media/a/b.mp3").type == \
+            "media_file_t"
+
+    def test_declaration_order_free(self):
+        # allow before type declaration in the text still works.
+        policy = parse_te_policy(
+            "allow late_t late_t : file { read };\ntype late_t;")
+        assert policy.allows("late_t", "late_t", "file", "read")
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(SelinuxParseError):
+            parse_te_policy("type media_t")
+
+    def test_unknown_statement(self):
+        with pytest.raises(SelinuxParseError):
+            parse_te_policy("grant everything;")
+
+    def test_empty_perm_set(self):
+        with pytest.raises(SelinuxParseError):
+            parse_te_policy("type a_t;\nallow a_t a_t : file { };")
+
+    def test_bad_context_in_filecon(self):
+        with pytest.raises(SelinuxParseError):
+            parse_te_policy("filecon /x not-a-context;")
+
+    def test_undeclared_type_in_allow(self):
+        with pytest.raises(SelinuxParseError):
+            parse_te_policy("allow ghost_t ghost_t : file { read };")
+
+    def test_neverallow_violation_reported_with_line(self):
+        bad = ("type a_t;\ntype b_t;\n"
+               "neverallow a_t b_t : file { write };\n"
+               "allow a_t b_t : file { write };")
+        with pytest.raises(SelinuxParseError) as exc:
+            parse_te_policy(bad)
+        assert "neverallow" in str(exc.value)
+
+    def test_error_carries_lineno(self):
+        with pytest.raises(SelinuxParseError) as exc:
+            parse_te_policy("type ok_t;\nbroken statement;")
+        assert exc.value.lineno == 2

@@ -1,0 +1,90 @@
+"""Tests for the attack simulations (KOFFEE, CVE-2023-6073)."""
+
+import pytest
+
+from repro.vehicle import (EnforcementConfig, KoffeeAttack, VolumeMaxAttack,
+                           build_ivi_world, run_attack_campaign)
+
+
+class TestKoffeeAttack:
+    def test_succeeds_without_kernel_mac(self):
+        """The paper's motivation: user-space checks alone are bypassable."""
+        world = build_ivi_world(EnforcementConfig.NO_LSM)
+        result = KoffeeAttack(world).run()
+        assert not result.blocked
+        assert not world.devices["door"].all_locked
+
+    def test_blocked_by_apparmor(self):
+        world = build_ivi_world(EnforcementConfig.APPARMOR)
+        result = KoffeeAttack(world).run()
+        assert result.blocked
+        assert world.devices["door"].all_locked
+
+    @pytest.mark.parametrize("config", [EnforcementConfig.SACK_INDEPENDENT,
+                                        EnforcementConfig.SACK_APPARMOR])
+    def test_blocked_by_sack_in_every_situation(self, config):
+        world = build_ivi_world(config)
+        # parked
+        assert KoffeeAttack(world).run().blocked
+        # driving
+        world.drive_to_speed(60)
+        assert KoffeeAttack(world).run().blocked
+        # even in emergency (attacker is not the rescue daemon)
+        world.trigger_crash()
+        result = KoffeeAttack(world).run()
+        assert result.blocked
+        assert result.situation == "emergency"
+
+    def test_attack_does_not_consult_user_space_framework(self):
+        world = build_ivi_world(EnforcementConfig.NO_LSM)
+        before = world.permissions.checks
+        KoffeeAttack(world).run()
+        assert world.permissions.checks == before
+
+
+class TestVolumeAttack:
+    def test_cve_succeeds_without_kernel_mac(self):
+        world = build_ivi_world(EnforcementConfig.NO_LSM)
+        result = VolumeMaxAttack(world).run()
+        assert not result.blocked
+        assert world.devices["audio"].volume == 100
+
+    @pytest.mark.parametrize("config", [EnforcementConfig.SACK_INDEPENDENT,
+                                        EnforcementConfig.SACK_APPARMOR])
+    def test_blocked_while_driving(self, config):
+        world = build_ivi_world(config)
+        world.drive_to_speed(80)
+        result = VolumeMaxAttack(world).run()
+        assert result.blocked
+        assert world.devices["audio"].volume != 100
+
+    def test_blocked_even_parked_for_non_deputy(self):
+        # Only volume_service holds VOLUME_SET kernel-side; a compromised
+        # media_app cannot set volume directly in any state.
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        result = VolumeMaxAttack(world).run()
+        assert result.blocked
+
+    def test_compromised_deputy_parked_succeeds_driving_blocked(self):
+        # If the attacker compromises the deputy itself, the situation
+        # still limits the blast radius: parked yes, driving no.
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        assert not VolumeMaxAttack(world, "volume_service").run().blocked
+        world.devices["audio"].volume = 20
+        world.drive_to_speed(70)
+        assert VolumeMaxAttack(world, "volume_service").run().blocked
+
+
+class TestCampaign:
+    def test_campaign_runs_all_attacks(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        results = run_attack_campaign(world)
+        assert len(results) == 2
+        assert all(r.blocked for r in results)
+
+    def test_result_rendering(self):
+        world = build_ivi_world(EnforcementConfig.NO_LSM)
+        result = KoffeeAttack(world).run()
+        text = str(result)
+        assert "koffee" in text
+        assert "SUCCEEDED" in text

@@ -1,0 +1,56 @@
+"""Tests for the CAN bus."""
+
+import pytest
+
+from repro.vehicle.can import (CAN_ID_DOOR, CAN_ID_WINDOW, CanBus, CanFrame)
+
+
+class TestCanFrame:
+    def test_valid_frame(self):
+        frame = CanFrame(CAN_ID_DOOR, b"\x01", timestamp_ns=5)
+        assert frame.arb_id == CAN_ID_DOOR
+
+    def test_payload_limit(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x100, b"123456789")
+
+    def test_arb_id_range(self):
+        with pytest.raises(ValueError):
+            CanFrame(0x800, b"")
+        with pytest.raises(ValueError):
+            CanFrame(-1, b"")
+
+
+class TestCanBus:
+    def test_broadcast_to_id_subscriber(self):
+        bus = CanBus()
+        seen = []
+        bus.subscribe(seen.append, CAN_ID_DOOR)
+        bus.send(CanFrame(CAN_ID_DOOR, b"\x00"))
+        bus.send(CanFrame(CAN_ID_WINDOW, b"\x55"))
+        assert len(seen) == 1
+        assert seen[0].arb_id == CAN_ID_DOOR
+
+    def test_wildcard_subscriber_sees_all(self):
+        bus = CanBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.send(CanFrame(CAN_ID_DOOR, b""))
+        bus.send(CanFrame(CAN_ID_WINDOW, b""))
+        assert len(seen) == 2
+
+    def test_log_and_queries(self):
+        bus = CanBus()
+        bus.send(CanFrame(CAN_ID_DOOR, b"\x01"))
+        bus.send(CanFrame(CAN_ID_DOOR, b"\x00"))
+        frames = bus.frames_with_id(CAN_ID_DOOR)
+        assert [f.data for f in frames] == [b"\x01", b"\x00"]
+        assert bus.last_frame(CAN_ID_DOOR).data == b"\x00"
+        assert bus.last_frame(0x7FF) is None
+
+    def test_log_bounded(self):
+        bus = CanBus(log_size=4)
+        for i in range(10):
+            bus.send(CanFrame(0x100, bytes([i])))
+        assert len(bus.log) == 4
+        assert bus.frames_sent == 10

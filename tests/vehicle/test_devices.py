@@ -1,0 +1,168 @@
+"""Tests for the vehicle device drivers."""
+
+import pytest
+
+from repro.kernel import Kernel, KernelError, OpenFlags
+from repro.vehicle.can import (CAN_ID_AUDIO, CAN_ID_DOOR, CanBus)
+from repro.vehicle.devices import (AudioDevice, DOOR_LOCK, DOOR_UNLOCK,
+                                   DoorDevice, ENGINE_START, ENGINE_STOP,
+                                   EngineDevice, IOCTL_SYMBOLS,
+                                   SpeedometerDevice, VOLUME_GET,
+                                   VOLUME_SET, WINDOW_DOWN, WINDOW_SET,
+                                   WINDOW_UP, WindowDevice)
+from repro.vehicle.dynamics import VehicleDynamics
+
+
+@pytest.fixture
+def world():
+    kernel = Kernel()
+    bus = CanBus()
+    dynamics = VehicleDynamics(speed_kmh=42.0)
+    devices = {
+        "door": DoorDevice(bus, kernel.clock),
+        "window": WindowDevice(bus, kernel.clock),
+        "audio": AudioDevice(bus, kernel.clock),
+        "engine": EngineDevice(bus, kernel.clock, dynamics),
+        "speedometer": SpeedometerDevice(bus, kernel.clock, dynamics),
+    }
+    kernel.vfs.makedirs("/dev/car")
+    for name, driver in devices.items():
+        rdev = kernel.devices.alloc_rdev()
+        kernel.devices.register(rdev, driver)
+        kernel.vfs.mknod(f"/dev/car/{name}", rdev, mode=0o666)
+    return kernel, bus, dynamics, devices
+
+
+def open_dev(kernel, name, flags=OpenFlags.O_RDWR):
+    return kernel.sys_open(kernel.procs.init, f"/dev/car/{name}", flags)
+
+
+class TestDoorDevice:
+    def test_starts_locked(self, world):
+        _, _, _, devices = world
+        assert devices["door"].all_locked
+
+    def test_unlock_all_via_ioctl(self, world):
+        kernel, bus, _, devices = world
+        fd = open_dev(kernel, "door")
+        kernel.sys_ioctl(kernel.procs.init, fd, DOOR_UNLOCK, 0)
+        assert not devices["door"].all_locked
+        assert bus.last_frame(CAN_ID_DOOR).data[0] == 0x00
+
+    def test_single_door(self, world):
+        kernel, _, _, devices = world
+        fd = open_dev(kernel, "door")
+        kernel.sys_ioctl(kernel.procs.init, fd, DOOR_UNLOCK, 2)
+        assert devices["door"].locked == [True, False, True, True]
+        kernel.sys_ioctl(kernel.procs.init, fd, DOOR_LOCK, 2)
+        assert devices["door"].all_locked
+
+    def test_invalid_door_number(self, world):
+        kernel, _, _, _ = world
+        fd = open_dev(kernel, "door")
+        with pytest.raises(KernelError):
+            kernel.sys_ioctl(kernel.procs.init, fd, DOOR_UNLOCK, 9)
+
+    def test_text_command_interface(self, world):
+        kernel, _, _, devices = world
+        init = kernel.procs.init
+        kernel.write_file(init, "/dev/car/door", b"unlock", create=False)
+        assert not devices["door"].all_locked
+        kernel.write_file(init, "/dev/car/door", b"lock 1", create=False)
+        assert devices["door"].locked[0]
+
+    def test_bad_text_command(self, world):
+        kernel, _, _, _ = world
+        with pytest.raises(KernelError):
+            kernel.write_file(kernel.procs.init, "/dev/car/door",
+                              b"explode", create=False)
+
+    def test_read_reports_state(self, world):
+        kernel, _, _, _ = world
+        data = kernel.read_file(kernel.procs.init, "/dev/car/door")
+        assert b"locked" in data
+
+    def test_unknown_ioctl(self, world):
+        kernel, _, _, _ = world
+        fd = open_dev(kernel, "door")
+        with pytest.raises(KernelError):
+            kernel.sys_ioctl(kernel.procs.init, fd, 0xDEAD, 0)
+
+
+class TestWindowDevice:
+    def test_step_down_up(self, world):
+        kernel, _, _, devices = world
+        fd = open_dev(kernel, "window")
+        init = kernel.procs.init
+        assert kernel.sys_ioctl(init, fd, WINDOW_DOWN, 0) == 25
+        assert kernel.sys_ioctl(init, fd, WINDOW_DOWN, 0) == 50
+        assert kernel.sys_ioctl(init, fd, WINDOW_UP, 0) == 25
+
+    def test_set_position(self, world):
+        kernel, _, _, devices = world
+        fd = open_dev(kernel, "window")
+        kernel.sys_ioctl(kernel.procs.init, fd, WINDOW_SET, 100)
+        assert devices["window"].position == 100
+
+    def test_set_out_of_range(self, world):
+        kernel, _, _, _ = world
+        fd = open_dev(kernel, "window")
+        with pytest.raises(KernelError):
+            kernel.sys_ioctl(kernel.procs.init, fd, WINDOW_SET, 150)
+
+    def test_clamped_at_limits(self, world):
+        kernel, _, _, devices = world
+        fd = open_dev(kernel, "window")
+        for _ in range(6):
+            kernel.sys_ioctl(kernel.procs.init, fd, WINDOW_DOWN, 0)
+        assert devices["window"].position == 100
+
+
+class TestAudioDevice:
+    def test_volume_set_get(self, world):
+        kernel, bus, _, devices = world
+        fd = open_dev(kernel, "audio")
+        init = kernel.procs.init
+        kernel.sys_ioctl(init, fd, VOLUME_SET, 55)
+        assert kernel.sys_ioctl(init, fd, VOLUME_GET, 0) == 55
+        assert bus.last_frame(CAN_ID_AUDIO).data[0] == 55
+
+    def test_volume_range_checked(self, world):
+        kernel, _, _, _ = world
+        fd = open_dev(kernel, "audio")
+        with pytest.raises(KernelError):
+            kernel.sys_ioctl(kernel.procs.init, fd, VOLUME_SET, 150)
+
+    def test_read_reports_volume(self, world):
+        kernel, _, _, _ = world
+        assert kernel.read_file(kernel.procs.init,
+                                "/dev/car/audio") == b"20"
+
+
+class TestEngineAndSpeedometer:
+    def test_engine_start_stop(self, world):
+        kernel, _, dynamics, _ = world
+        fd = open_dev(kernel, "engine")
+        init = kernel.procs.init
+        kernel.sys_ioctl(init, fd, ENGINE_START, 0)
+        assert dynamics.engine_on
+        kernel.sys_ioctl(init, fd, ENGINE_STOP, 0)
+        assert not dynamics.engine_on
+
+    def test_speedometer_read(self, world):
+        kernel, _, _, _ = world
+        data = kernel.read_file(kernel.procs.init, "/dev/car/speedometer")
+        assert data == b"42.0"
+
+
+class TestIoctlSymbols:
+    def test_symbols_cover_all_commands(self):
+        assert IOCTL_SYMBOLS["DOOR_UNLOCK"] == DOOR_UNLOCK
+        assert IOCTL_SYMBOLS["VOLUME_SET"] == VOLUME_SET
+        assert len(IOCTL_SYMBOLS) == 9
+
+    def test_direction_bits(self):
+        from repro.kernel.devices import ioctl_is_write
+        assert ioctl_is_write(VOLUME_SET)
+        assert not ioctl_is_write(VOLUME_GET)
+        assert ioctl_is_write(DOOR_UNLOCK)

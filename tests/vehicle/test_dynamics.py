@@ -1,0 +1,85 @@
+"""Tests for vehicle dynamics."""
+
+import pytest
+
+from repro.vehicle.dynamics import VehicleDynamics
+
+
+class TestVehicleDynamics:
+    def test_initial_state(self):
+        dyn = VehicleDynamics()
+        assert dyn.speed_kmh == 0
+        assert dyn.is_parked
+        assert not dyn.crashed
+
+    def test_acceleration_builds_speed(self):
+        dyn = VehicleDynamics()
+        dyn.start_engine()
+        dyn.accelerate(2.0)  # m/s^2
+        for _ in range(10):
+            dyn.step(1.0)
+        assert dyn.speed_kmh == pytest.approx(2.0 * 10 * 3.6, rel=0.01)
+
+    def test_position_integrates(self):
+        dyn = VehicleDynamics(speed_kmh=36.0, engine_on=True)  # 10 m/s
+        for _ in range(100):
+            dyn.step(1.0)
+        assert dyn.position_km == pytest.approx(1.0, rel=0.01)
+
+    def test_braking_stops_at_zero(self):
+        dyn = VehicleDynamics(speed_kmh=36.0, engine_on=True)
+        dyn.accelerate(-5.0)
+        for _ in range(20):
+            dyn.step(1.0)
+        assert dyn.speed_kmh == 0
+
+    def test_cannot_accelerate_without_engine(self):
+        dyn = VehicleDynamics()
+        with pytest.raises(RuntimeError):
+            dyn.accelerate(1.0)
+
+    def test_braking_allowed_without_engine(self):
+        dyn = VehicleDynamics(speed_kmh=20.0)
+        dyn.accelerate(-3.0)  # no exception
+
+    def test_crash_stops_vehicle_with_impact_pulse(self):
+        dyn = VehicleDynamics(speed_kmh=72.0, engine_on=True)  # 20 m/s
+        dyn.crash()
+        dyn.step(0.1)
+        assert dyn.speed_kmh == 0
+        assert dyn.accel_ms2 <= -100  # 20 m/s in 0.1 s
+        assert dyn.crashed
+        assert not dyn.engine_on
+
+    def test_clear_emergency(self):
+        dyn = VehicleDynamics(speed_kmh=50.0, engine_on=True)
+        dyn.crash()
+        dyn.step(0.1)
+        dyn.clear_emergency()
+        assert not dyn.crashed
+        assert dyn.accel_ms2 == 0
+
+    def test_coasting_drag(self):
+        dyn = VehicleDynamics(speed_kmh=3.6)  # 1 m/s, engine off
+        for _ in range(10):
+            dyn.step(1.0)
+        assert dyn.speed_kmh == 0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            VehicleDynamics().step(0)
+
+    def test_driver_presence_toggle(self):
+        dyn = VehicleDynamics()
+        dyn.set_driver_present(False)
+        assert not dyn.driver_present
+
+    def test_is_moving_threshold(self):
+        assert not VehicleDynamics(speed_kmh=0.3).is_moving
+        assert VehicleDynamics(speed_kmh=5.0).is_moving
+
+    def test_elapsed_time_tracked(self):
+        dyn = VehicleDynamics()
+        dyn.step(0.5)
+        dyn.step(0.5)
+        assert dyn.elapsed_s == pytest.approx(1.0)

@@ -1,0 +1,156 @@
+"""Tests for the drive-cycle scenario engine and the geofence detector."""
+
+import pytest
+
+from repro.sds.detectors import GeofenceDetector
+from repro.vehicle import EnforcementConfig, build_ivi_world
+from repro.vehicle.scenarios import (SCENARIOS, ScenarioRunner,
+                                     crash_on_highway, highway_trip,
+                                     urban_commute)
+
+
+@pytest.fixture
+def runner():
+    world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+    return ScenarioRunner(world)
+
+
+class TestUrbanCommute:
+    def test_timeline_story(self, runner):
+        records = {r.name: r for r in runner.run(urban_commute())}
+        assert records["street"].dominant_situation == "driving"
+        assert records["park"].situations[-1] == "parking_with_driver"
+        assert records["leave_car"].situations[-1] == \
+            "parking_without_driver"
+
+    def test_vehicle_actually_stops(self, runner):
+        records = runner.run(urban_commute())
+        assert records[-1].final_speed_kmh < 1.0
+
+    def test_red_light_stays_driving(self, runner):
+        # Braking at a light is not parking: engine on, brief stop.
+        records = {r.name: r for r in runner.run(urban_commute())}
+        assert "driving" in records["red_light_brake"].situations
+
+
+class TestHighwayTrip:
+    def test_cruise_is_fast_and_driving(self, runner):
+        records = {r.name: r for r in runner.run(highway_trip())}
+        assert records["cruise"].dominant_situation == "driving"
+        assert records["cruise"].final_speed_kmh > 80
+
+    def test_no_spurious_emergencies(self, runner):
+        records = runner.run(highway_trip())
+        for record in records:
+            assert "emergency" not in record.situations, record.name
+
+
+class TestCrashScenario:
+    def test_crash_triggers_emergency(self, runner):
+        records = {r.name: r for r in runner.run(crash_on_highway())}
+        assert "crash_detected" in records["impact"].events \
+            or "crash_detected" in records["aftermath"].events
+        assert records["aftermath"].dominant_situation == "emergency"
+
+    def test_rescue_clears(self, runner):
+        records = runner.run(crash_on_highway())
+        assert records[-1].situations[-1] == "parking_with_driver"
+
+    def test_rescue_possible_during_aftermath(self):
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        scenario_runner = ScenarioRunner(world)
+        phases = crash_on_highway()
+        scenario_runner.run(phases[:-1])  # stop before rescue_done
+        assert world.situation == "emergency"
+        world.rescue_unlock_doors()
+        assert not world.devices["door"].all_locked
+
+
+class TestScenarioCatalogue:
+    def test_all_scenarios_runnable(self):
+        for name, factory in SCENARIOS.items():
+            world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+            records = ScenarioRunner(world).run(factory())
+            assert records, name
+
+    def test_timeline_helper(self, runner):
+        timeline = runner.timeline(urban_commute())
+        assert timeline[0][0] == "start"
+        assert all(isinstance(s, str) for _, s in timeline)
+
+
+class TestGeofenceDetector:
+    def test_entry_and_exit_events(self):
+        det = GeofenceDetector({"school": (1.0, 2.0)})
+        assert det.update({"position_km": 0.5}, 0) == []
+        assert det.update({"position_km": 1.5}, 0) == \
+            ["entered_zone_school"]
+        assert det.update({"position_km": 1.9}, 0) == []
+        assert det.update({"position_km": 2.5}, 0) == ["left_zone_school"]
+
+    def test_boot_inside_zone(self):
+        det = GeofenceDetector({"depot": (0.0, 1.0)})
+        assert det.update({"position_km": 0.0}, 0) == \
+            ["entered_zone_depot"]
+
+    def test_multiple_zones(self):
+        det = GeofenceDetector({"a": (0.0, 1.0), "b": (0.5, 2.0)})
+        det.update({"position_km": 0.2}, 0)
+        events = det.update({"position_km": 0.7}, 0)
+        assert events == ["entered_zone_b"]
+        events = det.update({"position_km": 1.5}, 0)
+        assert set(events) == {"left_zone_a"}
+
+    def test_bad_zone_rejected(self):
+        with pytest.raises(ValueError):
+            GeofenceDetector({"bad zone": (0, 1)})
+        with pytest.raises(ValueError):
+            GeofenceDetector({"z": (2, 1)})
+
+    def test_geofence_drives_sack_transitions(self):
+        """End to end: position change -> zone event -> state change."""
+        from repro.lsm import boot_kernel
+        from repro.sack import SackFs, SackLsm
+        from repro.sds import SituationDetectionService
+        from repro.vehicle.dynamics import VehicleDynamics
+
+        sack = SackLsm()
+        kernel, _ = boot_kernel([sack])
+        SackFs(kernel, sack, authorized_event_uids={990})
+        kernel.write_file(kernel.procs.init,
+                          "/sys/kernel/security/SACK/policy", b"""
+policy geo;
+initial open_road;
+states {
+  open_road = 0;
+  school_zone = 1;
+}
+transitions {
+  open_road -> school_zone on entered_zone_school;
+  school_zone -> open_road on left_zone_school;
+}
+permissions {
+  BASE;
+}
+state_per {
+  open_road: BASE;
+  school_zone: BASE;
+}
+per_rules {
+  BASE {
+    allow read /dev/car/**;
+  }
+}
+guard /dev/car/**;
+""", create=False)
+        task = kernel.sys_fork(kernel.procs.init)
+        from repro.kernel import user_credentials
+        task.cred = user_credentials(990)
+        dynamics = VehicleDynamics(speed_kmh=36.0, engine_on=True)
+        sds = SituationDetectionService(
+            kernel, task, dynamics,
+            detectors=[GeofenceDetector({"school": (0.05, 0.15)})])
+        sds.run(30, dt_s=1.0)  # ~10 m/s: crosses into the zone
+        assert sack.ssm.transition_count >= 1
+        states = [t.to_state for t in sack.ssm.history]
+        assert "school_zone" in states
