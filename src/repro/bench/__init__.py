@@ -6,9 +6,9 @@ from .harness import (CONFIG_APPARMOR, CONFIG_NO_LSM, CONFIG_SACK_APPARMOR,
                       build_state_count_world, build_world,
                       make_synthetic_policy, run_baseline_comparison,
                       run_event_latency, run_frequency_sweep,
-                      run_hook_census, run_lmbench, run_rule_sweep,
-                      run_state_sweep, run_transition_cost_ablation,
-                      run_transport_ablation)
+                      run_hook_census, run_hook_latency_breakdown,
+                      run_lmbench, run_rule_sweep, run_state_sweep,
+                      run_transition_cost_ablation, run_transport_ablation)
 from .lmbench import (BenchResult, FILE_OP_BENCHES, LmbenchSuite,
                       TABLE2_BENCHES)
 from .reporting import (TABLE2_ROWS, format_delta, format_value,
@@ -22,7 +22,8 @@ __all__ = [
     "TABLE2_CONFIGS", "World", "build_rule_count_world",
     "build_state_count_world", "build_world", "make_synthetic_policy",
     "run_baseline_comparison", "run_event_latency", "run_frequency_sweep",
-    "run_hook_census", "run_lmbench", "run_rule_sweep", "run_state_sweep",
+    "run_hook_census", "run_hook_latency_breakdown", "run_lmbench",
+    "run_rule_sweep", "run_state_sweep",
     "run_transition_cost_ablation", "run_transport_ablation",
     "BenchResult", "FILE_OP_BENCHES",
     "LmbenchSuite", "TABLE2_BENCHES", "TABLE2_ROWS", "format_delta",

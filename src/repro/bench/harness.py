@@ -135,6 +135,32 @@ def run_lmbench(configs: Sequence[str] = TABLE2_CONFIGS,
     return merged
 
 
+def run_hook_latency_breakdown(configs: Sequence[str] = TABLE2_CONFIGS,
+                               benches: Optional[List[str]] = None,
+                               scale: float = 0.1
+                               ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Per-hook latency histograms under the LMBench workload.
+
+    Runs the suite once per configuration with hook-latency collection
+    enabled and reports, per configuration and per LSM hook, the merged
+    ``{count, mean_ns, p50_ns, p99_ns, max_ns}`` summary from the
+    framework's latency histograms.  This is the observability
+    counterpart of :func:`run_hook_census`: the census says how often
+    each hook runs, this says how long it takes when it does.
+    """
+    breakdown: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for config in configs:
+        world = build_world(config)
+        security = world.kernel.security
+        if not hasattr(security, "enable_hook_latency"):
+            breakdown[config] = {}
+            continue
+        security.enable_hook_latency()
+        LmbenchSuite(world.kernel, scale=scale).run(benches)
+        breakdown[config] = security.hook_latency_summary()
+    return breakdown
+
+
 def run_hook_census(configs: Sequence[str] = TABLE2_CONFIGS,
                     benches: Optional[List[str]] = None,
                     scale: float = 0.1) -> Dict[str, Dict[str, int]]:

@@ -11,11 +11,16 @@ Subcommands mirror the benchmark files::
     sack-bench transition
     sack-bench abac
     sack-bench census
+    sack-bench hooks    [--json out.json]
+
+``--json PATH`` (where supported) additionally writes the raw result
+dictionary to *PATH* for downstream tooling.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -23,9 +28,18 @@ from ..bench import (CONFIG_APPARMOR, FILE_OP_BENCHES, LATENCY_EVENTS,
                      TABLE2_CONFIGS, mean_abs_overhead_pct, pct_delta,
                      render_comparison_table, render_sweep_table,
                      run_baseline_comparison, run_event_latency,
-                     run_frequency_sweep, run_hook_census, run_lmbench,
+                     run_frequency_sweep, run_hook_census,
+                     run_hook_latency_breakdown, run_lmbench,
                      run_rule_sweep, run_state_sweep,
                      run_transition_cost_ablation, run_transport_ablation)
+
+
+def _maybe_dump_json(args, data) -> None:
+    path = getattr(args, "json", None)
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {path}")
 
 
 def cmd_table2(args) -> int:
@@ -116,6 +130,24 @@ def cmd_census(args) -> int:
         print(f"  {config:>18}: {row['syscalls']} syscalls, "
               f"{row['hook_calls']} hook calls, "
               f"{row['sack_hook_calls']} from SACK")
+    _maybe_dump_json(args, census)
+    return 0
+
+
+def cmd_hooks(args) -> int:
+    breakdown = run_hook_latency_breakdown(scale=args.scale)
+    print("Per-hook latency under the LMBench workload "
+          "(merged across modules)")
+    for config, hooks in breakdown.items():
+        print(f"  {config}:")
+        rows = sorted(hooks.items(),
+                      key=lambda kv: kv[1]["count"], reverse=True)
+        for hook, row in rows:
+            print(f"    {hook:<22} n={int(row['count']):>8} "
+                  f"mean {row['mean_ns']:>8.0f} ns  "
+                  f"p50 {row['p50_ns']:>8.0f} ns  "
+                  f"p99 {row['p99_ns']:>8.0f} ns")
+    _maybe_dump_json(args, breakdown)
     return 0
 
 
@@ -129,6 +161,7 @@ _COMMANDS = {
     "transition": cmd_transition,
     "abac": cmd_abac,
     "census": cmd_census,
+    "hooks": cmd_hooks,
 }
 
 
@@ -141,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="iteration multiplier (1.0 = full)")
     parser.add_argument("--reps", type=int, default=3,
                         help="repetitions for noise reduction")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the raw result dict to PATH "
+                             "(census and hooks)")
     return parser
 
 

@@ -12,8 +12,11 @@ operation.  A denial from either raises :class:`KernelError` with ``EACCES``
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.hub import Observability
+from ..obs.tracepoints import SYS_ENTER, SYS_EXIT
 from .clock import VirtualClock
 from .credentials import Capability
 from .devices import DeviceRegistry
@@ -69,7 +72,8 @@ class Kernel:
     """The assembled simulated kernel."""
 
     def __init__(self, security: Optional[SecurityHooks] = None,
-                 clock: Optional[VirtualClock] = None):
+                 clock: Optional[VirtualClock] = None,
+                 obs: Optional[Observability] = None):
         self.clock = clock or VirtualClock()
         self.vfs = VirtualFileSystem(self.clock)
         self.procs = ProcessTable()
@@ -77,6 +81,9 @@ class Kernel:
         self.net = NetworkStack()
         self.scheduler = Scheduler()
         self.audit = AuditLog()
+        self.obs = obs or Observability(clock=self.clock)
+        self._tp_sys_enter = self.obs.tracepoints.get(SYS_ENTER)
+        self._syscall_wrappers: Dict[str, object] = {}
         self.security: SecurityHooks = security or NullSecurity()
         self.syscall_counts: Dict[str, int] = {}
         self._build_base_tree()
@@ -92,6 +99,56 @@ class Kernel:
     # -- helpers --------------------------------------------------------------
     def _count(self, name: str) -> None:
         self.syscall_counts[name] = self.syscall_counts.get(name, 0) + 1
+        tp = self._tp_sys_enter
+        if tp.callbacks:
+            tp.emit(name=name, now_ns=self.clock.now_ns)
+
+    # -- syscall instrumentation (kprobe-style, zero cost when off) -----------
+    def instrument_syscalls(self) -> None:
+        """Wrap every ``sys_*`` entry point with exit tracing + latency.
+
+        Like ftrace's runtime call-site patching: the wrappers shadow the
+        bound methods on the instance, fire ``syscalls:sys_exit`` and feed
+        the ``syscall_latency_ns`` histograms; an uninstrumented kernel
+        pays nothing.  Nested syscalls (``write_file``'s open/write/close,
+        ``sys_read`` on sockets) each record their own span, as nested
+        ftrace events do.
+        """
+        if self._syscall_wrappers:
+            return
+        tp_exit = self.obs.tracepoints.get(SYS_EXIT)
+        for attr in dir(type(self)):
+            if not attr.startswith("sys_"):
+                continue
+            method = getattr(self, attr)
+            name = attr[4:]
+            hist = self.obs.metrics.histogram("syscall_latency_ns",
+                                              {"name": name})
+
+            def wrapper(*args, _method=method, _hist=hist, _name=name,
+                        **kwargs):
+                t0 = time.perf_counter_ns()
+                err = 0
+                try:
+                    return _method(*args, **kwargs)
+                except KernelError as exc:
+                    err = int(exc.errno)
+                    raise
+                finally:
+                    dt = time.perf_counter_ns() - t0
+                    _hist.record(dt)
+                    if tp_exit.callbacks:
+                        tp_exit.emit(name=_name, errno=err, latency_ns=dt)
+
+            setattr(self, attr, wrapper)
+            self._syscall_wrappers[attr] = wrapper
+
+    def uninstrument_syscalls(self) -> None:
+        """Remove the wrappers; dispatch reverts to the bare methods."""
+        for attr in self._syscall_wrappers:
+            if self.__dict__.get(attr) is self._syscall_wrappers[attr]:
+                del self.__dict__[attr]
+        self._syscall_wrappers.clear()
 
     def _check(self, rc: int, task: Task, what: str) -> None:
         """Translate an LSM hook return code into a raised denial."""

@@ -11,10 +11,14 @@ The capability module is always implicitly first, as in Linux.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..kernel.credentials import Capability
 from ..kernel.security import SecurityHooks
+from ..obs.metrics import sample
+from ..obs.tracepoints import LSM_HOOK_DISPATCH
 from .capability import CapabilityLsm
 from .hooks import Hook
 from .module import LsmModule
@@ -24,20 +28,34 @@ class HookStats:
     """Per-(module, hook) call and denial counters."""
 
     def __init__(self):
-        self.calls: Dict[str, int] = {}
-        self.denials: Dict[str, int] = {}
+        self.calls: Counter = Counter()
+        self.denials: Counter = Counter()
 
     def record(self, module: str, hook: Hook, denied: bool) -> None:
         key = f"{module}.{hook.value}"
-        self.calls[key] = self.calls.get(key, 0) + 1
+        self.calls[key] += 1
         if denied:
-            self.denials[key] = self.denials.get(key, 0) + 1
+            self.denials[key] += 1
 
     def total_calls(self) -> int:
-        return sum(self.calls.values())
+        return self.calls.total()
 
     def total_denials(self) -> int:
-        return sum(self.denials.values())
+        return self.denials.total()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time copy, safe to hold across further dispatches."""
+        return {
+            "calls": dict(self.calls),
+            "denials": dict(self.denials),
+            "total_calls": self.total_calls(),
+            "total_denials": self.total_denials(),
+        }
+
+    def top(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """The *n* hottest (module.hook, calls, denials) sites."""
+        return [(key, count, self.denials.get(key, 0))
+                for key, count in self.calls.most_common(n)]
 
     def reset(self) -> None:
         self.calls.clear()
@@ -55,6 +73,9 @@ class LsmFramework(SecurityHooks):
         self.modules: List[LsmModule] = [self.capability, *modules]
         self.stats = HookStats() if collect_stats else None
         self._kernel = None
+        self.obs = None            # set by attach(); the kernel's hub
+        self._tp_hook = None       # cached lsm:hook_dispatch tracepoint
+        self._latency = None       # {(module, hook): Histogram} when on
         names = [m.name for m in self.modules]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate LSM names in stack: {names}")
@@ -97,8 +118,75 @@ class LsmFramework(SecurityHooks):
     def attach(self, kernel) -> None:
         """Give every module a back-reference to the booted kernel."""
         self._kernel = kernel
+        self.obs = getattr(kernel, "obs", None)
+        if self.obs is not None:
+            self._tp_hook = self.obs.tracepoints.get(LSM_HOOK_DISPATCH)
+            if self.stats is not None:
+                # The metrics export reads HookStats live instead of
+                # keeping duplicate counts that could drift.
+                self.obs.metrics.register_collector(self._collect_stats)
         for module in self.modules:
             module.registered(kernel)
+
+    def _collect_stats(self):
+        stats = self.stats
+        if stats is None:
+            return []
+        out = [sample("lsm_hook_calls_total", {"site": key}, "counter",
+                      count) for key, count in stats.calls.items()]
+        out.extend(sample("lsm_hook_denials_total", {"site": key},
+                          "counter", count)
+                   for key, count in stats.denials.items())
+        return out
+
+    # -- hook latency collection ---------------------------------------------
+    def enable_hook_latency(self) -> None:
+        """Collect per-(module, hook) latency histograms on every dispatch.
+
+        Requires an attached kernel (histograms live in its metrics
+        registry).  Until enabled, the dispatch fast path never reads the
+        wall clock.
+        """
+        if self.obs is None:
+            raise RuntimeError("attach() the framework to a kernel first")
+        self._latency = {}
+
+    def disable_hook_latency(self) -> None:
+        self._latency = None
+
+    def _latency_histogram(self, module: str, hook: Hook):
+        hist = self._latency.get((module, hook))
+        if hist is None:
+            hist = self.obs.metrics.histogram(
+                "lsm_hook_latency_ns",
+                {"module": module, "hook": hook.value})
+            self._latency[(module, hook)] = hist
+        return hist
+
+    def hook_latency_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-hook latency summary (merged across modules).
+
+        Returns ``{hook: {count, mean_ns, p50_ns, p99_ns, max_ns}}``; the
+        percentiles of the merged view are the worst (largest) per-module
+        percentile, a conservative bound that avoids re-binning.
+        """
+        if self._latency is None:
+            return {}
+        merged: Dict[str, Dict[str, float]] = {}
+        for (module, hook), hist in self._latency.items():
+            if hist.count == 0:
+                continue
+            row = merged.setdefault(hook.value, {
+                "count": 0, "total_ns": 0.0, "p50_ns": 0.0,
+                "p99_ns": 0.0, "max_ns": 0.0})
+            row["count"] += hist.count
+            row["total_ns"] += hist.total
+            row["p50_ns"] = max(row["p50_ns"], hist.percentile(50))
+            row["p99_ns"] = max(row["p99_ns"], hist.percentile(99))
+            row["max_ns"] = max(row["max_ns"], hist.max or 0.0)
+        for row in merged.values():
+            row["mean_ns"] = row.pop("total_ns") / row["count"]
+        return merged
 
     def module_named(self, name: str) -> LsmModule:
         for module in self.modules:
@@ -107,20 +195,83 @@ class LsmFramework(SecurityHooks):
         raise KeyError(name)
 
     # -- dispatch core ---------------------------------------------------------
+    @staticmethod
+    def _object_path(args) -> str:
+        """Best-effort object path from a hook's arguments (for audit)."""
+        for arg in args[1:]:
+            if isinstance(arg, str):
+                return arg
+            path = getattr(arg, "path", None)
+            if isinstance(path, str):
+                return path
+        return ""
+
+    def _report_denial(self, hook: Hook, module: str, args,
+                       rc: int) -> None:
+        """AVC audit record for one denied access (never for allows).
+
+        ``capable`` probes are excluded, as Linux routes them through the
+        noaudit variant: DAC fallbacks probe capabilities on every access
+        by unprivileged tasks and a 'denial' there is normal operation.
+        """
+        obs = self.obs
+        if obs is None or hook is Hook.CAPABLE:
+            return
+        task = args[0] if args else None
+        obs.denial(module, hook.value, self._object_path(args), task, rc)
+
     def _call_int(self, hook: Hook, *args) -> int:
         """Walk the hook's call list; first nonzero return wins (deny)."""
+        latency = self._latency
+        tp = self._tp_hook
+        if latency is not None or (tp is not None and tp.callbacks):
+            return self._call_int_observed(hook, args)
         stats = self.stats
         for name, method in self._hook_lists[hook]:
             rc = method(*args)
             if stats is not None:
                 stats.record(name, hook, denied=rc != 0)
             if rc != 0:
+                self._report_denial(hook, name, args, rc)
+                return rc
+        return 0
+
+    def _call_int_observed(self, hook: Hook, args) -> int:
+        """Dispatch with timing and the lsm:hook_dispatch tracepoint."""
+        stats = self.stats
+        tp = self._tp_hook
+        latency = self._latency
+        for name, method in self._hook_lists[hook]:
+            t0 = time.perf_counter_ns()
+            rc = method(*args)
+            dt = time.perf_counter_ns() - t0
+            if latency is not None:
+                self._latency_histogram(name, hook).record(dt)
+            if tp.callbacks:
+                tp.emit(module=name, hook=hook.value, rc=rc, latency_ns=dt)
+            if stats is not None:
+                stats.record(name, hook, denied=rc != 0)
+            if rc != 0:
+                self._report_denial(hook, name, args, rc)
                 return rc
         return 0
 
     def _call_void(self, hook: Hook, *args) -> None:
+        latency = self._latency
+        tp = self._tp_hook
+        observed = latency is not None or (tp is not None and tp.callbacks)
         for name, method in self._hook_lists[hook]:
-            method(*args)
+            if observed:
+                t0 = time.perf_counter_ns()
+                method(*args)
+                dt = time.perf_counter_ns() - t0
+                if latency is not None:
+                    self._latency_histogram(name, hook).record(dt)
+                if tp.callbacks:
+                    tp.emit(module=name, hook=hook.value, rc=0,
+                            latency_ns=dt)
+            else:
+                method(*args)
             if self.stats is not None:
                 self.stats.record(name, hook, denied=False)
 

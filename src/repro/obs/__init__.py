@@ -1,0 +1,43 @@
+"""repro.obs — kernel-wide tracing, audit, and metrics.
+
+The observability subsystem, modeled on Linux tracepoints + audit +
+ftrace:
+
+* :mod:`~repro.obs.tracepoints` — near-zero-cost-when-disabled
+  instrumentation sites with runtime attach/detach;
+* :mod:`~repro.obs.audit` — AVC-style structured audit records (carrying
+  the situation state, the paper's new security context) in a bounded
+  ring buffer with field-match filtering;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with JSON and
+  Prometheus exporters, fed live by collectors so pseudo-file stats and
+  exports cannot disagree;
+* :mod:`~repro.obs.hub` — the per-kernel :class:`Observability` hub the
+  other layers report into (``kernel.obs``);
+* :mod:`~repro.obs.tracefs` — the ``/sys/kernel/tracing`` pseudo-file
+  surface over all of it.
+
+See ``docs/observability.md`` for the full catalogue and formats.
+"""
+
+from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_POLICY_LOAD,
+                    AUDIT_STATE_TRANSITION, AuditEvent, AuditRing,
+                    errno_name)
+from .hub import Observability
+from .metrics import (Counter, DEFAULT_NS_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry, Sample, sample)
+from .tracepoints import (CATALOGUE, LSM_HOOK_DISPATCH, Probe,
+                          SACK_EVENT_REJECTED, SACK_EVENT_WRITE,
+                          SACK_POLICY_LOAD, SSM_TRANSITION, SYS_ENTER,
+                          SYS_EXIT, Tracepoint, TracepointRegistry)
+from .tracefs import TRACEFS_ROOT, TraceFs, mount_tracefs
+
+__all__ = [
+    "AUDIT_AVC", "AUDIT_EVENT_REJECTED", "AUDIT_POLICY_LOAD",
+    "AUDIT_STATE_TRANSITION", "AuditEvent", "AuditRing", "errno_name",
+    "Observability", "Counter", "DEFAULT_NS_BUCKETS", "Gauge", "Histogram",
+    "MetricsRegistry", "Sample", "sample", "CATALOGUE",
+    "LSM_HOOK_DISPATCH", "Probe", "SACK_EVENT_REJECTED", "SACK_EVENT_WRITE",
+    "SACK_POLICY_LOAD", "SSM_TRANSITION", "SYS_ENTER", "SYS_EXIT",
+    "Tracepoint", "TracepointRegistry", "TRACEFS_ROOT", "TraceFs",
+    "mount_tracefs",
+]

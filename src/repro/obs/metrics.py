@@ -1,0 +1,270 @@
+"""Metrics: counters, gauges, and latency histograms with exporters.
+
+A single registry per kernel holds every instrument, keyed by
+``(name, labels)`` exactly as Prometheus models series.  Two things keep it
+honest:
+
+* **Collectors.**  Subsystems that already maintain counters (the LSM
+  framework's :class:`~repro.lsm.framework.HookStats`, the SSM's event
+  counters, SACKfs's accept/reject counts) are not mirrored into duplicate
+  instruments that could drift — they register a *collector* callback and
+  the registry reads the live values at export time.  The ``SACK/stats``
+  pseudo-file and the metrics export therefore can never disagree.
+
+* **Histograms.**  Latency distributions use fixed geometric buckets
+  (powers of two in nanoseconds), so recording is O(1), memory is bounded,
+  and percentiles (p50/p99) come from the cumulative bucket counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_str(labels: LabelPairs) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+#: Default bucket upper bounds for nanosecond latencies: 2^8 .. 2^30 ns
+#: (256 ns .. ~1.07 s), one bucket per power of two.
+DEFAULT_NS_BUCKETS: Tuple[int, ...] = tuple(1 << p for p in range(8, 31))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with O(1) record and percentile estimation."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_NS_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # One count per bound plus the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (0 < q <= 100) from bucket boundaries.
+
+        Returns the upper bound of the bucket holding the q-th sample —
+        the standard Prometheus ``histogram_quantile`` convention.  The
+        overflow bucket reports the observed maximum.
+        """
+        if not 0 < q <= 100:
+            raise ValueError("percentile out of range")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(round(self.count * q / 100.0)))
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return float(self.bounds[i])
+                return float(self.max if self.max is not None else 0.0)
+        return float(self.max if self.max is not None else 0.0)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One exported series value (collectors return these)."""
+
+    name: str
+    labels: LabelPairs
+    kind: str                  # "counter" | "gauge"
+    value: float
+
+
+#: A collector yields Samples from live external state at export time.
+Collector = Callable[[], Iterable[Sample]]
+
+
+def sample(name: str, labels: Optional[Dict[str, str]], kind: str,
+           value: float) -> Sample:
+    """Convenience constructor used by collector callbacks."""
+    return Sample(name, _label_key(labels), kind, float(value))
+
+
+class MetricsRegistry:
+    """All instruments of one kernel plus registered collectors."""
+
+    def __init__(self):
+        self._counters: Dict[Tuple[str, LabelPairs], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelPairs], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelPairs], Histogram] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instrument accessors (create on first use) ------------------------
+    def counter(self, name: str,
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str,
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  labels: Optional[Dict[str, str]] = None,
+                  bounds: Sequence[float] = DEFAULT_NS_BUCKETS) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(bounds)
+        return instrument
+
+    def register_collector(self, collector: Collector) -> None:
+        if collector not in self._collectors:
+            self._collectors.append(collector)
+
+    def histograms_named(self, name: str) -> Dict[LabelPairs, Histogram]:
+        return {labels: h for (n, labels), h in self._histograms.items()
+                if n == name}
+
+    # -- export ------------------------------------------------------------
+    def _collected(self) -> List[Sample]:
+        out: List[Sample] = []
+        for collector in self._collectors:
+            out.extend(collector())
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every series."""
+        counters = []
+        for (name, labels), c in sorted(self._counters.items()):
+            counters.append({"name": name, "labels": dict(labels),
+                             "value": c.value})
+        gauges = []
+        for (name, labels), g in sorted(self._gauges.items()):
+            gauges.append({"name": name, "labels": dict(labels),
+                           "value": g.value})
+        for s in sorted(self._collected(),
+                        key=lambda s: (s.name, s.labels)):
+            row = {"name": s.name, "labels": dict(s.labels),
+                   "value": s.value}
+            (counters if s.kind == "counter" else gauges).append(row)
+        histograms = []
+        for (name, labels), h in sorted(self._histograms.items()):
+            histograms.append({"name": name, "labels": dict(labels),
+                               **h.summary()})
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+
+        def typed(name: str, kind: str) -> None:
+            if seen_types.get(name) != kind:
+                lines.append(f"# TYPE {name} {kind}")
+                seen_types[name] = kind
+
+        for (name, labels), c in sorted(self._counters.items()):
+            typed(name, "counter")
+            lines.append(f"{name}{_label_str(labels)} {c.value}")
+        for (name, labels), g in sorted(self._gauges.items()):
+            typed(name, "gauge")
+            lines.append(f"{name}{_label_str(labels)} {g.value:g}")
+        for s in sorted(self._collected(),
+                        key=lambda s: (s.name, s.labels)):
+            typed(s.name, s.kind)
+            lines.append(f"{s.name}{_label_str(s.labels)} {s.value:g}")
+        for (name, labels), h in sorted(self._histograms.items()):
+            typed(name, "histogram")
+            cumulative = 0
+            for bound, n in zip(h.bounds, h.bucket_counts):
+                cumulative += n
+                le = dict(labels)
+                le["le"] = f"{bound:g}"
+                lines.append(f"{name}_bucket{_label_str(_label_key(le))} "
+                             f"{cumulative}")
+            le = dict(labels)
+            le["le"] = "+Inf"
+            lines.append(f"{name}_bucket{_label_str(_label_key(le))} "
+                         f"{h.count}")
+            lines.append(f"{name}_sum{_label_str(labels)} {h.total:g}")
+            lines.append(f"{name}_count{_label_str(labels)} {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

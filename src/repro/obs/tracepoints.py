@@ -1,0 +1,146 @@
+"""Tracepoints: named, near-zero-cost-when-disabled instrumentation sites.
+
+Modeled on Linux tracepoints (``include/linux/tracepoint.h``): a tracepoint
+is a named hook baked into a code path; callbacks ("probes") attach and
+detach at runtime.  A tracepoint with no probes is a no-op — call sites
+guard on ``tp.callbacks`` (one attribute load and a truthiness test) before
+building the event payload, which is what keeps the instrumented kernel
+within noise of the uninstrumented one when tracing is off.
+
+The registry plays the role of ``available_events``: every tracepoint the
+simulator can emit is declared in :data:`CATALOGUE` with its category and
+field names, so tooling (tracefs, ``sackctl trace``) can enumerate them
+without firing them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+#: A probe receives ``(tracepoint_name, fields_dict)``.
+Probe = Callable[[str, dict], None]
+
+
+class Tracepoint:
+    """One instrumentation site; a no-op unless probes are attached."""
+
+    __slots__ = ("name", "category", "event", "fields", "callbacks",
+                 "hits")
+
+    def __init__(self, name: str, category: str, event: str,
+                 fields: Sequence[str] = ()):
+        self.name = name          # "category:event", the full id
+        self.category = category
+        self.event = event
+        self.fields = tuple(fields)
+        self.callbacks: List[Probe] = []
+        self.hits = 0             # emissions observed by at least one probe
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.callbacks)
+
+    def attach(self, probe: Probe) -> None:
+        """Register *probe*; probes fire in attachment order."""
+        if probe not in self.callbacks:
+            self.callbacks.append(probe)
+
+    def detach(self, probe: Probe) -> None:
+        """Remove *probe*; unknown probes are ignored (idempotent)."""
+        try:
+            self.callbacks.remove(probe)
+        except ValueError:
+            pass
+
+    def emit(self, **fields) -> None:
+        """Fire the tracepoint.  Callers should guard on ``callbacks``
+        first so the disabled path never builds the kwargs dict."""
+        callbacks = self.callbacks
+        if not callbacks:
+            return
+        self.hits += 1
+        for probe in tuple(callbacks):
+            probe(self.name, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.callbacks else "disabled"
+        return f"Tracepoint({self.name}, {state})"
+
+
+#: Every tracepoint the simulated kernel can emit:
+#: (category, event, field names).
+CATALOGUE: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
+    ("syscalls", "sys_enter", ("name", "now_ns")),
+    ("syscalls", "sys_exit", ("name", "errno", "latency_ns")),
+    ("lsm", "hook_dispatch", ("module", "hook", "rc", "latency_ns")),
+    ("sack", "ssm_transition", ("event", "from_state", "to_state",
+                                "at_ns", "latency_ns")),
+    ("sack", "event_write", ("events", "bytes", "pid", "comm")),
+    ("sack", "event_rejected", ("reason", "pid", "comm")),
+    ("sack", "policy_load", ("policy", "backend", "states", "rules",
+                             "duration_ns")),
+)
+
+# Full ids, importable by call sites.
+SYS_ENTER = "syscalls:sys_enter"
+SYS_EXIT = "syscalls:sys_exit"
+LSM_HOOK_DISPATCH = "lsm:hook_dispatch"
+SSM_TRANSITION = "sack:ssm_transition"
+SACK_EVENT_WRITE = "sack:event_write"
+SACK_EVENT_REJECTED = "sack:event_rejected"
+SACK_POLICY_LOAD = "sack:policy_load"
+
+
+class TracepointRegistry:
+    """All tracepoints of one kernel, keyed by ``category:event``."""
+
+    def __init__(self, catalogue: Iterable[Tuple[str, str, Sequence[str]]]
+                 = CATALOGUE):
+        self._points: Dict[str, Tracepoint] = {}
+        for category, event, fields in catalogue:
+            self.register(category, event, fields)
+
+    def register(self, category: str, event: str,
+                 fields: Sequence[str] = ()) -> Tracepoint:
+        """Declare a tracepoint; re-registration returns the existing one."""
+        name = f"{category}:{event}"
+        point = self._points.get(name)
+        if point is None:
+            point = Tracepoint(name, category, event, fields)
+            self._points[name] = point
+        return point
+
+    def get(self, name: str) -> Tracepoint:
+        """Look up by full id; raises ``KeyError`` for unknown names."""
+        return self._points[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._points)
+
+    def __iter__(self) -> Iterator[Tracepoint]:
+        return iter(self._points.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._points
+
+    def by_category(self) -> Dict[str, List[Tracepoint]]:
+        out: Dict[str, List[Tracepoint]] = {}
+        for point in self._points.values():
+            out.setdefault(point.category, []).append(point)
+        for points in out.values():
+            points.sort(key=lambda p: p.event)
+        return out
+
+    def attach(self, name: str, probe: Probe) -> None:
+        self.get(name).attach(probe)
+
+    def detach(self, name: str, probe: Probe) -> None:
+        self.get(name).detach(probe)
+
+    def detach_all(self) -> None:
+        """Detach every probe from every tracepoint (tracing teardown)."""
+        for point in self._points.values():
+            point.callbacks.clear()
+
+    def enabled_names(self) -> List[str]:
+        return sorted(n for n, p in self._points.items() if p.callbacks)

@@ -17,6 +17,7 @@ ablation E10 measures its cost side.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from ..apparmor.module import AppArmorLsm
@@ -98,9 +99,10 @@ class SackAppArmorBridge(LsmModule):
     def load_policy(self, policy: SackPolicy, ioctl_symbols=None
                     ) -> SituationStateMachine:
         """Validate, activate, and apply *policy*'s initial state."""
+        started_ns = time.perf_counter_ns()
         # Compilation is for validation only in bridge mode; enforcement
         # data lives in AppArmor profiles.
-        compile_policy(policy, ioctl_symbols=ioctl_symbols)
+        compiled = compile_policy(policy, ioctl_symbols=ioctl_symbols)
         self.policy = policy
         self.ioctl_symbols = dict(ioctl_symbols or {})
         self.ssm = policy.build_ssm()
@@ -108,6 +110,16 @@ class SackAppArmorBridge(LsmModule):
         self._apply_state(policy.initial)
         self.audit("sack_policy_loaded",
                    f"bridge policy {policy.name!r} -> AppArmor")
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            obs.attach_ssm(self.ssm, provider=self)
+            obs.policy_load(
+                policy.name, "apparmor",
+                len(compiled.rulesets), compiled.total_rules(),
+                time.perf_counter_ns() - started_ns,
+                state_rule_counts={name: rs.rule_count
+                                   for name, rs in
+                                   compiled.rulesets.items()})
         return self.ssm
 
     @property
@@ -130,6 +142,8 @@ class SackAppArmorBridge(LsmModule):
 
     def _apply_state(self, state_name: str) -> None:
         """Rewrite every target profile for *state_name* and reload it."""
+        obs = getattr(self.kernel, "obs", None)
+        started_ns = time.perf_counter_ns() if obs is not None else 0
         rules = self.policy.rules_for_state(state_name)
         injected = 0
         for profile in self._target_profiles():
@@ -143,6 +157,10 @@ class SackAppArmorBridge(LsmModule):
             self.apparmor.policy.replace_profile(updated)
         self.update_count += 1
         self.rules_injected = injected
+        if obs is not None:
+            obs.metrics.histogram(
+                "sack_bridge_apply_ns", {"backend": "apparmor"}).record(
+                    time.perf_counter_ns() - started_ns)
         self.audit("sack_profiles_updated",
                    f"state={state_name} profiles="
                    f"{len(self._target_profiles())} rules={injected}")

@@ -9,10 +9,43 @@ beyond the split (low latency is design challenge C1).
 from __future__ import annotations
 
 import dataclasses
-import itertools
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
-_seq = itertools.count(1)
+
+class EventSequencer:
+    """A resettable source of event sequence numbers.
+
+    Sequence numbers order events within one kernel's event stream, so
+    each kernel entry point (SACKfs) owns its own sequencer: two kernels
+    fed identical writes assign identical numbers, keeping runs
+    deterministic.  A process-global counter would leak ordering across
+    kernels and tests.
+    """
+
+    def __init__(self, start: int = 1):
+        self._next = start
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def peek(self) -> int:
+        """The number the next event will receive."""
+        return self._next
+
+    def reset(self, start: int = 1) -> None:
+        self._next = start
+
+
+#: Fallback sequencer for events constructed outside any kernel (tests,
+#: CLI simulations).  Reset with :func:`reset_event_sequence`.
+_global_seq = EventSequencer()
+
+
+def reset_event_sequence(start: int = 1) -> None:
+    """Reset the module-global fallback sequence (test determinism)."""
+    _global_seq.reset(start)
 
 
 class EventParseError(ValueError):
@@ -26,7 +59,7 @@ class SituationEvent:
     name: str
     payload: Dict[str, str] = dataclasses.field(default_factory=dict)
     timestamp_ns: int = 0
-    seq: int = dataclasses.field(default_factory=lambda: next(_seq))
+    seq: int = dataclasses.field(default_factory=lambda: _global_seq())
 
     def to_line(self) -> str:
         """Serialise for the SACKfs events file."""
@@ -35,8 +68,15 @@ class SituationEvent:
         return " ".join(parts)
 
 
-def parse_event_line(line: str, timestamp_ns: int = 0) -> SituationEvent:
-    """Parse one event line into a :class:`SituationEvent`."""
+def parse_event_line(line: str, timestamp_ns: int = 0,
+                     sequencer: Optional[Callable[[], int]] = None
+                     ) -> SituationEvent:
+    """Parse one event line into a :class:`SituationEvent`.
+
+    *sequencer* supplies the sequence number (a per-kernel
+    :class:`EventSequencer`); without one the module-global fallback is
+    used.
+    """
     line = line.strip()
     if not line:
         raise EventParseError("empty event line")
@@ -52,11 +92,15 @@ def parse_event_line(line: str, timestamp_ns: int = 0) -> SituationEvent:
         if not key:
             raise EventParseError(f"empty payload key in {token!r}")
         payload[key] = value
+    if sequencer is not None:
+        return SituationEvent(name=name, payload=payload,
+                              timestamp_ns=timestamp_ns, seq=sequencer())
     return SituationEvent(name=name, payload=payload,
                           timestamp_ns=timestamp_ns)
 
 
-def parse_event_buffer(data: bytes, timestamp_ns: int = 0
+def parse_event_buffer(data: bytes, timestamp_ns: int = 0,
+                       sequencer: Optional[Callable[[], int]] = None
                        ) -> List[SituationEvent]:
     """Parse a write buffer that may carry several newline-separated events."""
     try:
@@ -66,7 +110,8 @@ def parse_event_buffer(data: bytes, timestamp_ns: int = 0
     events = []
     for line in text.splitlines():
         if line.strip():
-            events.append(parse_event_line(line, timestamp_ns))
+            events.append(parse_event_line(line, timestamp_ns,
+                                           sequencer=sequencer))
     if not events:
         raise EventParseError("no events in buffer")
     return events

@@ -10,6 +10,7 @@ boundary (§III-A): attackers are assumed unable to obtain it.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from ..kernel.credentials import Capability
@@ -38,17 +39,31 @@ class SackLsm(LsmModule):
     def load_policy(self, policy: SackPolicy,
                     ioctl_symbols=None) -> AdaptivePolicyEnforcer:
         """Compile and activate *policy*; returns the live enforcer."""
+        started_ns = time.perf_counter_ns()
         compiled = compile_policy(policy, ioctl_symbols=ioctl_symbols)
-        return self.load_compiled(compiled)
+        return self.load_compiled(compiled, _started_ns=started_ns)
 
-    def load_compiled(self, compiled: CompiledPolicy
+    def load_compiled(self, compiled: CompiledPolicy,
+                      _started_ns: Optional[int] = None
                       ) -> AdaptivePolicyEnforcer:
+        started_ns = (_started_ns if _started_ns is not None
+                      else time.perf_counter_ns())
         ssm = compiled.policy.build_ssm()
         self.ssm = ssm
         self.ape = AdaptivePolicyEnforcer(compiled, ssm)
         self.audit("sack_policy_loaded",
                    f"policy {compiled.policy.name!r}, "
                    f"{len(compiled.rulesets)} states")
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            obs.attach_ssm(ssm, provider=self)
+            obs.policy_load(
+                compiled.policy.name, "independent",
+                len(compiled.rulesets), compiled.total_rules(),
+                time.perf_counter_ns() - started_ns,
+                state_rule_counts={name: rs.rule_count
+                                   for name, rs in
+                                   compiled.rulesets.items()})
         return self.ape
 
     @property

@@ -16,6 +16,9 @@ Exposes, under ``/sys/kernel/security/SACK/``:
     Read-only dumps of the loaded policy's interfaces (Table I).
 ``stats``
     Read-only counters (events, transitions, checks).
+``audit``
+    Read-only: the kernel's observability audit ring, rendered as AVC
+    lines (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from typing import Optional, Set
 from ..kernel.credentials import Capability
 from ..kernel.errors import Errno, KernelError
 from ..lsm.securityfs import SecurityFs
-from .events import EventParseError, parse_event_buffer
+from .events import EventParseError, EventSequencer, parse_event_buffer
 from .policy.language import parse_policy
 
 #: SACKfs directory name under securityfs.
@@ -51,6 +54,14 @@ class SackFs:
         self.events_received = 0
         self.events_accepted = 0
         self.events_rejected = 0
+        #: Sequence numbers are assigned at the kernel entry point, so two
+        #: kernels fed identical writes stamp identical sequences.
+        self.sequencer = EventSequencer()
+        self.obs = getattr(kernel, "obs", None)
+        if self.obs is not None:
+            self.obs.observe_sackfs(self)
+            if getattr(module, "ssm", None) is not None:
+                self.obs.attach_ssm(module.ssm, provider=module)
         self._register()
 
     # -- registration -----------------------------------------------------------
@@ -72,6 +83,8 @@ class SackFs:
                        mode=0o644)
         fs.create_file(f"{SACK_DIR}/stats", read=self._read_stats,
                        mode=0o644)
+        fs.create_file(f"{SACK_DIR}/audit", read=self._read_audit,
+                       mode=0o600)
 
     # -- event channel -------------------------------------------------------------
     def authorize_event_writer(self, uid: int) -> None:
@@ -84,7 +97,10 @@ class SackFs:
         return self.kernel.capable(task, Capability.CAP_MAC_ADMIN)
 
     def _write_events(self, task, data: bytes) -> int:
+        obs = self.obs
         if not self._writer_allowed(task):
+            if obs is not None:
+                obs.event_rejected("writer not authorised", task)
             raise KernelError(Errno.EPERM,
                               "events: writer not authorised for SACK")
         self.events_received += 1
@@ -92,13 +108,18 @@ class SackFs:
         if ssm is None:
             raise KernelError(Errno.ENODATA, "no SACK policy loaded")
         try:
-            events = parse_event_buffer(data, self.kernel.clock.now_ns)
+            events = parse_event_buffer(data, self.kernel.clock.now_ns,
+                                        sequencer=self.sequencer)
         except EventParseError as exc:
             self.events_rejected += 1
+            if obs is not None:
+                obs.event_rejected(str(exc), task)
             raise KernelError(Errno.EINVAL, str(exc)) from exc
         for event in events:
             ssm.process_event(event, now_ns=self.kernel.clock.now_ns)
         self.events_accepted += len(events)
+        if obs is not None:
+            obs.event_write(len(events), len(data), task)
         return len(data)
 
     # -- policy files ---------------------------------------------------------------
@@ -172,3 +193,9 @@ class SackFs:
         if ape is not None:
             lines.extend(f"ape_{k} {v}" for k, v in ape.stats().items())
         return ("\n".join(lines) + "\n").encode()
+
+    def _read_audit(self, task) -> bytes:
+        if self.obs is None:
+            return b""
+        text = self.obs.audit.to_text()
+        return (text + "\n").encode() if text else b""

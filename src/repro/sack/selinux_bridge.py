@@ -24,6 +24,7 @@ Translation notes (fidelity):
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Mapping, Optional
 
 from ..lsm.module import LsmModule
@@ -82,7 +83,8 @@ class SackSelinuxBridge(LsmModule):
     # -- policy lifecycle -------------------------------------------------------
     def load_policy(self, policy: SackPolicy, ioctl_symbols=None
                     ) -> SituationStateMachine:
-        compile_policy(policy, ioctl_symbols=ioctl_symbols)
+        started_ns = time.perf_counter_ns()
+        compiled = compile_policy(policy, ioctl_symbols=ioctl_symbols)
         for rules in policy.per_rules.values():
             for rule in rules:
                 if rule.decision is RuleDecision.DENY:
@@ -98,6 +100,16 @@ class SackSelinuxBridge(LsmModule):
         self._apply_state(policy.initial)
         self.audit("sack_policy_loaded",
                    f"bridge policy {policy.name!r} -> SELinux")
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            obs.attach_ssm(self.ssm, provider=self)
+            obs.policy_load(
+                policy.name, "selinux",
+                len(compiled.rulesets), compiled.total_rules(),
+                time.perf_counter_ns() - started_ns,
+                state_rule_counts={name: rs.rule_count
+                                   for name, rs in
+                                   compiled.rulesets.items()})
         return self.ssm
 
     @property
@@ -136,6 +148,8 @@ class SackSelinuxBridge(LsmModule):
         self._apply_state(transition.to_state)
 
     def _apply_state(self, state_name: str) -> None:
+        obs = getattr(self.kernel, "obs", None)
+        started_ns = time.perf_counter_ns() if obs is not None else 0
         te_policy = self.selinux.policy
         te_policy.remove_rules_by_origin(SACK_ORIGIN)
         injected = 0
@@ -145,6 +159,10 @@ class SackSelinuxBridge(LsmModule):
                 injected += 1
         self.update_count += 1
         self.rules_injected = injected
+        if obs is not None:
+            obs.metrics.histogram(
+                "sack_bridge_apply_ns", {"backend": "selinux"}).record(
+                    time.perf_counter_ns() - started_ns)
         self.audit("sack_av_table_updated",
                    f"state={state_name} av_rules={injected} "
                    f"revision={te_policy.revision}")

@@ -14,6 +14,7 @@ updates atomic with respect to subsequent access checks.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
@@ -67,6 +68,9 @@ class SituationStateMachine:
         self.events_processed = 0
         self.events_ignored = 0
         self.transition_count = 0
+        #: Observability hub (set via Observability.attach_ssm); when
+        #: present, every transition is traced, audited, and timed.
+        self.obs = None
 
     def _add_rule(self, rule: TransitionRule) -> None:
         if rule.from_state != ANY_STATE and rule.from_state not in self.states:
@@ -114,11 +118,19 @@ class SituationStateMachine:
             return None
         transition = Transition(event=event, from_state=self._current.name,
                                 to_state=target, at_ns=now_ns)
+        obs = self.obs
+        if obs is not None:
+            t0 = time.perf_counter_ns()
         self._current = self.states.get(target)
         self.transition_count += 1
         self.history.append(transition)
         for listener in self._listeners:
             listener(transition)
+        if obs is not None:
+            # Latency covers the pointer swap plus every synchronous
+            # listener (APE remap, bridge profile rewrite, audit) — the
+            # window during which permissions are being updated.
+            obs.transition(transition, time.perf_counter_ns() - t0)
         return transition
 
     def force_state(self, name: str) -> None:

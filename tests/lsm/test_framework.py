@@ -53,6 +53,19 @@ class TestStackOrder:
         with pytest.raises(KeyError):
             LsmFramework.from_config("nonsense", {})
 
+    def test_from_config_duplicate_module(self):
+        with pytest.raises(ValueError):
+            LsmFramework.from_config("sack,sack",
+                                     {"sack": Recorder("sack")})
+
+    def test_from_config_explicit_capability_still_first(self):
+        # "capability" may appear anywhere in CONFIG_LSM (or not at all);
+        # the stack always has exactly one, in front, as in Linux.
+        a = Recorder("a")
+        for config in ("capability,a", "a,capability", "a"):
+            fw = LsmFramework.from_config(config, {"a": a})
+            assert fw.config_lsm == "capability,a"
+
     def test_module_named(self):
         a = Recorder("a")
         fw = LsmFramework([a])
@@ -152,6 +165,36 @@ class TestStats:
         kernel.sys_getpid(kernel.procs.init)
         fw.stats.reset()
         assert fw.stats.total_calls() == 0
+
+    def test_snapshot_is_point_in_time(self):
+        rec = Recorder("r", deny_paths=["/x"])
+        kernel, fw = boot_kernel([rec], collect_stats=True)
+        kernel.vfs.create_file("/x")
+        with pytest.raises(KernelError):
+            kernel.sys_open(kernel.procs.init, "/x")
+        snap = fw.stats.snapshot()
+        assert snap["calls"]["r.file_open"] == 1
+        assert snap["denials"]["r.file_open"] == 1
+        assert snap["total_calls"] == fw.stats.total_calls()
+        with pytest.raises(KernelError):
+            kernel.sys_open(kernel.procs.init, "/x")
+        # The snapshot does not track further dispatches.
+        assert snap["calls"]["r.file_open"] == 1
+        assert fw.stats.calls["r.file_open"] == 2
+
+    def test_top_orders_by_call_count(self):
+        rec = Recorder("r", deny_paths=["/x"])
+        kernel, fw = boot_kernel([rec], collect_stats=True)
+        kernel.vfs.create_file("/x")
+        kernel.vfs.create_file("/ok")
+        for _ in range(3):
+            fd = kernel.sys_open(kernel.procs.init, "/ok")
+            kernel.sys_close(kernel.procs.init, fd)
+        with pytest.raises(KernelError):
+            kernel.sys_open(kernel.procs.init, "/x")
+        top = fw.stats.top(1)
+        assert top == [("r.file_open", 4, 1)]
+        assert len(fw.stats.top(10)) >= 1
 
 
 class TestBootKernel:

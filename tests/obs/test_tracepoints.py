@@ -1,0 +1,94 @@
+"""Tests for tracepoints: attach/detach semantics and the catalogue."""
+
+import pytest
+
+from repro.obs import (CATALOGUE, LSM_HOOK_DISPATCH, SYS_ENTER, Tracepoint,
+                       TracepointRegistry)
+
+
+class TestTracepoint:
+    def test_disabled_by_default(self):
+        tp = Tracepoint("t:x", "t", "x")
+        assert not tp.enabled
+        tp.emit(a=1)
+        assert tp.hits == 0
+
+    def test_probe_receives_name_and_fields(self):
+        tp = Tracepoint("t:x", "t", "x", ("a",))
+        seen = []
+        tp.attach(lambda name, fields: seen.append((name, fields)))
+        tp.emit(a=1)
+        assert seen == [("t:x", {"a": 1})]
+        assert tp.hits == 1
+
+    def test_attach_is_idempotent(self):
+        tp = Tracepoint("t:x", "t", "x")
+        probe = lambda name, fields: None
+        tp.attach(probe)
+        tp.attach(probe)
+        assert len(tp.callbacks) == 1
+
+    def test_detach_unknown_probe_ignored(self):
+        tp = Tracepoint("t:x", "t", "x")
+        tp.detach(lambda name, fields: None)  # no raise
+
+    def test_detach_stops_delivery(self):
+        tp = Tracepoint("t:x", "t", "x")
+        seen = []
+        probe = lambda name, fields: seen.append(fields)
+        tp.attach(probe)
+        tp.emit(a=1)
+        tp.detach(probe)
+        tp.emit(a=2)
+        assert seen == [{"a": 1}]
+
+    def test_probes_fire_in_attachment_order(self):
+        tp = Tracepoint("t:x", "t", "x")
+        order = []
+        tp.attach(lambda n, f: order.append("first"))
+        tp.attach(lambda n, f: order.append("second"))
+        tp.emit()
+        assert order == ["first", "second"]
+
+    def test_probe_may_detach_itself_during_emit(self):
+        tp = Tracepoint("t:x", "t", "x")
+
+        def one_shot(name, fields):
+            tp.detach(one_shot)
+        tp.attach(one_shot)
+        tp.emit()
+        tp.emit()
+        assert tp.hits == 1
+
+
+class TestRegistry:
+    def test_catalogue_preloaded(self):
+        reg = TracepointRegistry()
+        assert len(reg.names()) == len(CATALOGUE)
+        assert SYS_ENTER in reg
+        assert LSM_HOOK_DISPATCH in reg
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TracepointRegistry().get("no:such")
+
+    def test_register_is_idempotent(self):
+        reg = TracepointRegistry()
+        first = reg.register("syscalls", "sys_enter")
+        assert first is reg.get(SYS_ENTER)
+
+    def test_by_category_groups_and_sorts(self):
+        cats = TracepointRegistry().by_category()
+        assert set(cats) == {"syscalls", "lsm", "sack"}
+        sack_events = [p.event for p in cats["sack"]]
+        assert sack_events == sorted(sack_events)
+
+    def test_enabled_names_and_detach_all(self):
+        reg = TracepointRegistry()
+        probe = lambda n, f: None
+        reg.attach(SYS_ENTER, probe)
+        reg.attach(LSM_HOOK_DISPATCH, probe)
+        assert reg.enabled_names() == sorted([SYS_ENTER,
+                                              LSM_HOOK_DISPATCH])
+        reg.detach_all()
+        assert reg.enabled_names() == []

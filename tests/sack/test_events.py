@@ -3,8 +3,9 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sack.events import (EventParseError, SituationEvent,
-                               parse_event_buffer, parse_event_line)
+from repro.sack.events import (EventParseError, EventSequencer,
+                               SituationEvent, parse_event_buffer,
+                               parse_event_line)
 
 
 class TestParseLine:
@@ -43,6 +44,47 @@ class TestParseLine:
         a = parse_event_line("a")
         b = parse_event_line("b")
         assert b.seq > a.seq
+
+
+class TestEventSequencer:
+    def test_counts_from_start(self):
+        seq = EventSequencer()
+        assert [seq(), seq(), seq()] == [1, 2, 3]
+
+    def test_peek_does_not_consume(self):
+        seq = EventSequencer(start=7)
+        assert seq.peek() == 7
+        assert seq() == 7
+        assert seq.peek() == 8
+
+    def test_reset(self):
+        seq = EventSequencer()
+        seq()
+        seq()
+        seq.reset()
+        assert seq() == 1
+        seq.reset(start=100)
+        assert seq() == 100
+
+    def test_independent_sequencers_are_deterministic(self):
+        # Two sequencers fed identical parses stamp identical numbers —
+        # the per-kernel scoping that keeps multi-kernel runs (and test
+        # ordering) deterministic.
+        lines = ["a", "b x=1", "c"]
+        first = [parse_event_line(l, sequencer=EventSequencer()).seq
+                 for l in lines]
+        seq_a, seq_b = EventSequencer(), EventSequencer()
+        run_a = [parse_event_line(l, sequencer=seq_a).seq for l in lines]
+        run_b = [parse_event_line(l, sequencer=seq_b).seq for l in lines]
+        assert run_a == run_b == [1, 2, 3]
+        assert first == [1, 1, 1]  # a fresh sequencer per parse
+
+    def test_buffer_threads_sequencer(self):
+        seq = EventSequencer()
+        events = parse_event_buffer(b"a\nb\nc\n", sequencer=seq)
+        assert [e.seq for e in events] == [1, 2, 3]
+        more = parse_event_buffer(b"d\n", sequencer=seq)
+        assert more[0].seq == 4
 
 
 class TestParseBuffer:
