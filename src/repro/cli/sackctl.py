@@ -15,6 +15,10 @@ Subcommands::
                                          accesses, print the trace buffer
     sackctl audit <policy.sack> -e crash_detected --access ioctl:/dev/car/door:DOOR_UNLOCK
                                          same, but print the audit records
+    sackctl chaos --seed 1..5 --ticks 200
+                                         seeded fault-injection scenarios
+                                         with fail-closed invariant checks;
+                                         exit 1 on any violation
 
 ``trace`` and ``audit`` run against a real booted simulator kernel with
 independent SACK enforcing, SACKfs mounted, and tracefs recording every
@@ -235,6 +239,43 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def _parse_seeds(spec: str) -> List[int]:
+    """``"7"`` -> [7]; ``"1..5"`` -> [1, 2, 3, 4, 5]."""
+    if ".." in spec:
+        lo, _, hi = spec.partition("..")
+        first, last = int(lo), int(hi)
+        if last < first:
+            raise ValueError(f"bad seed range {spec!r}")
+        return list(range(first, last + 1))
+    return [int(spec)]
+
+
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from ..faults import chaos
+
+    seeds = _parse_seeds(args.seed)
+    reports = chaos.run_soak(seeds, ticks=args.ticks, mode=args.mode,
+                             intensity=args.intensity)
+    if args.json:
+        print(_json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            for line in report.summary_lines():
+                print(line)
+    # Status goes to stderr under --json so stdout stays parseable.
+    out = sys.stderr if args.json else sys.stdout
+    failed = [r for r in reports if not r.ok]
+    if failed:
+        print(f"chaos: {len(failed)}/{len(reports)} seed(s) violated "
+              f"fail-closed invariants", file=out)
+        return 1
+    print(f"chaos: {len(reports)} seed(s), all fail-closed invariants held",
+          file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sackctl",
@@ -299,6 +340,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--access", action="append",
                          help="op:path[:ioctl_cmd] (repeatable, in order)")
     p_audit.set_defaults(func=cmd_audit)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection scenarios with fail-closed "
+                      "invariant checks")
+    p_chaos.add_argument("--seed", default="1",
+                         help="seed or inclusive range 'A..B' "
+                              "(default: 1)")
+    p_chaos.add_argument("--ticks", type=int, default=200,
+                         help="scenario length in ticks (default: 200)")
+    p_chaos.add_argument("--mode", default="independent",
+                         choices=["independent", "apparmor"],
+                         help="enforcement backend (default: independent)")
+    p_chaos.add_argument("--intensity", type=float, default=0.05,
+                         help="max per-point fault probability "
+                              "(default: 0.05)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit one JSON report per seed")
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -1,0 +1,31 @@
+"""repro.faults — deterministic fault injection for the SACK pipeline.
+
+Modeled on Linux ``CONFIG_FAULT_INJECTION``: named fault points baked into
+the SDS → SACKfs → SSM code paths (:mod:`~repro.faults.points`), armed by a
+seeded :class:`~repro.faults.plan.FaultPlan` with failslab-style knobs
+(probability, interval, times, nth-call), evaluated on the virtual clock so
+every run is bit-for-bit reproducible.
+
+The chaos harness (:mod:`~repro.faults.chaos`) drives seeded fault
+scenarios against a full vehicle world and checks fail-closed invariants
+every tick; it is imported explicitly (``from repro.faults import chaos``)
+to keep this package importable from the kernel layers it instruments.
+
+See ``docs/fault-injection.md``.
+"""
+
+from .plan import FaultPlan, FaultRule, random_plan
+from .points import (BRIDGE_RELOAD_FAIL, CATALOGUE, FaultPoint,
+                     InjectedFault, POLICY_LOAD_FAIL, SACKFS_CORRUPT,
+                     SACKFS_SHORT_WRITE, SACKFS_WRITE_EAGAIN,
+                     SACKFS_WRITE_EIO, SDS_SENSOR_DROPOUT, SDS_SENSOR_SPIKE,
+                     SDS_SENSOR_STUCK, SSM_LISTENER_FAIL, point_names)
+
+__all__ = [
+    "FaultPlan", "FaultRule", "random_plan",
+    "BRIDGE_RELOAD_FAIL", "CATALOGUE", "FaultPoint", "InjectedFault",
+    "POLICY_LOAD_FAIL", "SACKFS_CORRUPT", "SACKFS_SHORT_WRITE",
+    "SACKFS_WRITE_EAGAIN", "SACKFS_WRITE_EIO", "SDS_SENSOR_DROPOUT",
+    "SDS_SENSOR_SPIKE", "SDS_SENSOR_STUCK", "SSM_LISTENER_FAIL",
+    "point_names",
+]

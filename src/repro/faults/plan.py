@@ -1,0 +1,195 @@
+"""Deterministic fault plans: *when* each fault point fires.
+
+A :class:`FaultPlan` is the simulator's ``fault-attr``: every fault point
+call asks the plan ``should_fail(point, now_ns)`` and the plan answers from
+its rules.  Rule semantics mirror Linux's fault injection knobs:
+
+``probability``
+    Chance (0..1) that a call fails, drawn from the plan's seeded RNG
+    (failslab's ``probability`` percent knob).
+``interval``
+    Every Nth call to the point fails (failslab's ``interval``).
+``nth_calls``
+    Explicit call numbers that fail (the ``fail_nth`` per-task knob).
+``times``
+    Maximum number of failures this rule may inject (failslab ``times``;
+    ``-1`` = unlimited).
+``start_ns`` / ``end_ns``
+    Active window on the **virtual clock**, so faults can be scripted to a
+    scenario phase ("kill the channel between t=2s and t=4s").
+
+All randomness comes from one ``random.Random(seed)``; call order in the
+simulator is deterministic (virtual clock, no threads), so a plan replays
+bit-for-bit: same seed, same workload ⇒ same faults at the same calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .points import CATALOGUE, point_names
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One arming of a fault point (failslab-style knobs)."""
+
+    point: str
+    probability: float = 0.0
+    interval: int = 0
+    nth_calls: FrozenSet[int] = frozenset()
+    times: int = -1
+    start_ns: int = 0
+    end_ns: Optional[int] = None
+    arg: Optional[str] = None     # optional per-instance filter (sensor name)
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: "
+                             f"{self.probability}")
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0: {self.interval}")
+        if self.times < -1:
+            raise ValueError(f"times must be >= -1: {self.times}")
+
+    def describe(self) -> str:
+        parts = [self.point]
+        if self.arg:
+            parts.append(f"arg={self.arg}")
+        if self.probability:
+            parts.append(f"p={self.probability:g}")
+        if self.interval:
+            parts.append(f"interval={self.interval}")
+        if self.nth_calls:
+            parts.append(f"nth={sorted(self.nth_calls)}")
+        if self.times >= 0:
+            parts.append(f"times={self.times}")
+        if self.start_ns or self.end_ns is not None:
+            parts.append(f"window=[{self.start_ns},{self.end_ns}]ns")
+        return " ".join(parts)
+
+
+class FaultPlan:
+    """A seeded set of fault rules plus per-point call/hit accounting."""
+
+    def __init__(self, seed: int = 0,
+                 rules: Tuple[FaultRule, ...] = ()):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rules: List[FaultRule] = []
+        self._hits_left: Dict[int, int] = {}
+        self.calls: Dict[str, int] = {}
+        self.injected: Dict[str, int] = {}
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- configuration -----------------------------------------------------
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        if rule.point not in CATALOGUE:
+            raise ValueError(f"unknown fault point {rule.point!r}; "
+                             f"declared points: {', '.join(point_names())}")
+        index = len(self.rules)
+        self.rules.append(rule)
+        self._hits_left[index] = rule.times
+        return rule
+
+    def arm(self, point: str, **knobs) -> FaultRule:
+        """Convenience: build and add a rule for *point*."""
+        return self.add_rule(FaultRule(point=point, **knobs))
+
+    # -- the decision ------------------------------------------------------
+    def should_fail(self, point: str, now_ns: int = 0,
+                    arg: Optional[str] = None) -> bool:
+        """Does this call to *point* fail?  Counts the call either way."""
+        call_no = self.calls.get(point, 0) + 1
+        self.calls[point] = call_no
+        fail = False
+        for index, rule in enumerate(self.rules):
+            if rule.point != point:
+                continue
+            if rule.arg is not None and rule.arg != arg:
+                continue
+            if now_ns < rule.start_ns:
+                continue
+            if rule.end_ns is not None and now_ns >= rule.end_ns:
+                continue
+            if self._hits_left[index] == 0:
+                continue
+            hit = (call_no in rule.nth_calls
+                   or (rule.interval and call_no % rule.interval == 0)
+                   or (rule.probability
+                       and self.rng.random() < rule.probability))
+            if hit:
+                if self._hits_left[index] > 0:
+                    self._hits_left[index] -= 1
+                fail = True
+                # Keep evaluating so RNG consumption (and therefore replay)
+                # does not depend on which rule fired first.
+        if fail:
+            self.injected[point] = self.injected.get(point, 0) + 1
+        return fail
+
+    # -- seeded value mutators (for corruption/noise faults) ---------------
+    def corrupt(self, data: bytes) -> bytes:
+        """Flip one seeded-random byte of *data* (no-op when empty)."""
+        if not data:
+            return data
+        index = self.rng.randrange(len(data))
+        mask = self.rng.randrange(1, 256)
+        return data[:index] + bytes([data[index] ^ mask]) + data[index + 1:]
+
+    def truncate(self, data: bytes) -> bytes:
+        """A short write: keep a seeded-random proper prefix of *data*."""
+        if not data:
+            return data
+        return data[:self.rng.randrange(len(data))]
+
+    def spike(self, value: float, magnitude: float = 4.0) -> float:
+        """Perturb a numeric sample by up to ±*magnitude*× its scale."""
+        scale = abs(value) if value else 1.0
+        return value + self.rng.uniform(-magnitude, magnitude) * scale
+
+    # -- reporting ---------------------------------------------------------
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        """Per-point call/injection counts (stable key order)."""
+        return {point: {"calls": self.calls.get(point, 0),
+                        "injected": self.injected.get(point, 0)}
+                for point in sorted(set(self.calls) | set(self.injected))}
+
+    def describe(self) -> List[str]:
+        return [rule.describe() for rule in self.rules]
+
+
+def random_plan(seed: int, intensity: float = 0.05,
+                window_ns: Optional[Tuple[int, int]] = None) -> FaultPlan:
+    """A randomized-but-seeded plan over the whole fault catalogue.
+
+    Each declared point is armed with probability drawn from the seed, at
+    most ``intensity`` — low enough that the pipeline keeps making forward
+    progress, high enough that every resilience path gets exercised over a
+    few hundred ticks.  Listener/bridge faults get a bounded ``times`` so
+    rollback-then-failsafe recovery always converges.
+    """
+    from . import points as fp
+    maker = random.Random(seed ^ 0x5ACC)
+    plan = FaultPlan(seed)
+    start_ns, end_ns = window_ns if window_ns else (0, None)
+    for point in point_names():
+        if maker.random() < 0.5:
+            continue                      # this point stays healthy
+        probability = maker.uniform(0.2, 1.0) * intensity
+        times = -1
+        if point in (fp.SSM_LISTENER_FAIL, fp.BRIDGE_RELOAD_FAIL,
+                     fp.POLICY_LOAD_FAIL):
+            # Enforcement-update faults are bounded so the transactional
+            # recovery (rollback, then failsafe) is guaranteed to settle.
+            times = maker.randrange(1, 6)
+        plan.add_rule(FaultRule(point=point, probability=probability,
+                                times=times, start_ns=start_ns,
+                                end_ns=end_ns))
+    return plan

@@ -19,25 +19,30 @@ ftrace:
 See ``docs/observability.md`` for the full catalogue and formats.
 """
 
-from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_POLICY_LOAD,
+from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_FAILSAFE,
+                    AUDIT_POLICY_LOAD, AUDIT_ROLLBACK,
                     AUDIT_STATE_TRANSITION, AuditEvent, AuditRing,
                     errno_name)
 from .hub import Observability
 from .metrics import (Counter, DEFAULT_NS_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, Sample, sample)
-from .tracepoints import (CATALOGUE, LSM_HOOK_DISPATCH, Probe,
+from .tracepoints import (CATALOGUE, FAULT_INJECT, LSM_HOOK_DISPATCH, Probe,
                           SACK_EVENT_REJECTED, SACK_EVENT_WRITE,
-                          SACK_POLICY_LOAD, SSM_TRANSITION, SYS_ENTER,
-                          SYS_EXIT, Tracepoint, TracepointRegistry)
+                          SACK_FAILSAFE, SACK_POLICY_LOAD,
+                          SACK_TRANSITION_ROLLBACK, SSM_TRANSITION,
+                          SYS_ENTER, SYS_EXIT, Tracepoint,
+                          TracepointRegistry)
 from .tracefs import TRACEFS_ROOT, TraceFs, mount_tracefs
 
 __all__ = [
-    "AUDIT_AVC", "AUDIT_EVENT_REJECTED", "AUDIT_POLICY_LOAD",
+    "AUDIT_AVC", "AUDIT_EVENT_REJECTED", "AUDIT_FAILSAFE",
+    "AUDIT_POLICY_LOAD", "AUDIT_ROLLBACK",
     "AUDIT_STATE_TRANSITION", "AuditEvent", "AuditRing", "errno_name",
     "Observability", "Counter", "DEFAULT_NS_BUCKETS", "Gauge", "Histogram",
-    "MetricsRegistry", "Sample", "sample", "CATALOGUE",
+    "MetricsRegistry", "Sample", "sample", "CATALOGUE", "FAULT_INJECT",
     "LSM_HOOK_DISPATCH", "Probe", "SACK_EVENT_REJECTED", "SACK_EVENT_WRITE",
-    "SACK_POLICY_LOAD", "SSM_TRANSITION", "SYS_ENTER", "SYS_EXIT",
+    "SACK_FAILSAFE", "SACK_POLICY_LOAD", "SACK_TRANSITION_ROLLBACK",
+    "SSM_TRANSITION", "SYS_ENTER", "SYS_EXIT",
     "Tracepoint", "TracepointRegistry", "TRACEFS_ROOT", "TraceFs",
     "mount_tracefs",
 ]

@@ -37,6 +37,8 @@ AUDIT_AVC = "avc"
 AUDIT_STATE_TRANSITION = "state_transition"
 AUDIT_POLICY_LOAD = "policy_load"
 AUDIT_EVENT_REJECTED = "event_rejected"
+AUDIT_ROLLBACK = "transition_rollback"
+AUDIT_FAILSAFE = "failsafe"
 
 
 def errno_name(code: int) -> str:
@@ -85,6 +87,12 @@ class AuditEvent:
         if self.kind == AUDIT_POLICY_LOAD:
             return (f"type=MAC_POLICY_LOAD msg=audit({stamp}): "
                     f"module={self.module} {self.detail}")
+        if self.kind == AUDIT_FAILSAFE:
+            return (f"type=SACK_FAILSAFE msg=audit({stamp}): "
+                    f"{self.detail} situation={self.situation or 'none'}")
+        if self.kind == AUDIT_ROLLBACK:
+            return (f"type=SACK_ROLLBACK msg=audit({stamp}): "
+                    f"{self.detail} situation={self.situation or 'none'}")
         return (f"type={self.kind.upper()} msg=audit({stamp}): "
                 f"module={self.module} pid={self.pid} "
                 f"comm=\"{self.comm}\" {self.detail}")

@@ -21,11 +21,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_POLICY_LOAD,
+from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_FAILSAFE,
+                    AUDIT_POLICY_LOAD, AUDIT_ROLLBACK,
                     AUDIT_STATE_TRANSITION, AuditRing)
 from .metrics import MetricsRegistry, sample
-from .tracepoints import (SACK_EVENT_REJECTED, SACK_EVENT_WRITE,
-                          SACK_POLICY_LOAD, SSM_TRANSITION,
+from .tracepoints import (FAULT_INJECT, SACK_EVENT_REJECTED,
+                          SACK_EVENT_WRITE, SACK_FAILSAFE, SACK_POLICY_LOAD,
+                          SACK_TRANSITION_ROLLBACK, SSM_TRANSITION,
                           TracepointRegistry)
 
 
@@ -145,6 +147,14 @@ class Observability:
                    ssm.events_ignored),
             sample("sack_ssm_transitions_total", None, "counter",
                    ssm.transition_count),
+            sample("sack_ssm_transitions_failed_total", None, "counter",
+                   getattr(ssm, "transitions_failed", 0)),
+            sample("sack_ssm_rollbacks_total", None, "counter",
+                   getattr(ssm, "rollback_count", 0)),
+            sample("sack_ssm_forced_total", None, "counter",
+                   getattr(ssm, "forced_count", 0)),
+            sample("sack_ssm_failsafe_engaged", None, "gauge",
+                   int(getattr(ssm, "failsafe_engaged", False))),
             sample("sack_ssm_states", None, "gauge", len(ssm.states)),
             sample("sack_ssm_rules", None, "gauge", len(ssm.rules)),
         ]
@@ -167,6 +177,45 @@ class Observability:
                         f"to={transition.to_state} "
                         f"event={transition.event.name}"))
 
+    def transition_rollback(self, transition, error: Exception) -> None:
+        """A listener failed mid-notification; the SSM rolled back."""
+        self.metrics.counter("sack_transition_rollbacks_total").inc()
+        tp = self.tracepoints.get(SACK_TRANSITION_ROLLBACK)
+        if tp.callbacks:
+            tp.emit(event=transition.event.name,
+                    from_state=transition.from_state,
+                    to_state=transition.to_state, error=str(error))
+        if self.audit.enabled:
+            self.audit.emit(
+                self.now_ns, AUDIT_ROLLBACK, module="sack",
+                situation=transition.from_state,
+                detail=(f"from={transition.from_state} "
+                        f"to={transition.to_state} "
+                        f"event={transition.event.name} "
+                        f"error={error}"))
+
+    def failsafe(self, from_state: str, to_state: str, reason: str) -> None:
+        """The SSM degraded to its policy-declared failsafe state."""
+        self.metrics.counter("sack_failsafe_engagements_total").inc()
+        tp = self.tracepoints.get(SACK_FAILSAFE)
+        if tp.callbacks:
+            tp.emit(from_state=from_state, to_state=to_state, reason=reason)
+        if self.audit.enabled:
+            self.audit.emit(
+                self.now_ns, AUDIT_FAILSAFE, module="sack",
+                situation=to_state,
+                detail=(f"from={from_state} to={to_state} "
+                        f"reason={reason}"))
+
+    # -- fault injection ---------------------------------------------------
+    def fault_injected(self, point: str) -> None:
+        """One armed fault point actually fired."""
+        self.metrics.counter("fault_injections_total",
+                             {"point": point}).inc()
+        tp = self.tracepoints.get(FAULT_INJECT)
+        if tp.callbacks:
+            tp.emit(point=point)
+
     # -- SACKfs wiring -----------------------------------------------------
     def observe_sackfs(self, sackfs) -> None:
         """Fold a SACKfs instance's counters into the metrics export."""
@@ -181,6 +230,8 @@ class Observability:
                        fs.events_accepted),
                 sample("sackfs_events_rejected_total", None, "counter",
                        fs.events_rejected),
+                sample("sackfs_heartbeats_received_total", None, "counter",
+                       getattr(fs, "heartbeats_received", 0)),
             ])
 
     def event_write(self, n_events: int, n_bytes: int, task) -> None:

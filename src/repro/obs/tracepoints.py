@@ -79,6 +79,10 @@ CATALOGUE: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
     ("sack", "event_rejected", ("reason", "pid", "comm")),
     ("sack", "policy_load", ("policy", "backend", "states", "rules",
                              "duration_ns")),
+    ("sack", "transition_rollback", ("event", "from_state", "to_state",
+                                     "error")),
+    ("sack", "failsafe", ("from_state", "to_state", "reason")),
+    ("fault", "inject", ("point",)),
 )
 
 # Full ids, importable by call sites.
@@ -89,6 +93,9 @@ SSM_TRANSITION = "sack:ssm_transition"
 SACK_EVENT_WRITE = "sack:event_write"
 SACK_EVENT_REJECTED = "sack:event_rejected"
 SACK_POLICY_LOAD = "sack:policy_load"
+SACK_TRANSITION_ROLLBACK = "sack:transition_rollback"
+SACK_FAILSAFE = "sack:failsafe"
+FAULT_INJECT = "fault:inject"
 
 
 class TracepointRegistry:

@@ -13,8 +13,8 @@ and compiler (:mod:`~repro.sack.policy`), the adaptive policy enforcer
 from .ape import AdaptivePolicyEnforcer
 from .apparmor_bridge import SACK_ORIGIN, SackAppArmorBridge, mac_rule_to_path_rule
 from .events import (CRASH_DETECTED, DRIVER_LEFT, DRIVER_RETURNED,
-                     EMERGENCY_CLEARED, EventParseError, SPEED_HIGH,
-                     SPEED_LOW, SituationEvent, VEHICLE_PARKED,
+                     EMERGENCY_CLEARED, EventParseError, HEARTBEAT,
+                     SPEED_HIGH, SPEED_LOW, SituationEvent, VEHICLE_PARKED,
                      VEHICLE_STARTED, parse_event_buffer, parse_event_line)
 from .module import SackLsm
 from .policy import (CompiledPolicy, Diagnostic, MacRule, PolicyCompileError,
@@ -24,6 +24,7 @@ from .policy import (CompiledPolicy, Diagnostic, MacRule, PolicyCompileError,
 from .sackfs import EVENTS_PATH, SackFs
 from .ssm import (ANY_STATE, SituationStateMachine, SsmError, Transition,
                   TransitionRule)
+from .watchdog import StalenessWatchdog
 from .states import (EMERGENCY, NORMAL_DRIVING, PARKING_WITH_DRIVER,
                      PARKING_WITHOUT_DRIVER, SituationState, StateSpace,
                      paper_state_space)
@@ -31,14 +32,16 @@ from .states import (EMERGENCY, NORMAL_DRIVING, PARKING_WITH_DRIVER,
 __all__ = [
     "AdaptivePolicyEnforcer", "SACK_ORIGIN", "SackAppArmorBridge",
     "mac_rule_to_path_rule", "CRASH_DETECTED", "DRIVER_LEFT",
-    "DRIVER_RETURNED", "EMERGENCY_CLEARED", "EventParseError", "SPEED_HIGH",
+    "DRIVER_RETURNED", "EMERGENCY_CLEARED", "EventParseError", "HEARTBEAT",
+    "SPEED_HIGH",
     "SPEED_LOW", "SituationEvent", "VEHICLE_PARKED", "VEHICLE_STARTED",
     "parse_event_buffer", "parse_event_line", "SackLsm", "CompiledPolicy",
     "Diagnostic", "MacRule", "PolicyCompileError", "RuleDecision", "RuleOp",
     "SackPermission", "SackPolicy", "SackPolicyParseError", "Severity",
     "check_policy", "compile_policy", "format_policy", "has_errors",
     "parse_policy", "EVENTS_PATH", "SackFs", "ANY_STATE",
-    "SituationStateMachine", "SsmError", "Transition", "TransitionRule",
+    "SituationStateMachine", "SsmError", "StalenessWatchdog", "Transition",
+    "TransitionRule",
     "EMERGENCY", "NORMAL_DRIVING", "PARKING_WITH_DRIVER",
     "PARKING_WITHOUT_DRIVER", "SituationState", "StateSpace",
     "paper_state_space",

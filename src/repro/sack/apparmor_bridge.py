@@ -23,6 +23,8 @@ from typing import List, Optional
 from ..apparmor.module import AppArmorLsm
 from ..apparmor.profile import FilePerm, PathRule, Profile
 from ..apparmor.globs import glob_match
+from ..faults import points as fault_points
+from ..faults.points import InjectedFault
 from ..lsm.module import LsmModule
 from .policy.compiler import compile_policy
 from .policy.model import MacRule, RuleDecision, RuleOp, SackPolicy
@@ -87,13 +89,14 @@ class SackAppArmorBridge(LsmModule):
 
     name = MODULE_NAME
 
-    def __init__(self, apparmor: AppArmorLsm):
+    def __init__(self, apparmor: AppArmorLsm, fault_plan=None):
         self.apparmor = apparmor
         self.policy: Optional[SackPolicy] = None
         self.ssm: Optional[SituationStateMachine] = None
         self.ioctl_symbols: dict = {}
         self.update_count = 0
         self.rules_injected = 0
+        self.fault_plan = fault_plan
 
     # -- policy lifecycle -----------------------------------------------------
     def load_policy(self, policy: SackPolicy, ioctl_symbols=None
@@ -141,11 +144,29 @@ class SackAppArmorBridge(LsmModule):
         return glob_match(rule.subject, profile.name)
 
     def _apply_state(self, state_name: str) -> None:
-        """Rewrite every target profile for *state_name* and reload it."""
+        """Rewrite every target profile for *state_name* and reload it.
+
+        The apply is all-or-nothing: every updated profile is computed
+        first, then the live policy store is swapped profile by profile.
+        The injectable reload failure fires *before* any mutation, so an
+        SSM rollback after a bridge failure always finds the profiles
+        still consistent with the previous state.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.should_fail(
+                fault_points.BRIDGE_RELOAD_FAIL,
+                getattr(self.kernel.clock, "now_ns", 0)):
+            obs = getattr(self.kernel, "obs", None)
+            if obs is not None:
+                obs.fault_injected(fault_points.BRIDGE_RELOAD_FAIL)
+            raise InjectedFault(fault_points.BRIDGE_RELOAD_FAIL,
+                                f"profile reload failed entering "
+                                f"{state_name!r}")
         obs = getattr(self.kernel, "obs", None)
         started_ns = time.perf_counter_ns() if obs is not None else 0
         rules = self.policy.rules_for_state(state_name)
         injected = 0
+        staged: List[Profile] = []
         for profile in self._target_profiles():
             updated = profile.clone()
             updated.remove_rules_by_origin(SACK_ORIGIN)
@@ -154,6 +175,8 @@ class SackAppArmorBridge(LsmModule):
                     updated.add_rule(
                         mac_rule_to_path_rule(rule, self.ioctl_symbols))
                     injected += 1
+            staged.append(updated)
+        for updated in staged:
             self.apparmor.policy.replace_profile(updated)
         self.update_count += 1
         self.rules_injected = injected
@@ -164,6 +187,36 @@ class SackAppArmorBridge(LsmModule):
         self.audit("sack_profiles_updated",
                    f"state={state_name} profiles="
                    f"{len(self._target_profiles())} rules={injected}")
+
+    def verify_consistency(self) -> List[str]:
+        """Cross-check live profiles against the SSM's current state.
+
+        For every target profile, the sack-origin rules present in the
+        live AppArmor store must be exactly the translation of the MAC
+        rules active in the SSM's current state.  Returns a list of
+        discrepancy descriptions (empty = consistent) — the chaos
+        harness's strongest invariant: no injected failure may leave
+        enforcement and situation tracking disagreeing.
+        """
+        problems: List[str] = []
+        if self.policy is None or self.ssm is None:
+            return problems
+        def key(rule: PathRule):
+            return (rule.glob, rule.perms.value, rule.deny)
+
+        rules = self.policy.rules_for_state(self.ssm.current_name)
+        for profile in self._target_profiles():
+            expected = sorted(
+                key(mac_rule_to_path_rule(r, self.ioctl_symbols))
+                for r in rules if self._rule_applies_to(r, profile))
+            live = sorted(key(r) for r in profile.path_rules
+                          if r.origin == SACK_ORIGIN)
+            if expected != live:
+                problems.append(
+                    f"profile {profile.name!r}: live sack rules disagree "
+                    f"with state {self.ssm.current_name!r} "
+                    f"({len(live)} live vs {len(expected)} expected)")
+        return problems
 
     def stats(self) -> dict:
         return {

@@ -117,6 +117,10 @@ def parse_event_buffer(data: bytes, timestamp_ns: int = 0,
     return events
 
 
+#: Channel-liveness heartbeat from the SDS.  Not a situation event: SACKfs
+#: feeds it to the staleness watchdog and never forwards it to the SSM.
+HEARTBEAT = "sds_heartbeat"
+
 # Event names used throughout the reproduction (SDS detectors emit these).
 CRASH_DETECTED = "crash_detected"
 EMERGENCY_CLEARED = "emergency_cleared"

@@ -70,6 +70,12 @@ def check_policy(policy: SackPolicy) -> List[Diagnostic]:
                 f"{rule.to_state!r}"))
         seen_edges[key] = rule.to_state
 
+    # E007: failsafe must name a defined state.
+    if policy.failsafe is not None and policy.failsafe not in state_names:
+        diags.append(_err("E007",
+                          f"failsafe state {policy.failsafe!r} is not "
+                          f"defined"))
+
     # E003/E004: State_Per references.
     for state, perms in policy.state_per.items():
         if state not in state_names:
@@ -104,13 +110,28 @@ def check_policy(policy: SackPolicy) -> List[Diagnostic]:
             diags.append(_warn("W102",
                                f"permission {perm!r} maps to no MAC rules"))
 
-    # W103: unreachable states.
+    # W103: unreachable states.  The failsafe state is exempt: it is
+    # reachable through the degradation path even without a rule edge.
     if policy.initial in state_names:
         reachable = _reachable(policy, state_names)
+        if policy.failsafe is not None:
+            reachable = reachable | {policy.failsafe}
         for state in sorted(state_names - reachable):
             diags.append(_warn("W103",
                                f"state {state!r} is unreachable from "
                                f"{policy.initial!r}"))
+
+    # W108: a failsafe state with no exit rule traps the machine until the
+    # next policy load — legal, but worth flagging.
+    if policy.failsafe in state_names:
+        exits = any(rule.from_state in (policy.failsafe, ANY_STATE)
+                    and rule.to_state != policy.failsafe
+                    for rule in policy.transitions)
+        if not exits:
+            diags.append(_warn("W108",
+                               f"failsafe state {policy.failsafe!r} has no "
+                               f"outgoing transition; recovery requires a "
+                               f"policy reload"))
 
     # W104: a situation-aware policy without transitions is static.
     if not policy.transitions:

@@ -76,6 +76,8 @@ _STATE_PER_RE = re.compile(r'^(?P<state>\w+)\s*:\s*(?P<perms>.*)$')
 _RULE_RE = re.compile(
     r'^(?P<decision>allow|deny)\s+(?P<op>\w+)\s+(?P<path>/\S+)'
     r'(?P<extras>(?:\s+\w+=\S+)*)$')
+_FAILSAFE_RE = re.compile(
+    r'^(?P<state>\w+)(?:\s+after\s+(?P<ms>\d+(?:\.\d+)?)\s*ms)?$')
 
 
 def _strip(line: str) -> str:
@@ -99,6 +101,8 @@ class _Parser:
         self.per_rules: Dict[str, List[MacRule]] = {}
         self.guards: List[str] = []
         self.targets: List[str] = []
+        self.failsafe: Optional[str] = None
+        self.failsafe_deadline_ms: Optional[float] = None
 
     def error(self, message: str) -> SackPolicyParseError:
         return SackPolicyParseError(self.pos, message)
@@ -147,6 +151,8 @@ class _Parser:
                 self.initial = stmt.split(None, 1)[1]
             elif stmt.startswith("guard "):
                 self.guards.append(stmt.split(None, 1)[1].split()[0])
+            elif stmt.startswith("failsafe "):
+                self.parse_failsafe(stmt.split(None, 1)[1])
             else:
                 raise self.error(f"unknown top-level statement {stmt!r}")
         return self.finish()
@@ -252,6 +258,21 @@ class _Parser:
         except ValueError as exc:
             raise self.error(str(exc)) from exc
 
+    def parse_failsafe(self, rest: str) -> None:
+        """``failsafe <state> [after <deadline>ms]``."""
+        if self.failsafe is not None:
+            raise self.error("duplicate failsafe statement")
+        match = _FAILSAFE_RE.match(rest.strip())
+        if match is None:
+            raise self.error(f"bad failsafe statement {rest!r}; expected "
+                             f"'failsafe <state> [after <ms>ms]'")
+        self.failsafe = match.group("state")
+        if match.group("ms") is not None:
+            deadline = float(match.group("ms"))
+            if deadline <= 0:
+                raise self.error("failsafe deadline must be positive")
+            self.failsafe_deadline_ms = deadline
+
     def parse_targets(self) -> None:
         for line in self.block_lines():
             stmt = self.expect_statement(line)
@@ -276,7 +297,9 @@ class _Parser:
                           per_rules=self.per_rules,
                           guards=self.guards,
                           targets=self.targets,
-                          name=self.name)
+                          name=self.name,
+                          failsafe=self.failsafe,
+                          failsafe_deadline_ms=self.failsafe_deadline_ms)
 
 
 def parse_policy(text: str) -> SackPolicy:
@@ -320,6 +343,11 @@ def format_policy(policy: SackPolicy) -> str:
     out.append("")
     for guard in policy.guards:
         out.append(f"guard {guard};")
+    if policy.failsafe is not None:
+        line = f"failsafe {policy.failsafe}"
+        if policy.failsafe_deadline_ms is not None:
+            line += f" after {policy.failsafe_deadline_ms:g}ms"
+        out.append(line + ";")
     if policy.targets:
         out.append("targets {")
         for target in policy.targets:

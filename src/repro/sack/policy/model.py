@@ -91,7 +91,9 @@ class SackPolicy:
                  per_rules: Dict[str, List[MacRule]],
                  guards: List[str],
                  targets: Optional[List[str]] = None,
-                 name: str = "sack-policy"):
+                 name: str = "sack-policy",
+                 failsafe: Optional[str] = None,
+                 failsafe_deadline_ms: Optional[float] = None):
         self.name = name
         self.states = states
         self.initial = initial
@@ -102,6 +104,11 @@ class SackPolicy:
         self.guards = list(guards)
         #: AppArmor profile names the bridge rewrites (empty = all).
         self.targets = list(targets or [])
+        #: ``failsafe <state> [after <ms>ms]``: the state the SSM degrades
+        #: to on unrecoverable listener failure or (with a deadline) event
+        #: staleness.  Most-restrictive by convention.
+        self.failsafe = failsafe
+        self.failsafe_deadline_ms = failsafe_deadline_ms
 
     # -- Algorithm 1's mapping functions -----------------------------------
     def permissions_for_state(self, state_name: str) -> Set[str]:
@@ -124,7 +131,7 @@ class SackPolicy:
         """Instantiate the runtime state machine this policy describes."""
         return ssm_mod.SituationStateMachine(
             self.states, self.transitions, self.initial,
-            history_size=history_size)
+            history_size=history_size, failsafe=self.failsafe)
 
     def rule_count(self) -> int:
         return sum(len(rules) for rules in self.per_rules.values())
@@ -138,4 +145,9 @@ class SackPolicy:
                  f"permissions {len(self.permissions)}",
                  f"mac_rules {self.rule_count()}",
                  f"guards {len(self.guards)}"]
+        if self.failsafe is not None:
+            line = f"failsafe {self.failsafe}"
+            if self.failsafe_deadline_ms is not None:
+                line += f" deadline_ms {self.failsafe_deadline_ms:g}"
+            lines.append(line)
         return "\n".join(lines) + "\n"

@@ -19,17 +19,28 @@ Exposes, under ``/sys/kernel/security/SACK/``:
 ``audit``
     Read-only: the kernel's observability audit ring, rendered as AVC
     lines (see ``docs/observability.md``).
+``watchdog``
+    Read-only: staleness-watchdog status (deadline, last event, engaged),
+    or ``disabled`` when the loaded policy declares no failsafe deadline
+    (see ``docs/fault-injection.md``).
+
+A :class:`~repro.faults.plan.FaultPlan` can be attached to exercise the
+channel's failure paths deterministically (EIO/EAGAIN, short writes, byte
+corruption, policy-load failure); see ``docs/fault-injection.md``.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Set
 
+from ..faults import points as fault_points
 from ..kernel.credentials import Capability
 from ..kernel.errors import Errno, KernelError
 from ..lsm.securityfs import SecurityFs
-from .events import EventParseError, EventSequencer, parse_event_buffer
+from .events import (EventParseError, EventSequencer, HEARTBEAT,
+                     parse_event_buffer)
 from .policy.language import parse_policy
+from .watchdog import StalenessWatchdog
 
 #: SACKfs directory name under securityfs.
 SACK_DIR = "SACK"
@@ -41,7 +52,7 @@ class SackFs:
 
     def __init__(self, kernel, module, securityfs: Optional[SecurityFs] = None,
                  authorized_event_uids: Optional[Set[int]] = None,
-                 ioctl_symbols=None):
+                 ioctl_symbols=None, fault_plan=None):
         """*module* is an independent :class:`~repro.sack.module.SackLsm`
         or a :class:`~repro.sack.apparmor_bridge.SackAppArmorBridge` —
         anything with ``ssm``, ``current_state`` and ``load_policy``.
@@ -54,6 +65,12 @@ class SackFs:
         self.events_received = 0
         self.events_accepted = 0
         self.events_rejected = 0
+        self.heartbeats_received = 0
+        #: Deterministic fault plan for the channel's failure paths.
+        self.fault_plan = fault_plan
+        #: Staleness watchdog; created whenever the loaded policy declares
+        #: ``failsafe <state> after <deadline>ms``.
+        self.watchdog: Optional[StalenessWatchdog] = None
         #: Sequence numbers are assigned at the kernel entry point, so two
         #: kernels fed identical writes stamp identical sequences.
         self.sequencer = EventSequencer()
@@ -85,6 +102,8 @@ class SackFs:
                        mode=0o644)
         fs.create_file(f"{SACK_DIR}/audit", read=self._read_audit,
                        mode=0o600)
+        fs.create_file(f"{SACK_DIR}/watchdog", read=self._read_watchdog,
+                       mode=0o644)
 
     # -- event channel -------------------------------------------------------------
     def authorize_event_writer(self, uid: int) -> None:
@@ -98,14 +117,20 @@ class SackFs:
 
     def _write_events(self, task, data: bytes) -> int:
         obs = self.obs
+        # Every arrival counts as received, authorised or not — a denied
+        # writer shows up in both events_received and events_rejected, so
+        # the stats file never undercounts traffic.
+        self.events_received += 1
         if not self._writer_allowed(task):
+            self.events_rejected += 1
             if obs is not None:
                 obs.event_rejected("writer not authorised", task)
             raise KernelError(Errno.EPERM,
                               "events: writer not authorised for SACK")
-        self.events_received += 1
+        data = self._inject_channel_faults(data)
         ssm = self.module.ssm
         if ssm is None:
+            self.events_rejected += 1
             raise KernelError(Errno.ENODATA, "no SACK policy loaded")
         try:
             events = parse_event_buffer(data, self.kernel.clock.now_ns,
@@ -115,15 +140,58 @@ class SackFs:
             if obs is not None:
                 obs.event_rejected(str(exc), task)
             raise KernelError(Errno.EINVAL, str(exc)) from exc
+        forwarded = 0
         for event in events:
+            if event.name == HEARTBEAT:
+                # Channel liveness only: feed the watchdog, never the SSM.
+                self.heartbeats_received += 1
+                continue
             ssm.process_event(event, now_ns=self.kernel.clock.now_ns)
-        self.events_accepted += len(events)
-        if obs is not None:
-            obs.event_write(len(events), len(data), task)
+            forwarded += 1
+        self.events_accepted += forwarded
+        if self.watchdog is not None:
+            self.watchdog.feed(self.kernel.clock.now_ns)
+        if obs is not None and forwarded:
+            obs.event_write(forwarded, len(data), task)
         return len(data)
+
+    def _inject_channel_faults(self, data: bytes) -> bytes:
+        """Apply any armed SACKfs channel faults to this write."""
+        plan = self.fault_plan
+        if plan is None:
+            return data
+        obs = self.obs
+        now = self.kernel.clock.now_ns
+        if plan.should_fail(fault_points.SACKFS_WRITE_EIO, now):
+            self.events_rejected += 1
+            if obs is not None:
+                obs.fault_injected(fault_points.SACKFS_WRITE_EIO)
+            raise KernelError(Errno.EIO,
+                              "events: injected I/O error")
+        if plan.should_fail(fault_points.SACKFS_WRITE_EAGAIN, now):
+            self.events_rejected += 1
+            if obs is not None:
+                obs.fault_injected(fault_points.SACKFS_WRITE_EAGAIN)
+            raise KernelError(Errno.EAGAIN,
+                              "events: injected transient busy")
+        if plan.should_fail(fault_points.SACKFS_SHORT_WRITE, now):
+            if obs is not None:
+                obs.fault_injected(fault_points.SACKFS_SHORT_WRITE)
+            data = plan.truncate(data)
+        if plan.should_fail(fault_points.SACKFS_CORRUPT, now):
+            if obs is not None:
+                obs.fault_injected(fault_points.SACKFS_CORRUPT)
+            data = plan.corrupt(data)
+        return data
 
     # -- policy files ---------------------------------------------------------------
     def _write_policy(self, task, data: bytes) -> int:
+        plan = self.fault_plan
+        if plan is not None and plan.should_fail(
+                fault_points.POLICY_LOAD_FAIL, self.kernel.clock.now_ns):
+            if self.obs is not None:
+                self.obs.fault_injected(fault_points.POLICY_LOAD_FAIL)
+            raise KernelError(Errno.EIO, "policy: injected load failure")
         # Parse, validate, and compile all happen before any live state
         # is replaced: a rejected policy leaves the old one enforcing.
         try:
@@ -132,6 +200,12 @@ class SackFs:
                                     ioctl_symbols=self.ioctl_symbols)
         except (UnicodeDecodeError, ValueError) as exc:
             raise KernelError(Errno.EINVAL, f"policy: {exc}") from exc
+        if policy.failsafe_deadline_ms is not None:
+            self.watchdog = StalenessWatchdog(
+                self.module.ssm, policy.failsafe_deadline_ms,
+                self.kernel.clock)
+        else:
+            self.watchdog = None
         return len(data)
 
     def _read_policy(self, task) -> bytes:
@@ -185,14 +259,40 @@ class SackFs:
     def _read_stats(self, task) -> bytes:
         lines = [f"events_received {self.events_received}",
                  f"events_accepted {self.events_accepted}",
-                 f"events_rejected {self.events_rejected}"]
+                 f"events_rejected {self.events_rejected}",
+                 f"heartbeats_received {self.heartbeats_received}"]
         ssm = self.module.ssm
         if ssm is not None:
             lines.extend(f"ssm_{k} {v}" for k, v in ssm.stats().items())
         ape = getattr(self.module, "ape", None)
         if ape is not None:
             lines.extend(f"ape_{k} {v}" for k, v in ape.stats().items())
+        if self.watchdog is not None:
+            lines.extend(f"watchdog_{k} {v}"
+                         for k, v in self.watchdog.stats().items())
         return ("\n".join(lines) + "\n").encode()
+
+    def _read_watchdog(self, task) -> bytes:
+        if self.watchdog is None:
+            return b"disabled\n"
+        lines = [f"{k} {v}" for k, v in self.watchdog.stats().items()]
+        return ("\n".join(lines) + "\n").encode()
+
+    # -- fail-safe plumbing -------------------------------------------------------
+    def check_watchdog(self) -> bool:
+        """Evaluate the staleness deadline now.
+
+        The world's tick loop calls this; returns True when the check
+        engaged the failsafe.  A no-op without a watchdog (no policy, or
+        a policy with no ``failsafe ... after`` deadline).
+        """
+        if self.watchdog is None:
+            return False
+        return self.watchdog.check(self.kernel.clock.now_ns)
+
+    def attach_fault_plan(self, plan) -> None:
+        """Attach (or replace, with ``None``) the channel fault plan."""
+        self.fault_plan = plan
 
     def _read_audit(self, task) -> bytes:
         if self.obs is None:

@@ -9,6 +9,14 @@ this policy does not care about).
 Listeners — the adaptive policy enforcer, the AppArmor bridge, audit — are
 notified synchronously on every transition, which is what makes permission
 updates atomic with respect to subsequent access checks.
+
+Transitions are **transactional**: if any listener raises, the state
+pointer is rolled back and every listener that already saw the new state is
+re-notified with the old one, so the enforcement plane (APE ruleset, bridge
+profiles) can never be left half-updated.  If even the rollback fails, the
+machine degrades to the policy-declared ``failsafe`` state (most
+restrictive by convention) rather than run with an inconsistent world —
+fail-closed by construction.
 """
 
 from __future__ import annotations
@@ -23,6 +31,15 @@ from .states import SituationState, StateSpace
 
 #: ``from_state`` wildcard: the rule fires from any state.
 ANY_STATE = "*"
+
+#: Synthetic event names for transitions not driven by a situation event.
+FORCE_EVENT = "__force_state__"
+FAILSAFE_EVENT = "__failsafe__"
+
+#: Attempts per listener when settling on a degraded state.  Bounded so a
+#: deterministically broken listener cannot hang the kernel; fault plans
+#: bound their enforcement-update faults accordingly.
+SETTLE_RETRY_LIMIT = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,11 +69,15 @@ class SituationStateMachine:
     """Deterministic finite state machine over situation states."""
 
     def __init__(self, states: StateSpace, rules: Iterable[TransitionRule],
-                 initial: str, history_size: int = 256):
+                 initial: str, history_size: int = 256,
+                 failsafe: Optional[str] = None):
         self.states = states
         if initial not in states:
             raise SsmError(f"initial state {initial!r} is not defined")
+        if failsafe is not None and failsafe not in states:
+            raise SsmError(f"failsafe state {failsafe!r} is not defined")
         self.initial = initial
+        self.failsafe_state = failsafe
         self._current = states.get(initial)
         # Index rules by (event, from_state); detect nondeterminism.
         self._rules: Dict[Tuple[str, str], str] = {}
@@ -68,6 +89,18 @@ class SituationStateMachine:
         self.events_processed = 0
         self.events_ignored = 0
         self.transition_count = 0
+        #: Transitions whose listener notification failed and was rolled
+        #: back (every processed event lands in exactly one of
+        #: transitions / ignored / failed).
+        self.transitions_failed = 0
+        self.rollback_count = 0
+        self.forced_count = 0
+        self.failsafe_entries = 0
+        #: Listeners that could not be settled even with retries.
+        self.listener_failures = 0
+        #: True while degraded by the watchdog / a failed rollback; cleared
+        #: by the next successful event-driven transition.
+        self.failsafe_engaged = False
         #: Observability hub (set via Observability.attach_ssm); when
         #: present, every transition is traced, audited, and timed.
         self.obs = None
@@ -110,7 +143,12 @@ class SituationStateMachine:
 
     def process_event(self, event: SituationEvent,
                       now_ns: int = 0) -> Optional[Transition]:
-        """Feed one event; returns the transition or None when ignored."""
+        """Feed one event; returns the transition or None when ignored.
+
+        Every processed event lands in exactly one bucket: a committed
+        transition, ignored (no matching rule / self-transition), or
+        failed (a listener raised and the transition was rolled back).
+        """
         self.events_processed += 1
         target = self.lookup(event.name, self._current.name)
         if target is None or target == self._current.name:
@@ -121,11 +159,12 @@ class SituationStateMachine:
         obs = self.obs
         if obs is not None:
             t0 = time.perf_counter_ns()
-        self._current = self.states.get(target)
+        if not self._apply(transition):
+            self.transitions_failed += 1
+            return None
         self.transition_count += 1
         self.history.append(transition)
-        for listener in self._listeners:
-            listener(transition)
+        self.failsafe_engaged = False
         if obs is not None:
             # Latency covers the pointer swap plus every synchronous
             # listener (APE remap, bridge profile rewrite, audit) — the
@@ -133,9 +172,115 @@ class SituationStateMachine:
             obs.transition(transition, time.perf_counter_ns() - t0)
         return transition
 
-    def force_state(self, name: str) -> None:
-        """Administrative override (used by tests and policy reload)."""
+    # -- the transactional notification core --------------------------------
+    def _apply(self, transition: Transition) -> bool:
+        """Swap the state pointer and notify listeners, transactionally.
+
+        Returns True when every listener accepted the new state.  On a
+        listener exception the pointer is rolled back and the listeners
+        that already saw the new state are re-notified with the old one;
+        if *that* fails too, the machine degrades to the failsafe state.
+        """
+        prev = self._current
+        self._current = self.states.get(transition.to_state)
+        notified: List[Callable[[Transition], None]] = []
+        error: Optional[BaseException] = None
+        for listener in self._listeners:
+            try:
+                listener(transition)
+            except Exception as exc:
+                error = exc
+                break
+            notified.append(listener)
+        if error is None:
+            return True
+        # Roll back: restore the pointer, then re-apply the old state to
+        # every listener that already switched.  The failing listener never
+        # completed its update, so it still enforces the old state.
+        self.rollback_count += 1
+        self._current = prev
+        rollback = Transition(
+            event=transition.event, from_state=transition.to_state,
+            to_state=prev.name, at_ns=transition.at_ns)
+        if self.obs is not None:
+            self.obs.transition_rollback(transition, error)
+        try:
+            for listener in notified:
+                listener(rollback)
+        except Exception as exc:
+            # The world cannot be restored: degrade rather than diverge.
+            self.enter_failsafe(
+                f"rollback failed after listener error ({exc})",
+                now_ns=transition.at_ns)
+        return False
+
+    def _settle(self, name: str, event_name: str, now_ns: int) -> int:
+        """Drive *every* listener to state *name*, retrying per listener.
+
+        The last-resort path: used only when normal transactional
+        notification already failed.  Returns the number of listeners that
+        still could not be settled after :data:`SETTLE_RETRY_LIMIT` tries.
+        """
+        from_state = self._current.name
         self._current = self.states.get(name)
+        transition = Transition(
+            event=SituationEvent(name=event_name, timestamp_ns=now_ns,
+                                 seq=0),
+            from_state=from_state, to_state=name, at_ns=now_ns)
+        failures = 0
+        for listener in self._listeners:
+            for _ in range(SETTLE_RETRY_LIMIT):
+                try:
+                    listener(transition)
+                    break
+                except Exception:
+                    continue
+            else:
+                failures += 1
+        self.listener_failures += failures
+        return failures
+
+    def enter_failsafe(self, reason: str, now_ns: int = 0
+                       ) -> Optional[str]:
+        """Degrade to the policy-declared failsafe state.
+
+        Used by the staleness watchdog and by the rollback path.  Without a
+        declared failsafe the listeners are re-settled on the current state
+        (still fail-closed: nothing ever moves forward inconsistently).
+        Returns the state the machine settled on.
+        """
+        from_state = self._current.name
+        target = self.failsafe_state if self.failsafe_state is not None \
+            else from_state
+        self.failsafe_entries += 1
+        self.failsafe_engaged = True
+        self._settle(target, FAILSAFE_EVENT, now_ns)
+        if self.obs is not None:
+            self.obs.failsafe(from_state, target, reason)
+        return target
+
+    def force_state(self, name: str, now_ns: int = 0
+                    ) -> Optional[Transition]:
+        """Administrative override (used by tests and policy reload).
+
+        Routed through the transactional path so listeners — the APE, the
+        AppArmor bridge — follow the override exactly like a real
+        transition; an override that a listener rejects is rolled back.
+        """
+        target = self.states.get(name)   # raises KeyError for unknown
+        if target.name == self._current.name:
+            return None
+        transition = Transition(
+            event=SituationEvent(name=FORCE_EVENT, timestamp_ns=now_ns,
+                                 seq=0),
+            from_state=self._current.name, to_state=target.name,
+            at_ns=now_ns)
+        self.forced_count += 1
+        if not self._apply(transition):
+            return None
+        if self.obs is not None:
+            self.obs.transition(transition, 0)
+        return transition
 
     # -- analysis ----------------------------------------------------------
     def reachable_states(self) -> set:
@@ -162,6 +307,11 @@ class SituationStateMachine:
             "events_processed": self.events_processed,
             "events_ignored": self.events_ignored,
             "transitions": self.transition_count,
+            "transitions_failed": self.transitions_failed,
+            "rollbacks": self.rollback_count,
+            "forced": self.forced_count,
+            "failsafe_entries": self.failsafe_entries,
+            "listener_failures": self.listener_failures,
             "states": len(self.states),
             "rules": len(self.rules),
         }

@@ -1,0 +1,81 @@
+"""The SSM staleness watchdog: fail-safe when the SDS goes dark.
+
+The SSM only knows what the SDS tells it; if the SDS crashes (or the
+SACKfs channel dies), the kernel would otherwise keep enforcing the last
+state's permissions forever — stale, and possibly far too permissive for
+the situation the vehicle is actually in.  The watchdog closes that hole:
+the policy declares ``failsafe <state> after <deadline>ms`` and the kernel
+degrades to that state when no event or heartbeat has arrived within the
+deadline.
+
+The SDS heartbeat (:data:`~repro.sack.events.HEARTBEAT`) is what lets the
+kernel tell "quiet SDS" (world unchanged, heartbeats flowing) from "dead
+SDS" (nothing at all): heartbeats feed the watchdog without ever touching
+the state machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..kernel.clock import NSEC_PER_MSEC
+
+
+class StalenessWatchdog:
+    """Deadline supervisor over one SSM's event stream."""
+
+    def __init__(self, ssm, deadline_ms: float, clock):
+        if deadline_ms <= 0:
+            raise ValueError("watchdog deadline must be positive")
+        self.ssm = ssm
+        self.deadline_ms = float(deadline_ms)
+        self.deadline_ns = int(deadline_ms * NSEC_PER_MSEC)
+        self.clock = clock
+        self.last_seen_ns = clock.now_ns
+        self.checks = 0
+        self.engagements = 0
+
+    # -- feeding -----------------------------------------------------------
+    def feed(self, now_ns: Optional[int] = None) -> None:
+        """Any accepted event write or heartbeat pets the watchdog."""
+        self.last_seen_ns = (now_ns if now_ns is not None
+                             else self.clock.now_ns)
+
+    @property
+    def stale_ns(self) -> int:
+        return max(0, self.clock.now_ns - self.last_seen_ns)
+
+    @property
+    def expired(self) -> bool:
+        return self.stale_ns > self.deadline_ns
+
+    # -- supervision -------------------------------------------------------
+    def check(self, now_ns: Optional[int] = None) -> bool:
+        """Engage failsafe if the deadline has passed; True when it fired.
+
+        Idempotent while degraded: once the SSM sits in failsafe the
+        watchdog stays quiet until fresh events clear the flag (and feed
+        the deadline again).
+        """
+        now = now_ns if now_ns is not None else self.clock.now_ns
+        self.checks += 1
+        if self.ssm.failsafe_engaged:
+            return False
+        if now - self.last_seen_ns <= self.deadline_ns:
+            return False
+        self.engagements += 1
+        stale_ms = (now - self.last_seen_ns) / NSEC_PER_MSEC
+        self.ssm.enter_failsafe(
+            f"event stream stale for {stale_ms:.0f}ms "
+            f"(deadline {self.deadline_ms:.0f}ms)", now_ns=now)
+        return True
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "deadline_ms": self.deadline_ms,
+            "last_event_ns": self.last_seen_ns,
+            "stale_ns": self.stale_ns,
+            "checks": self.checks,
+            "engagements": self.engagements,
+            "engaged": int(self.ssm.failsafe_engaged),
+        }

@@ -6,7 +6,7 @@ from .detectors import (CrashDetector, Detector, DriverPresenceDetector,
 from .sensors import (Accelerometer, CrashSensor, GpsSensor, IgnitionSensor,
                       SeatOccupancySensor, Sensor, SpeedSensor,
                       default_sensor_suite, sample_all)
-from .service import SdsStats, SituationDetectionService
+from .service import SdsStats, SensorHealth, SituationDetectionService
 
 __all__ = [
     "CrashDetector", "Detector", "DriverPresenceDetector",
@@ -14,5 +14,5 @@ __all__ = [
     "GeofenceDetector",
     "Accelerometer", "CrashSensor", "GpsSensor", "IgnitionSensor",
     "SeatOccupancySensor", "Sensor", "SpeedSensor", "default_sensor_suite",
-    "sample_all", "SdsStats", "SituationDetectionService",
+    "sample_all", "SdsStats", "SensorHealth", "SituationDetectionService",
 ]

@@ -5,41 +5,112 @@ detectors, and forwards detected situation events to the kernel by writing
 lines to SACKfs (``/sys/kernel/security/SACK/events``).  It is the *only*
 component that bridges situation tracking (user space) and enforcement
 (kernel) — the decoupling the paper credits for consistency and POLP.
+
+Resilience (see ``docs/fault-injection.md``): failed sends land in a
+bounded, coalescing outbox retried with exponential backoff on the virtual
+clock; sensors carry per-sensor health with last-known-good fallback; and
+a periodic ``sds_heartbeat`` keeps the kernel's staleness watchdog fed
+even when no situation changes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
+from collections import OrderedDict, deque
 from typing import Dict, List, Optional
 
+from ..faults import points as fault_points
 from ..kernel.errors import KernelError
+from ..sack.events import HEARTBEAT
 from ..sack.sackfs import EVENTS_PATH
 from .detectors import Detector, default_detector_suite
-from .sensors import Sensor, default_sensor_suite, sample_all
+from .sensors import Sensor, default_sensor_suite
+
+#: Latency samples kept for percentile inspection; the mean/max are
+#: streamed so the window size never biases the summary.
+LATENCY_WINDOW = 1024
+
+#: Outbox capacity: distinct coalesced events awaiting retry.
+OUTBOX_CAPACITY = 64
+
+#: Retry backoff bounds (virtual-clock milliseconds).
+RETRY_BACKOFF_INITIAL_MS = 20.0
+RETRY_BACKOFF_MAX_MS = 2000.0
 
 
 class SdsStats:
-    """Operational counters plus the user→kernel latency samples."""
+    """Operational counters plus the user→kernel latency samples.
 
-    def __init__(self):
+    Latency samples are bounded (a long soak must not grow memory), so
+    the mean and max are maintained as running aggregates over *all*
+    sends, not just the retained window.
+    """
+
+    def __init__(self, latency_window: int = LATENCY_WINDOW):
         self.polls = 0
         self.events_sent = 0
         self.events_failed = 0
-        self.send_latencies_ns: List[int] = []
+        self.retries = 0
+        self.outbox_dropped = 0
+        self.heartbeats_sent = 0
+        self.heartbeats_failed = 0
+        self.sensor_faults = 0
+        self.send_latencies_ns = deque(maxlen=latency_window)
+        self._latency_count = 0
+        self._latency_total_ns = 0
+        self._latency_max_ns = 0
+
+    def record_latency(self, latency_ns: int) -> None:
+        self.send_latencies_ns.append(latency_ns)
+        self._latency_count += 1
+        self._latency_total_ns += latency_ns
+        if latency_ns > self._latency_max_ns:
+            self._latency_max_ns = latency_ns
 
     @property
     def mean_latency_us(self) -> float:
-        if not self.send_latencies_ns:
+        if not self._latency_count:
             return 0.0
-        return sum(self.send_latencies_ns) / len(self.send_latencies_ns) / 1e3
+        return self._latency_total_ns / self._latency_count / 1e3
+
+    @property
+    def max_latency_us(self) -> float:
+        return self._latency_max_ns / 1e3
 
     def summary(self) -> Dict[str, object]:
         return {
             "polls": self.polls,
             "events_sent": self.events_sent,
             "events_failed": self.events_failed,
+            "retries": self.retries,
+            "outbox_dropped": self.outbox_dropped,
+            "heartbeats_sent": self.heartbeats_sent,
+            "heartbeats_failed": self.heartbeats_failed,
+            "sensor_faults": self.sensor_faults,
             "mean_send_latency_us": round(self.mean_latency_us, 3),
+            "max_send_latency_us": round(self.max_latency_us, 3),
         }
+
+
+@dataclasses.dataclass
+class SensorHealth:
+    """Per-sensor liveness tracked by the SDS supervisor."""
+
+    ok: bool = True
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    last_good: object = None
+
+    def record_good(self, value: object) -> None:
+        self.ok = True
+        self.consecutive_failures = 0
+        self.last_good = value
+
+    def record_failure(self) -> None:
+        self.ok = False
+        self.consecutive_failures += 1
+        self.total_failures += 1
 
 
 class SituationDetectionService:
@@ -49,7 +120,9 @@ class SituationDetectionService:
                  sensors: Optional[List[Sensor]] = None,
                  detectors: Optional[List[Detector]] = None,
                  events_path: str = EVENTS_PATH,
-                 poll_period_ms: float = 10.0):
+                 poll_period_ms: float = 10.0,
+                 heartbeat_period_ms: float = 1000.0,
+                 fault_plan=None):
         self.kernel = kernel
         self.task = task
         self.dynamics = dynamics
@@ -58,14 +131,62 @@ class SituationDetectionService:
                           else default_detector_suite())
         self.events_path = events_path
         self.poll_period_ms = poll_period_ms
+        self.heartbeat_period_ms = heartbeat_period_ms
+        self.fault_plan = fault_plan
         self.stats = SdsStats()
         self.last_samples: Dict[str, object] = {}
+        self.health: Dict[str, SensorHealth] = {
+            sensor.name: SensorHealth() for sensor in self.sensors}
+        #: Coalescing outbox: event name -> line awaiting retry.  A newer
+        #: occurrence of a queued event replaces the stale payload.
+        self.outbox: "OrderedDict[str, bytes]" = OrderedDict()
+        self.retry_backoff_ms = RETRY_BACKOFF_INITIAL_MS
+        self.next_retry_ns: Optional[int] = None
+        self._last_heartbeat_ns: Optional[int] = None
+
+    # -- sensing -------------------------------------------------------------
+    def _sample_sensors(self, now_ns: int) -> Dict[str, object]:
+        """One sampling sweep, with faults applied and health tracked.
+
+        A dropped-out sensor contributes its last-known-good value (the
+        detectors keep running on slightly stale data rather than on
+        holes); a stuck sensor silently repeats its previous value; a
+        spiked numeric sensor is scaled by the plan's magnitude.
+        """
+        plan = self.fault_plan
+        samples: Dict[str, object] = {}
+        for sensor in self.sensors:
+            health = self.health.setdefault(sensor.name, SensorHealth())
+            if plan is not None and plan.should_fail(
+                    fault_points.SDS_SENSOR_DROPOUT, now_ns, arg=sensor.name):
+                self.stats.sensor_faults += 1
+                health.record_failure()
+                if health.last_good is not None:
+                    samples[sensor.name] = health.last_good
+                continue
+            value = sensor.sample(self.dynamics)
+            if plan is not None and plan.should_fail(
+                    fault_points.SDS_SENSOR_STUCK, now_ns, arg=sensor.name):
+                self.stats.sensor_faults += 1
+                if health.last_good is not None:
+                    value = health.last_good
+                samples[sensor.name] = value
+                continue
+            if (plan is not None and isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and plan.should_fail(fault_points.SDS_SENSOR_SPIKE,
+                                         now_ns, arg=sensor.name)):
+                self.stats.sensor_faults += 1
+                value = plan.spike(value)
+            health.record_good(value)
+            samples[sensor.name] = value
+        return samples
 
     def poll(self) -> List[str]:
         """One detection cycle; returns the event names transmitted."""
         self.stats.polls += 1
         now_ns = self.kernel.clock.now_ns
-        samples = sample_all(self.sensors, self.dynamics)
+        samples = self._sample_sensors(now_ns)
         self.last_samples = samples
         sent: List[str] = []
         for detector in self.detectors:
@@ -74,24 +195,102 @@ class SituationDetectionService:
                     sent.append(event_name)
         return sent
 
+    # -- transmission --------------------------------------------------------
+    def _write_line(self, line: bytes) -> None:
+        self.kernel.write_file(self.task, self.events_path, line,
+                               create=False)
+
     def send_event(self, event_name: str,
                    samples: Optional[Dict[str, object]] = None) -> bool:
-        """Write one event line to SACKfs; returns success."""
+        """Write one event line to SACKfs; returns success.
+
+        A failed send is queued in the outbox for backoff-driven retry —
+        the event is delayed, not lost (unless the outbox overflows).
+        """
         payload = ""
         if samples and "speed_kmh" in samples:
             payload = f" speed={samples['speed_kmh']:.0f}"
         line = f"{event_name}{payload}\n".encode()
         start = time.perf_counter_ns()
         try:
-            self.kernel.write_file(self.task, self.events_path, line,
-                                   create=False)
+            self._write_line(line)
         except KernelError:
             self.stats.events_failed += 1
+            self._enqueue(event_name, line)
             return False
-        self.stats.send_latencies_ns.append(time.perf_counter_ns() - start)
+        self.stats.record_latency(time.perf_counter_ns() - start)
         self.stats.events_sent += 1
         return True
 
+    def _enqueue(self, event_name: str, line: bytes) -> None:
+        if event_name in self.outbox:
+            # Coalesce: keep queue position, refresh the payload.
+            self.outbox[event_name] = line
+            return
+        if len(self.outbox) >= OUTBOX_CAPACITY:
+            self.outbox.popitem(last=False)
+            self.stats.outbox_dropped += 1
+        self.outbox[event_name] = line
+        if self.next_retry_ns is None:
+            self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        delay_ns = int(self.retry_backoff_ms * 1e6)
+        self.next_retry_ns = self.kernel.clock.now_ns + delay_ns
+
+    def flush_outbox(self, now_ns: Optional[int] = None) -> int:
+        """Retry queued events once the backoff deadline has passed.
+
+        Returns the number of events delivered.  On the first failure the
+        backoff doubles (capped) and the rest of the queue waits; on full
+        drain the backoff resets.
+        """
+        if not self.outbox:
+            self.next_retry_ns = None
+            return 0
+        now = self.kernel.clock.now_ns if now_ns is None else now_ns
+        if self.next_retry_ns is not None and now < self.next_retry_ns:
+            return 0
+        delivered = 0
+        while self.outbox:
+            event_name, line = next(iter(self.outbox.items()))
+            self.stats.retries += 1
+            start = time.perf_counter_ns()
+            try:
+                self._write_line(line)
+            except KernelError:
+                self.retry_backoff_ms = min(self.retry_backoff_ms * 2,
+                                            RETRY_BACKOFF_MAX_MS)
+                self._schedule_retry()
+                return delivered
+            del self.outbox[event_name]
+            self.stats.record_latency(time.perf_counter_ns() - start)
+            self.stats.events_sent += 1
+            delivered += 1
+        self.retry_backoff_ms = RETRY_BACKOFF_INITIAL_MS
+        self.next_retry_ns = None
+        return delivered
+
+    def send_heartbeat(self) -> bool:
+        """Tell the kernel the channel is alive (feeds its watchdog)."""
+        self._last_heartbeat_ns = self.kernel.clock.now_ns
+        try:
+            self._write_line(f"{HEARTBEAT}\n".encode())
+        except KernelError:
+            self.stats.heartbeats_failed += 1
+            return False
+        self.stats.heartbeats_sent += 1
+        return True
+
+    def _maybe_heartbeat(self, now_ns: int) -> None:
+        if self._last_heartbeat_ns is None:
+            self.send_heartbeat()
+            return
+        due_ns = self._last_heartbeat_ns + int(self.heartbeat_period_ms * 1e6)
+        if now_ns >= due_ns:
+            self.send_heartbeat()
+
+    # -- main loop -----------------------------------------------------------
     def run(self, ticks: int, step_dynamics: bool = True,
             dt_s: Optional[float] = None) -> List[str]:
         """Run *ticks* poll cycles, advancing dynamics and virtual time."""
@@ -102,4 +301,6 @@ class SituationDetectionService:
                 self.dynamics.step(dt_s)
             self.kernel.clock.advance_ms(self.poll_period_ms)
             all_events.extend(self.poll())
+            self.flush_outbox()
+            self._maybe_heartbeat(self.kernel.clock.now_ns)
         return all_events

@@ -110,6 +110,10 @@ per_rules {
 
 guard /dev/car/**;
 
+# Fail safe: on unrecoverable enforcement failure — or a silent event
+# channel — assume the worst and degrade to emergency lockdown.
+failsafe emergency after 2000ms;
+
 targets {
   media_app;
   nav_app;
@@ -243,13 +247,28 @@ class IviWorld:
         return self.tasks[app]
 
     def run_sds(self, ticks: int = 1, dt_s: float = 0.1) -> list:
-        """Advance the world: dynamics steps + SDS polls."""
+        """Advance the world: dynamics steps + SDS polls.
+
+        With a live SDS the staleness watchdog is evaluated every tick —
+        heartbeats keep it fed, so it only ever fires when the channel is
+        genuinely broken.  Without an SDS (a world built for direct event
+        writes) the watchdog is left to the caller; see
+        :meth:`check_watchdog`.
+        """
         if self.sds is None:
             for _ in range(ticks):
                 self.dynamics.step(dt_s)
                 self.kernel.clock.advance_s(dt_s)
             return []
-        return self.sds.run(ticks, dt_s=dt_s)
+        events = self.sds.run(ticks, dt_s=dt_s)
+        self.check_watchdog()
+        return events
+
+    def check_watchdog(self) -> bool:
+        """Evaluate the kernel's event-staleness deadline now."""
+        if self.sackfs is None:
+            return False
+        return self.sackfs.check_watchdog()
 
     def drive_to_speed(self, speed_kmh: float, accel_ms2: float = 3.0,
                        max_ticks: int = 2000) -> None:
@@ -313,8 +332,14 @@ def build_ivi_world(config: EnforcementConfig = EnforcementConfig.SACK_INDEPENDE
                     policy_text: str = DEFAULT_SACK_POLICY,
                     with_ubuntu_profiles: bool = False,
                     with_sds: bool = True,
-                    initial_speed_kmh: float = 0.0) -> IviWorld:
-    """Assemble and boot a complete IVI world."""
+                    initial_speed_kmh: float = 0.0,
+                    fault_plan=None) -> IviWorld:
+    """Assemble and boot a complete IVI world.
+
+    *fault_plan* (a :class:`~repro.faults.plan.FaultPlan`) is threaded to
+    every layer that declares fault points: the SDS's sensors, the SACKfs
+    channel, and the AppArmor bridge's profile reload.
+    """
     dynamics = VehicleDynamics(speed_kmh=initial_speed_kmh)
     bus = CanBus()
 
@@ -331,7 +356,7 @@ def build_ivi_world(config: EnforcementConfig = EnforcementConfig.SACK_INDEPENDE
         sack = SackLsm()
         modules = [sack]
     elif config is EnforcementConfig.SACK_APPARMOR:
-        bridge = SackAppArmorBridge(apparmor)
+        bridge = SackAppArmorBridge(apparmor, fault_plan=fault_plan)
         modules = [bridge, apparmor]
     elif config is EnforcementConfig.APPARMOR:
         modules = [apparmor]
@@ -380,13 +405,15 @@ def build_ivi_world(config: EnforcementConfig = EnforcementConfig.SACK_INDEPENDE
     if module is not None:
         sackfs = SackFs(kernel, module,
                         authorized_event_uids={SDS_UID},
-                        ioctl_symbols=IOCTL_SYMBOLS)
+                        ioctl_symbols=IOCTL_SYMBOLS,
+                        fault_plan=fault_plan)
         kernel.write_file(init, "/sys/kernel/security/SACK/policy",
                           policy_text.encode(), create=False)
 
     sds = None
     if with_sds and module is not None:
-        sds = SituationDetectionService(kernel, tasks["sds"], dynamics)
+        sds = SituationDetectionService(kernel, tasks["sds"], dynamics,
+                                        fault_plan=fault_plan)
 
     return IviWorld(config=config, kernel=kernel, framework=framework,
                     dynamics=dynamics, bus=bus, devices=devices,

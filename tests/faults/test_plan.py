@@ -1,0 +1,141 @@
+"""Tests for the fault plane: points, rules, and plan determinism."""
+
+import pytest
+
+from repro.faults import points as fp
+from repro.faults.plan import FaultPlan, FaultRule, random_plan
+
+
+class TestCatalogue:
+    def test_every_point_declared(self):
+        for name in (fp.SDS_SENSOR_DROPOUT, fp.SDS_SENSOR_STUCK,
+                     fp.SDS_SENSOR_SPIKE, fp.SACKFS_WRITE_EIO,
+                     fp.SACKFS_WRITE_EAGAIN, fp.SACKFS_SHORT_WRITE,
+                     fp.SACKFS_CORRUPT, fp.SSM_LISTENER_FAIL,
+                     fp.BRIDGE_RELOAD_FAIL, fp.POLICY_LOAD_FAIL):
+            assert name in fp.CATALOGUE
+
+    def test_point_names_sorted(self):
+        names = fp.point_names()
+        assert list(names) == sorted(names)
+
+    def test_layers_cover_pipeline(self):
+        layers = {p.layer for p in fp.CATALOGUE.values()}
+        assert {"sds", "sackfs", "ssm", "policy"} <= layers
+
+    def test_injected_fault_carries_point(self):
+        exc = fp.InjectedFault(fp.SSM_LISTENER_FAIL, "boom")
+        assert exc.point == fp.SSM_LISTENER_FAIL
+        assert "boom" in str(exc)
+
+
+class TestFaultRule:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultRule(point=fp.SACKFS_WRITE_EIO, probability=1.5)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            FaultRule(point=fp.SACKFS_WRITE_EIO, times=-2)
+
+    def test_describe_mentions_knobs(self):
+        rule = FaultRule(point=fp.SACKFS_WRITE_EIO, probability=0.25,
+                         times=3)
+        text = rule.describe()
+        assert fp.SACKFS_WRITE_EIO in text
+        assert "p=0.25" in text
+        assert "times=3" in text
+
+
+class TestFaultPlan:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().arm("no:such_point", probability=1.0)
+
+    def test_unarmed_point_never_fails(self):
+        plan = FaultPlan(seed=7)
+        assert not any(plan.should_fail(fp.SACKFS_WRITE_EIO)
+                       for _ in range(100))
+        assert plan.calls[fp.SACKFS_WRITE_EIO] == 100
+        assert plan.total_injected() == 0
+
+    def test_interval_fires_every_nth(self):
+        plan = FaultPlan()
+        plan.arm(fp.SACKFS_WRITE_EIO, interval=3)
+        hits = [plan.should_fail(fp.SACKFS_WRITE_EIO) for _ in range(9)]
+        assert hits == [False, False, True] * 3
+
+    def test_nth_calls_fire_exactly(self):
+        plan = FaultPlan()
+        plan.arm(fp.SACKFS_WRITE_EIO, nth_calls=frozenset({2, 5}))
+        hits = [plan.should_fail(fp.SACKFS_WRITE_EIO) for _ in range(6)]
+        assert hits == [False, True, False, False, True, False]
+
+    def test_times_caps_injections(self):
+        plan = FaultPlan()
+        plan.arm(fp.SSM_LISTENER_FAIL, interval=1, times=2)
+        hits = [plan.should_fail(fp.SSM_LISTENER_FAIL) for _ in range(5)]
+        assert hits == [True, True, False, False, False]
+
+    def test_window_gates_on_virtual_clock(self):
+        plan = FaultPlan()
+        plan.arm(fp.SACKFS_WRITE_EIO, interval=1,
+                 start_ns=1000, end_ns=2000)
+        assert not plan.should_fail(fp.SACKFS_WRITE_EIO, now_ns=999)
+        assert plan.should_fail(fp.SACKFS_WRITE_EIO, now_ns=1000)
+        assert not plan.should_fail(fp.SACKFS_WRITE_EIO, now_ns=2000)
+
+    def test_arg_filter_targets_one_sensor(self):
+        plan = FaultPlan()
+        plan.arm(fp.SDS_SENSOR_DROPOUT, interval=1, arg="speed_kmh")
+        assert plan.should_fail(fp.SDS_SENSOR_DROPOUT, arg="speed_kmh")
+        assert not plan.should_fail(fp.SDS_SENSOR_DROPOUT, arg="crashed")
+
+    def test_probability_replays_with_seed(self):
+        def run(seed):
+            plan = FaultPlan(seed)
+            plan.arm(fp.SACKFS_WRITE_EIO, probability=0.3)
+            return [plan.should_fail(fp.SACKFS_WRITE_EIO)
+                    for _ in range(200)]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        plan = FaultPlan(seed=5)
+        data = b"crash_detected speed=88\n"
+        mutated = plan.corrupt(data)
+        assert len(mutated) == len(data)
+        assert sum(a != b for a, b in zip(data, mutated)) == 1
+
+    def test_truncate_returns_proper_prefix(self):
+        plan = FaultPlan(seed=5)
+        data = b"crash_detected speed=88\n"
+        shorter = plan.truncate(data)
+        assert len(shorter) < len(data)
+        assert data.startswith(shorter)
+
+    def test_report_counts_calls_and_injections(self):
+        plan = FaultPlan()
+        plan.arm(fp.SACKFS_WRITE_EIO, interval=2)
+        for _ in range(4):
+            plan.should_fail(fp.SACKFS_WRITE_EIO)
+        report = plan.report()
+        assert report[fp.SACKFS_WRITE_EIO] == {"calls": 4, "injected": 2}
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        assert random_plan(9).describe() == random_plan(9).describe()
+
+    def test_different_seed_different_plan(self):
+        plans = {tuple(random_plan(s).describe()) for s in range(20)}
+        assert len(plans) > 1
+
+    def test_enforcement_faults_are_bounded(self):
+        for seed in range(50):
+            for rule in random_plan(seed).rules:
+                if rule.point in (fp.SSM_LISTENER_FAIL,
+                                  fp.BRIDGE_RELOAD_FAIL,
+                                  fp.POLICY_LOAD_FAIL):
+                    assert 1 <= rule.times <= 5

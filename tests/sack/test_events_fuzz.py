@@ -1,0 +1,178 @@
+"""Fuzzing the SACKfs event parser and SSM accounting invariants.
+
+The events file is the kernel's only user-writable situation input, so the
+parser must map *any* byte sequence to either a parsed event list or a
+clean :class:`EventParseError` — never an unhandled exception, never a
+partially-applied buffer.  The SSM side must keep its event ledger exact
+(``processed == transitions + ignored + failed``) no matter how listeners
+misbehave.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import points as fp
+from repro.faults.plan import FaultPlan
+from repro.sack.events import (EventParseError, SituationEvent,
+                               parse_event_buffer, parse_event_line)
+from repro.sack.ssm import SituationStateMachine, TransitionRule
+from repro.sack.states import SituationState, StateSpace
+
+VALID_LINES = [
+    b"crash_detected\n",
+    b"vehicle_started speed=42\n",
+    b"driver_left\ndriver_returned\n",
+    b"sds_heartbeat\n",
+    b"emergency_cleared speed=0 ts=99\n",
+]
+
+
+class TestSeededByteFuzz:
+    def test_random_bytes_never_crash_parser(self):
+        rng = random.Random(0xF422)
+        for _ in range(2000):
+            size = rng.randrange(0, 64)
+            data = bytes(rng.randrange(256) for _ in range(size))
+            try:
+                events = parse_event_buffer(data)
+            except EventParseError:
+                continue
+            # Anything that parsed must be well-formed events.
+            assert events
+            for event in events:
+                assert event.name
+                assert event.name.replace("_", "").isalnum()
+
+    def test_mutated_valid_lines_never_crash_parser(self):
+        plan = FaultPlan(seed=0xF422)
+        for _ in range(500):
+            base = VALID_LINES[plan.rng.randrange(len(VALID_LINES))]
+            data = plan.corrupt(base)
+            if plan.rng.random() < 0.5:
+                data = plan.truncate(data)
+            try:
+                events = parse_event_buffer(data)
+            except EventParseError:
+                continue
+            assert all(e.name.replace("_", "").isalnum() for e in events)
+
+    def test_line_fuzz_matches_buffer_fuzz(self):
+        # A buffer of one line and the line parser agree on acceptance.
+        rng = random.Random(7)
+        alphabet = "abz_= 09\t\x00é"
+        for _ in range(500):
+            text = "".join(rng.choice(alphabet)
+                           for _ in range(rng.randrange(0, 24)))
+            try:
+                via_line = parse_event_line(text)
+            except EventParseError:
+                via_line = None
+            try:
+                via_buffer = parse_event_buffer((text + "\n").encode())
+            except EventParseError:
+                via_buffer = None
+            if via_line is None:
+                assert via_buffer is None
+            else:
+                assert via_buffer is not None
+                assert via_buffer[0].name == via_line.name
+                assert via_buffer[0].payload == via_line.payload
+
+
+class TestHypothesisFuzz:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=300)
+    def test_arbitrary_buffers_parse_or_raise(self, data):
+        try:
+            events = parse_event_buffer(data)
+        except EventParseError:
+            return
+        assert events
+        for event in events:
+            assert event.name.replace("_", "").isalnum()
+
+    @given(st.text(max_size=64))
+    @settings(max_examples=200)
+    def test_arbitrary_text_lines_parse_or_raise(self, text):
+        try:
+            event = parse_event_line(text)
+        except EventParseError:
+            return
+        assert event.name == event.name.strip()
+        assert "=" not in event.name
+
+
+def build_machine():
+    states = StateSpace([SituationState("a", 0), SituationState("b", 1),
+                         SituationState("safe", 2)])
+    rules = [TransitionRule("go_b", "a", "b"),
+             TransitionRule("go_a", "b", "a"),
+             TransitionRule("panic", "*", "safe"),
+             TransitionRule("reset", "safe", "a")]
+    return SituationStateMachine(states, rules, initial="a",
+                                 failsafe="safe")
+
+
+EVENT_NAMES = st.sampled_from(
+    ["go_b", "go_a", "panic", "reset", "unknown_event"])
+
+
+class TestSsmAccountingProperty:
+    @given(names=st.lists(EVENT_NAMES, max_size=40),
+           fail_seed=st.integers(min_value=0, max_value=2**32 - 1),
+           fail_rate=st.floats(min_value=0.0, max_value=0.6))
+    @settings(max_examples=200)
+    def test_ledger_exact_under_failing_listeners(self, names, fail_seed,
+                                                  fail_rate):
+        ssm = build_machine()
+        plan = FaultPlan(seed=fail_seed)
+        plan.arm(fp.SSM_LISTENER_FAIL, probability=fail_rate)
+
+        def flaky(transition):
+            if plan.should_fail(fp.SSM_LISTENER_FAIL):
+                raise fp.InjectedFault(fp.SSM_LISTENER_FAIL)
+
+        ssm.add_listener(flaky)
+        for i, name in enumerate(names):
+            ssm.process_event(SituationEvent(name=name, seq=0),
+                              now_ns=i)
+            # The ledger is exact after every single event: each processed
+            # event landed in exactly one bucket.
+            assert ssm.events_processed == (ssm.transition_count
+                                            + ssm.events_ignored
+                                            + ssm.transitions_failed)
+            # Degraded means *in* the declared failsafe state.
+            if ssm.failsafe_engaged:
+                assert ssm.current_name == "safe"
+            # The state pointer never leaves the declared state space.
+            assert ssm.current_name in ("a", "b", "safe")
+
+    @given(fail_seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50)
+    def test_rollback_failure_always_lands_in_failsafe(self, fail_seed):
+        ssm = build_machine()
+        plan = FaultPlan(seed=fail_seed)
+        # Fail forward and rollback notifications often enough that the
+        # failsafe path gets exercised across seeds.
+        plan.arm(fp.SSM_LISTENER_FAIL, probability=0.5)
+
+        def settles_eventually(transition):
+            if plan.should_fail(fp.SSM_LISTENER_FAIL):
+                raise fp.InjectedFault(fp.SSM_LISTENER_FAIL)
+
+        def flaky(transition):
+            if plan.should_fail(fp.SSM_LISTENER_FAIL):
+                raise fp.InjectedFault(fp.SSM_LISTENER_FAIL)
+
+        ssm.add_listener(settles_eventually)
+        ssm.add_listener(flaky)
+        for i, name in enumerate(["go_b", "go_a", "panic", "reset"] * 5):
+            ssm.process_event(SituationEvent(name=name, seq=0), now_ns=i)
+        assert ssm.events_processed == (ssm.transition_count
+                                        + ssm.events_ignored
+                                        + ssm.transitions_failed)
+        if ssm.failsafe_engaged:
+            assert ssm.current_name == "safe"
+        assert ssm.rollback_count <= ssm.transitions_failed

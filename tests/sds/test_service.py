@@ -96,7 +96,10 @@ class TestPolling:
         _, _, sds = world
         summary = sds.stats.summary()
         assert set(summary) == {"polls", "events_sent", "events_failed",
-                                "mean_send_latency_us"}
+                                "retries", "outbox_dropped",
+                                "heartbeats_sent", "heartbeats_failed",
+                                "sensor_faults", "mean_send_latency_us",
+                                "max_send_latency_us"}
 
     def test_virtual_clock_advances(self, world):
         kernel, _, sds = world
