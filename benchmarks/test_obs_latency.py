@@ -84,3 +84,34 @@ def test_obs_enabled_overhead(benchmark):
     task = kernel.procs.init
     kernel.vfs.create_file("/tmp/obs_probe")
     benchmark(lambda: _open_close_loop(kernel, task, "/tmp/obs_probe"))
+
+
+def test_spans_disabled_overhead(benchmark):
+    """Hot path with the span tracer constructed but disabled.
+
+    The dispatch core pays one attribute load + flag test per call; this
+    must stay within noise of :func:`test_obs_detached_overhead` (the
+    acceptance bound is <5% regression vs. the no-span baseline).
+    """
+    world = build_world(CONFIG_SACK_INDEPENDENT)
+    kernel = world.kernel
+    kernel.obs.audit.enabled = False
+    assert not kernel.obs.spans.enabled
+    assert not kernel.obs.spans.watch_hooks
+    task = kernel.procs.init
+    kernel.vfs.create_file("/tmp/obs_probe")
+    benchmark(lambda: _open_close_loop(kernel, task, "/tmp/obs_probe"))
+
+
+def test_spans_enabled_overhead(benchmark):
+    """Same loop with tracing on and the hook link-window permanently
+    armed — every dispatch takes the spanned path and records a root hook
+    span.  The worst case, for comparison against the disabled cost."""
+    world = build_world(CONFIG_SACK_INDEPENDENT)
+    kernel = world.kernel
+    spans = kernel.obs.spans
+    spans.enable()
+    spans.trace_all_hooks()
+    task = kernel.procs.init
+    kernel.vfs.create_file("/tmp/obs_probe")
+    benchmark(lambda: _open_close_loop(kernel, task, "/tmp/obs_probe"))

@@ -65,6 +65,12 @@ class AppArmorLsm(LsmModule):
             self.audit("complain", detail, task)
             return 0
         self.denial_count += 1
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            # Attribution for post-transition hook spans: which profile,
+            # in which mode, denied this access.
+            obs.spans.annotate(profile=profile.name,
+                               mode=profile.mode.value, detail=detail)
         self.audit("apparmor_denied", detail, task)
         return self.EACCES
 

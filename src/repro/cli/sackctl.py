@@ -19,6 +19,12 @@ Subcommands::
                                          seeded fault-injection scenarios
                                          with fail-closed invariant checks;
                                          exit 1 on any violation
+    sackctl spans <policy.sack> -e crash_detected --access read:/dev/car/gps
+                                         drive events and accesses with the
+                                         causal span tracer on; print the
+                                         span trees and latency breakdown
+                                         (--chrome / --folded for the
+                                         export formats)
 
 ``trace`` and ``audit`` run against a real booted simulator kernel with
 independent SACK enforcing, SACKfs mounted, and tracefs recording every
@@ -239,6 +245,31 @@ def cmd_audit(args) -> int:
     return 0
 
 
+def cmd_spans(args) -> int:
+    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    # Dogfood the tracefs control file rather than reaching into the hub.
+    kernel.write_file(kernel.procs.init,
+                      "/sys/kernel/tracing/SACK/spans/enable", b"1",
+                      create=False)
+    log = _drive(kernel, sds, app, args.event, args.access)
+    read = lambda p: kernel.read_file(kernel.procs.init, p).decode()
+    if args.chrome:
+        print(read("/sys/kernel/tracing/SACK/spans/chrome"), end="")
+        return 0
+    if args.folded:
+        print(read("/sys/kernel/tracing/SACK/spans/folded"), end="")
+        return 0
+    for line in log:
+        print(line)
+    print()
+    text = read("/sys/kernel/tracing/SACK/spans/trace")
+    print(text if text.strip() else "(no spans recorded)",
+          end="" if text.strip() else "\n")
+    print()
+    print(read("/sys/kernel/tracing/SACK/spans/breakdown"), end="")
+    return 0
+
+
 def _parse_seeds(spec: str) -> List[int]:
     """``"7"`` -> [7]; ``"1..5"`` -> [1, 2, 3, 4, 5]."""
     if ".." in spec:
@@ -340,6 +371,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--access", action="append",
                          help="op:path[:ioctl_cmd] (repeatable, in order)")
     p_audit.set_defaults(func=cmd_audit)
+
+    p_spans = sub.add_parser(
+        "spans", help="run events/accesses with the causal span tracer on "
+                      "and dump span trees + latency breakdown")
+    p_spans.add_argument("policy")
+    p_spans.add_argument("-e", "--event", action="append",
+                         help="event name (repeatable, in order)")
+    p_spans.add_argument("--access", action="append",
+                         help="op:path[:ioctl_cmd] (repeatable, in order)")
+    p_spans.add_argument("--chrome", action="store_true",
+                         help="emit Chrome trace-event JSON instead")
+    p_spans.add_argument("--folded", action="store_true",
+                         help="emit folded flamegraph stacks instead")
+    p_spans.set_defaults(func=cmd_spans)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault-injection scenarios with fail-closed "

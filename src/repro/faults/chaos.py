@@ -75,6 +75,11 @@ class ChaosReport:
     audit_text: str
     violations: List[Violation]
     actions: List[str]
+    #: Per-trace (trace_id, root span name, span count) from the span
+    #: tracer — fingerprinted, so a tracing regression (missing spans,
+    #: nondeterministic IDs) breaks the determinism checks loudly.
+    spans: List[Tuple[str, str, int]] = dataclasses.field(
+        default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -91,6 +96,7 @@ class ChaosReport:
             "stats": self.stats,
             "faults": self.fault_report,
             "audit": self.audit_text,
+            "spans": self.spans,
         }, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -106,6 +112,7 @@ class ChaosReport:
             "violations": [str(v) for v in self.violations],
             "fingerprint": self.fingerprint(),
             "stats": self.stats,
+            "traces": len(self.spans),
         }
 
     def summary_lines(self) -> List[str]:
@@ -284,6 +291,9 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
     scenario = random.Random(seed ^ _SCENARIO_SALT)
 
     world = build_ivi_world(config, fault_plan=plan)
+    # Chaos always runs with span tracing on: span-ID sequences are part
+    # of the fingerprint, so a nondeterministic tracer fails loudly here.
+    world.kernel.obs.spans.enable()
     _install_listener_fault(world, plan)
     checker = _InvariantChecker(world)
     live_sds = world.sds
@@ -373,18 +383,21 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
                        for t in ssm.history]
 
     audit_text = ""
+    span_summaries: List[Tuple[str, str, int]] = []
     obs = getattr(world.kernel, "obs", None)
     if obs is not None:
         records = [r for r in obs.audit.records()
                    if r.kind not in _NONDETERMINISTIC_AUDIT_KINDS]
         audit_text = obs.audit.to_text(records)
+        span_summaries = obs.spans.span_summaries()
 
     return ChaosReport(
         seed=seed, ticks=ticks, mode=mode,
         final_state=ssm.current_name if ssm is not None else "",
         transitions=transitions, stats=stats,
         fault_report=plan.report(), audit_text=audit_text,
-        violations=checker.violations, actions=actions)
+        violations=checker.violations, actions=actions,
+        spans=span_summaries)
 
 
 def run_soak(seeds, ticks: int = 200, mode: str = "independent",

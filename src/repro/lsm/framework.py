@@ -75,6 +75,7 @@ class LsmFramework(SecurityHooks):
         self._kernel = None
         self.obs = None            # set by attach(); the kernel's hub
         self._tp_hook = None       # cached lsm:hook_dispatch tracepoint
+        self._spans = None         # cached hub SpanTracer
         self._latency = None       # {(module, hook): Histogram} when on
         names = [m.name for m in self.modules]
         if len(set(names)) != len(names):
@@ -121,6 +122,7 @@ class LsmFramework(SecurityHooks):
         self.obs = getattr(kernel, "obs", None)
         if self.obs is not None:
             self._tp_hook = self.obs.tracepoints.get(LSM_HOOK_DISPATCH)
+            self._spans = getattr(self.obs, "spans", None)
             if self.stats is not None:
                 # The metrics export reads HookStats live instead of
                 # keeping duplicate counts that could drift.
@@ -222,6 +224,9 @@ class LsmFramework(SecurityHooks):
 
     def _call_int(self, hook: Hook, *args) -> int:
         """Walk the hook's call list; first nonzero return wins (deny)."""
+        spans = self._spans
+        if spans is not None and spans.watch_hooks:
+            return self._call_int_spanned(hook, args)
         latency = self._latency
         tp = self._tp_hook
         if latency is not None or (tp is not None and tp.callbacks):
@@ -255,6 +260,48 @@ class LsmFramework(SecurityHooks):
                 self._report_denial(hook, name, args, rc)
                 return rc
         return 0
+
+    def _call_int_spanned(self, hook: Hook, args) -> int:
+        """Dispatch wrapped in a root hook span *linked* to the trace that
+        caused the current situation (the first K decisions after a
+        transition).  The link is weaker than a parent/child edge: the
+        hook runs under the new state, it is not part of the transition's
+        critical path."""
+        spans = self._spans
+        task = args[0] if args else None
+        span = spans.start_span(
+            f"lsm.{hook.value}", stage="hook", root=True,
+            attributes={"pid": getattr(task, "pid", 0),
+                        "comm": getattr(task, "comm", "")})
+        if span is not None:
+            span.add_link(spans.consume_link())
+        latency = self._latency
+        tp = self._tp_hook
+        stats = self.stats
+        rc = 0
+        try:
+            for name, method in self._hook_lists[hook]:
+                t0 = time.perf_counter_ns()
+                rc = method(*args)
+                dt = time.perf_counter_ns() - t0
+                if latency is not None:
+                    self._latency_histogram(name, hook).record(
+                        dt, trace_id=span.trace_id
+                        if span is not None else None)
+                if tp is not None and tp.callbacks:
+                    tp.emit(module=name, hook=hook.value, rc=rc,
+                            latency_ns=dt)
+                if stats is not None:
+                    stats.record(name, hook, denied=rc != 0)
+                if rc != 0:
+                    if span is not None:
+                        span.attributes["module"] = name
+                        span.attributes["rc"] = rc
+                    self._report_denial(hook, name, args, rc)
+                    return rc
+            return 0
+        finally:
+            spans.end_span(span, status="denied" if rc != 0 else "ok")
 
     def _call_void(self, hook: Hook, *args) -> None:
         latency = self._latency

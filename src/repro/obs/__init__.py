@@ -11,12 +11,16 @@ ftrace:
 * :mod:`~repro.obs.metrics` — counters/gauges/histograms with JSON and
   Prometheus exporters, fed live by collectors so pseudo-file stats and
   exports cannot disagree;
+* :mod:`~repro.obs.spans` — OpenTelemetry-style causal span tracing with
+  trace-context propagation across the sensor→SDS→SACKfs→SSM→APE→hook
+  pipeline, latency attribution, and Chrome-trace/flamegraph exports;
 * :mod:`~repro.obs.hub` — the per-kernel :class:`Observability` hub the
   other layers report into (``kernel.obs``);
 * :mod:`~repro.obs.tracefs` — the ``/sys/kernel/tracing`` pseudo-file
   surface over all of it.
 
-See ``docs/observability.md`` for the full catalogue and formats.
+See ``docs/observability.md`` and ``docs/tracing.md`` for the full
+catalogue and formats.
 """
 
 from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_FAILSAFE,
@@ -26,6 +30,8 @@ from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_FAILSAFE,
 from .hub import Observability
 from .metrics import (Counter, DEFAULT_NS_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, Sample, sample)
+from .spans import (DEFAULT_LINK_WINDOW, SPAN_RING_CAPACITY, Span,
+                    SpanContext, SpanTracer, TRACEPARENT_KEY)
 from .tracepoints import (CATALOGUE, FAULT_INJECT, LSM_HOOK_DISPATCH, Probe,
                           SACK_EVENT_REJECTED, SACK_EVENT_WRITE,
                           SACK_FAILSAFE, SACK_POLICY_LOAD,
@@ -45,4 +51,6 @@ __all__ = [
     "SSM_TRANSITION", "SYS_ENTER", "SYS_EXIT",
     "Tracepoint", "TracepointRegistry", "TRACEFS_ROOT", "TraceFs",
     "mount_tracefs",
+    "DEFAULT_LINK_WINDOW", "SPAN_RING_CAPACITY", "Span", "SpanContext",
+    "SpanTracer", "TRACEPARENT_KEY",
 ]

@@ -111,6 +111,7 @@ class AuditRing:
         self._seq = 0
         self.emitted = 0            # records kept
         self.suppressed = 0         # dropped by filters (not by the ring)
+        self.dropped = 0            # evicted by ring overflow
 
     # -- configuration -----------------------------------------------------
     def enable(self) -> None:
@@ -143,6 +144,8 @@ class AuditRing:
                                      for f in self._filters):
             self.suppressed += 1
             return None
+        if len(self._records) == self.capacity:
+            self.dropped += 1
         self._records.append(record)
         self.emitted += 1
         return record
@@ -176,4 +179,5 @@ class AuditRing:
 
     def stats(self) -> Dict[str, int]:
         return {"stored": len(self._records), "emitted": self.emitted,
-                "suppressed": self.suppressed, "capacity": self.capacity}
+                "suppressed": self.suppressed, "dropped": self.dropped,
+                "capacity": self.capacity}

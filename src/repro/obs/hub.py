@@ -25,6 +25,7 @@ from .audit import (AUDIT_AVC, AUDIT_EVENT_REJECTED, AUDIT_FAILSAFE,
                     AUDIT_POLICY_LOAD, AUDIT_ROLLBACK,
                     AUDIT_STATE_TRANSITION, AuditRing)
 from .metrics import MetricsRegistry, sample
+from .spans import SpanTracer
 from .tracepoints import (FAULT_INJECT, SACK_EVENT_REJECTED,
                           SACK_EVENT_WRITE, SACK_FAILSAFE, SACK_POLICY_LOAD,
                           SACK_TRANSITION_ROLLBACK, SSM_TRANSITION,
@@ -44,9 +45,43 @@ class Observability:
         self.trace_buffer: Deque[Tuple[int, str, dict]] = \
             deque(maxlen=trace_capacity)
         self.trace_dropped = 0
+        self.spans = SpanTracer(self)
         self._situation_provider = None
         self._ssm_collector_registered = False
         self._observed_sackfs: List[object] = []
+        self.metrics.register_collector(self._collect_ring_stats)
+
+    def _collect_ring_stats(self):
+        """Overflow-drop visibility: a lossy run must look lossy."""
+        span_stats = self.spans.stats()
+        return [
+            sample("obs_trace_ring_dropped_total", None, "counter",
+                   self.trace_dropped),
+            sample("obs_audit_ring_dropped_total", None, "counter",
+                   self.audit.dropped),
+            sample("obs_audit_suppressed_total", None, "counter",
+                   self.audit.suppressed),
+            sample("obs_span_ring_dropped_total", None, "counter",
+                   span_stats["dropped"]),
+            sample("obs_span_traces_discarded_total", None, "counter",
+                   span_stats["discarded"]),
+            sample("obs_spans_started_total", None, "counter",
+                   span_stats["started"]),
+            sample("obs_span_traces_stored", None, "gauge",
+                   span_stats["stored"]),
+        ]
+
+    def ring_stats(self) -> Dict[str, Dict[str, int]]:
+        """Ring occupancy/overflow for every bounded buffer we own."""
+        return {
+            "trace": {
+                "stored": len(self.trace_buffer),
+                "capacity": self.trace_buffer.maxlen or 0,
+                "dropped": self.trace_dropped,
+            },
+            "audit": self.audit.stats(),
+            "spans": self.spans.stats(),
+        }
 
     # -- shared helpers ----------------------------------------------------
     @property
@@ -159,10 +194,15 @@ class Observability:
             sample("sack_ssm_rules", None, "gauge", len(ssm.rules)),
         ]
 
-    def transition(self, transition, latency_ns: int) -> None:
-        """Called by the SSM after listeners ran for one transition."""
+    def transition(self, transition, latency_ns: int,
+                   trace_id: Optional[str] = None) -> None:
+        """Called by the SSM after listeners ran for one transition.
+
+        *trace_id* (when span tracing is on) becomes the exemplar on the
+        latency bucket this observation lands in.
+        """
         self.metrics.histogram("sack_transition_latency_ns").record(
-            latency_ns)
+            latency_ns, trace_id=trace_id)
         tp = self.tracepoints.get(SSM_TRANSITION)
         if tp.callbacks:
             tp.emit(event=transition.event.name,

@@ -32,10 +32,16 @@ def _label_key(labels: Optional[Dict[str, str]]) -> LabelPairs:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition escaping: ``\\``, ``"`` and newlines."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _label_str(labels: LabelPairs) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 
@@ -79,7 +85,8 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram with O(1) record and percentile estimation."""
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max",
+                 "exemplars")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_NS_BUCKETS):
         if not bounds or list(bounds) != sorted(bounds):
@@ -91,15 +98,21 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        # OpenMetrics exemplars: bucket index -> (trace_id, value) of the
+        # latest traced observation landing in that bucket.
+        self.exemplars: Dict[int, Tuple[str, float]] = {}
 
-    def record(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+    def record(self, value: float, trace_id: Optional[str] = None) -> None:
+        idx = bisect_left(self.bounds, value)
+        self.bucket_counts[idx] += 1
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if trace_id is not None:
+            self.exemplars[idx] = (trace_id, value)
 
     @property
     def mean(self) -> float:
@@ -254,17 +267,28 @@ class MetricsRegistry:
             lines.append(f"{s.name}{_label_str(s.labels)} {s.value:g}")
         for (name, labels), h in sorted(self._histograms.items()):
             typed(name, "histogram")
-            cumulative = 0
-            for bound, n in zip(h.bounds, h.bucket_counts):
-                cumulative += n
+
+            def bucket_line(le_value: str, cumulative: int,
+                            idx: int) -> str:
                 le = dict(labels)
-                le["le"] = f"{bound:g}"
-                lines.append(f"{name}_bucket{_label_str(_label_key(le))} "
-                             f"{cumulative}")
-            le = dict(labels)
-            le["le"] = "+Inf"
-            lines.append(f"{name}_bucket{_label_str(_label_key(le))} "
-                         f"{h.count}")
+                le["le"] = le_value
+                line = (f"{name}_bucket{_label_str(_label_key(le))} "
+                        f"{cumulative}")
+                exemplar = h.exemplars.get(idx)
+                if exemplar is not None:
+                    trace_id, value = exemplar
+                    line += (f' # {{trace_id="'
+                             f'{_escape_label_value(trace_id)}"}} '
+                             f"{value:g}")
+                return line
+
+            cumulative = 0
+            for idx, (bound, n) in enumerate(zip(h.bounds,
+                                                 h.bucket_counts)):
+                cumulative += n
+                lines.append(bucket_line(f"{bound:g}", cumulative, idx))
+            # The +Inf bucket is mandatory even for an empty histogram.
+            lines.append(bucket_line("+Inf", h.count, len(h.bounds)))
             lines.append(f"{name}_sum{_label_str(labels)} {h.total:g}")
             lines.append(f"{name}_count{_label_str(labels)} {h.count}")
         return "\n".join(lines) + ("\n" if lines else "")

@@ -17,6 +17,15 @@ Mirrors the ftrace control surface:
     Read-only metrics registry export — JSON and Prometheus text format.
     (Linux has no such file; the simulator uses tracefs as the natural
     read-only mount for them.)
+``stats``
+    Read-only occupancy/overflow counters for every bounded ring the hub
+    owns (trace buffer, audit ring, span ring) — a lossy run must be
+    distinguishable from a quiet one.
+``SACK/spans/``
+    The causal span tracer (see ``docs/tracing.md``): ``enable`` (0/1),
+    ``trace`` (rendered span trees), ``breakdown`` (per-stage latency
+    attribution), ``chrome`` (Chrome trace-event JSON), ``folded``
+    (flamegraph stacks), and ``stats``.
 
 All decision files are owned by root with mode 0o644/0o600 exactly like
 the securityfs files, so DAC governs who may toggle tracing.
@@ -71,6 +80,15 @@ class TraceFs:
         self._pseudo("trace", read=self._read_trace)
         self._pseudo("metrics", read=self._read_metrics)
         self._pseudo("metrics_prom", read=self._read_metrics_prom)
+        self._pseudo("stats", read=self._read_stats)
+        self._pseudo("SACK/spans/enable", read=self._read_spans_enable,
+                     write=self._write_spans_enable, mode=0o644)
+        self._pseudo("SACK/spans/trace", read=self._read_spans_trace)
+        self._pseudo("SACK/spans/breakdown",
+                     read=self._read_spans_breakdown)
+        self._pseudo("SACK/spans/chrome", read=self._read_spans_chrome)
+        self._pseudo("SACK/spans/folded", read=self._read_spans_folded)
+        self._pseudo("SACK/spans/stats", read=self._read_spans_stats)
         for point in self.obs.tracepoints:
             rel = f"events/{point.category}/{point.event}"
             self._pseudo(f"{rel}/enable",
@@ -103,6 +121,49 @@ class TraceFs:
 
     def _read_metrics_prom(self, task) -> bytes:
         return self.obs.metrics.to_prometheus().encode()
+
+    def _read_stats(self, task) -> bytes:
+        lines = []
+        for ring, stats in self.obs.ring_stats().items():
+            lines.extend(f"{ring}_{key} {value}"
+                         for key, value in stats.items())
+        return ("\n".join(lines) + "\n").encode()
+
+    # -- span tracer files -------------------------------------------------
+    def _read_spans_enable(self, task) -> bytes:
+        return b"1\n" if self.obs.spans.enabled else b"0\n"
+
+    def _write_spans_enable(self, task, data: bytes) -> int:
+        if self._parse_bool(data, "SACK/spans/enable"):
+            self.obs.spans.enable()
+        else:
+            self.obs.spans.disable()
+        return len(data)
+
+    def _read_spans_trace(self, task) -> bytes:
+        lines = self.obs.spans.render_lines()
+        return ("\n".join(lines) + "\n").encode() if lines else b""
+
+    def _read_spans_breakdown(self, task) -> bytes:
+        report = self.obs.spans.breakdown()
+        lines = [f"total_ns {report['total_ns']}",
+                 f"traces {report['traces']}"]
+        for stage, row in sorted(report["stages"].items()):
+            lines.append(f"{stage} spans={row['spans']} "
+                         f"self_ns={row['self_ns']} "
+                         f"share={row['share']:.4f}")
+        return ("\n".join(lines) + "\n").encode()
+
+    def _read_spans_chrome(self, task) -> bytes:
+        return (self.obs.spans.to_chrome() + "\n").encode()
+
+    def _read_spans_folded(self, task) -> bytes:
+        return self.obs.spans.to_folded().encode()
+
+    def _read_spans_stats(self, task) -> bytes:
+        lines = [f"{key} {value}"
+                 for key, value in self.obs.spans.stats().items()]
+        return ("\n".join(lines) + "\n").encode()
 
     def _make_read_enable(self, name: str):
         def read(task) -> bytes:

@@ -34,7 +34,25 @@ class AdaptivePolicyEnforcer:
 
     # -- Algorithm 1: the mapping update -------------------------------------
     def _on_transition(self, transition: Transition) -> None:
-        self._current = self.compiled.ruleset_for(transition.to_state)
+        obs = self.ssm.obs
+        spans = obs.spans if obs is not None else None
+        span = None
+        if spans is not None:
+            span = spans.start_span(
+                "ape.remap", stage="remap",
+                attributes={
+                    "to": transition.to_state,
+                    "encoding": self.ssm.states.encoding_of(
+                        transition.to_state)})
+        try:
+            self._current = self.compiled.ruleset_for(transition.to_state)
+            if span is not None:
+                # The State → Permission → MAC-rules expansion this swap
+                # installed, as precomputed by the compiler.
+                span.attributes["rules"] = self._current.rule_count
+        finally:
+            if spans is not None:
+                spans.end_span(span)
         self.remap_count += 1
         self.remap_log.append((transition.from_state, transition.to_state,
                                transition.at_ns))

@@ -163,27 +163,43 @@ class SackAppArmorBridge(LsmModule):
                                 f"profile reload failed entering "
                                 f"{state_name!r}")
         obs = getattr(self.kernel, "obs", None)
+        spans = obs.spans if obs is not None else None
+        span = None
+        if spans is not None:
+            span = spans.start_span("apparmor.reload", stage="reload",
+                                    attributes={"state": state_name})
         started_ns = time.perf_counter_ns() if obs is not None else 0
-        rules = self.policy.rules_for_state(state_name)
-        injected = 0
-        staged: List[Profile] = []
-        for profile in self._target_profiles():
-            updated = profile.clone()
-            updated.remove_rules_by_origin(SACK_ORIGIN)
-            for rule in rules:
-                if self._rule_applies_to(rule, updated):
-                    updated.add_rule(
-                        mac_rule_to_path_rule(rule, self.ioctl_symbols))
-                    injected += 1
-            staged.append(updated)
-        for updated in staged:
-            self.apparmor.policy.replace_profile(updated)
+        try:
+            rules = self.policy.rules_for_state(state_name)
+            injected = 0
+            staged: List[Profile] = []
+            for profile in self._target_profiles():
+                updated = profile.clone()
+                updated.remove_rules_by_origin(SACK_ORIGIN)
+                for rule in rules:
+                    if self._rule_applies_to(rule, updated):
+                        updated.add_rule(
+                            mac_rule_to_path_rule(rule, self.ioctl_symbols))
+                        injected += 1
+                staged.append(updated)
+            for updated in staged:
+                self.apparmor.policy.replace_profile(updated)
+        except Exception:
+            if spans is not None:
+                spans.end_span(span, status="error")
+            raise
         self.update_count += 1
         self.rules_injected = injected
+        if span is not None:
+            span.attributes["profiles"] = len(staged)
+            span.attributes["rules"] = injected
+        if spans is not None:
+            spans.end_span(span)
         if obs is not None:
             obs.metrics.histogram(
                 "sack_bridge_apply_ns", {"backend": "apparmor"}).record(
-                    time.perf_counter_ns() - started_ns)
+                    time.perf_counter_ns() - started_ns,
+                    trace_id=span.trace_id if span is not None else None)
         self.audit("sack_profiles_updated",
                    f"state={state_name} profiles="
                    f"{len(self._target_profiles())} rules={injected}")

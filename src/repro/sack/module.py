@@ -80,6 +80,13 @@ class SackLsm(LsmModule):
         if self.ape.check(op, path, task.comm, cmd):
             return 0
         self.denial_count += 1
+        obs = getattr(self.kernel, "obs", None)
+        if obs is not None:
+            # When a post-transition hook span is open, record which
+            # state's ruleset denied — the attribution the trace exists
+            # to provide.
+            obs.spans.annotate(op=op.value, path=path,
+                               state=self.ape.current_state)
         self.audit("sack_denied",
                    f"{op.value} {path} (state={self.ape.current_state})",
                    task)

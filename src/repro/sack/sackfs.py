@@ -37,6 +37,7 @@ from ..faults import points as fault_points
 from ..kernel.credentials import Capability
 from ..kernel.errors import Errno, KernelError
 from ..lsm.securityfs import SecurityFs
+from ..obs.spans import TRACEPARENT_KEY
 from .events import (EventParseError, EventSequencer, HEARTBEAT,
                      parse_event_buffer)
 from .policy.language import parse_policy
@@ -140,13 +141,27 @@ class SackFs:
             if obs is not None:
                 obs.event_rejected(str(exc), task)
             raise KernelError(Errno.EINVAL, str(exc)) from exc
+        spans = obs.spans if obs is not None else None
         forwarded = 0
         for event in events:
             if event.name == HEARTBEAT:
                 # Channel liveness only: feed the watchdog, never the SSM.
                 self.heartbeats_received += 1
                 continue
-            ssm.process_event(event, now_ns=self.kernel.clock.now_ns)
+            span = None
+            if spans is not None:
+                # Resume the trace the SDS propagated on the event line:
+                # this is where the context crosses user→kernel.
+                span = spans.start_span(
+                    "sackfs.write", stage="write",
+                    remote=event.payload.get(TRACEPARENT_KEY),
+                    attributes={"event": event.name, "seq": event.seq,
+                                "pid": getattr(task, "pid", 0)})
+            try:
+                ssm.process_event(event, now_ns=self.kernel.clock.now_ns)
+            finally:
+                if spans is not None:
+                    spans.end_span(span)
             forwarded += 1
         self.events_accepted += forwarded
         if self.watchdog is not None:

@@ -157,10 +157,20 @@ class SituationStateMachine:
         transition = Transition(event=event, from_state=self._current.name,
                                 to_state=target, at_ns=now_ns)
         obs = self.obs
+        spans = obs.spans if obs is not None else None
+        span = None
+        if spans is not None:
+            span = spans.start_span(
+                "ssm.transition", stage="transition",
+                attributes={"event": event.name,
+                            "from": transition.from_state,
+                            "to": transition.to_state})
         if obs is not None:
             t0 = time.perf_counter_ns()
         if not self._apply(transition):
             self.transitions_failed += 1
+            if spans is not None:
+                spans.end_span(span, status="rollback")
             return None
         self.transition_count += 1
         self.history.append(transition)
@@ -169,7 +179,15 @@ class SituationStateMachine:
             # Latency covers the pointer swap plus every synchronous
             # listener (APE remap, bridge profile rewrite, audit) — the
             # window during which permissions are being updated.
-            obs.transition(transition, time.perf_counter_ns() - t0)
+            obs.transition(transition, time.perf_counter_ns() - t0,
+                           trace_id=span.trace_id if span is not None
+                           else None)
+        if spans is not None:
+            spans.end_span(span)
+            if span is not None:
+                # The next few hook decisions run under the state this
+                # transition installed: link them back to this trace.
+                spans.arm_links(span.context)
         return transition
 
     # -- the transactional notification core --------------------------------

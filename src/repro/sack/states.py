@@ -71,6 +71,15 @@ class StateSpace:
     def names(self):
         return sorted(self._by_name)
 
+    def encoding_of(self, name: str) -> int:
+        """Wire encoding for *name* (``-1`` when unknown).
+
+        Non-raising variant for annotation paths (span attributes, audit
+        detail) where an unknown name must not break the caller.
+        """
+        state = self._by_name.get(name)
+        return state.encoding if state is not None else -1
+
 
 # The four states of the paper's running example (Fig. 2).
 NORMAL_DRIVING = SituationState("driving", 0, "vehicle moving normally")

@@ -83,3 +83,20 @@ def default_sensor_suite() -> list:
 def sample_all(sensors, dynamics) -> Dict[str, object]:
     """One synchronized sampling sweep across *sensors*."""
     return {sensor.name: sensor.sample(dynamics) for sensor in sensors}
+
+
+def span_attributes(samples: Dict[str, object]) -> Dict[str, object]:
+    """Render a sampling sweep as span attributes.
+
+    Floats are rounded so attribute values stay stable (and readable)
+    across runs; booleans become 0/1 as they would on a real wire.
+    """
+    attrs: Dict[str, object] = {}
+    for name, value in samples.items():
+        if isinstance(value, bool):
+            attrs[name] = int(value)
+        elif isinstance(value, float):
+            attrs[name] = round(value, 3)
+        else:
+            attrs[name] = value
+    return attrs

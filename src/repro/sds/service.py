@@ -22,10 +22,11 @@ from typing import Dict, List, Optional
 
 from ..faults import points as fault_points
 from ..kernel.errors import KernelError
+from ..obs.spans import TRACEPARENT_KEY
 from ..sack.events import HEARTBEAT
 from ..sack.sackfs import EVENTS_PATH
 from .detectors import Detector, default_detector_suite
-from .sensors import Sensor, default_sensor_suite
+from .sensors import Sensor, default_sensor_suite, span_attributes
 
 #: Latency samples kept for percentile inspection; the mean/max are
 #: streamed so the window size never biases the summary.
@@ -137,9 +138,10 @@ class SituationDetectionService:
         self.last_samples: Dict[str, object] = {}
         self.health: Dict[str, SensorHealth] = {
             sensor.name: SensorHealth() for sensor in self.sensors}
-        #: Coalescing outbox: event name -> line awaiting retry.  A newer
-        #: occurrence of a queued event replaces the stale payload.
-        self.outbox: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Coalescing outbox: event name -> (line, traceparent) awaiting
+        #: retry.  A newer occurrence of a queued event replaces the stale
+        #: payload; the traceparent keeps the retry in the original trace.
+        self.outbox: "OrderedDict[str, tuple]" = OrderedDict()
         self.retry_backoff_ms = RETRY_BACKOFF_INITIAL_MS
         self.next_retry_ns: Optional[int] = None
         self._last_heartbeat_ns: Optional[int] = None
@@ -182,17 +184,38 @@ class SituationDetectionService:
             samples[sensor.name] = value
         return samples
 
+    def _tracer(self):
+        """The kernel's span tracer, or None when tracing is off."""
+        obs = getattr(self.kernel, "obs", None)
+        spans = getattr(obs, "spans", None) if obs is not None else None
+        return spans if spans is not None and spans.enabled else None
+
     def poll(self) -> List[str]:
         """One detection cycle; returns the event names transmitted."""
         self.stats.polls += 1
         now_ns = self.kernel.clock.now_ns
         samples = self._sample_sensors(now_ns)
         self.last_samples = samples
+        spans = self._tracer()
+        # The trace root: this sensor sweep.  Every event the detectors
+        # derive from it — and everything those events cause down in the
+        # kernel — hangs off this span.  Sweeps that detect nothing close
+        # childless and are discarded by the tracer, so idle polling does
+        # not flood the ring.
+        root = None
+        if spans is not None:
+            root = spans.start_span("sensor.sample", stage="detect",
+                                    root=True,
+                                    attributes=span_attributes(samples))
         sent: List[str] = []
-        for detector in self.detectors:
-            for event_name in detector.update(samples, now_ns):
-                if self.send_event(event_name, samples):
-                    sent.append(event_name)
+        try:
+            for detector in self.detectors:
+                for event_name in detector.update(samples, now_ns):
+                    if self.send_event(event_name, samples):
+                        sent.append(event_name)
+        finally:
+            if spans is not None:
+                spans.end_span(root)
         return sent
 
     # -- transmission --------------------------------------------------------
@@ -210,27 +233,42 @@ class SituationDetectionService:
         payload = ""
         if samples and "speed_kmh" in samples:
             payload = f" speed={samples['speed_kmh']:.0f}"
+        spans = self._tracer()
+        span = None
+        traceparent = ""
+        if spans is not None:
+            span = spans.start_span("sds.send", stage="coalesce",
+                                    attributes={"event": event_name})
+            # Cross the user→kernel boundary explicitly: the context rides
+            # the event line itself, so SACKfs resumes this exact trace.
+            traceparent = span.context.to_traceparent()
+            payload += f" {TRACEPARENT_KEY}={traceparent}"
         line = f"{event_name}{payload}\n".encode()
         start = time.perf_counter_ns()
         try:
             self._write_line(line)
         except KernelError:
             self.stats.events_failed += 1
-            self._enqueue(event_name, line)
+            self._enqueue(event_name, line, traceparent)
+            if spans is not None:
+                spans.end_span(span, status="queued")
             return False
         self.stats.record_latency(time.perf_counter_ns() - start)
         self.stats.events_sent += 1
+        if spans is not None:
+            spans.end_span(span)
         return True
 
-    def _enqueue(self, event_name: str, line: bytes) -> None:
+    def _enqueue(self, event_name: str, line: bytes,
+                 traceparent: str = "") -> None:
         if event_name in self.outbox:
             # Coalesce: keep queue position, refresh the payload.
-            self.outbox[event_name] = line
+            self.outbox[event_name] = (line, traceparent)
             return
         if len(self.outbox) >= OUTBOX_CAPACITY:
             self.outbox.popitem(last=False)
             self.stats.outbox_dropped += 1
-        self.outbox[event_name] = line
+        self.outbox[event_name] = (line, traceparent)
         if self.next_retry_ns is None:
             self._schedule_retry()
 
@@ -252,17 +290,29 @@ class SituationDetectionService:
         if self.next_retry_ns is not None and now < self.next_retry_ns:
             return 0
         delivered = 0
+        spans = self._tracer()
         while self.outbox:
-            event_name, line = next(iter(self.outbox.items()))
+            event_name, (line, traceparent) = next(iter(self.outbox.items()))
             self.stats.retries += 1
+            span = None
+            if spans is not None:
+                # The retry continues the original trace: its fragment is
+                # parented on the queued send's remote context.
+                span = spans.start_span("sds.retry", stage="coalesce",
+                                        remote=traceparent or None,
+                                        attributes={"event": event_name})
             start = time.perf_counter_ns()
             try:
                 self._write_line(line)
             except KernelError:
+                if spans is not None:
+                    spans.end_span(span, status="queued")
                 self.retry_backoff_ms = min(self.retry_backoff_ms * 2,
                                             RETRY_BACKOFF_MAX_MS)
                 self._schedule_retry()
                 return delivered
+            if spans is not None:
+                spans.end_span(span)
             del self.outbox[event_name]
             self.stats.record_latency(time.perf_counter_ns() - start)
             self.stats.events_sent += 1

@@ -14,6 +14,10 @@ class TestDeterminism:
         assert a.audit_text == b.audit_text
         assert a.actions == b.actions
         assert a.stats == b.stats
+        # Span-ID sequences are counter-driven: a seeded rerun must
+        # reproduce every (trace_id, root, span count) triple exactly.
+        assert a.spans == b.spans
+        assert a.spans, "chaos runs should record spans"
 
     def test_different_seeds_differ(self):
         prints = {chaos.run_chaos(seed=s, ticks=120).fingerprint()
@@ -24,6 +28,7 @@ class TestDeterminism:
         a = chaos.run_chaos(seed=7, ticks=120, mode="apparmor")
         b = chaos.run_chaos(seed=7, ticks=120, mode="apparmor")
         assert a.fingerprint() == b.fingerprint()
+        assert a.spans == b.spans
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
@@ -58,5 +63,6 @@ class TestInvariants:
         assert d["mode"] == "independent"
         assert "final_state" in d
         assert isinstance(d["violations"], list)
+        assert d["traces"] == len(report.spans)
         lines = report.summary_lines()
         assert any("seed" in line for line in lines)

@@ -1,0 +1,155 @@
+"""Regression tests for the Prometheus text exposition and the metric
+primitives' edge cases: label-value escaping, the mandatory +Inf bucket,
+empty histograms, exemplars, bucket-boundary percentiles, and unknown
+errnos."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.audit import AuditRing, errno_name
+from repro.obs.metrics import _escape_label_value
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize("raw,escaped", [
+        ('quote"inside', 'quote\\"inside'),
+        ("back\\slash", "back\\\\slash"),
+        ("line\nbreak", "line\\nbreak"),
+        ("plain", "plain"),
+    ])
+    def test_escape_rules(self, raw, escaped):
+        assert _escape_label_value(raw) == escaped
+
+    def test_backslash_escaped_before_quote(self):
+        # Escaping must not double-process: \" stays \\\" not \\\\".
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+    def test_exposition_escapes_counter_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("evil_total",
+                         {"path": 'a"b\\c\nd'}).inc()
+        text = registry.to_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert "\nd" not in text.split("evil_total", 1)[1].split("\n")[0]
+
+    def test_exposition_parses_as_single_lines(self):
+        """A newline in a label value must never produce an extra
+        exposition line."""
+        registry = MetricsRegistry()
+        registry.counter("m_total", {"k": "v1\nv2"}).inc()
+        body = registry.to_prometheus().splitlines()
+        assert len([ln for ln in body if ln.startswith("m_total")]) == 1
+
+
+class TestHistogramExposition:
+    def test_empty_histogram_still_exposes_inf_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("h_ns", bounds=[10.0, 100.0])
+        text = registry.to_prometheus()
+        assert 'h_ns_bucket{le="10"} 0' in text
+        assert 'h_ns_bucket{le="100"} 0' in text
+        assert 'h_ns_bucket{le="+Inf"} 0' in text
+        assert "h_ns_sum 0" in text
+        assert "h_ns_count 0" in text
+
+    def test_inf_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_ns", bounds=[10.0])
+        for v in (5, 50, 500):
+            h.record(v)
+        text = registry.to_prometheus()
+        assert 'h_ns_bucket{le="+Inf"} 3' in text
+        assert "h_ns_count 3" in text
+
+    def test_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_ns", bounds=[10.0, 100.0])
+        h.record(5)
+        h.record(50)
+        text = registry.to_prometheus()
+        assert 'h_ns_bucket{le="10"} 1' in text
+        assert 'h_ns_bucket{le="100"} 2' in text
+
+    def test_exemplar_rides_on_its_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h_ns", bounds=[10.0, 100.0])
+        h.record(50, trace_id="00ff")
+        text = registry.to_prometheus()
+        assert 'h_ns_bucket{le="100"} 1 # {trace_id="00ff"} 50' in text
+        # The untouched buckets carry no exemplar.
+        assert 'le="10"} 0 #' not in text
+
+    def test_exemplar_keeps_latest_observation(self):
+        h = Histogram(bounds=[10.0])
+        h.record(3, trace_id="a")
+        h.record(4, trace_id="b")
+        h.record(5)  # untraced: must not clobber the exemplar
+        assert h.exemplars[0] == ("b", 4)
+
+
+class TestPercentileBoundaries:
+    def test_exact_boundary_lands_in_its_bucket(self):
+        h = Histogram(bounds=[10.0, 20.0, 30.0])
+        h.record(10)
+        assert h.bucket_counts[0] == 1
+        assert h.percentile(100) == 10.0
+
+    def test_just_above_boundary_moves_up(self):
+        h = Histogram(bounds=[10.0, 20.0, 30.0])
+        h.record(10.0001)
+        assert h.bucket_counts[1] == 1
+        assert h.percentile(100) == 20.0
+
+    def test_overflow_reports_observed_max(self):
+        h = Histogram(bounds=[10.0])
+        h.record(999)
+        assert h.percentile(50) == 999.0
+
+    def test_percentile_ordering_across_buckets(self):
+        h = Histogram(bounds=[10.0, 20.0, 30.0])
+        for v in (1, 15, 25):
+            h.record(v)
+        assert h.percentile(1) == 10.0
+        assert h.percentile(50) == 20.0
+        assert h.percentile(100) == 30.0
+
+    def test_empty_is_zero(self):
+        assert Histogram(bounds=[1.0]).percentile(99) == 0.0
+
+    @pytest.mark.parametrize("q", [0, -1, 100.5])
+    def test_out_of_range_raises(self, q):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[1.0]).percentile(q)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=[2.0, 1.0])
+
+
+class TestErrnoName:
+    @pytest.mark.parametrize("code,name", [
+        (13, "EACCES"), (-13, "EACCES"), (1, "EPERM"), (-22, "EINVAL"),
+    ])
+    def test_known(self, code, name):
+        assert errno_name(code) == name
+
+    @pytest.mark.parametrize("code", [99999, -99999, 0])
+    def test_unknown_falls_back_to_digits(self, code):
+        assert errno_name(code) == str(abs(code))
+
+
+class TestRingDropCounters:
+    def test_audit_ring_counts_overflow_drops(self):
+        ring = AuditRing(capacity=2)
+        ring.enabled = True
+        for i in range(5):
+            ring.emit(i, "avc", path=f"/f{i}")
+        assert len(ring.records()) == 2
+        assert ring.dropped == 3
+        assert ring.stats()["dropped"] == 3
+
+    def test_no_drops_below_capacity(self):
+        ring = AuditRing(capacity=8)
+        ring.enabled = True
+        ring.emit(0, "avc", path="/f")
+        assert ring.dropped == 0

@@ -1,0 +1,252 @@
+"""E6-style end-to-end tracing: one crash, one connected trace.
+
+The acceptance scenario for ``repro.obs.spans``: a sensor sample that
+detects a crash must produce a *single connected trace* — sensor root,
+SDS detection/coalescing, SACKfs channel write, SSM transition, APE remap
+(or AppArmor reload) — and the post-transition LSM denial under the new
+state must carry a span *link* back to that trace.
+"""
+
+import json
+
+import pytest
+
+from repro.kernel import Errno, KernelError
+from repro.obs import TRACEFS_ROOT, mount_tracefs
+from repro.vehicle import DOOR_UNLOCK, EnforcementConfig, build_ivi_world
+
+PIPELINE_STAGES = ["detect", "coalesce", "write", "transition"]
+
+
+def crashed_world(config):
+    """A world driven through a crash with tracing on; returns it with
+    the post-transition link window still armed."""
+    world = build_ivi_world(config)
+    spans = world.kernel.obs.spans
+    spans.enable()
+    # The SDS's own file accesses after the transition consume hook-link
+    # budget; widen the window so the test's denial still gets its link.
+    spans.link_window = 64
+    world.drive_to_speed(60)
+    world.trigger_crash()
+    assert world.situation == "emergency"
+    return world
+
+
+def transition_root(spans, to_state="emergency"):
+    """The root of the trace containing the SSM transition to *to_state*."""
+    for root in spans.roots():
+        found = root.find("ssm.transition")
+        if found is not None and found.attributes.get("to") == to_state:
+            return root
+    raise AssertionError("no trace contains the emergency transition")
+
+
+@pytest.fixture(scope="module")
+def world():
+    return crashed_world(EnforcementConfig.SACK_INDEPENDENT)
+
+
+@pytest.fixture(scope="module")
+def denied_world(world):
+    """The world after a post-transition denied access."""
+    with pytest.raises(KernelError):
+        world.device_ioctl("media_app", "door", DOOR_UNLOCK)
+    return world
+
+
+class TestConnectedTrace:
+    def test_single_trace_spans_every_stage(self, world):
+        root = transition_root(world.kernel.obs.spans)
+        # Root is the sensor sample; every pipeline stage hangs below it.
+        assert root.name == "sensor.sample"
+        assert root.parent_id == ""
+        names = [span.name for span, _ in root.walk()]
+        for name in ("sensor.sample", "sds.send", "sackfs.write",
+                     "ssm.transition", "ape.remap"):
+            assert name in names, f"{name} missing from {names}"
+        stages = {span.stage for span, _ in root.walk()}
+        for stage in PIPELINE_STAGES + ["remap"]:
+            assert stage in stages
+
+    def test_parent_child_chain(self, world):
+        root = transition_root(world.kernel.obs.spans)
+        by_id = {span.span_id: span for span, _ in root.walk()}
+        # Walk upward from the transition: its ancestry is exactly the
+        # pipeline (one poll can carry several events, so matching by
+        # name alone would conflate siblings).
+        transition = root.find("ssm.transition")
+        ancestry = []
+        cursor = transition
+        while cursor is not None:
+            ancestry.append(cursor.name)
+            cursor = by_id.get(cursor.parent_id)
+        assert ancestry == ["ssm.transition", "sackfs.write", "sds.send",
+                            "sensor.sample"]
+        remap = root.find("ape.remap")
+        assert remap.parent_id == transition.span_id
+        assert len({span.trace_id for span, _ in root.walk()}) == 1
+
+    def test_transition_attributes(self, world):
+        root = transition_root(world.kernel.obs.spans)
+        transition = root.find("ssm.transition")
+        assert transition.attributes["event"] == "crash_detected"
+        assert transition.attributes["to"] == "emergency"
+        remap = root.find("ape.remap")
+        assert remap.attributes["to"] == "emergency"
+        assert remap.attributes["rules"] > 0
+
+
+class TestDenialLink:
+    def test_denied_hook_links_back_to_transition_trace(self, denied_world):
+        spans = denied_world.kernel.obs.spans
+        trace = transition_root(spans)
+        denials = [root for root in spans.roots()
+                   if root.name.startswith("lsm.")
+                   and root.status == "denied"
+                   and any(link.trace_id == trace.trace_id
+                           for link in root.links)]
+        assert denials, "no denied hook span links to the causing trace"
+        hook = denials[-1]
+        assert hook.stage == "hook"
+        # The SACK module annotated the denial with its situation context.
+        assert hook.attributes["state"] == "emergency"
+        assert hook.attributes["path"] == "/dev/car/door"
+        assert hook.attributes["module"] == "sack"
+
+    def test_hook_span_not_parented_into_trace(self, denied_world):
+        spans = denied_world.kernel.obs.spans
+        trace = transition_root(spans)
+        assert all(span.name.startswith(("sensor.", "sds.", "sackfs.",
+                                         "ssm.", "ape."))
+                   for span, _ in trace.walk())
+
+
+class TestBreakdown:
+    def test_stage_self_times_sum_to_root_duration(self, world):
+        spans = world.kernel.obs.spans
+        root = transition_root(spans)
+        report = spans.breakdown(roots=[root])
+        assert report["traces"] == 1
+        assert report["total_ns"] == root.cpu_ns
+        assert sum(row["self_ns"] for row in report["stages"].values()) \
+            == report["total_ns"]
+        for stage in PIPELINE_STAGES:
+            assert stage in report["stages"]
+
+
+class TestExports:
+    def test_chrome_trace_validates(self, world):
+        spans = world.kernel.obs.spans
+        doc = json.loads(spans.to_chrome())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            for field in ("ph", "ts", "pid", "tid", "name"):
+                assert field in event, f"{field} missing: {event}"
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+        names = {e["name"] for e in events}
+        assert "ssm.transition" in names
+
+    def test_folded_contains_pipeline_stack(self, world):
+        folded = world.kernel.obs.spans.to_folded()
+        assert "sensor.sample;sds.send;sackfs.write;ssm.transition" \
+            in folded
+
+
+class TestExemplars:
+    def test_latency_histogram_carries_trace_exemplar(self, world):
+        text = world.kernel.obs.metrics.to_prometheus()
+        trace_id = transition_root(world.kernel.obs.spans).trace_id
+        assert f'# {{trace_id="{trace_id}"}}' in text
+
+
+class TestTracefsSurface:
+    @pytest.fixture(scope="class")
+    def mounted(self, world):
+        mount_tracefs(world.kernel, world.kernel.obs)
+        return world
+
+    def read(self, world, rel):
+        kernel = world.kernel
+        return kernel.read_file(kernel.procs.init,
+                                f"{TRACEFS_ROOT}/{rel}").decode()
+
+    def test_trace_file_renders_trees(self, mounted):
+        text = self.read(mounted, "SACK/spans/trace")
+        assert "trace " in text
+        assert "ssm.transition" in text
+
+    def test_breakdown_file(self, mounted):
+        text = self.read(mounted, "SACK/spans/breakdown")
+        assert "total_ns" in text
+        for stage in PIPELINE_STAGES:
+            assert stage in text
+
+    def test_chrome_file_is_json(self, mounted):
+        doc = json.loads(self.read(mounted, "SACK/spans/chrome"))
+        assert doc["traceEvents"]
+
+    def test_stats_files(self, mounted):
+        text = self.read(mounted, "SACK/spans/stats")
+        assert "started " in text and "stored " in text
+        rings = self.read(mounted, "stats")
+        assert "audit_dropped" in rings and "spans_started" in rings
+
+    def test_enable_toggle(self, mounted):
+        kernel = mounted.kernel
+        assert self.read(mounted, "SACK/spans/enable") == "1\n"
+        kernel.write_file(kernel.procs.init,
+                          f"{TRACEFS_ROOT}/SACK/spans/enable", b"0",
+                          create=False)
+        assert not kernel.obs.spans.enabled
+        kernel.write_file(kernel.procs.init,
+                          f"{TRACEFS_ROOT}/SACK/spans/enable", b"1",
+                          create=False)
+        assert kernel.obs.spans.enabled
+
+
+class TestAppArmorMode:
+    def test_reload_span_inside_transition(self):
+        world = crashed_world(EnforcementConfig.SACK_APPARMOR)
+        spans = world.kernel.obs.spans
+        root = transition_root(spans)
+        transition = root.find("ssm.transition")
+        reload_span = root.find("apparmor.reload")
+        assert reload_span is not None
+        assert reload_span.parent_id == transition.span_id
+        assert reload_span.stage == "reload"
+        assert reload_span.attributes["profiles"] > 0
+
+
+class TestRetryContinuity:
+    def test_outbox_retry_resumes_the_same_trace(self):
+        """A failed channel write is retried from the outbox; the retry
+        fragment carries the original trace id."""
+        world = build_ivi_world(EnforcementConfig.SACK_INDEPENDENT)
+        spans = world.kernel.obs.spans
+        spans.enable()
+        sds = world.sds
+        real_write = sds._write_line
+        calls = {"n": 0}
+
+        def flaky(line):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise KernelError(Errno.EIO, "injected channel failure")
+            return real_write(line)
+
+        sds._write_line = flaky
+        world.drive_to_speed(60)
+        world.trigger_crash()
+        sds._write_line = real_write
+        assert calls["n"] >= 1
+        retries = [root for root in spans.roots()
+                   if root.find("sds.retry") is not None]
+        assert retries, "no sds.retry span was recorded"
+        retry = retries[-1].find("sds.retry")
+        # The fragment continues the original trace, not a fresh one.
+        fragments = spans.trace_roots(retry.trace_id)
+        assert any(r.find("sds.send") is not None or r.name == "sds.retry"
+                   for r in fragments)

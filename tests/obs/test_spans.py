@@ -1,0 +1,245 @@
+"""Unit tests for the span tracer: repro.obs.spans."""
+
+import json
+
+import pytest
+
+from repro.kernel.clock import VirtualClock
+from repro.obs import Observability, SpanContext, SpanTracer
+
+
+@pytest.fixture
+def obs():
+    return Observability(clock=VirtualClock())
+
+
+@pytest.fixture
+def tracer(obs):
+    obs.spans.enable()
+    return obs.spans
+
+
+class TestSpanContext:
+    def test_round_trip(self):
+        ctx = SpanContext("00ab", "cd01")
+        assert SpanContext.from_traceparent(ctx.to_traceparent()) == ctx
+
+    @pytest.mark.parametrize("bad", [None, "", "nodash", "-x", "x-", "-"])
+    def test_malformed_is_none(self, bad):
+        assert SpanContext.from_traceparent(bad) is None
+
+
+class TestDisabled:
+    def test_everything_is_a_noop(self, obs):
+        spans = obs.spans
+        assert not spans.enabled
+        span = spans.start_span("x")
+        assert span is None
+        spans.end_span(span)           # no-op, no exception
+        spans.annotate(k="v")          # no active span: no-op
+        assert spans.roots() == []
+        assert spans.stats()["started"] == 0
+
+    def test_disable_abandons_open_spans(self, tracer):
+        tracer.start_span("open")
+        tracer.disable()
+        assert tracer.active is None
+        assert tracer.roots() == []
+
+
+class TestLifecycle:
+    def test_deterministic_counter_ids(self, tracer):
+        a = tracer.start_span("a", root=True)
+        b = tracer.start_span("b")
+        assert a.trace_id == f"{1:016x}"
+        assert a.span_id == f"{1:08x}"
+        assert b.span_id == f"{2:08x}"
+        assert b.trace_id == a.trace_id
+
+    def test_stack_parenting(self, tracer):
+        root = tracer.start_span("root", root=True)
+        child = tracer.start_span("child")
+        assert child.parent_id == root.span_id
+        assert child in root.children
+        tracer.end_span(child)
+        assert tracer.active is root
+        tracer.end_span(root)
+        assert tracer.roots() == [root]
+
+    def test_childless_lone_root_discarded(self, tracer):
+        span = tracer.start_span("idle", root=True)
+        tracer.end_span(span)
+        assert tracer.roots() == []
+        assert tracer.stats()["discarded"] == 1
+
+    def test_keep_empty_roots_option(self, obs):
+        tracer = SpanTracer(obs, keep_empty_roots=True)
+        tracer.enable()
+        span = tracer.start_span("idle", root=True)
+        tracer.end_span(span)
+        assert tracer.roots() == [span]
+
+    def test_end_span_pops_abandoned_children(self, tracer):
+        root = tracer.start_span("root", root=True)
+        tracer.start_span("abandoned")
+        tracer.end_span(root)
+        assert tracer.active is None
+        assert root.children[0].end_ns is not None
+
+    def test_ring_drops_oldest(self, obs):
+        tracer = SpanTracer(obs, capacity=2, keep_empty_roots=True)
+        tracer.enable()
+        for name in ("a", "b", "c"):
+            tracer.end_span(tracer.start_span(name, root=True))
+        assert [r.name for r in tracer.roots()] == ["b", "c"]
+        assert tracer.dropped == 1
+
+    def test_status_and_annotate(self, tracer):
+        span = tracer.start_span("s", root=True)
+        tracer.annotate(path="/dev/car/door")
+        tracer.end_span(span, status="denied")
+        assert span.status == "denied"
+        assert span.attributes["path"] == "/dev/car/door"
+
+    def test_virtual_clock_timestamps(self, obs):
+        tracer = obs.spans
+        tracer.enable()
+        span = tracer.start_span("s", root=True)
+        obs.clock.advance_ns(500)
+        tracer.end_span(span)
+        assert span.start_ns == 0
+        assert span.duration_ns == 500
+
+
+class TestRemoteContext:
+    def test_remote_parent_makes_fragment(self, tracer):
+        span = tracer.start_span("cont", remote="00aa-bb11")
+        assert span.trace_id == "00aa"
+        assert span.parent_id == "bb11"
+        assert span.is_local_root
+        child = tracer.start_span("inner")
+        tracer.end_span(child)
+        tracer.end_span(span)
+        assert tracer.trace_roots("00aa") == [span]
+
+    def test_malformed_remote_falls_back_to_stack(self, tracer):
+        root = tracer.start_span("root", root=True)
+        span = tracer.start_span("x", remote="garbage")
+        assert span.parent_id == root.span_id
+
+    def test_same_context_remote_keeps_one_tree(self, tracer):
+        root = tracer.start_span("send", root=True)
+        wire = root.context.to_traceparent()
+        kernel_side = tracer.start_span("write", remote=wire)
+        assert kernel_side in root.children
+        tracer.end_span(kernel_side)
+        tracer.end_span(root)
+        assert len(tracer.roots()) == 1
+
+    def test_remote_wins_over_stack(self, tracer):
+        tracer.start_span("other", root=True)
+        span = tracer.start_span("cont", remote="0ff0-1234")
+        assert span.trace_id == "0ff0"
+        assert span.parent_id == "1234"
+
+
+class TestLinks:
+    def test_link_window_budget(self, obs):
+        tracer = SpanTracer(obs, link_window=2)
+        tracer.enable()
+        ctx = SpanContext("t", "s")
+        tracer.arm_links(ctx)
+        assert tracer.watch_hooks
+        assert tracer.consume_link() == ctx
+        assert tracer.consume_link() == ctx
+        assert not tracer.watch_hooks
+        assert tracer.consume_link() is None
+
+    def test_arm_links_noop_when_disabled(self, obs):
+        tracer = obs.spans
+        tracer.arm_links(SpanContext("t", "s"))
+        assert not tracer.watch_hooks
+
+    def test_trace_all_hooks_keeps_watching(self, tracer):
+        tracer.trace_all_hooks()
+        assert tracer.watch_hooks
+        assert tracer.consume_link() is None
+        assert tracer.watch_hooks
+        tracer.trace_all_hooks(False)
+        assert not tracer.watch_hooks
+
+
+def _make_tree(tracer):
+    root = tracer.start_span("root", stage="detect", root=True)
+    mid = tracer.start_span("mid", stage="write")
+    leaf = tracer.start_span("leaf", stage="transition")
+    tracer.end_span(leaf)
+    tracer.end_span(mid)
+    tracer.end_span(root)
+    return root
+
+
+class TestReports:
+    def test_breakdown_self_times_sum_to_total(self, tracer):
+        root = _make_tree(tracer)
+        report = tracer.breakdown()
+        assert report["traces"] == 1
+        assert report["total_ns"] == root.cpu_ns
+        assert sum(row["self_ns"] for row in report["stages"].values()) \
+            == report["total_ns"]
+        assert abs(sum(row["share"]
+                       for row in report["stages"].values()) - 1.0) < 1e-9
+
+    def test_breakdown_empty(self, tracer):
+        report = tracer.breakdown()
+        assert report == {"total_ns": 0, "traces": 0, "stages": {}}
+
+    def test_chrome_export_validates(self, tracer):
+        _make_tree(tracer)
+        doc = json.loads(tracer.to_chrome())
+        events = doc["traceEvents"]
+        assert len(events) == 3
+        for event in events:
+            for field in ("ph", "ts", "pid", "tid", "name", "dur", "args"):
+                assert field in event
+            assert event["ph"] == "X"
+        assert {e["name"] for e in events} == {"root", "mid", "leaf"}
+
+    def test_folded_stacks(self, tracer):
+        _make_tree(tracer)
+        lines = tracer.to_folded().strip().splitlines()
+        assert any(line.startswith("root;mid;leaf ") for line in lines)
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) >= 0
+
+    def test_render_lines(self, tracer):
+        _make_tree(tracer)
+        text = "\n".join(tracer.render_lines())
+        assert "trace " in text
+        assert "[detect]" in text and "[transition]" in text
+
+    def test_span_summaries(self, tracer):
+        root = _make_tree(tracer)
+        assert tracer.span_summaries() == [(root.trace_id, "root", 3)]
+
+    def test_stats_shape(self, tracer):
+        _make_tree(tracer)
+        stats = tracer.stats()
+        assert stats["enabled"] == 1
+        assert stats["started"] == 3
+        assert stats["finished"] == 1
+        assert stats["stored"] == 1
+        assert stats["open"] == 0
+
+    def test_clear(self, tracer):
+        _make_tree(tracer)
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_find_and_walk(self, tracer):
+        root = _make_tree(tracer)
+        assert root.find("leaf").name == "leaf"
+        assert root.find("nope") is None
+        assert [d for _, d in root.walk()] == [0, 1, 2]
+        assert root.span_count() == 3
