@@ -1,0 +1,167 @@
+"""AVC — repeated-access speedup of the situation-epoch vector cache.
+
+The acceptance target for the stack AVC: a repeated-access microbenchmark
+on the LSM hot path (``security.file_permission``, the hook every
+``read(2)``/``write(2)`` pays) must show at least a 5x hit-path speedup
+over the uncached module walk while producing bit-identical decisions.
+Run with
+
+    pytest benchmarks/test_avc.py --benchmark-json=BENCH_avc.json
+
+to emit the JSON artifact the CI job uploads; the measured speedup and
+per-operation latencies ride along in ``extra_info``.
+"""
+
+import time
+
+from repro.bench import CONFIG_SACK_INDEPENDENT, build_world
+from repro.kernel import KernelError, MAY_READ, OpenFlags, user_credentials
+from repro.sack.events import SituationEvent
+from conftest import REPS, SCALE
+
+#: Rules in the bulk permission class; the probe path matches last, so
+#: every uncached check pays a full linear walk as a large real policy
+#: would.
+RULE_COUNT = 200
+
+#: Hot-loop iterations (scaled by SACK_BENCH_SCALE).
+ITERATIONS = max(500, int(5000 * SCALE))
+
+
+def _make_policy(rule_count=RULE_COUNT) -> str:
+    rules = "\n".join(f"    allow read /dev/car/sensor{i:03d};"
+                      for i in range(rule_count))
+    return f"""
+policy avc_bench;
+initial normal;
+states {{
+  normal = 0;
+  emergency = 1;
+}}
+transitions {{
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}}
+permissions {{
+  BULK;
+  DOORS;
+}}
+state_per {{
+  normal: BULK;
+  emergency: BULK, DOORS;
+}}
+per_rules {{
+  BULK {{
+{rules}
+    allow read /dev/car/probe;
+  }}
+  DOORS {{
+    allow write /dev/car/door subject=rescue_daemon;
+  }}
+}}
+guard /dev/car/**;
+"""
+
+
+def _boot(cache_enabled):
+    world = build_world(CONFIG_SACK_INDEPENDENT, policy_text=_make_policy())
+    kernel = world.kernel
+    kernel.security.avc.enabled = cache_enabled
+    kernel.vfs.makedirs("/dev/car")
+    kernel.vfs.create_file("/dev/car/probe", mode=0o666)
+    kernel.vfs.create_file("/dev/car/door", mode=0o666)
+    task = kernel.sys_fork(kernel.procs.init)
+    task.comm = "bench_app"
+    task.cred = user_credentials(1000)  # no CAP_MAC_OVERRIDE short-circuit
+    fd = kernel.sys_open(task, "/dev/car/probe", OpenFlags.O_RDONLY)
+    file = task.get_fd(fd).obj
+    return world, kernel, task, file
+
+
+def _permission_loop(security, task, file, n):
+    for _ in range(n):
+        security.file_permission(task, file, MAY_READ)
+
+
+def _best_of(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _decision_trace(cache_enabled):
+    """A mixed allow/deny workload spanning situation transitions."""
+    world, kernel, task, _ = _boot(cache_enabled)
+    rescue = kernel.sys_fork(kernel.procs.init)
+    rescue.comm = "rescue_daemon"
+    rescue.cred = user_credentials(990)
+    outcomes = []
+
+    def attempt(who, path, flags):
+        try:
+            fd = kernel.sys_open(who, path, flags)
+            kernel.sys_close(who, fd)
+            outcomes.append((who.comm, path, int(flags), "ok"))
+        except KernelError as exc:
+            outcomes.append((who.comm, path, int(flags), int(exc.errno)))
+
+    for phase_event in (None, "crash_detected", "emergency_cleared"):
+        if phase_event is not None:
+            world.sack.ssm.process_event(SituationEvent(name=phase_event))
+        for _ in range(20):
+            attempt(task, "/dev/car/probe", OpenFlags.O_RDONLY)
+            attempt(task, "/dev/car/probe", OpenFlags.O_WRONLY)
+            attempt(rescue, "/dev/car/door", OpenFlags.O_WRONLY)
+    return outcomes, kernel.security.avc.core
+
+
+def test_avc_hit_path(benchmark):
+    """Repeated file_permission checks with the cache warm."""
+    _, kernel, task, file = _boot(cache_enabled=True)
+    security = kernel.security
+    _permission_loop(security, task, file, 10)  # warm the cache
+    assert security.avc.core.hits > 0
+    benchmark(lambda: _permission_loop(security, task, file, ITERATIONS))
+
+
+def test_avc_uncached_baseline(benchmark):
+    """The same loop against the full module walk, cache disabled."""
+    _, kernel, task, file = _boot(cache_enabled=False)
+    security = kernel.security
+    benchmark(lambda: _permission_loop(security, task, file, ITERATIONS))
+
+
+def test_avc_speedup_target(benchmark, show):
+    """>= 5x on the repeated-access microbenchmark, decisions identical."""
+    _, k_hot, t_hot, f_hot = _boot(cache_enabled=True)
+    _, k_cold, t_cold, f_cold = _boot(cache_enabled=False)
+    hot_sec, cold_sec = k_hot.security, k_cold.security
+    _permission_loop(hot_sec, t_hot, f_hot, 10)  # warm
+
+    hot = _best_of(lambda: _permission_loop(hot_sec, t_hot, f_hot,
+                                            ITERATIONS))
+    cold = _best_of(lambda: _permission_loop(cold_sec, t_cold, f_cold,
+                                             ITERATIONS))
+    speedup = cold / hot
+
+    cached_trace, core = _decision_trace(cache_enabled=True)
+    uncached_trace, _ = _decision_trace(cache_enabled=False)
+
+    benchmark.pedantic(
+        lambda: _permission_loop(hot_sec, t_hot, f_hot, ITERATIONS),
+        rounds=1, iterations=1)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cached_ns_per_op"] = hot / ITERATIONS * 1e9
+    benchmark.extra_info["uncached_ns_per_op"] = cold / ITERATIONS * 1e9
+    benchmark.extra_info["rule_count"] = RULE_COUNT
+    show(f"AVC repeated-access microbenchmark ({RULE_COUNT}-rule policy)\n"
+         f"  uncached {cold / ITERATIONS * 1e9:>8.0f} ns/op\n"
+         f"  cached   {hot / ITERATIONS * 1e9:>8.0f} ns/op\n"
+         f"  speedup  {speedup:>8.2f}x  (target >= 5x)")
+
+    assert speedup >= 5.0, f"hit path only {speedup:.2f}x faster"
+    assert cached_trace == uncached_trace
+    assert core.stale_served == 0

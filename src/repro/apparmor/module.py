@@ -39,10 +39,52 @@ class AppArmorLsm(LsmModule):
 
     name = MODULE_NAME
 
+    #: Decisions are a pure function of the task's profile (by name) and
+    #: the path once the profile is pinned enforce-mode; any profile
+    #: mutation bumps the stack AVC epoch via the PolicyDb subscription.
+    avc_cacheable = True
+
     def __init__(self, policy: Optional[PolicyDb] = None):
         self.policy = policy or PolicyDb()
         self.denial_count = 0
         self.complain_count = 0
+        self._policy_watched = False
+
+    def registered(self, kernel) -> None:
+        super().registered(kernel)
+        if not self._policy_watched:
+            self.policy.subscribe(self._on_policy_change)
+            self._policy_watched = True
+
+    def _on_policy_change(self) -> None:
+        self.bump_avc("profile-reload")
+
+    # -- stack-AVC participation ---------------------------------------------
+    def avc_subject_key(self, task):
+        profile = self.profile_of(task)
+        if profile is None:
+            return (None,)  # unconfined: everything allowed, cacheable
+        if profile.mode is not ProfileMode.ENFORCE:
+            # Complain mode allows *with an audit record per access*;
+            # caching would swallow the records.  Veto this dispatch.
+            return None
+        return (profile.name,)
+
+    def compute_av(self, task, path: str) -> int:
+        """Full file access vector for (*task*, *path*) under the
+        current profile set (enforce mode only; the subject-key veto
+        keeps complain-mode dispatches out of the cache)."""
+        profile = self.profile_of(task)
+        if profile is None:
+            return MAY_READ | MAY_WRITE | MAY_EXEC
+        av = 0
+        if profile.allows_file(path, FilePerm.READ):
+            av |= MAY_READ
+        if profile.allows_file(path, FilePerm.WRITE):
+            av |= MAY_WRITE
+        if profile.allows_file(path, FilePerm.EXEC):
+            av |= MAY_EXEC
+        return av
 
     # -- confinement helpers ------------------------------------------------
     def profile_of(self, task) -> Optional[Profile]:

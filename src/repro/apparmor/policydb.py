@@ -27,6 +27,18 @@ class PolicyDb:
         # into a DFA at load time, we memoise per policy revision instead.
         self._attach_cache: Dict[str, Optional[str]] = {}
         self._attach_cache_revision = -1
+        self._subscribers: List = []
+
+    def subscribe(self, callback) -> None:
+        """Call *callback* () after every revision bump — the stack AVC's
+        invalidation feed (live tasks see replaced profiles immediately,
+        so cached decisions must die with the old revision)."""
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def _notify(self) -> None:
+        for callback in list(self._subscribers):
+            callback()
 
     # -- loading -------------------------------------------------------------
     def load_profile(self, profile: Profile) -> None:
@@ -35,6 +47,7 @@ class PolicyDb:
             self.replace_count += 1
         self._profiles[profile.name] = profile
         self.revision += 1
+        self._notify()
 
     def load_text(self, text: str) -> List[Profile]:
         """Parse and load profile text; returns the loaded profiles."""
@@ -53,6 +66,7 @@ class PolicyDb:
         if name in self._profiles:
             del self._profiles[name]
             self.revision += 1
+            self._notify()
 
     # -- queries ---------------------------------------------------------------
     def get(self, name: str) -> Optional[Profile]:

@@ -270,6 +270,25 @@ def cmd_spans(args) -> int:
     return 0
 
 
+def cmd_avc(args) -> int:
+    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    # Dogfood the tracefs control files rather than reaching into the
+    # framework object.
+    root = "/sys/kernel/tracing/SACK/avc"
+    if args.disable:
+        kernel.write_file(kernel.procs.init, f"{root}/enable", b"0",
+                          create=False)
+    for line in _drive(kernel, sds, app, args.event, args.access):
+        print(line)
+    if args.flush:
+        kernel.write_file(kernel.procs.init, f"{root}/flush", b"1",
+                          create=False)
+    print()
+    print(kernel.read_file(kernel.procs.init, f"{root}/stats").decode(),
+          end="")
+    return 0
+
+
 def _parse_seeds(spec: str) -> List[int]:
     """``"7"`` -> [7]; ``"1..5"`` -> [1, 2, 3, 4, 5]."""
     if ".." in spec:
@@ -385,6 +404,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_spans.add_argument("--folded", action="store_true",
                          help="emit folded flamegraph stacks instead")
     p_spans.set_defaults(func=cmd_spans)
+
+    p_avc = sub.add_parser(
+        "avc", help="run events/accesses in a booted kernel and dump the "
+                    "access-vector-cache counters")
+    p_avc.add_argument("policy")
+    p_avc.add_argument("-e", "--event", action="append",
+                       help="event name (repeatable, in order)")
+    p_avc.add_argument("--access", action="append",
+                       help="op:path[:ioctl_cmd] (repeatable, in order)")
+    p_avc.add_argument("--disable", action="store_true",
+                       help="run with the cache off (baseline comparison)")
+    p_avc.add_argument("--flush", action="store_true",
+                       help="flush the cache after the workload, before "
+                            "dumping stats")
+    p_avc.set_defaults(func=cmd_avc)
 
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault-injection scenarios with fail-closed "

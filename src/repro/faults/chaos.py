@@ -156,6 +156,7 @@ class _InvariantChecker:
         self._check_fail_closed_access(tick)
         self._check_enforcement_agrees(tick)
         self._check_failsafe_state(tick)
+        self._check_avc_coherent(tick)
 
     def _check_state_defined(self, tick: int) -> None:
         ssm = self._ssm()
@@ -247,6 +248,27 @@ class _InvariantChecker:
             self._fail(tick, "I6:failsafe-state",
                        f"failsafe engaged but state is "
                        f"{ssm.current_name!r}, not {expected!r}")
+
+    def _check_avc_coherent(self, tick: int) -> None:
+        """I7: an epoch bump is never followed by a stale-epoch cache hit.
+
+        The AVC core stamps every hit with (entry epoch, epoch at serve
+        time); under any interleaving of transitions, rollbacks,
+        failsafe settles and profile reloads these must match — a
+        mismatch means a pre-transition decision outlived its situation.
+        """
+        framework = getattr(self.world, "framework", None)
+        avc = getattr(framework, "avc", None)
+        if avc is None:
+            return
+        core = avc.core
+        if core.stale_served:
+            self._fail(tick, "I7:avc-stale-hit",
+                       f"{core.stale_served} stale entr(y/ies) served")
+        if core.last_hit_entry_epoch != core.last_hit_at_epoch:
+            self._fail(tick, "I7:avc-stale-hit",
+                       f"hit served an epoch-{core.last_hit_entry_epoch} "
+                       f"entry at epoch {core.last_hit_at_epoch}")
 
 
 def _install_listener_fault(world, plan: FaultPlan) -> None:
@@ -369,6 +391,20 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
             }
     if ssm is not None:
         stats["ssm"] = ssm.stats()
+    avc = getattr(world.framework, "avc", None)
+    if avc is not None:
+        core = avc.core
+        # Deterministic counters only (no host timing feeds them), so
+        # they are safe inside the fingerprinted report.
+        stats["avc"] = {
+            "hits": core.hits,
+            "misses": core.misses,
+            "epoch": core.epoch,
+            "epoch_bumps": core.epoch_bumps,
+            "stale_drops": core.stale_drops,
+            "stale_served": core.stale_served,
+            "evictions": core.evictions,
+        }
     sds = live_sds
     if sds is not None:
         summary = sds.stats.summary()

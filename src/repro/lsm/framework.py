@@ -19,8 +19,9 @@ from ..kernel.credentials import Capability
 from ..kernel.security import SecurityHooks
 from ..obs.metrics import sample
 from ..obs.tracepoints import LSM_HOOK_DISPATCH
+from .avc import AV_ALL, KEY_EXTRACTORS, VECTOR_HOOKS, AccessVectorCache
 from .capability import CapabilityLsm
-from .hooks import Hook
+from .hooks import HOOK_BIT, Hook
 from .module import LsmModule
 
 
@@ -68,7 +69,8 @@ class LsmFramework(SecurityHooks):
     name = "lsm"
 
     def __init__(self, modules: Sequence[LsmModule] = (),
-                 collect_stats: bool = False):
+                 collect_stats: bool = False,
+                 avc_capacity: int = 8192):
         self.capability = CapabilityLsm()
         self.modules: List[LsmModule] = [self.capability, *modules]
         self.stats = HookStats() if collect_stats else None
@@ -93,6 +95,40 @@ class LsmFramework(SecurityHooks):
                     entries.append((module.name,
                                     getattr(module, hook.value)))
             self._hook_lists[hook] = entries
+        # Implemented-hook bitmap: one bit per hook anyone implements.
+        # ``_call_int`` tests it before any other dispatch bookkeeping,
+        # so hooks no module cares about cost a single ``and``.
+        self.hook_bitmap = 0
+        for hook, entries in self._hook_lists.items():
+            if entries:
+                self.hook_bitmap |= HOOK_BIT[hook]
+        self.avc = AccessVectorCache(capacity=avc_capacity)
+        self._avc_plans: Dict[Hook, Optional[tuple]] = {
+            hook: self._build_avc_plan(hook) for hook in Hook}
+
+    def _build_avc_plan(self, hook: Hook) -> Optional[tuple]:
+        """Precompute the AVC recipe for *hook*, or None if uncacheable.
+
+        A hook is cacheable only when every module on its call list opted
+        in (``avc_cacheable``) — one opaque module poisons the hook, not
+        the stack.  The plan is ``(extractor, subject_key_fns,
+        compute_av_fns)``; the last is None unless every module offers a
+        ``compute_av`` to pre-fill the whole vector on a miss.
+        """
+        extractor = KEY_EXTRACTORS.get(hook)
+        entries = self._hook_lists[hook]
+        if extractor is None or not entries:
+            return None
+        modules = [self.module_named(name) for name, _method in entries]
+        if not all(getattr(m, "avc_cacheable", False) for m in modules):
+            return None
+        subject_fns = tuple(m.avc_subject_key for m in modules)
+        compute_fns = None
+        if hook in VECTOR_HOOKS:
+            fns = tuple(getattr(m, "compute_av", None) for m in modules)
+            if all(fns):
+                compute_fns = fns
+        return extractor, subject_fns, compute_fns
 
     @classmethod
     def from_config(cls, config_lsm: str,
@@ -101,9 +137,17 @@ class LsmFramework(SecurityHooks):
         """Build a stack from a ``CONFIG_LSM="sack,apparmor"`` string.
 
         *registry* maps module names to instances; unknown names raise
-        ``KeyError`` (a misconfigured kernel fails to boot).
+        ``KeyError`` (a misconfigured kernel fails to boot), and so does
+        a name listed twice — Linux's ``ordered_lsm_parse`` drops
+        duplicates, but a doubled entry in a curated config is always a
+        typo and silently reordering the stack would mask it.
         """
         names = [n.strip() for n in config_lsm.split(",") if n.strip()]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                f"CONFIG_LSM lists duplicate module names: {dupes} "
+                f"(config was {config_lsm!r})")
         modules = []
         for name in names:
             if name == "capability":
@@ -127,6 +171,7 @@ class LsmFramework(SecurityHooks):
                 # The metrics export reads HookStats live instead of
                 # keeping duplicate counts that could drift.
                 self.obs.metrics.register_collector(self._collect_stats)
+            self.obs.metrics.register_collector(self._collect_avc)
         for module in self.modules:
             module.registered(kernel)
 
@@ -139,6 +184,28 @@ class LsmFramework(SecurityHooks):
         out.extend(sample("lsm_hook_denials_total", {"site": key},
                           "counter", count)
                    for key, count in stats.denials.items())
+        return out
+
+    def _collect_avc(self):
+        core = self.avc.core
+        out = [
+            sample("lsm_avc_lookups_total", {"result": "hit"}, "counter",
+                   core.hits),
+            sample("lsm_avc_lookups_total", {"result": "miss"}, "counter",
+                   core.misses),
+            sample("lsm_avc_insertions_total", {}, "counter",
+                   core.insertions),
+            sample("lsm_avc_evictions_total", {}, "counter",
+                   core.evictions),
+            sample("lsm_avc_stale_drops_total", {}, "counter",
+                   core.stale_drops),
+            sample("lsm_avc_flushes_total", {}, "counter", core.flushes),
+            sample("lsm_avc_epoch", {}, "gauge", core.epoch),
+            sample("lsm_avc_entries", {}, "gauge", len(core)),
+        ]
+        out.extend(sample("lsm_avc_epoch_bumps_total", {"reason": reason},
+                          "counter", count)
+                   for reason, count in core.bump_reasons.items())
         return out
 
     # -- hook latency collection ---------------------------------------------
@@ -223,7 +290,73 @@ class LsmFramework(SecurityHooks):
         obs.denial(module, hook.value, self._object_path(args), task, rc)
 
     def _call_int(self, hook: Hook, *args) -> int:
-        """Walk the hook's call list; first nonzero return wins (deny)."""
+        """Walk the hook's call list; first nonzero return wins (deny).
+
+        Two fast paths run before any dispatch bookkeeping: the
+        implemented-hook bitmap (nobody registered → allow, one ``and``)
+        and the AVC (a live cache entry proving every module already
+        allowed this (subject, object, mask) → allow without walking).
+        Denials are never cached — they must reach the modules so audit
+        records, denial counters and span attribution still fire.
+        """
+        if not self.hook_bitmap & HOOK_BIT[hook]:
+            return 0
+        avc = self.avc
+        if avc.enabled:
+            plan = self._avc_plans[hook]
+            if plan is not None:
+                extractor, subject_fns, compute_fns = plan
+                object_mask = extractor(args)
+                if object_mask is not None:
+                    obj, mask = object_mask
+                    task = args[0]
+                    key = None
+                    hit = False
+                    try:
+                        subject = tuple(fn(task) for fn in subject_fns)
+                        if None not in subject:
+                            key = (hook, subject, obj)
+                            hit = avc.core.lookup_vector(key, mask)
+                    except TypeError:
+                        key = None  # unhashable key part: don't cache
+                    if hit:
+                        return self._avc_hit(hook, args)
+                    rc = self._dispatch_int(hook, args)
+                    if rc == 0 and key is not None:
+                        if compute_fns is not None:
+                            vector = AV_ALL
+                            for fn in compute_fns:
+                                vector &= fn(task, obj)
+                            avc.core.extend_vector(key, vector | mask)
+                        else:
+                            avc.core.extend_vector(key, mask)
+                    return rc
+        return self._dispatch_int(hook, args)
+
+    def _avc_hit(self, hook: Hook, args) -> int:
+        """Serve an allow from the cache, replaying the side effects an
+        allowed module walk would have had (HookStats counters; an
+        ``avc.hit`` span when hooks are being watched) so decisions and
+        counters are bit-identical with the cache off."""
+        stats = self.stats
+        if stats is not None:
+            for name, _method in self._hook_lists[hook]:
+                stats.record(name, hook, denied=False)
+        spans = self._spans
+        if spans is not None and spans.watch_hooks:
+            task = args[0] if args else None
+            span = spans.start_span(
+                f"lsm.{hook.value}", stage="hook", root=True,
+                attributes={"pid": getattr(task, "pid", 0),
+                            "comm": getattr(task, "comm", ""),
+                            "avc.hit": True})
+            if span is not None:
+                span.add_link(spans.consume_link())
+            spans.end_span(span)
+        return 0
+
+    def _dispatch_int(self, hook: Hook, args) -> int:
+        """The full module walk (AVC miss or uncacheable dispatch)."""
         spans = self._spans
         if spans is not None and spans.watch_hooks:
             return self._call_int_spanned(hook, args)

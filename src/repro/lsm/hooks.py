@@ -49,3 +49,8 @@ DECISION_HOOKS = frozenset(h for h in Hook
 #: LMBench file benchmarks stress.
 HOT_PATH_HOOKS = frozenset({Hook.FILE_PERMISSION, Hook.FILE_OPEN,
                             Hook.SOCKET_SENDMSG, Hook.SOCKET_RECVMSG})
+
+#: Stable bit position per hook, for the framework's implemented-hook
+#: bitmap (one ``and`` decides "does anyone implement this?" before any
+#: dispatch bookkeeping runs).
+HOOK_BIT = {hook: 1 << index for index, hook in enumerate(Hook)}

@@ -98,6 +98,9 @@ class SackAppArmorBridge(LsmModule):
         self.rules_injected = 0
         self.fault_plan = fault_plan
 
+    def _on_transition_bump_avc(self, _transition) -> None:
+        self.bump_avc("transition")
+
     # -- policy lifecycle -----------------------------------------------------
     def load_policy(self, policy: SackPolicy, ioctl_symbols=None
                     ) -> SituationStateMachine:
@@ -110,7 +113,11 @@ class SackAppArmorBridge(LsmModule):
         self.ioctl_symbols = dict(ioctl_symbols or {})
         self.ssm = policy.build_ssm()
         self.ssm.add_listener(self._on_transition)
+        # Belt and braces with the PolicyDb subscription: even a
+        # transition whose profile rewrite is a no-op moves the epoch.
+        self.ssm.add_listener(self._on_transition_bump_avc)
         self._apply_state(policy.initial)
+        self.bump_avc("policy-load")
         self.audit("sack_policy_loaded",
                    f"bridge policy {policy.name!r} -> AppArmor")
         obs = getattr(self.kernel, "obs", None)

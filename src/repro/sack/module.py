@@ -14,7 +14,7 @@ import time
 from typing import Optional
 
 from ..kernel.credentials import Capability
-from ..kernel.syscalls import MAY_READ, MAY_WRITE
+from ..kernel.syscalls import MAY_EXEC, MAY_READ, MAY_WRITE
 from ..kernel.vfs.file import OpenFile
 from ..lsm.module import LsmModule
 from .ape import AdaptivePolicyEnforcer
@@ -30,10 +30,39 @@ class SackLsm(LsmModule):
 
     name = MODULE_NAME
 
+    #: SACK decisions depend only on (comm, MAC-override bit), the path,
+    #: and the current situation — and every situation change flows
+    #: through the SSM, whose listener bumps the AVC epoch.
+    avc_cacheable = True
+
     def __init__(self):
         self.ape: Optional[AdaptivePolicyEnforcer] = None
         self.ssm: Optional[SituationStateMachine] = None
         self.denial_count = 0
+
+    # -- stack-AVC participation ---------------------------------------------
+    def avc_subject_key(self, task):
+        return (task.comm,
+                task.cred.has_cap(Capability.CAP_MAC_OVERRIDE))
+
+    def compute_av(self, task, path: str) -> int:
+        """The full file access vector for (*task*, *path*) right now.
+
+        MAY_EXEC is always granted here because neither file hook checks
+        exec (``bprm_check_security`` is its own, separately keyed hook).
+        """
+        if (self.ape is None
+                or task.cred.has_cap(Capability.CAP_MAC_OVERRIDE)):
+            return MAY_READ | MAY_WRITE | MAY_EXEC
+        av = MAY_EXEC
+        if self.ape.check(RuleOp.READ, path, task.comm):
+            av |= MAY_READ
+        if self.ape.check(RuleOp.WRITE, path, task.comm):
+            av |= MAY_WRITE
+        return av
+
+    def _on_transition_bump_avc(self, _transition) -> None:
+        self.bump_avc("transition")
 
     # -- policy lifecycle ----------------------------------------------------
     def load_policy(self, policy: SackPolicy,
@@ -51,6 +80,10 @@ class SackLsm(LsmModule):
         ssm = compiled.policy.build_ssm()
         self.ssm = ssm
         self.ape = AdaptivePolicyEnforcer(compiled, ssm)
+        # After the APE's own listener, so a hit-after-bump can never see
+        # the old ruleset: by the time the epoch moves, the remap is done.
+        ssm.add_listener(self._on_transition_bump_avc)
+        self.bump_avc("policy-load")
         self.audit("sack_policy_loaded",
                    f"policy {compiled.policy.name!r}, "
                    f"{len(compiled.rulesets)} states")

@@ -1,15 +1,23 @@
-"""The access vector cache (AVC).
+"""The SELinux access vector cache, refolded onto the stack AVC core.
 
 Real SELinux answers most checks from a cache of recently computed access
 vectors; policy reloads flush it.  The SACK-SELinux bridge relies on the
 flush: after a situation transition rewrites the AV table, stale cached
 decisions must not survive.
+
+Since the LSM framework grew its own epoch-stamped cache
+(:class:`repro.lsm.avc.AvcCore`), this module is a thin veneer over that
+core: a policy-revision change becomes an epoch bump (O(1), no walk) and
+capacity reclaim is the core's LRU instead of the old clear-everything
+heuristic.  The public surface — ``allowed()``, ``flush()``, the
+``hits``/``misses``/``flushes`` counters and ``stats()`` — is unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+from ..lsm.avc import AvcCore
 from .policy import SelinuxPolicy
 
 
@@ -19,11 +27,28 @@ class AccessVectorCache:
     def __init__(self, policy: SelinuxPolicy, capacity: int = 4096):
         self.policy = policy
         self.capacity = capacity
-        self._cache: Dict[Tuple[str, str, str], Set[str]] = {}
+        self.core = AvcCore(capacity=capacity)
         self._policy_revision = policy.revision
-        self.hits = 0
-        self.misses = 0
-        self.flushes = 0
+
+    # Counter façade over the core, so callers keep their names.
+    @property
+    def hits(self) -> int:
+        return self.core.hits
+
+    @property
+    def misses(self) -> int:
+        return self.core.misses
+
+    @property
+    def flushes(self) -> int:
+        return self.core.flushes
+
+    @property
+    def _cache(self) -> Dict[Tuple[str, str, str], Set[str]]:
+        """Live (current-epoch) entries, for tests and introspection."""
+        epoch = self.core.epoch
+        return {key: value for key, (entry_epoch, value)
+                in self.core._entries.items() if entry_epoch == epoch}
 
     def _maybe_flush(self) -> None:
         if self.policy.revision != self._policy_revision:
@@ -31,22 +56,17 @@ class AccessVectorCache:
             self._policy_revision = self.policy.revision
 
     def flush(self) -> None:
-        self._cache.clear()
-        self.flushes += 1
+        self.core.bump_epoch("selinux-policy-reload")
+        self.core.flush()
 
     def allowed(self, source: str, target: str, tclass: str,
                 perm: str) -> bool:
         self._maybe_flush()
         key = (source, target, tclass)
-        vector = self._cache.get(key)
-        if vector is None:
-            self.misses += 1
+        hit, vector = self.core.lookup(key)
+        if not hit:
             vector = set(self.policy.allowed_perms(source, target, tclass))
-            if len(self._cache) >= self.capacity:
-                self._cache.clear()  # crude but bounded, like avc reclaim
-            self._cache[key] = vector
-        else:
-            self.hits += 1
+            self.core.insert(key, vector)
         return perm in vector
 
     def stats(self) -> Dict[str, int]:

@@ -58,6 +58,22 @@ class TestStackOrder:
             LsmFramework.from_config("sack,sack",
                                      {"sack": Recorder("sack")})
 
+    def test_from_config_duplicate_capability_rejected(self):
+        # Regression: repeated "capability" entries used to be silently
+        # collapsed because capability is injected by the constructor and
+        # skipped during registry lookup.
+        a = Recorder("a")
+        with pytest.raises(ValueError) as err:
+            LsmFramework.from_config("capability,capability,a", {"a": a})
+        assert "CONFIG_LSM" in str(err.value)
+        assert "capability" in str(err.value)
+
+    def test_from_config_duplicate_error_names_config(self):
+        a = Recorder("sack")
+        with pytest.raises(ValueError) as err:
+            LsmFramework.from_config("sack, sack", {"sack": a})
+        assert "sack, sack" in str(err.value)
+
     def test_from_config_explicit_capability_still_first(self):
         # "capability" may appear anywhere in CONFIG_LSM (or not at all);
         # the stack always has exactly one, in front, as in Linux.
