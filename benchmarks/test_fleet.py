@@ -1,0 +1,93 @@
+"""Fleet orchestration benchmarks: throughput scaling and bus fan-out.
+
+The acceptance target for ``repro.fleet``: sharding N vehicle kernels
+across a worker pool must scale — at least **3x** vehicles/sec going
+from 1 to 4 workers — while the run's fingerprint stays bit-identical
+at every worker count.  Scaling is measured on the fleet's *virtual*
+compute makespan (the explicit Amdahl cost model in
+``repro.fleet.orchestrator``): vehicle ticks parallelise across shards,
+barrier work is serial control plane.  Run with
+
+    pytest benchmarks/test_fleet.py --benchmark-json=BENCH_fleet.json
+
+to emit the JSON artifact the CI job uploads; vehicles/sec per worker
+count and the bus fan-out latencies ride along in ``extra_info``.
+"""
+
+from repro.fleet.bundle import BundleSigner, make_bundle
+from repro.fleet.bus import V2xBus
+from repro.fleet.orchestrator import Fleet, FleetConfig, ScriptedDriver
+from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+from conftest import SCALE
+
+#: Fleet size for the scaling run (divisible by 4 so shards balance).
+FLEET_SIZE = max(8, 4 * round(4 * SCALE))
+
+EPOCHS = 8
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Subscribers for the bus fan-out measurement.
+FANOUT_SUBSCRIBERS = max(100, int(400 * SCALE))
+
+
+def _run_fleet(workers):
+    driver = ScriptedDriver().at(1, "veh001", "crash") \
+                             .at(5, "veh001", "clear")
+    fleet = Fleet(FleetConfig(n_vehicles=FLEET_SIZE, seed=3,
+                              workers=workers), driver=driver)
+    fleet.stage_rollout(make_bundle(
+        1, DEFAULT_SACK_POLICY,
+        signer=BundleSigner(fleet.config.fleet_key)))
+    return fleet.run(EPOCHS).report
+
+
+def test_fleet_throughput_scaling(benchmark, show):
+    """>= 3x vehicles/sec from 1 to 4 workers, fingerprints identical."""
+    reports = {w: _run_fleet(w) for w in WORKER_COUNTS}
+    prints = {r.fingerprint() for r in reports.values()}
+    assert len(prints) == 1, "worker count changed the outcome"
+    vps = {w: r.vehicles_per_second() for w, r in reports.items()}
+    speedup = vps[4] / vps[1]
+
+    benchmark.pedantic(lambda: _run_fleet(4), rounds=1, iterations=1)
+    benchmark.extra_info["vehicles"] = FLEET_SIZE
+    benchmark.extra_info["epochs"] = EPOCHS
+    benchmark.extra_info["vehicles_per_second"] = {
+        str(w): round(v, 1) for w, v in vps.items()}
+    benchmark.extra_info["speedup_1_to_4"] = round(speedup, 2)
+
+    lines = [f"fleet throughput scaling ({FLEET_SIZE} vehicles, "
+             f"{EPOCHS} epochs, virtual makespan)"]
+    for w in WORKER_COUNTS:
+        lines.append(f"  {w} worker(s): {vps[w]:>8.1f} vehicle-epochs/s "
+                     f"(makespan "
+                     f"{reports[w].compute_makespan_ns / 1e6:.0f} ms)")
+    lines.append(f"  1 -> 4 workers: {speedup:.2f}x  (target >= 3x)")
+    show("\n".join(lines))
+
+    assert speedup >= 3.0, f"only {speedup:.2f}x from 1 to 4 workers"
+
+
+def test_bus_fanout_latency(benchmark, show):
+    """Publishing one event to a dense platoon: cost per delivered copy."""
+    def fanout():
+        bus = V2xBus(seed=11, range_km=10_000.0)
+        positions = {}
+        for i in range(FANOUT_SUBSCRIBERS):
+            vid = f"veh{i:04d}"
+            bus.subscribe(vid, ["crash"])
+            positions[vid] = i * 0.001
+        bus.publish("crash", "veh0000", 0.0, 0, positions=positions)
+        delivered = bus.deliver_due(10**12)
+        assert len(delivered) == FANOUT_SUBSCRIBERS - 1
+        return bus
+
+    bus = benchmark(fanout)
+    latencies = [r for r in bus.tail(FANOUT_SUBSCRIBERS)
+                 if r.action == "delivered"]
+    benchmark.extra_info["subscribers"] = FANOUT_SUBSCRIBERS
+    benchmark.extra_info["copies_delivered"] = \
+        bus.stats["copies_delivered"]
+    show(f"V2X fan-out: 1 publish -> {bus.stats['copies_delivered']} "
+         f"copies delivered ({len(latencies)} tail records)")

@@ -25,6 +25,25 @@ Subcommands::
                                          span trees and latency breakdown
                                          (--chrome / --folded for the
                                          export formats)
+    sackctl fleet status --vehicles 10 --epochs 8
+                                         boot a fleet of vehicle kernels,
+                                         run it, and print the roll-up
+    sackctl fleet rollout --vehicles 10 [--fail-canary]
+                                         staged OTA rollout (canary ->
+                                         waves -> full); --fail-canary
+                                         injects a canary apply failure
+                                         and shows the automatic rollback
+    sackctl fleet rollback --vehicles 10 operator-initiated mid-rollout abort
+    sackctl fleet bus --vehicles 6       crash one vehicle and tail the V2X
+                                         bus (publish/deliver/drop/filter)
+
+The observability subcommands (``trace``, ``audit``, ``spans``, ``avc``)
+accept ``--kernel <vehicle-id> --fleet-size N``: instead of booting one
+standalone kernel they boot a fleet, run it briefly so cross-vehicle
+traffic exists, then drive the events/accesses into — and dump the
+observability of — the selected vehicle's kernel only.  Every vehicle
+kernel carries its own tracefs/audit/AVC state, so what you see is that
+vehicle's view, not a fleet-wide mixture.
 
 ``trace`` and ``audit`` run against a real booted simulator kernel with
 independent SACK enforcing, SACKfs mounted, and tracefs recording every
@@ -170,6 +189,60 @@ def _boot_observed_world(policy_path: str):
     return kernel, sack, sds, app
 
 
+def _build_fleet(args, policy_text: Optional[str] = None):
+    """Assemble a Fleet from the shared fleet CLI knobs."""
+    from ..fleet import Fleet, FleetConfig
+    config = FleetConfig(
+        n_vehicles=getattr(args, "vehicles", None)
+        or getattr(args, "fleet_size", 10),
+        seed=getattr(args, "fleet_seed", None)
+        if getattr(args, "fleet_seed", None) is not None
+        else getattr(args, "seed", 0),
+        workers=getattr(args, "workers", 1),
+        policy_text=policy_text)
+    return Fleet(config)
+
+
+def _boot_observed_target(args):
+    """The kernel the obs subcommands run against.
+
+    Without ``--kernel``: one standalone booted kernel (as before).
+    With ``--kernel <vehicle-id>``: boot a fleet of ``--fleet-size``
+    vehicle kernels, run ``--fleet-epochs`` epochs of traffic, and
+    return the selected vehicle's kernel with its own sds/app tasks.
+    Returns ``(kernel, sds_task, app_task, fleet_or_none)``.
+    """
+    if getattr(args, "kernel", None) is None:
+        kernel, _sack, sds, app = _boot_observed_world(args.policy)
+        return kernel, sds, app, None
+    from ..obs import mount_tracefs
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        policy_text = handle.read()
+    fleet = _build_fleet(args, policy_text=policy_text)
+    vehicle = fleet.vehicles.get(args.kernel)
+    if vehicle is None:
+        raise ValueError(
+            f"no vehicle {args.kernel!r} in this fleet; "
+            f"ids: {', '.join(fleet.ids)}")
+    kernel = vehicle.world.kernel
+    if not kernel.vfs.exists("/sys/kernel/tracing/trace"):
+        mount_tracefs(kernel)
+    return kernel, vehicle.world.task("sds"), \
+        vehicle.world.task("media_app"), fleet
+
+
+def _warm_fleet(fleet, args) -> None:
+    """Run the selected fleet briefly so cross-vehicle traffic exists."""
+    if fleet is None:
+        return
+    epochs = getattr(args, "fleet_epochs", 3)
+    if epochs > 0 and len(fleet.ids) > 1:
+        # Crash the lead vehicle so V2X alerts actually cross kernels.
+        from ..fleet.orchestrator import ScriptedDriver
+        fleet.driver = ScriptedDriver([(1, fleet.ids[0], "crash")])
+    fleet.run(max(0, epochs))
+
+
 def _drive(kernel, sds, app, events, accesses) -> List[str]:
     """Feed events and accesses in order; returns outcome lines."""
     from ..kernel import KernelError, OpenFlags
@@ -220,10 +293,11 @@ def _drive(kernel, sds, app, events, accesses) -> List[str]:
 
 
 def cmd_trace(args) -> int:
-    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    kernel, sds, app, fleet = _boot_observed_target(args)
     kernel.obs.enable_all_recording()
     if args.syscalls:
         kernel.instrument_syscalls()
+    _warm_fleet(fleet, args)
     for line in _drive(kernel, sds, app, args.event, args.access):
         print(line)
     print()
@@ -234,7 +308,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_audit(args) -> int:
-    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    kernel, sds, app, fleet = _boot_observed_target(args)
+    _warm_fleet(fleet, args)
     for line in _drive(kernel, sds, app, args.event, args.access):
         print(line)
     print()
@@ -246,11 +321,12 @@ def cmd_audit(args) -> int:
 
 
 def cmd_spans(args) -> int:
-    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    kernel, sds, app, fleet = _boot_observed_target(args)
     # Dogfood the tracefs control file rather than reaching into the hub.
     kernel.write_file(kernel.procs.init,
                       "/sys/kernel/tracing/SACK/spans/enable", b"1",
                       create=False)
+    _warm_fleet(fleet, args)
     log = _drive(kernel, sds, app, args.event, args.access)
     read = lambda p: kernel.read_file(kernel.procs.init, p).decode()
     if args.chrome:
@@ -271,13 +347,14 @@ def cmd_spans(args) -> int:
 
 
 def cmd_avc(args) -> int:
-    kernel, sack, sds, app = _boot_observed_world(args.policy)
+    kernel, sds, app, fleet = _boot_observed_target(args)
     # Dogfood the tracefs control files rather than reaching into the
     # framework object.
     root = "/sys/kernel/tracing/SACK/avc"
     if args.disable:
         kernel.write_file(kernel.procs.init, f"{root}/enable", b"0",
                           create=False)
+    _warm_fleet(fleet, args)
     for line in _drive(kernel, sds, app, args.event, args.access):
         print(line)
     if args.flush:
@@ -324,6 +401,139 @@ def cmd_chaos(args) -> int:
     print(f"chaos: {len(reports)} seed(s), all fail-closed invariants held",
           file=out)
     return 0
+
+
+def _fleet_policy_text(args) -> Optional[str]:
+    if getattr(args, "policy", None):
+        with open(args.policy, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return None
+
+
+def _fleet_bundle(fleet, version: int):
+    """A fully signed bundle carrying the fleet's running policy."""
+    from ..fleet.bundle import BundleSigner, make_bundle
+    from ..vehicle.ivi import DEFAULT_SACK_POLICY
+    policy_text = fleet.config.policy_text or DEFAULT_SACK_POLICY
+    return make_bundle(version, policy_text,
+                       signer=BundleSigner(fleet.config.fleet_key))
+
+
+def _print_vehicle_rows(fleet, only: Optional[str] = None) -> None:
+    print(f"{'vehicle':<8} {'situation':<24} {'bundle':<7} "
+          f"{'online':<7} {'denials':<8} events")
+    for vid in fleet.ids:
+        if only is not None and vid != only:
+            continue
+        vehicle = fleet.vehicles[vid]
+        health = vehicle.health_snapshot()
+        bundle = health["bundle_version"]
+        print(f"{vid:<8} {health['situation']:<24} "
+              f"{'v%s' % bundle if bundle is not None else 'boot':<7} "
+              f"{'yes' if health['online'] else 'NO':<7} "
+              f"{health['denials']:<8} "
+              f"{health['events_accepted']}+{health['events_rejected']}rej")
+
+
+def cmd_fleet_status(args) -> int:
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    if args.kernel is not None and args.kernel not in fleet.vehicles:
+        raise ValueError(f"no vehicle {args.kernel!r}; "
+                         f"ids: {', '.join(fleet.ids)}")
+    result = fleet.run(args.epochs)
+    if args.json:
+        import json as _json
+        print(_json.dumps(result.report.to_dict(), indent=2))
+        return 0 if result.ok else 1
+    for line in result.report.summary_lines():
+        print(line)
+    print()
+    _print_vehicle_rows(fleet, only=args.kernel)
+    return 0 if result.ok else 1
+
+
+def cmd_fleet_rollout(args) -> int:
+    from ..faults import points as fault_points
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    bundle = _fleet_bundle(fleet, version=args.bundle_version)
+    if args.fail_canary:
+        # The canary's first apply fails once; the health gate trips and
+        # the controller walks the whole fleet back automatically.
+        fleet.arm_vehicle_fault(fleet.ids[0],
+                                fault_points.FLEET_BUNDLE_APPLY_FAIL,
+                                probability=1.0, times=1)
+    fleet.stage_rollout(bundle)
+    result = fleet.run(args.epochs)
+    print(f"staged {bundle.describe()}")
+    for epoch, message in fleet.controller.history:
+        print(f"  epoch {epoch}: {message}")
+    state = fleet.controller.state.value
+    print(f"final: {state}")
+    _print_vehicle_rows(fleet)
+    if result.report.violations:
+        for violation in result.report.violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    expected = "rolled_back" if args.fail_canary else "complete"
+    return 0 if state == expected else 1
+
+
+def cmd_fleet_rollback(args) -> int:
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    fleet.stage_rollout(_fleet_bundle(fleet, version=args.bundle_version))
+    fleet.run(max(1, args.epochs // 2))
+    print(f"aborting rollout at epoch {fleet.epoch_index} "
+          f"(state {fleet.controller.state.value})")
+    fleet.controller.abort()
+    result = fleet.run(args.epochs - max(1, args.epochs // 2))
+    for epoch, message in fleet.controller.history:
+        print(f"  epoch {epoch}: {message}")
+    print(f"final: {fleet.controller.state.value}")
+    _print_vehicle_rows(fleet)
+    return 0 if result.ok else 1
+
+
+def cmd_fleet_bus(args) -> int:
+    from ..fleet.orchestrator import ScriptedDriver
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    crash_at = min(1, max(0, args.epochs - 1))
+    driver = ScriptedDriver([(crash_at, fleet.ids[0], "crash")])
+    if args.epochs > 4:
+        driver.at(args.epochs - 2, fleet.ids[0], "clear")
+    fleet.driver = driver
+    result = fleet.run(args.epochs)
+    for record in fleet.bus.tail(args.lines):
+        print(record.to_line())
+    print()
+    stats = fleet.bus.stats_dict()
+    print("bus: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0 if result.ok else 1
+
+
+def _add_kernel_selector(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", metavar="VEHICLE_ID",
+                        help="inspect this vehicle's kernel inside a "
+                             "booted fleet instead of a standalone one")
+    parser.add_argument("--fleet-size", type=int, default=3,
+                        help="fleet size for --kernel (default: 3)")
+    parser.add_argument("--fleet-seed", type=int, default=0,
+                        help="fleet seed for --kernel (default: 0)")
+    parser.add_argument("--fleet-epochs", type=int, default=3,
+                        help="epochs of fleet traffic to run before "
+                             "driving events/accesses (default: 3)")
+
+
+def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--vehicles", type=int, default=10,
+                        help="fleet size (default: 10)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fleet seed (default: 0)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker pool size (default: 1)")
+    parser.add_argument("--epochs", type=int, default=12,
+                        help="epochs to run (default: 12)")
+    parser.add_argument("--policy", help="policy file for every vehicle "
+                                         "(default: built-in IVI policy)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -379,6 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--syscalls", action="store_true",
                          help="also record syscall exits with latency "
                               "(entry events are always traced)")
+    _add_kernel_selector(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
     p_audit = sub.add_parser(
@@ -389,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="event name (repeatable, in order)")
     p_audit.add_argument("--access", action="append",
                          help="op:path[:ioctl_cmd] (repeatable, in order)")
+    _add_kernel_selector(p_audit)
     p_audit.set_defaults(func=cmd_audit)
 
     p_spans = sub.add_parser(
@@ -403,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit Chrome trace-event JSON instead")
     p_spans.add_argument("--folded", action="store_true",
                          help="emit folded flamegraph stacks instead")
+    _add_kernel_selector(p_spans)
     p_spans.set_defaults(func=cmd_spans)
 
     p_avc = sub.add_parser(
@@ -418,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_avc.add_argument("--flush", action="store_true",
                        help="flush the cache after the workload, before "
                             "dumping stats")
+    _add_kernel_selector(p_avc)
     p_avc.set_defaults(func=cmd_avc)
 
     p_chaos = sub.add_parser(
@@ -437,6 +651,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true",
                          help="emit one JSON report per seed")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="multi-vehicle fleet orchestration: status, staged "
+                      "OTA rollout/rollback, V2X bus")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    pf_status = fleet_sub.add_parser(
+        "status", help="run a seeded fleet and print the roll-up")
+    _add_fleet_common(pf_status)
+    pf_status.add_argument("--kernel", metavar="VEHICLE_ID",
+                           help="only show this vehicle's row")
+    pf_status.add_argument("--json", action="store_true",
+                           help="emit the report as JSON")
+    pf_status.set_defaults(func=cmd_fleet_status)
+
+    pf_rollout = fleet_sub.add_parser(
+        "rollout", help="staged OTA policy rollout (canary -> waves -> "
+                        "full) with health gating")
+    _add_fleet_common(pf_rollout)
+    pf_rollout.add_argument("--bundle-version", type=int, default=1,
+                            help="version to stage (default: 1)")
+    pf_rollout.add_argument("--fail-canary", action="store_true",
+                            help="inject a canary apply failure and show "
+                                 "the automatic fleet-wide rollback")
+    pf_rollout.set_defaults(func=cmd_fleet_rollout)
+
+    pf_rollback = fleet_sub.add_parser(
+        "rollback", help="operator abort mid-rollout; fleet reverts to "
+                         "the committed bundle")
+    _add_fleet_common(pf_rollback)
+    pf_rollback.add_argument("--bundle-version", type=int, default=1,
+                             help="version to stage then abort "
+                                  "(default: 1)")
+    pf_rollback.set_defaults(func=cmd_fleet_rollback)
+
+    pf_bus = fleet_sub.add_parser(
+        "bus", help="crash one vehicle and tail the V2X bus")
+    _add_fleet_common(pf_bus)
+    pf_bus.add_argument("--lines", type=int, default=50,
+                        help="tail length (default: 50)")
+    pf_bus.set_defaults(func=cmd_fleet_bus)
     return parser
 
 

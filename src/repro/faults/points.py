@@ -44,6 +44,22 @@ BRIDGE_RELOAD_FAIL = "bridge:profile_reload_fail"
 #: A policy write fails with EIO before the new policy replaces the old.
 POLICY_LOAD_FAIL = "sack:policy_load_fail"
 
+# -- V2X bus (fleet): network faults ---------------------------------------
+#: A published message is lost before the bus sees it (radio shadow).
+V2X_PUBLISH_DROP = "v2x:publish_drop"
+#: One subscriber's copy of a message is lost in flight (per-link loss).
+V2X_DELIVERY_DROP = "v2x:delivery_drop"
+#: One subscriber's copy is held for an extra seeded delay (congestion).
+V2X_DELAY = "v2x:delay"
+
+# -- fleet control plane: orchestration faults -----------------------------
+#: A vehicle drops off the control network (no commands, no acks, no bus).
+FLEET_VEHICLE_OFFLINE = "fleet:vehicle_offline"
+#: A vehicle-side bundle apply fails after verification (flash error).
+FLEET_BUNDLE_APPLY_FAIL = "fleet:bundle_apply_fail"
+#: A vehicle's rollout ack is lost on the way back to the control plane.
+FLEET_ACK_DROP = "fleet:ack_drop"
+
 
 @dataclasses.dataclass(frozen=True)
 class FaultPoint:
@@ -77,6 +93,18 @@ CATALOGUE: Dict[str, FaultPoint] = {
                    "AppArmor bridge profile reload fails"),
         FaultPoint(POLICY_LOAD_FAIL, "policy",
                    "policy activation fails with EIO"),
+        FaultPoint(V2X_PUBLISH_DROP, "v2x",
+                   "published message lost before reaching the bus"),
+        FaultPoint(V2X_DELIVERY_DROP, "v2x",
+                   "one subscriber's copy lost in flight"),
+        FaultPoint(V2X_DELAY, "v2x",
+                   "one subscriber's copy held for an extra seeded delay"),
+        FaultPoint(FLEET_VEHICLE_OFFLINE, "fleet",
+                   "vehicle loses control-plane and bus connectivity"),
+        FaultPoint(FLEET_BUNDLE_APPLY_FAIL, "fleet",
+                   "verified bundle fails to apply on the vehicle"),
+        FaultPoint(FLEET_ACK_DROP, "fleet",
+                   "rollout ack lost on the way to the control plane"),
     )
 }
 

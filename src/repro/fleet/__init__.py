@@ -1,0 +1,48 @@
+"""repro.fleet: multi-vehicle orchestration for the SACK reproduction.
+
+The paper evaluates SACK on one vehicle; this package opens the
+fleet-scale workload its deployment story implies.  It runs **N
+independent vehicle kernels** (each a full ``repro.kernel`` + LSM stack +
+SDS/SSM/APE pipeline) concurrently, sharded across a worker pool, under a
+fleet-side control plane:
+
+* :mod:`repro.fleet.bundle` — signed OTA policy bundles (SACK policy +
+  bridged AppArmor profiles under one signature).
+* :mod:`repro.fleet.rollout` — the staged rollout state machine: canary →
+  percentage waves → full, with per-vehicle apply/ack, health gating and
+  automatic fleet-wide rollback on a blown error budget.
+* :mod:`repro.fleet.bus` — the V2X event bus: topic- and geo-filtered
+  situation events with seeded latency and loss, injected into
+  neighbouring vehicles' SDS sensor streams.
+* :mod:`repro.fleet.vehicle` — one fleet member: an IVI world plus its
+  V2X receiver, connectivity state, and bundle lifecycle.
+* :mod:`repro.fleet.orchestrator` — the deterministic virtual-clock
+  scheduler and worker pool; a seeded 100-vehicle run is bit-for-bit
+  reproducible at any worker count.
+* :mod:`repro.fleet.report` — fleet-wide aggregation of ``repro.obs``
+  metrics, audit records, and per-vehicle fingerprints.
+
+See ``docs/fleet.md``.
+"""
+
+from .bundle import (BundleError, BundleSigner, BundleVerificationError,
+                     PolicyBundle, SIGNED_FIELDS_ALL, verify_bundle)
+from .bus import BusRecord, V2xBus, V2xMessage
+from .orchestrator import (Fleet, FleetConfig, FleetRunResult,
+                           ScriptedDriver, TrafficDriver)
+from .report import FleetReport, aggregate_counters
+from .rollout import (RolloutController, RolloutPlan, RolloutState,
+                      VehicleAck, VehiclePhase, Wave, default_rollout_plan)
+from .vehicle import FleetVehicle, V2xAlertDetector
+
+__all__ = [
+    "BundleError", "BundleSigner", "BundleVerificationError",
+    "PolicyBundle", "SIGNED_FIELDS_ALL", "verify_bundle",
+    "BusRecord", "V2xBus", "V2xMessage",
+    "Fleet", "FleetConfig", "FleetRunResult", "ScriptedDriver",
+    "TrafficDriver",
+    "FleetReport", "aggregate_counters",
+    "RolloutController", "RolloutPlan", "RolloutState", "VehicleAck",
+    "VehiclePhase", "Wave", "default_rollout_plan",
+    "FleetVehicle", "V2xAlertDetector",
+]

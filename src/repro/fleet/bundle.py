@@ -1,0 +1,142 @@
+"""Signed OTA policy bundles.
+
+A :class:`PolicyBundle` is what the control plane stages and the fleet
+applies: one SACK policy text plus the bridged AppArmor profiles that the
+SACK-enhanced-AppArmor configuration loads alongside it.  Bundles are
+signed with an HMAC-SHA256 over a canonical manifest.
+
+The manifest **must cover every enforcement artifact**.  The SEAndroid
+policy-evolution study showed fleets accumulate auxiliary policy files
+around the core policy; a signer that covers only the SACK policy leaves
+the bridged AppArmor profiles writable by whoever holds the transport —
+a tampered profile would then ride a valid signature onto every vehicle.
+:func:`verify_bundle` therefore rejects any bundle whose ``signed_fields``
+does not include both the policy text and the profile set, even when the
+signature itself checks out over the fields it does cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import hmac
+import json
+from typing import Dict, Optional, Tuple
+
+#: Every field a bundle signature must cover to be accepted.
+SIGNED_FIELDS_ALL: Tuple[str, ...] = ("policy_text", "apparmor_profiles")
+
+#: Legacy/broken signers sign only the SACK policy — kept as a named
+#: constant so tests (and the fleet-wide refusal path) can exercise it.
+SIGNED_FIELDS_POLICY_ONLY: Tuple[str, ...] = ("policy_text",)
+
+
+class BundleError(ValueError):
+    """Malformed bundle (bad version, missing artifacts)."""
+
+
+class BundleVerificationError(BundleError):
+    """Signature missing, incomplete in coverage, or not matching."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyBundle:
+    """One versioned, signed set of enforcement artifacts.
+
+    ``apparmor_profiles`` maps profile name → profile text; it is empty
+    for fleets running independent SACK, but stays inside the signature
+    either way (an absent set and an emptied set must not hash alike).
+    """
+
+    version: int
+    name: str
+    policy_text: str
+    apparmor_profiles: Dict[str, str] = dataclasses.field(
+        default_factory=dict)
+    signature: str = ""
+    signed_fields: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.version < 0:
+            raise BundleError(f"bundle version must be >= 0: {self.version}")
+        if not self.policy_text.strip():
+            raise BundleError("bundle carries no policy text")
+
+    def manifest(self, fields: Tuple[str, ...]) -> bytes:
+        """Canonical byte serialisation of the covered fields."""
+        doc = {"version": self.version, "name": self.name}
+        for field in sorted(fields):
+            if field not in ("policy_text", "apparmor_profiles"):
+                raise BundleError(f"unknown signed field {field!r}")
+            doc[field] = getattr(self, field)
+        return json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def with_profiles(self, profiles: Dict[str, str]) -> "PolicyBundle":
+        """A copy with *profiles* swapped in (signature left as-is —
+        exactly what a tampering transport would produce)."""
+        return dataclasses.replace(self, apparmor_profiles=dict(profiles))
+
+    def describe(self) -> str:
+        return (f"bundle {self.name} v{self.version} "
+                f"({len(self.apparmor_profiles)} profile(s), "
+                f"{'signed' if self.signature else 'unsigned'})")
+
+
+class BundleSigner:
+    """Signs bundles with a fleet key (HMAC-SHA256)."""
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise BundleError("signing key must be non-empty")
+        self.key = key
+
+    def digest(self, bundle: PolicyBundle,
+               fields: Tuple[str, ...]) -> str:
+        return hmac.new(self.key, bundle.manifest(fields),
+                        hashlib.sha256).hexdigest()
+
+    def sign(self, bundle: PolicyBundle,
+             fields: Tuple[str, ...] = SIGNED_FIELDS_ALL) -> PolicyBundle:
+        """Return a signed copy covering *fields*.
+
+        Signing with ``SIGNED_FIELDS_POLICY_ONLY`` reproduces the broken
+        legacy signer; :func:`verify_bundle` refuses its output.
+        """
+        return dataclasses.replace(
+            bundle, signature=self.digest(bundle, fields),
+            signed_fields=tuple(fields))
+
+
+def verify_bundle(bundle: PolicyBundle, key: bytes) -> None:
+    """Raise :class:`BundleVerificationError` unless *bundle* is
+    fully signed — coverage first, then the MAC itself."""
+    if not bundle.signature:
+        raise BundleVerificationError(
+            f"{bundle.describe()}: unsigned bundle")
+    missing = [f for f in SIGNED_FIELDS_ALL if f not in bundle.signed_fields]
+    if missing:
+        raise BundleVerificationError(
+            f"{bundle.describe()}: signature does not cover "
+            f"{', '.join(missing)} — a tampered artifact would ride a "
+            f"valid signature; refusing")
+    expected = hmac.new(key, bundle.manifest(bundle.signed_fields),
+                        hashlib.sha256).hexdigest()
+    if not hmac.compare_digest(expected, bundle.signature):
+        raise BundleVerificationError(
+            f"{bundle.describe()}: signature mismatch (artifact tampered "
+            f"or wrong fleet key)")
+
+
+def make_bundle(version: int, policy_text: str,
+                apparmor_profiles: Optional[Dict[str, str]] = None,
+                name: str = "fleet-policy",
+                signer: Optional[BundleSigner] = None,
+                fields: Tuple[str, ...] = SIGNED_FIELDS_ALL) -> PolicyBundle:
+    """Convenience: build (and, given a signer, sign) a bundle."""
+    bundle = PolicyBundle(version=version, name=name,
+                          policy_text=policy_text,
+                          apparmor_profiles=dict(apparmor_profiles or {}))
+    if signer is not None:
+        bundle = signer.sign(bundle, fields=fields)
+    return bundle

@@ -1,0 +1,443 @@
+"""The fleet scheduler: N vehicle kernels on one deterministic clock.
+
+The fleet advances in **epochs**.  Within an epoch every vehicle is
+independent — its kernel, LSM stack, and SDS tick with no cross-vehicle
+interaction — so the per-vehicle work shards freely across a worker
+pool.  Every cross-vehicle effect happens at the **epoch barrier**, in
+sorted vehicle order, on the fleet's own virtual clock:
+
+* connectivity decisions (the ``fleet:vehicle_offline`` fault point),
+* V2X bus deliveries into vehicles' SDS sensor streams,
+* rollout commands, bundle applies, and ack collection,
+* scenario driver actions (crashes, recoveries, driver changes).
+
+Because nothing a vehicle does mid-epoch can observe another vehicle,
+and every barrier resolution is ordered and seeded, a run's outcome is
+**independent of worker count**: `workers=1` and `workers=8` produce
+bit-identical :meth:`~repro.fleet.report.FleetReport.fingerprint`\\ s.
+
+Two pool backends exist.  ``serial`` executes shards inline;
+``threads`` uses a real :class:`~concurrent.futures.ThreadPoolExecutor`
+(useful to prove shard independence, not speed — this is Python).
+Throughput scaling is therefore *modelled* on the virtual clock with an
+explicit cost model: each vehicle-tick costs :data:`TICK_COST_NS` on
+its worker, while barrier work (bus, rollout, health) is serial control
+plane cost — an honest Amdahl split that ``benchmarks/test_fleet.py``
+measures as vehicles/sec vs worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..faults import points as fault_points
+from ..faults.plan import FaultPlan
+from .bundle import PolicyBundle
+from .bus import V2xBus
+from .report import FleetReport, aggregate_counters
+from .rollout import (RolloutController, RolloutPlan, RolloutState,
+                      VehicleAck, default_rollout_plan)
+from .vehicle import DEFAULT_TOPICS, FleetVehicle
+
+#: Modelled compute cost of one vehicle-tick on a worker (2 ms — the
+#: order of one simulated kernel's SDS sweep + LSM checks).
+TICK_COST_NS = 2_000_000
+
+#: Modelled serial control-plane cost per vehicle per barrier (bus
+#: fan-out, rollout bookkeeping, health roll-up — does not parallelise).
+BARRIER_COST_PER_VEHICLE_NS = 50_000
+
+#: Scenario-driver RNG domain separator.
+_DRIVER_SALT = 0xD21FE
+
+#: How many consecutive settled barriers a connected vehicle may diverge
+#: from the committed bundle before I8 flags it (apply/ack needs one
+#: round-trip; reconnection catch-up needs two).
+_I8_GRACE_BARRIERS = 3
+
+
+class ScriptedDriver:
+    """Replays an explicit scenario: ``(epoch, vehicle_id, action)``.
+
+    Actions: ``start``, ``cruise``, ``brake``, ``crash``, ``clear``,
+    ``stop_engine``, ``driver_leaves``, ``driver_returns``.
+    """
+
+    def __init__(self, script: Sequence[Tuple[int, str, str]] = ()):
+        self._by_epoch: Dict[int, List[Tuple[str, str]]] = {}
+        for epoch, vid, action in script:
+            self._by_epoch.setdefault(epoch, []).append((vid, action))
+
+    def at(self, epoch: int, vehicle_id: str,
+           action: str) -> "ScriptedDriver":
+        self._by_epoch.setdefault(epoch, []).append((vehicle_id, action))
+        return self
+
+    def actions(self, epoch: int,
+                vehicle_ids: Sequence[str]) -> List[Tuple[str, str]]:
+        return sorted(self._by_epoch.get(epoch, []))
+
+
+class TrafficDriver:
+    """Seeded random traffic: rare crashes, eventual recoveries.
+
+    One RNG, advanced in sorted vehicle order at each barrier — the
+    draw sequence never depends on worker count or dict order.
+    """
+
+    def __init__(self, seed: int, crash_probability: float = 0.004,
+                 clear_probability: float = 0.15,
+                 driver_change_probability: float = 0.0):
+        self.rng = random.Random(seed ^ _DRIVER_SALT)
+        self.crash_probability = crash_probability
+        self.clear_probability = clear_probability
+        self.driver_change_probability = driver_change_probability
+        self._crashed: Dict[str, bool] = {}
+
+    def actions(self, epoch: int,
+                vehicle_ids: Sequence[str]) -> List[Tuple[str, str]]:
+        acts: List[Tuple[str, str]] = []
+        for vid in sorted(vehicle_ids):
+            roll = self.rng.random()
+            if self._crashed.get(vid):
+                if roll < self.clear_probability:
+                    self._crashed[vid] = False
+                    acts.append((vid, "clear"))
+                continue
+            if roll < self.crash_probability:
+                self._crashed[vid] = True
+                acts.append((vid, "crash"))
+            elif self.driver_change_probability and \
+                    roll < (self.crash_probability
+                            + self.driver_change_probability):
+                acts.append((vid, "driver_leaves" if roll * 1e6 % 2 < 1
+                             else "driver_returns"))
+        return acts
+
+
+@dataclasses.dataclass
+class FleetConfig:
+    """Everything that shapes one fleet run (all seeded, no wall time)."""
+
+    n_vehicles: int = 10
+    seed: int = 0
+    workers: int = 1
+    epoch_ticks: int = 10
+    dt_s: float = 0.1
+    mode: str = "independent"          # enforcement backend per vehicle
+    spacing_km: float = 0.15           # platoon gap at boot
+    cruise_accel_ms2: float = 3.0
+    start_moving: bool = True
+    topics: Tuple[str, ...] = DEFAULT_TOPICS
+    bus_range_km: float = 0.5
+    bus_latency_ms: Tuple[float, float] = (20.0, 80.0)
+    vehicle_fault_intensity: float = 0.0
+    policy_text: Optional[str] = None  # None = DEFAULT_SACK_POLICY
+    rollout_plan: Optional[RolloutPlan] = None
+    fleet_key: bytes = b"sack-fleet-signing-key"
+    backend: str = "serial"            # "serial" | "threads"
+
+    def __post_init__(self):
+        if self.n_vehicles < 1:
+            raise ValueError("n_vehicles must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.backend not in ("serial", "threads"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
+
+@dataclasses.dataclass
+class FleetRunResult:
+    """What :meth:`Fleet.run` hands back."""
+
+    epochs_run: int
+    report: FleetReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def fingerprint(self) -> str:
+        return self.report.fingerprint()
+
+
+class Fleet:
+    """N vehicle kernels + bus + control plane on one virtual clock."""
+
+    def __init__(self, config: FleetConfig, driver=None):
+        self.config = config
+        self.driver = driver if driver is not None \
+            else TrafficDriver(config.seed)
+        #: Fleet-level fault plan: connectivity, ack loss, V2X drops.
+        self.fleet_plan = FaultPlan(config.seed ^ 0xF1EE7)
+        self.bus = V2xBus(seed=config.seed,
+                          range_km=config.bus_range_km,
+                          latency_bounds_ms=config.bus_latency_ms,
+                          fault_plan=self.fleet_plan)
+        self.vehicles: Dict[str, FleetVehicle] = {}
+        for index in range(config.n_vehicles):
+            vid = f"veh{index:03d}"
+            vehicle = FleetVehicle(
+                vehicle_id=vid, index=index,
+                seed=(config.seed * 1_000_003) ^ (index + 1),
+                mode=config.mode,
+                start_km=index * config.spacing_km,
+                fault_intensity=config.vehicle_fault_intensity,
+                policy_text=config.policy_text)
+            if config.start_moving:
+                dyn = vehicle.world.dynamics
+                dyn.start_engine()
+                dyn.accelerate(config.cruise_accel_ms2)
+            self.bus.subscribe(vid, config.topics)
+            self.vehicles[vid] = vehicle
+        self.ids: List[str] = sorted(self.vehicles)
+        plan = config.rollout_plan or default_rollout_plan()
+        self.controller = RolloutController(plan, self.ids)
+        self.sim_now_ns = 0
+        self.compute_makespan_ns = 0
+        self.epoch_index = 0
+        self.violations: List[str] = []
+        self.offline_epochs: Dict[str, int] = {vid: 0 for vid in self.ids}
+        self._forced_offline: Dict[str, int] = {}    # vid -> until epoch
+        self._pending_acks: List[VehicleAck] = []
+        self._health_deltas: Dict[str, Dict[str, object]] = {}
+        self._last_health: Dict[str, Dict[str, object]] = {
+            vid: self.vehicles[vid].health_snapshot() for vid in self.ids}
+        self._i8_strikes: Dict[str, int] = {vid: 0 for vid in self.ids}
+
+    # -- scenario hooks ----------------------------------------------------
+    def stage_rollout(self, bundle: PolicyBundle) -> None:
+        self.controller.stage(bundle)
+
+    def force_offline(self, vehicle_id: str, epochs: int) -> None:
+        """Drop *vehicle_id*'s connectivity for the next *epochs* epochs."""
+        self._forced_offline[vehicle_id] = self.epoch_index + epochs
+
+    def arm_vehicle_fault(self, vehicle_id: str, point: str,
+                          **knobs) -> None:
+        """Arm a fault rule on one vehicle's own plan (creating one)."""
+        vehicle = self.vehicles[vehicle_id]
+        if vehicle.fault_plan is None:
+            vehicle.fault_plan = FaultPlan(vehicle.seed)
+        vehicle.fault_plan.arm(point, **knobs)
+
+    # -- barrier pieces ----------------------------------------------------
+    def _connectivity(self) -> Dict[str, bool]:
+        online: Dict[str, bool] = {}
+        for vid in self.ids:
+            down = False
+            until = self._forced_offline.get(vid)
+            if until is not None:
+                if self.epoch_index < until:
+                    down = True
+                else:
+                    del self._forced_offline[vid]
+            if not down and self.fleet_plan.rules:
+                down = self.fleet_plan.should_fail(
+                    fault_points.FLEET_VEHICLE_OFFLINE,
+                    self.sim_now_ns, arg=vid)
+            online[vid] = not down
+            self.vehicles[vid].online = not down
+            if down:
+                self.offline_epochs[vid] += 1
+        return online
+
+    def _apply_action(self, vehicle: FleetVehicle, action: str) -> None:
+        dyn = vehicle.world.dynamics
+        if action == "start":
+            dyn.start_engine()
+            dyn.accelerate(self.config.cruise_accel_ms2)
+        elif action == "cruise":
+            dyn.cruise()
+        elif action == "brake":
+            dyn.accelerate(-4.0)
+        elif action == "crash":
+            dyn.crash()
+        elif action == "clear":
+            dyn.clear_emergency()
+            vehicle.clear_alert()
+        elif action == "stop_engine":
+            dyn.stop_engine()
+        elif action == "driver_leaves":
+            dyn.set_driver_present(False)
+        elif action == "driver_returns":
+            dyn.set_driver_present(True)
+        else:
+            raise ValueError(f"unknown driver action {action!r}")
+
+    def _positions(self) -> Dict[str, float]:
+        return {vid: self.vehicles[vid].position_km for vid in self.ids}
+
+    def _deliver_bus(self, online: Dict[str, bool]) -> None:
+        due = self.bus.deliver_due(self.sim_now_ns, online)
+        positions = self._positions()
+        for vid, messages in due.items():
+            vehicle = self.vehicles.get(vid)
+            if vehicle is None:
+                continue
+            for message in messages:
+                reaction = vehicle.deliver(message)
+                if reaction == "braked":
+                    # Follow-on event: hard braking is itself a
+                    # situation neighbours may care about.
+                    self.bus.publish("emergency_brake", vid,
+                                     positions[vid], self.sim_now_ns,
+                                     payload={"cause": message.topic},
+                                     positions=positions)
+
+    def _dispatch_rollout(self, online: Dict[str, bool]) -> None:
+        commands = self.controller.step(
+            self._pending_acks, health=self._health_deltas,
+            online=online, epoch=self.epoch_index)
+        self._pending_acks = []
+        for command in commands:
+            if not online.get(command.vehicle_id, True):
+                continue
+            vehicle = self.vehicles[command.vehicle_id]
+            ack = vehicle.apply_bundle(command.bundle,
+                                       self.config.fleet_key,
+                                       now_ns=self.sim_now_ns)
+            if self.fleet_plan.rules and self.fleet_plan.should_fail(
+                    fault_points.FLEET_ACK_DROP, self.sim_now_ns,
+                    arg=command.vehicle_id):
+                continue                  # controller re-offers (I8)
+            self._pending_acks.append(ack)
+
+    def _tick_vehicles(self) -> None:
+        cfg = self.config
+        shards = [self.ids[i::cfg.workers] for i in range(cfg.workers)]
+
+        def run_shard(shard: List[str]) -> None:
+            for vid in shard:
+                vehicle = self.vehicles[vid]
+                for _ in range(cfg.epoch_ticks):
+                    vehicle.tick(dt_s=cfg.dt_s)
+
+        if cfg.backend == "threads" and cfg.workers > 1:
+            with ThreadPoolExecutor(max_workers=cfg.workers) as pool:
+                list(pool.map(run_shard, shards))
+        else:
+            for shard in shards:
+                run_shard(shard)
+        # Cost model: shards tick in parallel; the barrier is serial.
+        shard_cost = max((len(shard) for shard in shards), default=0) \
+            * cfg.epoch_ticks * TICK_COST_NS
+        barrier_cost = cfg.n_vehicles * BARRIER_COST_PER_VEHICLE_NS
+        self.compute_makespan_ns += shard_cost + barrier_cost
+
+    def _publish_transitions(self) -> None:
+        positions = self._positions()
+        for vid in self.ids:
+            vehicle = self.vehicles[vid]
+            for event, from_state, to_state in [
+                    (t[0], t[1], t[2])
+                    for t in vehicle.drain_transitions()]:
+                if to_state == "emergency" and from_state != "emergency":
+                    self.bus.publish("crash", vid, positions[vid],
+                                     self.sim_now_ns,
+                                     payload={"event": event},
+                                     positions=positions)
+                elif from_state == "emergency" and to_state != "emergency":
+                    self.bus.publish("crash_cleared", vid,
+                                     positions[vid], self.sim_now_ns,
+                                     payload={"event": event},
+                                     positions=positions)
+
+    def _collect_health(self) -> None:
+        deltas: Dict[str, Dict[str, object]] = {}
+        for vid in self.ids:
+            snap = self.vehicles[vid].health_snapshot()
+            last = self._last_health[vid]
+            deltas[vid] = {
+                "denial_delta": int(snap["denials"])
+                - int(last["denials"]),
+                "failsafe_delta": int(snap["failsafe_engagements"])
+                - int(last["failsafe_engagements"]),
+                "watchdog_engaged": bool(snap["watchdog_engaged"]),
+            }
+            self._last_health[vid] = snap
+        self._health_deltas = deltas
+
+    def _check_invariants(self, online: Dict[str, bool]) -> None:
+        ctl = self.controller
+        for vid in self.ids:
+            vehicle = self.vehicles[vid]
+            version = vehicle.bundle_version
+            if version is not None and version > ctl.max_offered_version:
+                self.violations.append(
+                    f"epoch {self.epoch_index}: I8:version-ahead: {vid} "
+                    f"runs v{version} but control plane never offered "
+                    f"past v{ctl.max_offered_version}")
+            settled = ctl.state in (RolloutState.COMPLETE,
+                                    RolloutState.ROLLED_BACK)
+            diverged = (settled and online.get(vid, True)
+                        and ctl.committed is not None
+                        and version != ctl.committed.version)
+            if diverged:
+                self._i8_strikes[vid] += 1
+                if self._i8_strikes[vid] == _I8_GRACE_BARRIERS:
+                    self.violations.append(
+                        f"epoch {self.epoch_index}: I8:diverged: {vid} "
+                        f"online but stuck on "
+                        f"{'v%s' % version if version is not None else 'boot policy'} "
+                        f"!= committed v{ctl.committed.version}")
+            else:
+                self._i8_strikes[vid] = 0
+
+    # -- the epoch loop ----------------------------------------------------
+    def run_epoch(self) -> None:
+        online = self._connectivity()
+        for vid, action in self.driver.actions(self.epoch_index, self.ids):
+            self._apply_action(self.vehicles[vid], action)
+        self._deliver_bus(online)
+        self._dispatch_rollout(online)
+        self._tick_vehicles()
+        self.sim_now_ns += int(self.config.epoch_ticks
+                               * self.config.dt_s * 1e9)
+        self._publish_transitions()
+        self._collect_health()
+        self._check_invariants(online)
+        self.epoch_index += 1
+
+    def run(self, epochs: int) -> FleetRunResult:
+        for _ in range(epochs):
+            self.run_epoch()
+        return FleetRunResult(epochs_run=self.epoch_index,
+                              report=self.report())
+
+    # -- roll-up -----------------------------------------------------------
+    def report(self) -> FleetReport:
+        transitions: Dict[str, List[Tuple[str, str, str, int]]] = {}
+        for vid in self.ids:
+            vehicle = self.vehicles[vid]
+            vehicle.drain_transitions()     # flush stragglers
+            transitions[vid] = list(vehicle.transition_log)
+        return FleetReport(
+            seed=self.config.seed,
+            n_vehicles=self.config.n_vehicles,
+            epochs=self.epoch_index,
+            workers=self.config.workers,
+            mode=self.config.mode,
+            sim_duration_ns=self.sim_now_ns,
+            compute_makespan_ns=self.compute_makespan_ns,
+            final_situations={vid: self.vehicles[vid].situation or ""
+                              for vid in self.ids},
+            transitions=transitions,
+            bundle_versions={vid: self.vehicles[vid].bundle_version
+                             for vid in self.ids},
+            apply_logs={vid: list(self.vehicles[vid].apply_log)
+                        for vid in self.ids},
+            health={vid: self._last_health[vid] for vid in self.ids},
+            counters=aggregate_counters(
+                self.vehicles[vid].world.kernel.obs.metrics.to_dict()
+                for vid in self.ids),
+            bus_stats=self.bus.stats_dict(),
+            bus_tail=[r.to_line() for r in self.bus.tail(200)],
+            rollout=self.controller.to_dict(),
+            violations=list(self.violations),
+            offline_epochs=dict(self.offline_epochs),
+        )

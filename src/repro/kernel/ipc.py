@@ -99,13 +99,18 @@ class SocketState(enum.Enum):
 
 
 class Socket:
-    """A stream socket endpoint (UNIX or loopback TCP)."""
+    """A stream socket endpoint (UNIX or loopback TCP).
+
+    Socket ids are allocated by the owning :class:`NetworkStack`
+    (per-kernel); the class counter only backs bare test constructions.
+    """
 
     _id_counter = itertools.count(1)
 
     def __init__(self, family: SocketFamily,
-                 capacity: int = PIPE_BUF_SIZE):
-        self.id = next(Socket._id_counter)
+                 capacity: int = PIPE_BUF_SIZE,
+                 sid: Optional[int] = None):
+        self.id = sid if sid is not None else next(Socket._id_counter)
         self.family = family
         self.state = SocketState.NEW
         self.capacity = capacity
@@ -156,9 +161,10 @@ class NetworkStack:
 
     def __init__(self):
         self._listeners: Dict[object, Socket] = {}
+        self._ids = itertools.count(1)
 
     def socket(self, family: SocketFamily) -> Socket:
-        return Socket(family)
+        return Socket(family, sid=next(self._ids))
 
     def bind(self, sock: Socket, addr: object) -> None:
         if addr in self._listeners:
@@ -177,7 +183,8 @@ class NetworkStack:
             raise KernelError(Errno.ECONNREFUSED, str(addr))
         if listener.family is not sock.family:
             raise KernelError(Errno.EINVAL, "address family mismatch")
-        server_side = Socket(listener.family, capacity=listener.capacity)
+        server_side = Socket(listener.family, capacity=listener.capacity,
+                             sid=next(self._ids))
         connect_pair(sock, server_side)
         listener.backlog.append(server_side)
 

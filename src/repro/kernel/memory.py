@@ -25,17 +25,24 @@ class MapProt(enum.IntFlag):
 
 
 class VmArea:
-    """One virtual memory area (a single ``mmap`` result)."""
+    """One virtual memory area (a single ``mmap`` result).
+
+    Mapping ids are allocated by the owning kernel so concurrent kernels
+    number their mappings independently (and identically for identical
+    workloads); the class counter only backs bare test constructions.
+    """
 
     _id_counter = itertools.count(1)
 
     def __init__(self, length: int, prot: MapProt,
-                 inode: Optional[Inode] = None, offset: int = 0):
+                 inode: Optional[Inode] = None, offset: int = 0,
+                 area_id: Optional[int] = None):
         if length <= 0:
             raise KernelError(Errno.EINVAL, "mapping length must be positive")
         if offset % PAGE_SIZE != 0:
             raise KernelError(Errno.EINVAL, "offset must be page aligned")
-        self.id = next(VmArea._id_counter)
+        self.id = (area_id if area_id is not None
+                   else next(VmArea._id_counter))
         self.length = length
         self.prot = prot
         self.inode = inode

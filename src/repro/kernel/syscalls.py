@@ -12,6 +12,7 @@ operation.  A denial from either raises :class:`KernelError` with ``EACCES``
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -86,6 +87,11 @@ class Kernel:
         self._syscall_wrappers: Dict[str, object] = {}
         self.security: SecurityHooks = security or NullSecurity()
         self.syscall_counts: Dict[str, int] = {}
+        #: Per-kernel object-id allocators: open files and mappings are
+        #: numbered within this kernel only, so fleets of kernels stay
+        #: bit-for-bit identical however many run in one process.
+        self._file_ids = itertools.count(1)
+        self._vma_ids = itertools.count(1)
         self._build_base_tree()
 
     def _build_base_tree(self) -> None:
@@ -270,7 +276,8 @@ class Kernel:
         driver = None
         if inode.is_chardev:
             driver = self.devices.lookup(inode.rdev)
-        file = OpenFile(dentry, inode, flags, driver=driver)
+        file = OpenFile(dentry, inode, flags, driver=driver,
+                        fid=next(self._file_ids))
         self._check(self.security.file_open(task, file), task, f"open {norm}")
         if driver is not None:
             driver.open(task, file)
@@ -539,7 +546,8 @@ class Kernel:
                 raise KernelError(Errno.ENODEV, file.path)
         self._check(self.security.mmap_file(task, file, int(prot)),
                     task, "mmap")
-        return task.mm.add(VmArea(length, prot, inode=inode, offset=offset))
+        return task.mm.add(VmArea(length, prot, inode=inode, offset=offset,
+                                  area_id=next(self._vma_ids)))
 
     def sys_munmap(self, task: Task, area: VmArea) -> None:
         self._count("munmap")

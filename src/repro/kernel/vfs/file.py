@@ -44,8 +44,9 @@ class OpenFile:
     _id_counter = itertools.count(1)
 
     def __init__(self, dentry: Optional[Dentry], inode: Inode,
-                 flags: OpenFlags, driver: Optional[object] = None):
-        self.id = next(OpenFile._id_counter)
+                 flags: OpenFlags, driver: Optional[object] = None,
+                 fid: Optional[int] = None):
+        self.id = fid if fid is not None else next(OpenFile._id_counter)
         self.dentry = dentry
         self.inode = inode
         self.flags = flags

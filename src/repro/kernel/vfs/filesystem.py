@@ -7,6 +7,7 @@ Linux split between ``fs/namei.c`` mechanics and ``security/`` policy.
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Optional, Tuple
 
 from ..clock import VirtualClock
@@ -25,8 +26,13 @@ class VirtualFileSystem:
 
     def __init__(self, clock: Optional[VirtualClock] = None):
         self.clock = clock or VirtualClock()
+        #: Per-VFS inode number allocator: two kernels built side by side
+        #: must stamp identical inode numbers onto identical trees (fleet
+        #: runs fingerprint them), so numbering never crosses instances.
+        self._ino_alloc = itertools.count(1)
         self.root = Dentry("", Inode(FileType.DIRECTORY, mode=0o755,
-                                     now_ns=self.clock.now_ns))
+                                     now_ns=self.clock.now_ns,
+                                     ino=next(self._ino_alloc)))
         self.mounts = MountTable()
         self.mounts.add(Mount(fstype="ramfs", mountpoint="/"))
 
@@ -85,14 +91,14 @@ class VirtualFileSystem:
         """Create an empty regular file."""
         parent, name = self._resolve_parent(path, cwd)
         inode = Inode(FileType.REGULAR, mode=mode, uid=uid, gid=gid,
-                      now_ns=self.clock.now_ns)
+                      now_ns=self.clock.now_ns, ino=next(self._ino_alloc))
         return parent.attach(name, inode)
 
     def mkdir(self, path: str, mode: int = 0o755, uid: int = 0,
               gid: int = 0, cwd: str = "/") -> Dentry:
         parent, name = self._resolve_parent(path, cwd)
         inode = Inode(FileType.DIRECTORY, mode=mode, uid=uid, gid=gid,
-                      now_ns=self.clock.now_ns)
+                      now_ns=self.clock.now_ns, ino=next(self._ino_alloc))
         return parent.attach(name, inode)
 
     def makedirs(self, path: str, mode: int = 0o755) -> Dentry:
@@ -105,8 +111,9 @@ class VirtualFileSystem:
                 if not node.inode.is_dir:
                     raise KernelError(Errno.ENOTDIR, node.path())
             else:
-                node = node.attach(comp, Inode(FileType.DIRECTORY, mode=mode,
-                                               now_ns=self.clock.now_ns))
+                node = node.attach(comp, Inode(
+                    FileType.DIRECTORY, mode=mode,
+                    now_ns=self.clock.now_ns, ino=next(self._ino_alloc)))
         return node
 
     def mknod(self, path: str, rdev: Tuple[int, int], mode: int = 0o600,
@@ -114,13 +121,15 @@ class VirtualFileSystem:
         """Create a character-device node with device numbers *rdev*."""
         parent, name = self._resolve_parent(path, "/")
         inode = Inode(FileType.CHARDEV, mode=mode, uid=uid, gid=gid,
-                      rdev=rdev, now_ns=self.clock.now_ns)
+                      rdev=rdev, now_ns=self.clock.now_ns,
+                      ino=next(self._ino_alloc))
         return parent.attach(name, inode)
 
     def symlink(self, target: str, linkpath: str) -> Dentry:
         parent, name = self._resolve_parent(linkpath, "/")
         inode = Inode(FileType.SYMLINK, mode=0o777,
-                      symlink_target=target, now_ns=self.clock.now_ns)
+                      symlink_target=target, now_ns=self.clock.now_ns,
+                      ino=next(self._ino_alloc))
         return parent.attach(name, inode)
 
     def create_pseudo(self, path: str, ops: PseudoFileOps,
@@ -128,7 +137,7 @@ class VirtualFileSystem:
         """Create a pseudo-file (securityfs-style) backed by callbacks."""
         parent, name = self._resolve_parent(path, "/")
         inode = Inode(FileType.REGULAR, mode=mode, pseudo_ops=ops,
-                      now_ns=self.clock.now_ns)
+                      now_ns=self.clock.now_ns, ino=next(self._ino_alloc))
         inode.data = None  # content comes from callbacks, not pages
         return parent.attach(name, inode)
 

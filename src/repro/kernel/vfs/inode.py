@@ -42,7 +42,13 @@ class PseudoFileOps:
 
 
 class Inode:
-    """A single filesystem object."""
+    """A single filesystem object.
+
+    Inode numbers are allocated by the owning VFS (per-kernel), so two
+    kernels built side by side assign identical numbers to identical
+    trees.  The class-level counter only backs inodes constructed outside
+    any VFS (unit tests poking at bare inodes).
+    """
 
     _ino_counter = itertools.count(1)
 
@@ -51,8 +57,8 @@ class Inode:
                  rdev: Optional[Tuple[int, int]] = None,
                  symlink_target: Optional[str] = None,
                  pseudo_ops: Optional[PseudoFileOps] = None,
-                 now_ns: int = 0):
-        self.ino: int = next(Inode._ino_counter)
+                 now_ns: int = 0, ino: Optional[int] = None):
+        self.ino: int = ino if ino is not None else next(Inode._ino_counter)
         self.file_type = file_type
         self.mode = mode & 0o7777
         self.uid = uid

@@ -25,6 +25,16 @@ class Detector:
         """Consume one sample sweep; return newly detected event names."""
         raise NotImplementedError
 
+    def resync(self) -> None:
+        """Forget edge state after a policy (re)load.
+
+        A policy load replaces the SSM, which restarts in the policy's
+        initial state; a detector that kept its edge memory would then
+        never re-emit the situation the vehicle is *currently* in.
+        ``resync`` rewinds the detector to its boot assumptions so the
+        next sweep re-detects reality and the new SSM catches up.
+        """
+
 
 class CrashDetector(Detector):
     """Crash on airbag flag or extreme deceleration.
@@ -51,6 +61,9 @@ class CrashDetector(Detector):
             return [ev.EMERGENCY_CLEARED]
         return []
 
+    def resync(self) -> None:
+        self._in_crash = False
+
 
 class DrivingStateDetector(Detector):
     """vehicle_started / vehicle_parked edges from speed + ignition."""
@@ -74,6 +87,10 @@ class DrivingStateDetector(Detector):
         # Suppress the initial "parked" edge at boot: the SSM starts there.
         return [] if first else [ev.VEHICLE_PARKED]
 
+    def resync(self) -> None:
+        # The SSM restarts parked; a moving vehicle must re-edge.
+        self._driving = False
+
 
 class DriverPresenceDetector(Detector):
     """driver_left / driver_returned edges from seat occupancy."""
@@ -92,6 +109,10 @@ class DriverPresenceDetector(Detector):
         if first:
             return []
         return [ev.DRIVER_RETURNED if present else ev.DRIVER_LEFT]
+
+    def resync(self) -> None:
+        # The SSM restarts with-driver; an empty seat must re-edge.
+        self._present = True
 
 
 class SpeedBandDetector(Detector):
@@ -124,6 +145,9 @@ class SpeedBandDetector(Detector):
         if first and not high:
             return []
         return [ev.SPEED_HIGH if high else ev.SPEED_LOW]
+
+    def resync(self) -> None:
+        self._high = False
 
 
 class GeofenceDetector(Detector):
@@ -163,6 +187,9 @@ class GeofenceDetector(Detector):
                 out.append(f"entered_zone_{zone}" if inside
                            else f"left_zone_{zone}")
         return out
+
+    def resync(self) -> None:
+        self._inside = {}
 
 
 def default_detector_suite() -> List[Detector]:

@@ -1,0 +1,150 @@
+"""Tests for sackctl's fleet subcommands and the --kernel selector."""
+
+import json
+
+import pytest
+
+from repro.cli.sackctl import main
+
+POLICY = """
+policy fleet_cli_test;
+initial normal;
+states {
+  normal = 0;
+  emergency = 1;
+}
+transitions {
+  normal -> emergency on crash_detected;
+  emergency -> normal on emergency_cleared;
+}
+permissions {
+  DOORS;
+}
+state_per {
+  emergency: DOORS;
+}
+per_rules {
+  DOORS {
+    allow ioctl /dev/car/door cmd=DOOR_UNLOCK subject=rescue_daemon;
+    allow write /dev/car/door subject=rescue_daemon;
+  }
+}
+guard /dev/car/**;
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "fleet.sack"
+    path.write_text(POLICY)
+    return str(path)
+
+
+class TestFleetStatus:
+    def test_status_runs_and_reports(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet seed 0: 3 vehicle(s)" in out
+        assert "veh000" in out and "veh002" in out
+        assert "fingerprint" in out
+        assert "all fleet invariants held" in out
+
+    def test_status_json_round_trips(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["vehicles"] == 3
+        assert doc["violations"] == []
+        assert len(doc["fingerprint"]) == 64
+
+    def test_status_fingerprint_worker_independent(self, capsys):
+        prints = []
+        for workers in ("1", "4"):
+            assert main(["fleet", "status", "--vehicles", "4",
+                         "--epochs", "4", "--workers", workers,
+                         "--json"]) == 0
+            prints.append(
+                json.loads(capsys.readouterr().out)["fingerprint"])
+        assert prints[0] == prints[1]
+
+    def test_kernel_filters_vehicle_rows(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "2", "--kernel", "veh001"]) == 0
+        out = capsys.readouterr().out
+        assert "veh001" in out
+        assert "veh000" not in out
+
+    def test_unknown_kernel_errors(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "2", "--kernel", "veh999"]) == 1
+        assert "no vehicle 'veh999'" in capsys.readouterr().out
+
+    def test_policy_file_is_loaded(self, policy_file, capsys):
+        assert main(["fleet", "status", "--vehicles", "2",
+                     "--epochs", "2", "--policy", policy_file]) == 0
+
+
+class TestFleetRollout:
+    def test_rollout_completes(self, capsys):
+        assert main(["fleet", "rollout", "--vehicles", "4",
+                     "--epochs", "14"]) == 0
+        out = capsys.readouterr().out
+        assert "staged bundle fleet-policy v1" in out
+        assert "wave 'canary' complete" in out
+        assert "final: complete" in out
+        assert "v1" in out
+
+    def test_fail_canary_rolls_back(self, capsys):
+        assert main(["fleet", "rollout", "--vehicles", "4",
+                     "--epochs", "14", "--fail-canary"]) == 0
+        out = capsys.readouterr().out
+        assert "ROLLBACK" in out
+        assert "final: rolled_back" in out
+
+
+class TestFleetRollback:
+    def test_operator_abort_reverts(self, capsys):
+        assert main(["fleet", "rollback", "--vehicles", "4",
+                     "--epochs", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "aborting rollout at epoch" in out
+        assert "operator abort" in out
+        assert "final: rolled_back" in out
+
+
+class TestFleetBus:
+    def test_bus_tail_shows_traffic(self, capsys):
+        assert main(["fleet", "bus", "--vehicles", "3",
+                     "--epochs", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "crash" in out
+        assert "published" in out
+        assert "bus: " in out
+
+
+class TestKernelSelector:
+    def test_audit_runs_against_fleet_vehicle(self, policy_file, capsys):
+        assert main(["audit", policy_file, "-e", "emergency_cleared",
+                     "--kernel", "veh001", "--fleet-size", "3",
+                     "--fleet-epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "event emergency_cleared:" in out
+
+    def test_audit_unknown_vehicle_errors(self, policy_file, capsys):
+        assert main(["audit", policy_file, "--kernel", "nope",
+                     "--fleet-size", "2"]) == 1
+        assert "no vehicle 'nope'" in capsys.readouterr().out
+
+    def test_trace_selected_vehicle(self, policy_file, capsys):
+        assert main(["trace", policy_file,
+                     "--access", "read:/dev/car/door",
+                     "--kernel", "veh000", "--fleet-size", "2",
+                     "--fleet-epochs", "1"]) == 0
+        assert "access read:/dev/car/door" in capsys.readouterr().out
+
+    def test_standalone_path_still_works(self, policy_file, capsys):
+        assert main(["audit", policy_file,
+                     "-e", "crash_detected"]) == 0
+        assert "event crash_detected: delivered" \
+            in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Signed OTA bundle tests: coverage, tampering, legacy signers."""
+
+import pytest
+
+from repro.fleet.bundle import (BundleError, BundleSigner,
+                                BundleVerificationError, PolicyBundle,
+                                SIGNED_FIELDS_ALL,
+                                SIGNED_FIELDS_POLICY_ONLY, make_bundle,
+                                verify_bundle)
+
+KEY = b"test-fleet-key"
+POLICY = "policy p;\ninitial a;\nstates { a = 0; }\n"
+PROFILES = {"usr.bin.media_app": "profile media_app { /var/media/** r, }"}
+
+
+def _signed(profiles=PROFILES, fields=SIGNED_FIELDS_ALL, version=1):
+    return make_bundle(version, POLICY, apparmor_profiles=profiles,
+                       signer=BundleSigner(KEY), fields=fields)
+
+
+class TestSigning:
+    def test_roundtrip_verifies(self):
+        verify_bundle(_signed(), KEY)          # no exception
+
+    def test_empty_profile_set_verifies(self):
+        verify_bundle(_signed(profiles={}), KEY)
+
+    def test_unsigned_refused(self):
+        bundle = PolicyBundle(version=1, name="b", policy_text=POLICY)
+        with pytest.raises(BundleVerificationError, match="unsigned"):
+            verify_bundle(bundle, KEY)
+
+    def test_wrong_key_refused(self):
+        with pytest.raises(BundleVerificationError, match="mismatch"):
+            verify_bundle(_signed(), b"some-other-key")
+
+    def test_bad_version_rejected_at_build(self):
+        with pytest.raises(BundleError):
+            PolicyBundle(version=-1, name="b", policy_text=POLICY)
+
+    def test_empty_policy_rejected_at_build(self):
+        with pytest.raises(BundleError):
+            PolicyBundle(version=1, name="b", policy_text="  \n")
+
+
+class TestCoverage:
+    """The signing fix: a signature must cover *every* artifact."""
+
+    def test_policy_only_signature_refused(self):
+        # The legacy signer's output: the MAC itself is valid over the
+        # policy text, but the AppArmor profiles ride uncovered.
+        bundle = _signed(fields=SIGNED_FIELDS_POLICY_ONLY)
+        with pytest.raises(BundleVerificationError,
+                           match="does not cover apparmor_profiles"):
+            verify_bundle(bundle, KEY)
+
+    def test_policy_only_signed_profiles_tamper_undetected_by_mac(self):
+        # Demonstrate *why* coverage matters: under the legacy signer a
+        # swapped profile leaves the MAC intact — only the coverage
+        # check stands between the tamper and the kernel.
+        bundle = _signed(fields=SIGNED_FIELDS_POLICY_ONLY)
+        evil = bundle.with_profiles(
+            {"usr.bin.media_app": "profile media_app { /** rwix, }"})
+        signer = BundleSigner(KEY)
+        assert signer.digest(evil, SIGNED_FIELDS_POLICY_ONLY) \
+            == evil.signature
+        with pytest.raises(BundleVerificationError):
+            verify_bundle(evil, KEY)
+
+    def test_fully_signed_profile_tamper_refused(self):
+        evil = _signed().with_profiles(
+            {"usr.bin.media_app": "profile media_app { /** rwix, }"})
+        with pytest.raises(BundleVerificationError, match="mismatch"):
+            verify_bundle(evil, KEY)
+
+    def test_profile_rename_refused(self):
+        bundle = _signed()
+        renamed = bundle.with_profiles(
+            {"usr.bin.other": next(iter(PROFILES.values()))})
+        with pytest.raises(BundleVerificationError):
+            verify_bundle(renamed, KEY)
+
+    def test_manifest_distinguishes_absent_and_empty_profiles(self):
+        with_empty = PolicyBundle(version=1, name="b", policy_text=POLICY)
+        manifest_all = with_empty.manifest(SIGNED_FIELDS_ALL)
+        manifest_policy = with_empty.manifest(SIGNED_FIELDS_POLICY_ONLY)
+        assert manifest_all != manifest_policy
+
+    def test_unknown_signed_field_rejected(self):
+        bundle = _signed()
+        with pytest.raises(BundleError, match="unknown signed field"):
+            bundle.manifest(("policy_text", "kernel_image"))

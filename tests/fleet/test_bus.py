@@ -1,0 +1,150 @@
+"""V2X bus tests: geo filtering, seeded latency, loss, reconnect queues."""
+
+from repro.faults import points as fp
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.fleet.bus import V2xBus
+
+
+def _bus(**kwargs):
+    kwargs.setdefault("seed", 9)
+    kwargs.setdefault("range_km", 0.5)
+    return V2xBus(**kwargs)
+
+
+def _drain_all(bus, online=None):
+    return bus.deliver_due(10**15, online)
+
+
+class TestGeoFilter:
+    def test_in_range_neighbours_receive(self):
+        bus = _bus()
+        bus.subscribe("a", ["crash"])
+        bus.subscribe("b", ["crash"])
+        bus.subscribe("c", ["crash"])
+        bus.publish("crash", "a", 1.0, 0,
+                    positions={"b": 1.3, "c": 2.0})
+        due = _drain_all(bus)
+        assert list(due) == ["b"]
+        assert bus.stats["copies_filtered_range"] == 1
+
+    def test_origin_never_receives_its_own_message(self):
+        bus = _bus()
+        bus.subscribe("a", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"a": 0.0})
+        assert _drain_all(bus) == {}
+
+    def test_topic_filter(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash_cleared"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        assert _drain_all(bus) == {}
+
+    def test_unknown_position_means_out_of_range(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={})
+        assert _drain_all(bus) == {}
+
+
+class TestLatency:
+    def test_latency_is_deterministic_per_copy(self):
+        first, second = _bus(), _bus()
+        for bus in (first, second):
+            bus.subscribe("b", ["crash"])
+            bus.subscribe("c", ["crash"])
+            bus.publish("crash", "a", 0.0, 0,
+                        positions={"b": 0.1, "c": 0.2})
+        assert [e.due_ns for e in first._pending] \
+            == [e.due_ns for e in second._pending]
+
+    def test_latency_within_bounds(self):
+        bus = _bus(latency_bounds_ms=(20.0, 80.0))
+        bus.subscribe("b", ["crash"])
+        for i in range(20):
+            bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        for entry in bus._pending:
+            latency_ms = (entry.due_ns - entry.message.sent_ns) / 1e6
+            assert 20.0 <= latency_ms <= 80.0
+
+    def test_different_seed_different_latency(self):
+        a, b = _bus(seed=1), _bus(seed=2)
+        for bus in (a, b):
+            bus.subscribe("b", ["crash"])
+            bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        assert a._pending[0].due_ns != b._pending[0].due_ns
+
+    def test_not_due_not_delivered(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        assert bus.deliver_due(0) == {}
+        assert bus.pending_count == 1
+
+
+class TestFaults:
+    def test_publish_drop(self):
+        plan = FaultPlan(0, (FaultRule(point=fp.V2X_PUBLISH_DROP,
+                                       probability=1.0),))
+        bus = _bus(fault_plan=plan)
+        bus.subscribe("b", ["crash"])
+        assert bus.publish("crash", "a", 0.0, 0,
+                           positions={"b": 0.0}) is None
+        assert bus.stats["publish_dropped"] == 1
+        assert bus.pending_count == 0
+
+    def test_delivery_drop_is_per_copy(self):
+        plan = FaultPlan(0, (FaultRule(point=fp.V2X_DELIVERY_DROP,
+                                       probability=1.0, arg="b"),))
+        bus = _bus(fault_plan=plan)
+        bus.subscribe("b", ["crash"])
+        bus.subscribe("c", ["crash"])
+        bus.publish("crash", "a", 0.0, 0,
+                    positions={"b": 0.0, "c": 0.0})
+        due = _drain_all(bus)
+        assert list(due) == ["c"]
+        assert bus.stats["copies_dropped"] == 1
+
+    def test_congestion_delay(self):
+        plan = FaultPlan(0, (FaultRule(point=fp.V2X_DELAY,
+                                       probability=1.0),))
+        bus = _bus(fault_plan=plan, extra_delay_ms=250.0)
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        latency_ms = (bus._pending[0].due_ns
+                      - bus._pending[0].message.sent_ns) / 1e6
+        assert latency_ms >= 250.0
+        assert bus.stats["copies_delayed"] == 1
+
+
+class TestReconnect:
+    def test_offline_copies_stay_queued_until_reconnect(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        assert bus.deliver_due(10**12, online={"b": False}) == {}
+        assert bus.pending_count == 1
+        due = bus.deliver_due(10**12, online={"b": True})
+        assert [m.topic for m in due["b"]] == ["crash"]
+
+    def test_reconnect_delivers_in_msg_id_order(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        for _ in range(3):
+            bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        bus.deliver_due(10**12, online={"b": False})
+        due = bus.deliver_due(10**12, online={"b": True})
+        assert [m.msg_id for m in due["b"]] == [1, 2, 3]
+
+
+class TestObservability:
+    def test_tail_records_decisions(self):
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0, "z": 9.0})
+        _drain_all(bus)
+        actions = [r.action for r in bus.tail()]
+        assert "published" in actions and "delivered" in actions
+
+    def test_stats_dict_includes_pending(self):
+        bus = _bus()
+        assert bus.stats_dict()["pending"] == 0

@@ -1,0 +1,307 @@
+"""Rollout state-machine tests: waves, gates, rollback, properties.
+
+The controller is pure, so these tests drive it with a tiny in-memory
+vehicle model (version per vehicle, scripted apply outcomes) instead of
+booted kernels; the end-to-end path is covered in
+``tests/fleet/test_orchestrator.py``.
+
+Property targets (satellite 3):
+
+* a rollback completes from **any** reachable wave state;
+* no vehicle ever runs a bundle version the control plane never
+  offered, and converged vehicles run committed-or-staged, nothing else;
+* a vehicle that loses connectivity mid-rollout converges to the
+  fleet's settled bundle on reconnect (chaos invariant I8).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet.bundle import BundleSigner, make_bundle
+from repro.fleet.rollout import (RolloutController, RolloutPlan,
+                                 RolloutState, VehicleAck, VehiclePhase,
+                                 Wave, default_rollout_plan)
+
+POLICY = "policy p;\ninitial a;\nstates { a = 0; }\n"
+SIGNER = BundleSigner(b"k")
+
+
+def bundle(version):
+    return make_bundle(version, POLICY, signer=SIGNER)
+
+
+def plan_3wave():
+    return RolloutPlan(waves=(Wave("canary", 0.1, soak_epochs=1),
+                              Wave("half", 0.5, soak_epochs=1,
+                                   error_budget=1),
+                              Wave("full", 1.0, soak_epochs=1,
+                                   error_budget=1)))
+
+
+class _ModelFleet:
+    """Versions-only vehicle model: applies commands, returns acks."""
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.versions = {vid: None for vid in controller.fleet_ids}
+
+    def execute(self, commands, online, fail=()):
+        acks = []
+        for cmd in commands:
+            if not online.get(cmd.vehicle_id, True):
+                continue
+            # ``fail`` models a vehicle that rejects the *staged* bundle;
+            # reverting to the known-good committed bundle still works
+            # (failed reverts are covered by an explicit retry test).
+            ok = cmd.vehicle_id not in fail or cmd.action == "revert"
+            if ok:
+                self.versions[cmd.vehicle_id] = cmd.bundle.version
+            acks.append(VehicleAck(cmd.vehicle_id, cmd.bundle.version,
+                                   ok=ok))
+        return acks
+
+    def drive(self, epochs=40, online=None, fail=(), health=None):
+        acks = []
+        for _ in range(epochs):
+            omap = online if online is not None else {}
+            commands = self.controller.step(acks, health=health or {},
+                                            online=omap)
+            acks = self.execute(commands, omap, fail=fail)
+        return acks
+
+
+class TestWaves:
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            RolloutPlan(waves=())
+        with pytest.raises(ValueError):
+            RolloutPlan(waves=(Wave("a", 0.5), Wave("b", 0.4),
+                               Wave("c", 1.0)))
+        with pytest.raises(ValueError):
+            RolloutPlan(waves=(Wave("a", 0.5),))    # never reaches 1.0
+        with pytest.raises(ValueError):
+            Wave("w", 0.0)
+
+    def test_wave_membership_is_cumulative_and_sorted(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)])
+        ctl.stage(bundle(1))
+        assert ctl.wave_members(0) == ["v0"]
+        assert ctl.wave_members(1) == [f"v{i}" for i in range(5)]
+        assert len(ctl.wave_members(2)) == 10
+
+    def test_happy_path_completes(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)])
+        ctl.stage(bundle(1))
+        model = _ModelFleet(ctl)
+        model.drive()
+        assert ctl.state is RolloutState.COMPLETE
+        assert ctl.committed.version == 1
+        assert all(v == 1 for v in model.versions.values())
+
+    def test_cannot_stage_older_than_committed(self):
+        ctl = RolloutController(plan_3wave(), ["v0", "v1"],
+                                committed=bundle(5))
+        with pytest.raises(ValueError, match="newer"):
+            ctl.stage(bundle(5))
+
+    def test_cannot_stage_while_in_progress(self):
+        ctl = RolloutController(plan_3wave(), ["v0", "v1"])
+        ctl.stage(bundle(1))
+        with pytest.raises(RuntimeError):
+            ctl.stage(bundle(2))
+
+
+class TestRollback:
+    def test_canary_nack_triggers_fleet_rollback(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        model.versions = {vid: 1 for vid in ctl.fleet_ids}
+        model.drive(epochs=30, fail=("v0",))
+        assert ctl.state is RolloutState.ROLLED_BACK
+        assert ctl.committed.version == 1
+        assert all(v == 1 for v in model.versions.values())
+
+    def test_health_gate_breach_triggers_rollback(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        # Let the canary apply, then report a denial-rate explosion.
+        acks = model.execute(ctl.step([]), {})
+        ctl.step(acks, health={"v0": {"denial_delta": 9999}})
+        assert ctl.state is RolloutState.ROLLING_BACK
+
+    def test_watchdog_gate(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        acks = model.execute(ctl.step([]), {})
+        ctl.step(acks, health={"v0": {"watchdog_engaged": True}})
+        assert ctl.state is RolloutState.ROLLING_BACK
+
+    def test_error_budget_tolerates_failures(self):
+        plan = RolloutPlan(waves=(Wave("all", 1.0, soak_epochs=1,
+                                       error_budget=2),))
+        ctl = RolloutController(plan, [f"v{i}" for i in range(5)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        model.versions = {vid: 1 for vid in ctl.fleet_ids}
+        # Two vehicles fail the first apply, then succeed: within budget.
+        acks = model.execute(ctl.step([]), {}, fail=("v0", "v1"))
+        model.drive(epochs=20)
+        assert ctl.state is RolloutState.COMPLETE
+
+    def test_failed_revert_is_retried(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        acks = model.execute(ctl.step([]), {})     # canary applies v2
+        ctl.abort()
+        commands = ctl.step(acks, online={})
+        assert [c.action for c in commands] == ["revert"]
+        nacks = [VehicleAck(c.vehicle_id, c.bundle.version, ok=False,
+                            detail="disk full") for c in commands]
+        retried = ctl.step(nacks, online={})
+        assert [c.action for c in retried] == ["revert"]
+        assert ctl.state is RolloutState.ROLLING_BACK
+        oks = [VehicleAck(c.vehicle_id, c.bundle.version, ok=True)
+               for c in retried]
+        ctl.step(oks, online={})
+        assert ctl.state is RolloutState.ROLLED_BACK
+
+    def test_abort_is_noop_when_idle(self):
+        ctl = RolloutController(plan_3wave(), ["v0"])
+        ctl.abort()
+        assert ctl.state is RolloutState.IDLE
+
+
+class TestReconnect:
+    def test_offline_vehicle_reoffered_on_reconnect(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)])
+        ctl.stage(bundle(1))
+        model = _ModelFleet(ctl)
+        offline = {"v3": False}
+        model.drive(epochs=40, online=offline)
+        assert ctl.state is RolloutState.IN_PROGRESS   # v3 blocks 'half'
+        assert model.versions["v3"] is None
+        model.drive(epochs=40, online={})
+        assert ctl.state is RolloutState.COMPLETE
+        assert model.versions["v3"] == 1
+
+    def test_straggler_reverted_after_rollback_settles(self):
+        ctl = RolloutController(plan_3wave(),
+                                [f"v{i}" for i in range(10)],
+                                committed=bundle(1))
+        ctl.stage(bundle(2))
+        model = _ModelFleet(ctl)
+        model.versions = {vid: 1 for vid in ctl.fleet_ids}
+        # v0 (canary) applies v2, then drops offline; a later wave
+        # failure walks the fleet back while v0 is unreachable.
+        acks = model.execute(ctl.step([]), {})
+        offline = {"v0": False}
+        for _ in range(30):
+            commands = ctl.step(acks, online=offline)
+            acks = model.execute(commands, offline, fail=("v1",))
+        assert ctl.state is RolloutState.ROLLED_BACK
+        assert model.versions["v0"] == 2               # still stranded
+        # Reconnect: the resync path reverts it (I8).
+        for _ in range(4):
+            commands = ctl.step(acks, online={})
+            acks = model.execute(commands, {})
+        assert model.versions["v0"] == 1
+
+
+# -- hypothesis properties -------------------------------------------------
+
+@st.composite
+def rollout_runs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    epochs = draw(st.integers(min_value=1, max_value=25))
+    steps = []
+    for _ in range(epochs):
+        fail = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                            max_size=3))
+        offline = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                               max_size=3))
+        sick = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                            max_size=2))
+        steps.append((fail, offline, sick))
+    return n, steps
+
+
+def _run_scripted(n, steps, committed_version=1, target_version=2):
+    ctl = RolloutController(default_rollout_plan(),
+                            [f"v{i:02d}" for i in range(n)],
+                            committed=bundle(committed_version))
+    ctl.stage(bundle(target_version))
+    model = _ModelFleet(ctl)
+    model.versions = {vid: committed_version for vid in ctl.fleet_ids}
+    acks = []
+    for fail, offline, sick in steps:
+        omap = {f"v{i:02d}": False for i in offline}
+        health = {f"v{i:02d}": {"denial_delta": 10**6} for i in sick}
+        commands = ctl.step(acks, health=health, online=omap)
+        for cmd in commands:
+            # The controller must never command a version it does not
+            # currently hold as committed or target.
+            assert cmd.bundle.version in {ctl.committed_version,
+                                          ctl.target_version,
+                                          ctl.max_offered_version}
+        acks = model.execute(commands, omap,
+                             fail={f"v{i:02d}" for i in fail})
+    return ctl, model, acks
+
+
+@given(rollout_runs())
+@settings(max_examples=60, deadline=None)
+def test_no_vehicle_ever_ahead_of_control_plane(run):
+    """Versions stay within what the control plane offered — always."""
+    n, steps = run
+    ctl, model, _ = _run_scripted(n, steps)
+    for vid, version in model.versions.items():
+        assert version is not None
+        assert version <= ctl.max_offered_version
+        assert version in (1, 2)
+
+
+@given(rollout_runs())
+@settings(max_examples=60, deadline=None)
+def test_rollback_reachable_from_any_state(run):
+    """From any reachable state, abort + healthy epochs ⇒ settled fleet."""
+    n, steps = run
+    ctl, model, acks = _run_scripted(n, steps)
+    ctl.abort()
+    for _ in range(2 * n + 10):
+        commands = ctl.step(acks, online={})
+        acks = model.execute(commands, {})
+    assert ctl.state in (RolloutState.ROLLED_BACK, RolloutState.COMPLETE)
+    expected = ctl.committed_version
+    for vid, version in model.versions.items():
+        assert version == expected, (vid, ctl.state)
+
+
+@given(rollout_runs())
+@settings(max_examples=40, deadline=None)
+def test_i8_reconnect_converges(run):
+    """Whatever happened mid-rollout, bringing every vehicle online and
+    healthy long enough settles the fleet on one consistent bundle."""
+    n, steps = run
+    ctl, model, acks = _run_scripted(n, steps)
+    for _ in range(6 * len(ctl.plan.waves) + 2 * n + 10):
+        commands = ctl.step(acks, online={})
+        acks = model.execute(commands, {})
+    assert ctl.state in (RolloutState.ROLLED_BACK, RolloutState.COMPLETE)
+    versions = set(model.versions.values())
+    assert versions == {ctl.committed_version}
