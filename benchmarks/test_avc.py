@@ -12,59 +12,31 @@ to emit the JSON artifact the CI job uploads; the measured speedup and
 per-operation latencies ride along in ``extra_info``.
 """
 
-import time
+import functools
 
-from repro.bench import CONFIG_SACK_INDEPENDENT, build_world
+from repro.bench import CONFIG_SACK_INDEPENDENT, best_of, build_world
+from repro.bench.suite import avc_bench_policy
 from repro.kernel import KernelError, MAY_READ, OpenFlags, user_credentials
 from repro.sack.events import SituationEvent
 from conftest import REPS, SCALE
 
 #: Rules in the bulk permission class; the probe path matches last, so
 #: every uncached check pays a full linear walk as a large real policy
-#: would.
+#: would.  The policy text itself is shared with the suite runner's
+#: ``avc`` workload (``repro.bench.suite.avc_bench_policy``).
 RULE_COUNT = 200
 
 #: Hot-loop iterations (scaled by SACK_BENCH_SCALE).
 ITERATIONS = max(500, int(5000 * SCALE))
 
-
-def _make_policy(rule_count=RULE_COUNT) -> str:
-    rules = "\n".join(f"    allow read /dev/car/sensor{i:03d};"
-                      for i in range(rule_count))
-    return f"""
-policy avc_bench;
-initial normal;
-states {{
-  normal = 0;
-  emergency = 1;
-}}
-transitions {{
-  normal -> emergency on crash_detected;
-  emergency -> normal on emergency_cleared;
-}}
-permissions {{
-  BULK;
-  DOORS;
-}}
-state_per {{
-  normal: BULK;
-  emergency: BULK, DOORS;
-}}
-per_rules {{
-  BULK {{
-{rules}
-    allow read /dev/car/probe;
-  }}
-  DOORS {{
-    allow write /dev/car/door subject=rescue_daemon;
-  }}
-}}
-guard /dev/car/**;
-"""
+#: Best-of-N with this file's repetition knob baked in (the helper
+#: itself lives in ``repro.bench.timing``).
+_best_of = functools.partial(best_of, reps=REPS)
 
 
 def _boot(cache_enabled):
-    world = build_world(CONFIG_SACK_INDEPENDENT, policy_text=_make_policy())
+    world = build_world(CONFIG_SACK_INDEPENDENT,
+                        policy_text=avc_bench_policy(RULE_COUNT))
     kernel = world.kernel
     kernel.security.avc.enabled = cache_enabled
     kernel.vfs.makedirs("/dev/car")
@@ -81,15 +53,6 @@ def _boot(cache_enabled):
 def _permission_loop(security, task, file, n):
     for _ in range(n):
         security.file_permission(task, file, MAY_READ)
-
-
-def _best_of(fn, reps=REPS):
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _decision_trace(cache_enabled):

@@ -1,4 +1,10 @@
-"""Benchmark substrate: LMBench-style suite, harness, stats, reporting."""
+"""Benchmark substrate: LMBench-style suite, harness, stats, reporting.
+
+The declarative scenario runner, trajectory store, and Pareto reports
+live in :mod:`repro.bench.suite`, :mod:`repro.bench.trajectory`, and
+:mod:`repro.bench.pareto`; they are imported lazily (not re-exported
+here) so ``import repro.bench`` stays light.
+"""
 
 from .harness import (CONFIG_APPARMOR, CONFIG_NO_LSM, CONFIG_SACK_APPARMOR,
                       CONFIG_SACK_INDEPENDENT, LATENCY_EVENTS, SPEED_POLICY,
@@ -15,6 +21,8 @@ from .reporting import (TABLE2_ROWS, format_delta, format_value,
                         mean_abs_overhead_pct, render_comparison_table,
                         render_sweep_table)
 from .stats import mean, mean_results, median, pct_delta, stdev
+from .timing import (best_of, best_of_ns, latency_summary_us, percentile,
+                     summarize_ns)
 
 __all__ = [
     "CONFIG_APPARMOR", "CONFIG_NO_LSM", "CONFIG_SACK_APPARMOR",
@@ -29,5 +37,6 @@ __all__ = [
     "LmbenchSuite", "TABLE2_BENCHES", "TABLE2_ROWS", "format_delta",
     "format_value", "mean_abs_overhead_pct", "render_comparison_table",
     "render_sweep_table", "mean", "mean_results", "median", "pct_delta",
-    "stdev",
+    "stdev", "best_of", "best_of_ns", "latency_summary_us", "percentile",
+    "summarize_ns",
 ]

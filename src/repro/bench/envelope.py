@@ -1,0 +1,82 @@
+"""The uniform JSON envelope every ``sack-bench`` subcommand emits.
+
+Before the envelope, ``--json`` output shapes differed per subcommand
+(a bare dict from ``census``, a nested breakdown from ``hooks``), which
+blocked trajectory ingestion — downstream tooling had to know which
+subcommand produced a file.  Every machine-readable artifact now shares
+one top-level shape::
+
+    {
+      "schema": "sack-bench/v1",
+      "kind": "census" | "hooks" | "suite-run" | ...,
+      "generated_at": "2026-01-01T00:00:00+00:00",
+      "git_sha": "<40 hex or 'unknown'>",
+      "seed": 7 | null,
+      "data": { ...subcommand-specific payload... }
+    }
+
+``data`` stays subcommand-specific; everything the trajectory store
+needs to version a record (schema, provenance, seed, time) is uniform.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import subprocess
+from typing import Dict, Optional
+
+#: Envelope schema identifier; bump on incompatible top-level changes.
+ENVELOPE_SCHEMA = "sack-bench/v1"
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """The current commit, or ``"unknown"`` outside a git checkout.
+
+    ``SACK_BENCH_GIT_SHA`` overrides the lookup so tests and detached
+    CI tarballs can pin provenance without a ``.git`` directory.
+    """
+    override = os.environ.get("SACK_BENCH_GIT_SHA")
+    if override:
+        return override
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=cwd)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def utc_now_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc) \
+        .isoformat(timespec="seconds")
+
+
+def make_envelope(kind: str, data, seed: Optional[int] = None,
+                  sha: Optional[str] = None) -> Dict[str, object]:
+    """Wrap *data* in the uniform ``sack-bench/v1`` envelope."""
+    return {
+        "schema": ENVELOPE_SCHEMA,
+        "kind": kind,
+        "generated_at": utc_now_iso(),
+        "git_sha": sha if sha is not None else git_sha(),
+        "seed": seed,
+        "data": data,
+    }
+
+
+def check_envelope(doc) -> Dict[str, object]:
+    """Validate an envelope's shape; returns it or raises ValueError."""
+    if not isinstance(doc, dict):
+        raise ValueError("envelope must be a JSON object")
+    missing = [k for k in ("schema", "kind", "generated_at", "git_sha",
+                           "seed", "data") if k not in doc]
+    if missing:
+        raise ValueError(f"envelope missing keys: {', '.join(missing)}")
+    if doc["schema"] != ENVELOPE_SCHEMA:
+        raise ValueError(f"unsupported envelope schema {doc['schema']!r} "
+                         f"(expected {ENVELOPE_SCHEMA})")
+    return doc

@@ -23,6 +23,7 @@ from ..sack.states import SituationState, StateSpace
 from ..vehicle.devices import IOCTL_SYMBOLS
 from ..vehicle.ivi import DEFAULT_SACK_POLICY, IVI_APPARMOR_PROFILES
 from .lmbench import BenchResult, LmbenchSuite
+from .timing import latency_summary_us
 
 # Configuration names used across benches and reports.
 CONFIG_NO_LSM = "no-lsm"
@@ -474,11 +475,8 @@ def run_event_latency(samples_per_event: int = 200
             latencies.append(time.perf_counter_ns() - start)
             if ssm.events_processed == before + 1:
                 delivered += 1
-        latencies.sort()
         out[event_name] = {
-            "mean_us": sum(latencies) / len(latencies) / 1e3,
-            "p50_us": latencies[len(latencies) // 2] / 1e3,
-            "p99_us": latencies[int(len(latencies) * 0.99)] / 1e3,
+            **latency_summary_us(latencies),
             "accuracy_pct": delivered / samples_per_event * 100.0,
         }
     return out

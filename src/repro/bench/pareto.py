@@ -1,0 +1,179 @@
+"""Pareto frontiers and trend tables over the perf trajectory.
+
+Two renderings of the longitudinal record:
+
+* **Trend tables** — one markdown table per metric set (``BENCH_avc``,
+  ``BENCH_fleet``, ...), rows = committed records oldest-first, columns
+  = the set's gate-worthy metrics, with a delta-vs-previous column so a
+  slow drift is as visible as a cliff.
+
+* **Pareto frontier** — across one suite run's sweep cells, the
+  non-dominated set in (vehicles/sec ↑, per-hook p99 latency ↓, peak
+  memory ↓).  A config on the frontier cannot be improved on one axis
+  without paying on another; everything else is strictly dominated and
+  the table says by whom.
+
+Both are plain data transforms over dicts so the CLI, the tests, and
+the committed ``docs/perf-trajectory.md`` report share one code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .trajectory import Trajectory, direction_of
+
+#: The Pareto axes: (metric key in a cell's gate metrics, direction).
+PARETO_AXES: Tuple[Tuple[str, str], ...] = (
+    ("fleet_vehicles_per_second", "higher"),
+    ("hook_p99_ns", "lower"),
+    ("peak_mem_kb", "lower"),
+)
+
+
+@dataclasses.dataclass
+class ParetoPoint:
+    """One sweep cell projected onto the Pareto axes."""
+
+    label: str
+    values: Dict[str, float]
+    dominated_by: Optional[str] = None
+
+    @property
+    def on_frontier(self) -> bool:
+        return self.dominated_by is None
+
+
+def _dominates(a: Dict[str, float], b: Dict[str, float],
+               axes: Sequence[Tuple[str, str]]) -> bool:
+    """True if *a* is at least as good on every axis and better on one."""
+    strictly_better = False
+    for metric, direction in axes:
+        av, bv = a[metric], b[metric]
+        if direction == "higher":
+            if av < bv:
+                return False
+            strictly_better = strictly_better or av > bv
+        else:
+            if av > bv:
+                return False
+            strictly_better = strictly_better or av < bv
+    return strictly_better
+
+
+def pareto_points(cells: Sequence[Dict[str, object]],
+                  axes: Sequence[Tuple[str, str]] = PARETO_AXES,
+                  ) -> List[ParetoPoint]:
+    """Project suite cells onto *axes* and mark the dominated ones.
+
+    *cells* are summary rows (``{"cell": id, "metrics": {...}}``); cells
+    missing any axis metric are skipped — only configurations measured
+    on every axis can be compared.
+    """
+    points: List[ParetoPoint] = []
+    for cell in cells:
+        metrics = cell.get("metrics") or {}
+        if all(metric in metrics for metric, _ in axes):
+            points.append(ParetoPoint(
+                label=str(cell.get("cell", "?")),
+                values={metric: float(metrics[metric])
+                        for metric, _ in axes}))
+    for point in points:
+        for other in points:
+            if other is not point and \
+                    _dominates(other.values, point.values, axes):
+                point.dominated_by = other.label
+                break
+    return points
+
+
+def render_pareto_table(points: Sequence[ParetoPoint],
+                        axes: Sequence[Tuple[str, str]] = PARETO_AXES,
+                        ) -> List[str]:
+    """Markdown table of frontier and dominated points."""
+    if not points:
+        return ["*(no cells carried all three Pareto axes — enable "
+                "`hook_latency` and `measure_memory` on a fleet "
+                "scenario)*"]
+    arrow = {"higher": "↑", "lower": "↓"}
+    header = "| cell | " + " | ".join(
+        f"{metric} {arrow[direction]}" for metric, direction in axes) \
+        + " | frontier |"
+    rule = "|---" * (len(axes) + 2) + "|"
+    lines = [header, rule]
+    ordered = sorted(points, key=lambda p: (not p.on_frontier, p.label))
+    for point in ordered:
+        cols = " | ".join(f"{point.values[m]:g}" for m, _ in axes)
+        status = "**yes**" if point.on_frontier \
+            else f"no (dominated by `{point.dominated_by}`)"
+        lines.append(f"| `{point.label}` | {cols} | {status} |")
+    return lines
+
+
+def render_trend_table(trajectory: Trajectory,
+                       max_metrics: int = 8) -> List[str]:
+    """Markdown trend table: one row per committed record."""
+    # Ratio/throughput metrics first (the headline gates), then the
+    # shortest latency names — flattened per-hook breakdown metrics are
+    # long, so they fall off the end of the column budget.
+    candidates = [n for n in trajectory.metric_names()
+                  if direction_of(n) is not None]
+    names = sorted(candidates,
+                   key=lambda n: (direction_of(n) != "higher",
+                                  len(n), n))[:max_metrics]
+    if not names or not trajectory.records:
+        return ["*(empty trajectory)*"]
+    header = "| commit | when | " + " | ".join(names) + " |"
+    rule = "|---" * (len(names) + 2) + "|"
+    lines = [header, rule]
+    previous: Dict[str, float] = {}
+    for record in trajectory.records:
+        metrics = record.get("metrics") or {}
+        cols = []
+        for name in names:
+            if name not in metrics:
+                cols.append("—")
+                continue
+            value = float(metrics[name])
+            cell = f"{value:g}"
+            if name in previous and previous[name]:
+                delta = (value - previous[name]) / abs(previous[name]) \
+                    * 100.0
+                cell += f" ({delta:+.1f}%)"
+            previous[name] = value
+            cols.append(cell)
+        sha = str(record.get("git_sha", "?"))[:10]
+        when = str(record.get("timestamp", "?"))[:10]
+        lines.append(f"| `{sha}` | {when} | " + " | ".join(cols) + " |")
+    return lines
+
+
+def render_report(trajectories: Sequence[Trajectory],
+                  run_summary: Optional[Dict[str, object]] = None,
+                  ) -> str:
+    """The full markdown report committed under ``docs/``."""
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Generated by `sack-bench suite report` from the committed",
+        "`benchmarks/trajectory/BENCH_*.json` history — do not edit by",
+        "hand.  See [benchmarking.md](benchmarking.md) for how records",
+        "are appended and gated.",
+        "",
+    ]
+    for trajectory in trajectories:
+        lines.append(f"## Trend — `{trajectory.metric_set}`")
+        lines.append("")
+        lines.extend(render_trend_table(trajectory))
+        lines.append("")
+    if run_summary is not None:
+        cells = run_summary.get("cells") or []
+        lines.append("## Pareto frontier — latest suite run")
+        lines.append("")
+        lines.append("Non-dominated sweep configurations in "
+                     "(vehicles/sec ↑, per-hook p99 ↓, peak memory ↓):")
+        lines.append("")
+        lines.extend(render_pareto_table(pareto_points(cells)))
+        lines.append("")
+    return "\n".join(lines)

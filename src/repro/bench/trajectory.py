@@ -1,0 +1,273 @@
+"""The persisted perf trajectory: append-only ``BENCH_*.json`` history.
+
+Until now the ``BENCH_*.json`` files existed only as CI artifacts —
+each run overwrote the last and nothing was committed, so there was no
+longitudinal record to defend the 15x AVC win or the 3.97x fleet
+scaling against regressions.  This module gives each *metric set*
+(``avc``, ``obs``, ``fleet``, ``chaos``) an append-only, schema-versioned
+history file committed under ``benchmarks/trajectory/``::
+
+    {
+      "schema": "sack-bench-trajectory/v1",
+      "metric_set": "fleet",
+      "records": [
+        {"git_sha": ..., "timestamp": ..., "seed": ..., "source": ...,
+         "metrics": {"fleet_vehicles_per_second": 123.4, ...}},
+        ...
+      ]
+    }
+
+Records are appended, never rewritten — the git history plus the record
+list *is* the trajectory.  :func:`check_metrics` compares a fresh run
+against the newest committed value of each metric, direction-aware
+(vehicles/sec up is good; ns/op up is bad), and reports every breach of
+its tolerance.  ``sack-bench suite check`` turns those breaches into a
+non-zero exit, which is what the CI regression gate keys on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from .envelope import git_sha, utc_now_iso
+
+#: Trajectory schema identifier; bump on incompatible record changes.
+TRAJECTORY_SCHEMA = "sack-bench-trajectory/v1"
+
+#: Default tolerance (percent) when a gate names no explicit threshold.
+DEFAULT_TOLERANCE_PCT = 20.0
+
+#: Metric-name suffixes that mean "smaller is better".  Anything not
+#: matched here or in _HIGHER_SUFFIXES must be declared explicitly via
+#: a gate entry; :func:`direction_of` then refuses to guess.
+_LOWER_SUFFIXES = ("_ns", "_us", "_ms", "_ns_per_op", "_us_per_event",
+                   "_kb", "_bytes", "_makespan_ms")
+
+#: Substrings that mean "bigger is better" (checked first, anywhere in
+#: the name, so per-axis variants like ``speedup_1_to_4`` still match).
+_HIGHER_MARKERS = ("per_second", "speedup", "accuracy_pct", "ratio",
+                   "throughput", "vps")
+
+
+def direction_of(metric: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is better, or None if unknown."""
+    for marker in _HIGHER_MARKERS:
+        if marker in metric:
+            return "higher"
+    for suffix in _LOWER_SUFFIXES:
+        if metric.endswith(suffix):
+            return "lower"
+    return None
+
+
+@dataclasses.dataclass
+class Regression:
+    """One gate breach: a metric moved the wrong way past tolerance."""
+
+    metric_set: str
+    metric: str
+    baseline: float
+    current: float
+    delta_pct: float
+    tolerance_pct: float
+
+    def __str__(self) -> str:
+        return (f"{self.metric_set}/{self.metric}: "
+                f"{self.baseline:g} -> {self.current:g} "
+                f"({self.delta_pct:+.1f}%, tolerance "
+                f"{self.tolerance_pct:.0f}%)")
+
+
+class Trajectory:
+    """One metric set's append-only history file."""
+
+    def __init__(self, metric_set: str,
+                 records: Optional[List[Dict[str, object]]] = None):
+        self.metric_set = metric_set
+        self.records: List[Dict[str, object]] = list(records or [])
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Trajectory":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or \
+                doc.get("schema") != TRAJECTORY_SCHEMA:
+            raise ValueError(
+                f"{path}: not a {TRAJECTORY_SCHEMA} trajectory file")
+        records = doc.get("records")
+        if not isinstance(records, list):
+            raise ValueError(f"{path}: 'records' must be a list")
+        return cls(str(doc.get("metric_set", "unknown")), records)
+
+    def save(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({
+                "schema": TRAJECTORY_SCHEMA,
+                "metric_set": self.metric_set,
+                "records": self.records,
+            }, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    # -- record access -----------------------------------------------------
+
+    def append(self, metrics: Dict[str, float],
+               seed: Optional[int] = None, source: str = "suite",
+               sha: Optional[str] = None,
+               timestamp: Optional[str] = None) -> Dict[str, object]:
+        clean = {}
+        for name, value in metrics.items():
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"metric {name!r} must be numeric, got {value!r}")
+            clean[name] = float(value)
+        record = {
+            "git_sha": sha if sha is not None else git_sha(),
+            "timestamp": timestamp or utc_now_iso(),
+            "seed": seed,
+            "source": source,
+            "metrics": clean,
+        }
+        self.records.append(record)
+        return record
+
+    def latest_value(self, metric: str) -> Optional[float]:
+        """Newest committed value of *metric*, scanning backwards."""
+        for record in reversed(self.records):
+            metrics = record.get("metrics") or {}
+            if metric in metrics:
+                return float(metrics[metric])
+        return None
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for record in self.records:
+            for name in (record.get("metrics") or {}):
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+def trajectory_path(trajectory_dir: str, metric_set: str) -> str:
+    return os.path.join(trajectory_dir, f"BENCH_{metric_set}.json")
+
+
+def load_or_new(trajectory_dir: str, metric_set: str) -> Trajectory:
+    path = trajectory_path(trajectory_dir, metric_set)
+    if os.path.exists(path):
+        return Trajectory.load(path)
+    return Trajectory(metric_set)
+
+
+def check_metrics(trajectory: Trajectory, metrics: Dict[str, float],
+                  gates: Dict[str, float],
+                  default_tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+                  ) -> List[Regression]:
+    """Compare *metrics* against the trajectory's newest baselines.
+
+    Only metrics named in *gates* (metric -> tolerance percent; None
+    picks the default) are enforced — wall-clock metrics too noisy to
+    gate still get recorded, they just never fail the build.  A gated
+    metric with no committed baseline or no known direction is skipped:
+    the first run *establishes* the baseline rather than failing it.
+    """
+    regressions: List[Regression] = []
+    for metric, tolerance in gates.items():
+        tol = default_tolerance_pct if tolerance is None \
+            else float(tolerance)
+        if metric not in metrics:
+            continue
+        baseline = trajectory.latest_value(metric)
+        if baseline is None or baseline == 0:
+            continue
+        direction = direction_of(metric)
+        if direction is None:
+            continue
+        current = float(metrics[metric])
+        delta_pct = (current - baseline) / abs(baseline) * 100.0
+        regressed = delta_pct < -tol if direction == "higher" \
+            else delta_pct > tol
+        if regressed:
+            regressions.append(Regression(
+                metric_set=trajectory.metric_set, metric=metric,
+                baseline=baseline, current=current,
+                delta_pct=delta_pct, tolerance_pct=tol))
+    return regressions
+
+
+# -- pytest-benchmark ingestion ------------------------------------------------
+
+def metrics_from_pytest_benchmark(doc: Dict[str, object]
+                                  ) -> Dict[str, float]:
+    """Flatten a ``--benchmark-json`` document into trajectory metrics.
+
+    Each benchmark contributes its mean wall-clock seconds as
+    ``<name>_mean_ns`` plus every numeric scalar from ``extra_info``
+    (prefixed with the benchmark name; nested dicts flatten with their
+    key path).  That captures exactly the numbers the benchmark files
+    advertise — ``speedup``, ``vehicles_per_second`` per worker count,
+    per-op latencies — under stable, direction-inferable names.
+    """
+    out: Dict[str, float] = {}
+
+    def put(name: str, value) -> None:
+        if isinstance(value, bool):
+            return
+        if isinstance(value, (int, float)):
+            out[name] = float(value)
+
+    def flatten(prefix: str, value) -> None:
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                flatten(f"{prefix}_{key}", sub)
+        else:
+            put(prefix, value)
+
+    for bench in doc.get("benchmarks", []):
+        raw = str(bench.get("name", "bench"))
+        name = raw.removeprefix("test_")
+        stats = bench.get("stats") or {}
+        if isinstance(stats.get("mean"), (int, float)):
+            put(f"{name}_mean_ns", stats["mean"] * 1e9)
+        extra = bench.get("extra_info") or {}
+        for key, value in extra.items():
+            # extra_info keys already carry their own unit suffixes
+            # (speedup, *_ns_per_op, vehicles_per_second); nested dicts
+            # (per-worker maps, hook breakdowns) flatten by key path.
+            flatten(f"{name}_{key}", value)
+    return out
+
+
+def ingest_pytest_benchmark(trajectory_dir: str, metric_set: str,
+                            bench_json_path: str,
+                            seed: Optional[int] = None,
+                            sha: Optional[str] = None) -> Trajectory:
+    """Append one pytest-benchmark JSON file to a trajectory and save."""
+    with open(bench_json_path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = metrics_from_pytest_benchmark(doc)
+    if not metrics:
+        raise ValueError(f"{bench_json_path}: no benchmarks to ingest")
+    trajectory = load_or_new(trajectory_dir, metric_set)
+    trajectory.append(metrics, seed=seed, source="pytest-benchmark",
+                      sha=sha)
+    trajectory.save(trajectory_path(trajectory_dir, metric_set))
+    return trajectory
+
+
+def load_all(trajectory_dir: str) -> List[Trajectory]:
+    """Every ``BENCH_*.json`` trajectory under *trajectory_dir*."""
+    out: List[Trajectory] = []
+    if not os.path.isdir(trajectory_dir):
+        return out
+    for name in sorted(os.listdir(trajectory_dir)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            out.append(Trajectory.load(
+                os.path.join(trajectory_dir, name)))
+    return out

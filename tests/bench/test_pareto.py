@@ -1,0 +1,99 @@
+"""Pareto frontier and trend-table rendering."""
+
+from repro.bench.pareto import (PARETO_AXES, pareto_points,
+                                render_pareto_table, render_report,
+                                render_trend_table)
+from repro.bench.trajectory import Trajectory
+
+
+def cell(label, vps, p99, mem):
+    return {"cell": label, "metrics": {
+        "fleet_vehicles_per_second": vps,
+        "hook_p99_ns": p99,
+        "peak_mem_kb": mem,
+    }}
+
+
+class TestFrontier:
+    def test_dominated_point_marked(self):
+        points = pareto_points([
+            cell("fast", 200.0, 1000.0, 500.0),
+            cell("slow", 100.0, 2000.0, 600.0),   # worse on every axis
+        ])
+        by_label = {p.label: p for p in points}
+        assert by_label["fast"].on_frontier
+        assert not by_label["slow"].on_frontier
+        assert by_label["slow"].dominated_by == "fast"
+
+    def test_tradeoff_keeps_both_on_frontier(self):
+        points = pareto_points([
+            cell("throughput", 200.0, 5000.0, 500.0),
+            cell("latency", 100.0, 1000.0, 500.0),
+        ])
+        assert all(p.on_frontier for p in points)
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        points = pareto_points([
+            cell("a", 100.0, 1000.0, 500.0),
+            cell("b", 100.0, 1000.0, 500.0),
+        ])
+        assert all(p.on_frontier for p in points)
+
+    def test_cells_missing_an_axis_are_skipped(self):
+        incomplete = {"cell": "partial",
+                      "metrics": {"fleet_vehicles_per_second": 50.0}}
+        points = pareto_points([cell("full", 100.0, 1000.0, 500.0),
+                                incomplete])
+        assert [p.label for p in points] == ["full"]
+
+    def test_axes_cover_the_three_report_dimensions(self):
+        assert [m for m, _ in PARETO_AXES] == [
+            "fleet_vehicles_per_second", "hook_p99_ns", "peak_mem_kb"]
+
+
+class TestRendering:
+    def test_pareto_table_orders_frontier_first(self):
+        points = pareto_points([
+            cell("slow", 100.0, 2000.0, 600.0),
+            cell("fast", 200.0, 1000.0, 500.0),
+        ])
+        lines = render_pareto_table(points)
+        assert "fast" in lines[2] and "**yes**" in lines[2]
+        assert "dominated by `fast`" in lines[3]
+
+    def test_empty_cells_render_placeholder(self):
+        lines = render_pareto_table(pareto_points([]))
+        assert len(lines) == 1 and lines[0].startswith("*(")
+
+    def test_trend_table_deltas(self):
+        trajectory = Trajectory("fleet")
+        trajectory.append({"fleet_vehicles_per_second": 100.0},
+                          sha="aaa", timestamp="2026-01-01T00:00:00")
+        trajectory.append({"fleet_vehicles_per_second": 150.0},
+                          sha="bbb", timestamp="2026-02-01T00:00:00")
+        lines = render_trend_table(trajectory)
+        assert "fleet_vehicles_per_second" in lines[0]
+        assert "(+50.0%)" in lines[3]
+
+    def test_trend_table_prefers_headline_gates(self):
+        trajectory = Trajectory("obs")
+        trajectory.append({
+            "very_long_flattened_per_hook_breakdown_p99_ns": 1.0,
+            "avc_speedup": 2.0,
+        }, sha="aaa")
+        header = render_trend_table(trajectory, max_metrics=1)[0]
+        assert "avc_speedup" in header
+
+    def test_empty_trajectory_placeholder(self):
+        assert render_trend_table(Trajectory("x")) == \
+            ["*(empty trajectory)*"]
+
+    def test_full_report_sections(self):
+        trajectory = Trajectory("fleet")
+        trajectory.append({"fleet_vehicles_per_second": 100.0}, sha="a")
+        summary = {"cells": [cell("only", 100.0, 1000.0, 500.0)]}
+        text = render_report([trajectory], summary)
+        assert "# Performance trajectory" in text
+        assert "## Trend — `fleet`" in text
+        assert "## Pareto frontier" in text
+        assert "`only`" in text

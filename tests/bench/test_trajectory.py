@@ -1,0 +1,178 @@
+"""Trajectory store: persistence, direction inference, regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (Trajectory, TRAJECTORY_SCHEMA,
+                                    check_metrics, direction_of,
+                                    ingest_pytest_benchmark, load_all,
+                                    load_or_new,
+                                    metrics_from_pytest_benchmark,
+                                    trajectory_path)
+
+
+class TestDirections:
+    def test_higher_is_better(self):
+        assert direction_of("fleet_vehicles_per_second") == "higher"
+        assert direction_of("avc_speedup") == "higher"
+        assert direction_of("speedup_1_to_4") == "higher"
+        assert direction_of("abac_ratio") == "higher"
+
+    def test_lower_is_better(self):
+        assert direction_of("avc_cached_ns_per_op") == "lower"
+        assert direction_of("hook_p99_ns") == "lower"
+        assert direction_of("peak_mem_kb") == "lower"
+        assert direction_of("transport_us") == "lower"
+
+    def test_unknown_is_none(self):
+        assert direction_of("chaos_transitions") is None
+        assert direction_of("rule_count") is None
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        trajectory = Trajectory("avc")
+        trajectory.append({"avc_speedup": 15.0}, seed=3, source="test",
+                          sha="abc123", timestamp="2026-01-01T00:00:00")
+        path = trajectory_path(str(tmp_path), "avc")
+        trajectory.save(path)
+        loaded = Trajectory.load(path)
+        assert loaded.metric_set == "avc"
+        assert loaded.records[0]["git_sha"] == "abc123"
+        assert loaded.latest_value("avc_speedup") == 15.0
+
+    def test_schema_enforced(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "nope", "records": []}))
+        with pytest.raises(ValueError, match=TRAJECTORY_SCHEMA):
+            Trajectory.load(str(path))
+
+    def test_append_rejects_non_numeric(self):
+        trajectory = Trajectory("avc")
+        with pytest.raises(ValueError, match="numeric"):
+            trajectory.append({"avc_speedup": "fast"})
+        with pytest.raises(ValueError, match="numeric"):
+            trajectory.append({"avc_speedup": True})
+
+    def test_load_or_new_and_load_all(self, tmp_path):
+        assert load_or_new(str(tmp_path), "avc").records == []
+        trajectory = Trajectory("avc")
+        trajectory.append({"avc_speedup": 1.0}, sha="s")
+        trajectory.save(trajectory_path(str(tmp_path), "avc"))
+        sets = [t.metric_set for t in load_all(str(tmp_path))]
+        assert sets == ["avc"]
+
+    def test_latest_value_scans_backwards(self):
+        trajectory = Trajectory("avc")
+        trajectory.append({"a_per_second": 1.0}, sha="s1")
+        trajectory.append({"b_ns": 5.0}, sha="s2")
+        trajectory.append({"a_per_second": 3.0}, sha="s3")
+        assert trajectory.latest_value("a_per_second") == 3.0
+        assert trajectory.latest_value("b_ns") == 5.0
+        assert trajectory.latest_value("missing") is None
+
+
+class TestCheck:
+    def _trajectory(self, **metrics):
+        trajectory = Trajectory("fleet")
+        trajectory.append(metrics, sha="base")
+        return trajectory
+
+    def test_within_tolerance_passes(self):
+        trajectory = self._trajectory(fleet_vehicles_per_second=100.0)
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 95.0},
+                             {"fleet_vehicles_per_second": 10.0}) == []
+
+    def test_throughput_drop_fails(self):
+        trajectory = self._trajectory(fleet_vehicles_per_second=100.0)
+        regressions = check_metrics(
+            trajectory, {"fleet_vehicles_per_second": 50.0},
+            {"fleet_vehicles_per_second": 10.0})
+        assert len(regressions) == 1
+        regression = regressions[0]
+        assert regression.metric == "fleet_vehicles_per_second"
+        assert regression.delta_pct == pytest.approx(-50.0)
+        assert "fleet/" in str(regression)
+
+    def test_throughput_gain_never_fails(self):
+        trajectory = self._trajectory(fleet_vehicles_per_second=100.0)
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 500.0},
+                             {"fleet_vehicles_per_second": 10.0}) == []
+
+    def test_latency_rise_fails(self):
+        trajectory = self._trajectory(hook_p99_ns=1000.0)
+        regressions = check_metrics(trajectory,
+                                    {"hook_p99_ns": 2000.0},
+                                    {"hook_p99_ns": 25.0})
+        assert len(regressions) == 1
+        assert regressions[0].delta_pct == pytest.approx(100.0)
+
+    def test_latency_drop_never_fails(self):
+        trajectory = self._trajectory(hook_p99_ns=1000.0)
+        assert check_metrics(trajectory, {"hook_p99_ns": 10.0},
+                             {"hook_p99_ns": 25.0}) == []
+
+    def test_none_tolerance_uses_default(self):
+        trajectory = self._trajectory(fleet_vehicles_per_second=100.0)
+        # default tolerance is 20%: -19% passes, -21% fails
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 81.0},
+                             {"fleet_vehicles_per_second": None}) == []
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 79.0},
+                             {"fleet_vehicles_per_second": None})
+
+    def test_missing_baseline_or_metric_skipped(self):
+        trajectory = self._trajectory(fleet_vehicles_per_second=100.0)
+        # gate over a metric the run never produced
+        assert check_metrics(trajectory, {},
+                             {"fleet_vehicles_per_second": 10.0}) == []
+        # gate over a metric with no committed baseline
+        assert check_metrics(trajectory, {"other_per_second": 5.0},
+                             {"other_per_second": 10.0}) == []
+
+
+class TestPytestIngest:
+    DOC = {
+        "benchmarks": [
+            {
+                "name": "test_avc_speedup_target",
+                "stats": {"mean": 0.002},
+                "extra_info": {
+                    "speedup": 15.5,
+                    "cached_ns_per_op": 2300.0,
+                    "rule_count": 200,
+                    "per_worker": {"1": 49.9, "4": 198.0},
+                    "note": "not-a-number",
+                },
+            },
+        ],
+    }
+
+    def test_flattening(self):
+        metrics = metrics_from_pytest_benchmark(self.DOC)
+        assert metrics["avc_speedup_target_mean_ns"] == \
+            pytest.approx(2e6)
+        assert metrics["avc_speedup_target_speedup"] == 15.5
+        assert metrics["avc_speedup_target_per_worker_4"] == 198.0
+        assert "avc_speedup_target_note" not in metrics
+
+    def test_ingest_appends_and_saves(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(self.DOC))
+        ingest_pytest_benchmark(str(tmp_path), "avc", str(bench),
+                                seed=1, sha="abc")
+        again = ingest_pytest_benchmark(str(tmp_path), "avc",
+                                        str(bench), sha="def")
+        assert len(again.records) == 2
+        assert [r["git_sha"] for r in again.records] == ["abc", "def"]
+        assert again.records[0]["source"] == "pytest-benchmark"
+
+    def test_ingest_rejects_empty(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(ValueError, match="no benchmarks"):
+            ingest_pytest_benchmark(str(tmp_path), "avc", str(bench))
