@@ -141,6 +141,16 @@ WORKLOAD_AXES: Dict[str, Dict[str, Axis]] = {
         Axis("fault_intensity", "float", 0.05, minimum=0.0, maximum=1.0),
         _SEED, _MEASURE_MEMORY_ON,
     ),
+    "recovery": _axes(
+        Axis("vehicles", "int", 8, minimum=1),
+        Axis("workers", "int", 1, minimum=1),
+        Axis("epochs", "int", 12, minimum=2),
+        Axis("crash_epoch", "int", 3, minimum=0),
+        Axis("checkpoint_interval", "int", 2, minimum=1),
+        Axis("crash_probability", "float", 0.0, minimum=0.0,
+             maximum=1.0),
+        _SEED, _MEASURE_MEMORY_ON,
+    ),
     "avc": _axes(
         Axis("rules", "int", 200, minimum=1),
         Axis("iterations", "int", 2000, minimum=1),
@@ -492,6 +502,54 @@ def _run_chaos_cell(params: Dict[str, object]
     return metrics, obs
 
 
+def _run_recovery_cell(params: Dict[str, object]
+                       ) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Crash-and-recover cell: one forced crash (plus optional random
+    crash faults), measuring virtual restore downtime and determinism."""
+    from ..faults import points as fault_points
+    from ..faults.plan import FaultRule
+    from ..fleet.orchestrator import Fleet, FleetConfig
+
+    epochs = int(params["epochs"])
+    crash_epoch = max(0, min(int(params["crash_epoch"]), epochs - 1))
+
+    def run_once():
+        fleet = Fleet(FleetConfig(
+            n_vehicles=int(params["vehicles"]),
+            seed=int(params["seed"]),
+            workers=int(params["workers"]),
+            checkpoint_interval_epochs=
+            int(params["checkpoint_interval"])))
+        probability = float(params["crash_probability"])
+        if probability > 0:
+            fleet.fleet_plan.add_rule(FaultRule(
+                point=fault_points.FLEET_VEHICLE_CRASH,
+                probability=probability))
+        fleet.force_crash(fleet.ids[0], epoch=crash_epoch)
+        return fleet, fleet.run(epochs).report
+
+    fleet, report = run_once()
+    _, second = run_once()
+    resilience = report.resilience
+    metrics: Dict[str, float] = {
+        "recovery_restore_latency_ns":
+            float(fleet.supervisor.mean_restore_latency_ns() or 0.0),
+        "recovery_crashes": float(resilience.get("crashes", 0)),
+        "recovery_restores": float(resilience.get("restores", 0)),
+        "recovery_quarantined": float(resilience.get("quarantined", 0)),
+        "recovery_violations": float(len(report.violations)),
+        "recovery_determinism_ratio":
+            1.0 if report.fingerprint() == second.fingerprint() else 0.0,
+    }
+    obs: Dict[str, object] = {
+        "resilience": resilience,
+        "fingerprint": report.fingerprint(),
+        "violations": list(report.violations),
+        "checkpoints": fleet.supervisor.checkpoints.to_rows(),
+    }
+    return metrics, obs
+
+
 def _boot_avc_world(rules: int, cache_enabled: bool):
     from ..kernel import OpenFlags, user_credentials
     from .harness import CONFIG_SACK_INDEPENDENT, build_world
@@ -570,9 +628,14 @@ _EXECUTORS: Dict[str, Callable[[Dict[str, object]],
                                      Dict[str, object]]]] = {
     "fleet": _run_fleet_cell,
     "chaos": _run_chaos_cell,
+    "recovery": _run_recovery_cell,
     "avc": _run_avc_cell,
     "hooks": _run_hooks_cell,
 }
+
+#: Workloads whose metrics gate against another workload's trajectory
+#: file (recovery cells ride the chaos set: both exercise fault paths).
+_METRIC_SET_ALIASES: Dict[str, str] = {"recovery": "chaos"}
 
 
 def run_cell(cell: SweepCell) -> Dict[str, object]:
@@ -634,7 +697,9 @@ class SuiteRun:
         from .trajectory import direction_of
         folded: Dict[str, Dict[str, float]] = {}
         for result in self.results:
-            bucket = folded.setdefault(result["workload"], {})
+            metric_set = _METRIC_SET_ALIASES.get(result["workload"],
+                                                 result["workload"])
+            bucket = folded.setdefault(metric_set, {})
             for metric, value in result["metrics"].items():
                 direction = direction_of(metric)
                 if metric not in bucket:

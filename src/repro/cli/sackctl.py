@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..sack import (SituationEvent, check_policy, compile_policy,
                     format_policy, has_errors, parse_policy)
@@ -189,7 +189,7 @@ def _boot_observed_world(policy_path: str):
     return kernel, sack, sds, app
 
 
-def _build_fleet(args, policy_text: Optional[str] = None):
+def _build_fleet(args, policy_text: Optional[str] = None, **overrides):
     """Assemble a Fleet from the shared fleet CLI knobs."""
     from ..fleet import Fleet, FleetConfig
     config = FleetConfig(
@@ -199,7 +199,8 @@ def _build_fleet(args, policy_text: Optional[str] = None):
         if getattr(args, "fleet_seed", None) is not None
         else getattr(args, "seed", 0),
         workers=getattr(args, "workers", 1),
-        policy_text=policy_text)
+        policy_text=policy_text,
+        **overrides)
     return Fleet(config)
 
 
@@ -420,17 +421,21 @@ def _fleet_bundle(fleet, version: int):
 
 
 def _print_vehicle_rows(fleet, only: Optional[str] = None) -> None:
+    sup = fleet.supervisor
     print(f"{'vehicle':<8} {'situation':<24} {'bundle':<7} "
-          f"{'online':<7} {'denials':<8} events")
+          f"{'online':<7} {'state':<12} {'crashes':<8} "
+          f"{'denials':<8} events")
     for vid in fleet.ids:
         if only is not None and vid != only:
             continue
         vehicle = fleet.vehicles[vid]
         health = vehicle.health_snapshot()
         bundle = health["bundle_version"]
+        status = sup.status[vid]
         print(f"{vid:<8} {health['situation']:<24} "
               f"{'v%s' % bundle if bundle is not None else 'boot':<7} "
               f"{'yes' if health['online'] else 'NO':<7} "
+              f"{status.state:<12} {status.crashes:<8} "
               f"{health['denials']:<8} "
               f"{health['events_accepted']}+{health['events_rejected']}rej")
 
@@ -507,6 +512,72 @@ def cmd_fleet_bus(args) -> int:
     print()
     stats = fleet.bus.stats_dict()
     print("bus: " + ", ".join(f"{k}={v}" for k, v in sorted(stats.items())))
+    return 0 if result.ok else 1
+
+
+def cmd_fleet_checkpoint(args) -> int:
+    fleet = _build_fleet(
+        args, policy_text=_fleet_policy_text(args),
+        always_checkpoint=True,
+        checkpoint_interval_epochs=args.interval)
+    result = fleet.run(args.epochs)
+    rows = fleet.supervisor.checkpoints.to_rows()
+    print(f"{len(rows)} vehicle checkpoint(s) after {args.epochs} "
+          f"epoch(s), interval {args.interval} "
+          f"(epoch -1 = boot baseline)")
+    print(f"{'vehicle':<8} {'epoch':<6} digest")
+    for row in rows:
+        print(f"{row['vehicle']:<8} {row['epoch']:<6} "
+              f"{str(row['digest'])[:16]}")
+    return 0 if result.ok else 1
+
+
+def _run_restore_once(args):
+    """One seeded crash-and-recover run; returns (fleet, result, events)."""
+    from ..obs import tracepoints as tp_names
+    fleet = _build_fleet(
+        args, policy_text=_fleet_policy_text(args),
+        checkpoint_interval_epochs=args.interval,
+        max_restarts=args.max_restarts)
+    victim = args.vehicle or fleet.ids[0]
+    if victim not in fleet.vehicles:
+        raise ValueError(f"no vehicle {victim!r}; "
+                         f"ids: {', '.join(fleet.ids)}")
+    events: List[Tuple[str, dict]] = []
+    reg = fleet.supervisor.obs.tracepoints
+    for name in (tp_names.FLEET_CRASH_TP, tp_names.FLEET_RESTORE_TP,
+                 tp_names.FLEET_QUARANTINE_TP):
+        reg.attach(name, lambda n, fields: events.append((n, dict(fields))))
+    crash_epoch = max(0, min(args.crash_epoch, args.epochs - 1))
+    fleet.force_crash(victim, epoch=crash_epoch)
+    result = fleet.run(args.epochs)
+    return fleet, result, events
+
+
+def cmd_fleet_restore(args) -> int:
+    fleet, result, events = _run_restore_once(args)
+    print("recovery timeline:")
+    for name, fields in events:
+        rendered = ", ".join(f"{k}={fields[k]}" for k in sorted(fields))
+        print(f"  {name}: {rendered}")
+    if not events:
+        print("  (no crash fired; epochs may be too few)")
+    print()
+    for line in result.report.summary_lines():
+        print(line)
+    print()
+    _print_vehicle_rows(fleet)
+    if args.double_run:
+        first = result.report.fingerprint()
+        _, second_result, _ = _run_restore_once(args)
+        second = second_result.report.fingerprint()
+        print()
+        print(f"run 1 fingerprint {first}")
+        print(f"run 2 fingerprint {second}")
+        if first != second:
+            print("FINGERPRINT MISMATCH: recovery is not deterministic")
+            return 1
+        print("fingerprints identical: recovery is deterministic")
     return 0 if result.ok else 1
 
 
@@ -692,6 +763,32 @@ def build_parser() -> argparse.ArgumentParser:
     pf_bus.add_argument("--lines", type=int, default=50,
                         help="tail length (default: 50)")
     pf_bus.set_defaults(func=cmd_fleet_bus)
+
+    pf_ckpt = fleet_sub.add_parser(
+        "checkpoint", help="run a fleet with periodic vehicle "
+                           "checkpoints on and print the store")
+    _add_fleet_common(pf_ckpt)
+    pf_ckpt.add_argument("--interval", type=int, default=4,
+                         help="epochs between checkpoints (default: 4)")
+    pf_ckpt.set_defaults(func=cmd_fleet_checkpoint)
+
+    pf_restore = fleet_sub.add_parser(
+        "restore", help="crash one vehicle, recover it from checkpoint "
+                        "+ journal replay, print the timeline")
+    _add_fleet_common(pf_restore)
+    pf_restore.add_argument("--vehicle", metavar="VEHICLE_ID",
+                            help="vehicle to crash (default: first)")
+    pf_restore.add_argument("--crash-epoch", type=int, default=3,
+                            help="epoch the crash fires (default: 3)")
+    pf_restore.add_argument("--interval", type=int, default=2,
+                            help="checkpoint interval (default: 2)")
+    pf_restore.add_argument("--max-restarts", type=int, default=3,
+                            help="restarts before quarantine "
+                                 "(default: 3)")
+    pf_restore.add_argument("--double-run", action="store_true",
+                            help="run twice and require identical "
+                                 "fingerprints (CI determinism check)")
+    pf_restore.set_defaults(func=cmd_fleet_restore)
     return parser
 
 

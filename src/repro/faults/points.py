@@ -59,6 +59,15 @@ FLEET_VEHICLE_OFFLINE = "fleet:vehicle_offline"
 FLEET_BUNDLE_APPLY_FAIL = "fleet:bundle_apply_fail"
 #: A vehicle's rollout ack is lost on the way back to the control plane.
 FLEET_ACK_DROP = "fleet:ack_drop"
+#: A vehicle's kernel dies at the epoch barrier (panic / ECU brownout);
+#: the supervisor must restore it from a checkpoint or quarantine it.
+FLEET_VEHICLE_CRASH = "fleet:vehicle_crash"
+#: A vehicle's shard worker stalls past the barrier deadline; the vehicle
+#: misses its tick phase this epoch but keeps its barrier interactions.
+FLEET_SHARD_STALL = "fleet:shard_stall"
+#: A control-plane call (bus delivery, rollout step, health poll) blows
+#: its per-call deadline; the supervisor retries with backoff.
+FLEET_CONTROL_TIMEOUT = "fleet:control_timeout"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -105,6 +114,12 @@ CATALOGUE: Dict[str, FaultPoint] = {
                    "verified bundle fails to apply on the vehicle"),
         FaultPoint(FLEET_ACK_DROP, "fleet",
                    "rollout ack lost on the way to the control plane"),
+        FaultPoint(FLEET_VEHICLE_CRASH, "fleet",
+                   "vehicle kernel dies at the barrier; needs restore"),
+        FaultPoint(FLEET_SHARD_STALL, "fleet",
+                   "shard worker stalls; vehicle misses one tick phase"),
+        FaultPoint(FLEET_CONTROL_TIMEOUT, "fleet",
+                   "control-plane call exceeds its per-call deadline"),
     )
 }
 

@@ -21,6 +21,9 @@ fleet-side control plane:
   reproducible at any worker count.
 * :mod:`repro.fleet.report` — fleet-wide aggregation of ``repro.obs``
   metrics, audit records, and per-vehicle fingerprints.
+* :mod:`repro.fleet.resilience` — the vehicle supervisor: checkpoint /
+  restore recovery for crashed vehicle kernels, restart backoff and
+  quarantine, and control-plane deadline/retry guards.
 
 See ``docs/fleet.md``.
 """
@@ -31,6 +34,9 @@ from .bus import BusRecord, V2xBus, V2xMessage
 from .orchestrator import (Fleet, FleetConfig, FleetRunResult,
                            ScriptedDriver, TrafficDriver)
 from .report import FleetReport, aggregate_counters
+from .resilience import (CheckpointStore, ControlPlaneGuard, EpochJournal,
+                         RestartPolicy, VehicleSupervisor,
+                         CRASHED, QUARANTINED, RUNNING)
 from .rollout import (RolloutController, RolloutPlan, RolloutState,
                       VehicleAck, VehiclePhase, Wave, default_rollout_plan)
 from .vehicle import FleetVehicle, V2xAlertDetector
@@ -42,6 +48,9 @@ __all__ = [
     "Fleet", "FleetConfig", "FleetRunResult", "ScriptedDriver",
     "TrafficDriver",
     "FleetReport", "aggregate_counters",
+    "CheckpointStore", "ControlPlaneGuard", "EpochJournal",
+    "RestartPolicy", "VehicleSupervisor",
+    "CRASHED", "QUARANTINED", "RUNNING",
     "RolloutController", "RolloutPlan", "RolloutState", "VehicleAck",
     "VehiclePhase", "Wave", "default_rollout_plan",
     "FleetVehicle", "V2xAlertDetector",

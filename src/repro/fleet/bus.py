@@ -75,9 +75,13 @@ class V2xBus:
     def __init__(self, seed: int = 0, range_km: float = 0.5,
                  latency_bounds_ms: Tuple[float, float] = (20.0, 80.0),
                  extra_delay_ms: float = 250.0,
-                 fault_plan=None, tail_capacity: int = 512):
+                 fault_plan=None, tail_capacity: int = 512,
+                 offline_queue_limit: int = 64):
         if range_km <= 0:
             raise ValueError(f"range_km must be positive: {range_km}")
+        if offline_queue_limit < 1:
+            raise ValueError(f"offline_queue_limit must be >= 1: "
+                             f"{offline_queue_limit}")
         lo, hi = latency_bounds_ms
         if lo < 0 or hi < lo:
             raise ValueError(f"bad latency bounds {latency_bounds_ms}")
@@ -85,6 +89,7 @@ class V2xBus:
         self.range_km = range_km
         self.latency_bounds_ms = (lo, hi)
         self.extra_delay_ms = extra_delay_ms
+        self.offline_queue_limit = offline_queue_limit
         self.fault_plan = fault_plan
         #: topic -> ordered list of subscriber vehicle ids.
         self._subscribers: Dict[str, List[str]] = {}
@@ -191,21 +196,43 @@ class V2xBus:
         Copies addressed to offline vehicles stay queued (the radio keeps
         retrying) — they arrive once the vehicle is back, which is what
         lets a reconnecting vehicle catch up instead of silently missing
-        the platoon's situation history.
+        the platoon's situation history.  The store-and-forward buffer is
+        finite though: at most ``offline_queue_limit`` overdue copies per
+        subscriber are held; beyond that the oldest fall off first and
+        are counted under ``v2x_offline_dropped``.
         """
         due: Dict[str, List[V2xMessage]] = {}
         still_pending: List[_PendingDelivery] = []
+        held: Dict[str, List[_PendingDelivery]] = {}
         for entry in self._pending:
             if entry.due_ns > now_ns:
                 still_pending.append(entry)
                 continue
             if online is not None and not online.get(entry.subscriber, True):
-                still_pending.append(entry)
+                held.setdefault(entry.subscriber, []).append(entry)
                 continue
             due.setdefault(entry.subscriber, []).append(entry.message)
             self.stats["copies_delivered"] += 1
             self._record(now_ns, "delivered", entry.message,
                          entry.subscriber)
+        for subscriber in sorted(held):
+            # Oldest = earliest published (msg ids are monotonic), not
+            # earliest due — latency jitter must not pick the victims.
+            backlog = sorted(held[subscriber],
+                             key=lambda e: e.message.msg_id)
+            overflow = len(backlog) - self.offline_queue_limit
+            if overflow > 0:
+                for entry in backlog[:overflow]:
+                    # Keyed lazily so an untouched run's stats dict (and
+                    # with it the fleet fingerprint) stays byte-for-byte
+                    # what it was before the bound existed.
+                    self.stats["v2x_offline_dropped"] = \
+                        self.stats.get("v2x_offline_dropped", 0) + 1
+                    self._record(now_ns, "dropped", entry.message,
+                                 entry.subscriber,
+                                 detail="offline queue overflow")
+                backlog = backlog[overflow:]
+            still_pending.extend(backlog)
         self._pending = still_pending
         # Deterministic arrival order: by (msg id) within a subscriber,
         # independent of queue insertion interleavings.

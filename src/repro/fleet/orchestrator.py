@@ -38,9 +38,10 @@ from ..faults.plan import FaultPlan
 from .bundle import PolicyBundle
 from .bus import V2xBus
 from .report import FleetReport, aggregate_counters
+from .resilience import RestartPolicy, VehicleSupervisor
 from .rollout import (RolloutController, RolloutPlan, RolloutState,
                       VehicleAck, default_rollout_plan)
-from .vehicle import DEFAULT_TOPICS, FleetVehicle
+from .vehicle import DEFAULT_TOPICS, MODE_CONFIGS, FleetVehicle
 
 #: Modelled compute cost of one vehicle-tick on a worker (2 ms — the
 #: order of one simulated kernel's SDS sweep + LSM checks).
@@ -134,19 +135,51 @@ class FleetConfig:
     topics: Tuple[str, ...] = DEFAULT_TOPICS
     bus_range_km: float = 0.5
     bus_latency_ms: Tuple[float, float] = (20.0, 80.0)
+    #: Max overdue V2X copies held per offline subscriber (drop-oldest).
+    v2x_offline_queue_limit: int = 64
     vehicle_fault_intensity: float = 0.0
     policy_text: Optional[str] = None  # None = DEFAULT_SACK_POLICY
     rollout_plan: Optional[RolloutPlan] = None
     fleet_key: bytes = b"sack-fleet-signing-key"
     backend: str = "serial"            # "serial" | "threads"
+    # -- crash resilience (see repro.fleet.resilience) ----------------------
+    #: Completed epochs between copy-on-write vehicle checkpoints.
+    checkpoint_interval_epochs: int = 4
+    #: Restarts before a crashing vehicle is quarantined.
+    max_restarts: int = 3
+    #: Virtual-clock backoff before restart attempt N: base * 2^(N-1).
+    restart_backoff_epochs: int = 1
+    restart_backoff_cap_epochs: int = 8
+    #: Epoch records retained for restore replay.
+    journal_capacity_epochs: int = 64
+    #: Control-plane call deadline/retry knobs (virtual ns).
+    control_retries: int = 2
+    control_deadline_ns: int = 20_000_000
+    #: Checkpoint even with no crash faults armed (``sackctl fleet
+    #: checkpoint`` uses this; it does not change the fingerprint).
+    always_checkpoint: bool = False
+
+    ACCEPTED_BACKENDS = ("serial", "threads")
 
     def __post_init__(self):
         if self.n_vehicles < 1:
             raise ValueError("n_vehicles must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
-        if self.backend not in ("serial", "threads"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend not in self.ACCEPTED_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; accepted backends: "
+                f"{', '.join(self.ACCEPTED_BACKENDS)}")
+        if self.mode not in MODE_CONFIGS:
+            raise ValueError(
+                f"unknown fleet mode {self.mode!r}; accepted modes: "
+                f"{', '.join(sorted(MODE_CONFIGS))}")
+        if self.checkpoint_interval_epochs < 1:
+            raise ValueError("checkpoint_interval_epochs must be >= 1")
+        if self.journal_capacity_epochs < 1:
+            raise ValueError("journal_capacity_epochs must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
 
 
 @dataclasses.dataclass
@@ -177,7 +210,9 @@ class Fleet:
         self.bus = V2xBus(seed=config.seed,
                           range_km=config.bus_range_km,
                           latency_bounds_ms=config.bus_latency_ms,
-                          fault_plan=self.fleet_plan)
+                          fault_plan=self.fleet_plan,
+                          offline_queue_limit=
+                          config.v2x_offline_queue_limit)
         self.vehicles: Dict[str, FleetVehicle] = {}
         for index in range(config.n_vehicles):
             vid = f"veh{index:03d}"
@@ -208,6 +243,18 @@ class Fleet:
         self._last_health: Dict[str, Dict[str, object]] = {
             vid: self.vehicles[vid].health_snapshot() for vid in self.ids}
         self._i8_strikes: Dict[str, int] = {vid: 0 for vid in self.ids}
+        #: Crash supervisor: checkpoints, restores, quarantine, and the
+        #: control-plane deadline guard (idle until faults are armed).
+        self.supervisor = VehicleSupervisor(
+            self,
+            policy=RestartPolicy(
+                max_restarts=config.max_restarts,
+                backoff_base_epochs=config.restart_backoff_epochs,
+                backoff_cap_epochs=config.restart_backoff_cap_epochs),
+            checkpoint_interval_epochs=config.checkpoint_interval_epochs,
+            journal_capacity=config.journal_capacity_epochs,
+            control_retries=config.control_retries,
+            control_deadline_ns=config.control_deadline_ns)
 
     # -- scenario hooks ----------------------------------------------------
     def stage_rollout(self, bundle: PolicyBundle) -> None:
@@ -216,6 +263,12 @@ class Fleet:
     def force_offline(self, vehicle_id: str, epochs: int) -> None:
         """Drop *vehicle_id*'s connectivity for the next *epochs* epochs."""
         self._forced_offline[vehicle_id] = self.epoch_index + epochs
+
+    def force_crash(self, vehicle_id: str,
+                    epoch: Optional[int] = None) -> None:
+        """Kill *vehicle_id*'s kernel at the given (default: next)
+        barrier; the supervisor restores or quarantines it."""
+        self.supervisor.schedule_crash(vehicle_id, epoch)
 
     def arm_vehicle_fault(self, vehicle_id: str, point: str,
                           **knobs) -> None:
@@ -229,6 +282,13 @@ class Fleet:
     def _connectivity(self) -> Dict[str, bool]:
         online: Dict[str, bool] = {}
         for vid in self.ids:
+            if self.supervisor.is_dead(vid):
+                # Crashed/quarantined: off the air, and no offline-fault
+                # draw (a dead radio cannot also flake).
+                online[vid] = False
+                self.vehicles[vid].online = False
+                self.offline_epochs[vid] += 1
+                continue
             down = False
             until = self._forced_offline.get(vid)
             if until is not None:
@@ -272,13 +332,20 @@ class Fleet:
     def _positions(self) -> Dict[str, float]:
         return {vid: self.vehicles[vid].position_km for vid in self.ids}
 
-    def _deliver_bus(self, online: Dict[str, bool]) -> None:
-        due = self.bus.deliver_due(self.sim_now_ns, online)
+    def _deliver_bus(self, online: Dict[str, bool],
+                     record=None) -> None:
+        ok, due = self.supervisor.guard.call(
+            "v2x_delivery", self.sim_now_ns,
+            lambda: self.bus.deliver_due(self.sim_now_ns, online))
+        if not ok:
+            return        # copies stay queued; the radio retries next epoch
         positions = self._positions()
         for vid, messages in due.items():
             vehicle = self.vehicles.get(vid)
             if vehicle is None:
                 continue
+            if record is not None and messages:
+                record.deliveries[vid] = list(messages)
             for message in messages:
                 reaction = vehicle.deliver(message)
                 if reaction == "braked":
@@ -289,10 +356,16 @@ class Fleet:
                                      payload={"cause": message.topic},
                                      positions=positions)
 
-    def _dispatch_rollout(self, online: Dict[str, bool]) -> None:
-        commands = self.controller.step(
-            self._pending_acks, health=self._health_deltas,
-            online=online, epoch=self.epoch_index)
+    def _dispatch_rollout(self, online: Dict[str, bool],
+                          record=None) -> None:
+        acks = self._pending_acks
+        ok, commands = self.supervisor.guard.call(
+            "rollout_step", self.sim_now_ns,
+            lambda: self.controller.step(
+                acks, health=self._health_deltas,
+                online=online, epoch=self.epoch_index))
+        if not ok:
+            return        # acks stay pending and are re-fed next epoch
         self._pending_acks = []
         for command in commands:
             if not online.get(command.vehicle_id, True):
@@ -301,6 +374,10 @@ class Fleet:
             ack = vehicle.apply_bundle(command.bundle,
                                        self.config.fleet_key,
                                        now_ns=self.sim_now_ns)
+            if record is not None:
+                record.commands.setdefault(
+                    command.vehicle_id, []).append(
+                        (command.bundle, self.sim_now_ns))
             if self.fleet_plan.rules and self.fleet_plan.should_fail(
                     fault_points.FLEET_ACK_DROP, self.sim_now_ns,
                     arg=command.vehicle_id):
@@ -309,13 +386,24 @@ class Fleet:
 
     def _tick_vehicles(self) -> None:
         cfg = self.config
-        shards = [self.ids[i::cfg.workers] for i in range(cfg.workers)]
+        sup = self.supervisor
+        # Dead vehicles don't tick; stalled ones miss this phase only.
+        # The shard split covers *tickable* vehicles — keyed by sorted
+        # vehicle id, never by shard index, so crash/stall outcomes are
+        # identical at any worker count.
+        tickable = [vid for vid in self.ids
+                    if not sup.is_dead(vid)
+                    and vid not in sup.stalled_this_epoch]
+        shards = [tickable[i::cfg.workers] for i in range(cfg.workers)]
 
         def run_shard(shard: List[str]) -> None:
             for vid in shard:
                 vehicle = self.vehicles[vid]
-                for _ in range(cfg.epoch_ticks):
-                    vehicle.tick(dt_s=cfg.dt_s)
+                try:
+                    for _ in range(cfg.epoch_ticks):
+                        vehicle.tick(dt_s=cfg.dt_s)
+                except Exception as exc:   # a vehicle kernel died mid-tick
+                    sup.note_tick_exception(vid, exc)
 
         if cfg.backend == "threads" and cfg.workers > 1:
             with ThreadPoolExecutor(max_workers=cfg.workers) as pool:
@@ -323,15 +411,21 @@ class Fleet:
         else:
             for shard in shards:
                 run_shard(shard)
-        # Cost model: shards tick in parallel; the barrier is serial.
+        sup.absorb_tick_crashes()
+        # Cost model: shards tick in parallel; the barrier is serial, and
+        # control-plane timeout penalties (deadline + backoff) are serial
+        # barrier time too.
         shard_cost = max((len(shard) for shard in shards), default=0) \
             * cfg.epoch_ticks * TICK_COST_NS
         barrier_cost = cfg.n_vehicles * BARRIER_COST_PER_VEHICLE_NS
-        self.compute_makespan_ns += shard_cost + barrier_cost
+        self.compute_makespan_ns += shard_cost + barrier_cost \
+            + sup.guard.drain_penalty()
 
     def _publish_transitions(self) -> None:
         positions = self._positions()
         for vid in self.ids:
+            if self.supervisor.is_dead(vid):
+                continue        # a wreck publishes nothing
             vehicle = self.vehicles[vid]
             for event, from_state, to_state in [
                     (t[0], t[1], t[2])
@@ -348,23 +442,33 @@ class Fleet:
                                      positions=positions)
 
     def _collect_health(self) -> None:
-        deltas: Dict[str, Dict[str, object]] = {}
-        for vid in self.ids:
-            snap = self.vehicles[vid].health_snapshot()
-            last = self._last_health[vid]
-            deltas[vid] = {
-                "denial_delta": int(snap["denials"])
-                - int(last["denials"]),
-                "failsafe_delta": int(snap["failsafe_engagements"])
-                - int(last["failsafe_engagements"]),
-                "watchdog_engaged": bool(snap["watchdog_engaged"]),
-            }
-            self._last_health[vid] = snap
-        self._health_deltas = deltas
+        def poll() -> Dict[str, Dict[str, object]]:
+            deltas: Dict[str, Dict[str, object]] = {}
+            for vid in self.ids:
+                if self.supervisor.is_dead(vid):
+                    continue    # can't poll a dead kernel
+                snap = self.vehicles[vid].health_snapshot()
+                last = self._last_health[vid]
+                deltas[vid] = {
+                    "denial_delta": int(snap["denials"])
+                    - int(last["denials"]),
+                    "failsafe_delta": int(snap["failsafe_engagements"])
+                    - int(last["failsafe_engagements"]),
+                    "watchdog_engaged": bool(snap["watchdog_engaged"]),
+                }
+                self._last_health[vid] = snap
+            return deltas
+
+        ok, deltas = self.supervisor.guard.call(
+            "health_poll", self.sim_now_ns, poll)
+        # Exhausted poll: gate on nothing this epoch (deltas unknown).
+        self._health_deltas = deltas if ok else {}
 
     def _check_invariants(self, online: Dict[str, bool]) -> None:
         ctl = self.controller
         for vid in self.ids:
+            if self.supervisor.is_dead(vid):
+                continue        # I8 applies to live vehicles; I9 covers
             vehicle = self.vehicles[vid]
             version = vehicle.bundle_version
             if version is not None and version > ctl.max_offered_version:
@@ -390,17 +494,30 @@ class Fleet:
 
     # -- the epoch loop ----------------------------------------------------
     def run_epoch(self) -> None:
+        sup = self.supervisor
+        # Barrier start: due restores, forced crashes, crash/stall draws.
+        sup.begin_epoch()
+        record = None
+        if sup.active:
+            record = sup.journal.begin(self.epoch_index, self.sim_now_ns)
+            record.stalled = set(sup.stalled_this_epoch)
         online = self._connectivity()
         for vid, action in self.driver.actions(self.epoch_index, self.ids):
+            if sup.is_dead(vid):
+                continue        # the wreck takes no input
             self._apply_action(self.vehicles[vid], action)
-        self._deliver_bus(online)
-        self._dispatch_rollout(online)
+            if record is not None:
+                record.actions.append((vid, action))
+        self._deliver_bus(online, record)
+        self._dispatch_rollout(online, record)
         self._tick_vehicles()
         self.sim_now_ns += int(self.config.epoch_ticks
                                * self.config.dt_s * 1e9)
         self._publish_transitions()
         self._collect_health()
         self._check_invariants(online)
+        sup.check_invariants()
+        sup.end_epoch()
         self.epoch_index += 1
 
     def run(self, epochs: int) -> FleetRunResult:
@@ -440,4 +557,5 @@ class Fleet:
             rollout=self.controller.to_dict(),
             violations=list(self.violations),
             offline_epochs=dict(self.offline_epochs),
+            resilience=self.supervisor.summary(),
         )

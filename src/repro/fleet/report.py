@@ -67,6 +67,10 @@ class FleetReport:
     rollout: Dict[str, object]
     violations: List[str]
     offline_epochs: Dict[str, int]
+    #: Supervisor roll-up (crashes/restores/quarantines); empty unless
+    #: the resilience layer actually fired — keeps legacy fingerprints.
+    resilience: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -85,7 +89,7 @@ class FleetReport:
 
     def fingerprint(self) -> str:
         """Deterministic digest: same seed ⇒ same value, any workers."""
-        payload = json.dumps({
+        doc = {
             "seed": self.seed,
             "n_vehicles": self.n_vehicles,
             "epochs": self.epochs,
@@ -102,7 +106,10 @@ class FleetReport:
             "rollout": self.rollout,
             "violations": self.violations,
             "offline_epochs": self.offline_epochs,
-        }, sort_keys=True, default=str)
+        }
+        if self.resilience:
+            doc["resilience"] = self.resilience
+        payload = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def to_dict(self) -> Dict[str, object]:
@@ -121,6 +128,7 @@ class FleetReport:
             "rollout_state": self.rollout.get("state"),
             "committed_version": self.rollout.get("committed_version"),
             "violations": list(self.violations),
+            "resilience": dict(self.resilience),
             "fingerprint": self.fingerprint(),
         }
 
@@ -144,6 +152,17 @@ class FleetReport:
             situations[name] = situations.get(name, 0) + 1
         lines.append("  final situations: " + ", ".join(
             f"{k}={v}" for k, v in sorted(situations.items())))
+        if self.resilience:
+            lines.append(
+                f"  resilience: {self.resilience.get('crashes', 0)} "
+                f"crash(es), {self.resilience.get('restores', 0)} "
+                f"restore(s), {self.resilience.get('quarantined', 0)} "
+                f"quarantined, "
+                f"{self.resilience.get('checkpoints', 0)} checkpoint(s)")
+            quarantined = self.resilience.get("quarantined_ids") or []
+            if quarantined:
+                lines.append("    quarantined: "
+                             + ", ".join(sorted(quarantined)))
         if self.violations:
             lines.append(f"  INVARIANT VIOLATIONS "
                          f"({len(self.violations)}):")

@@ -207,6 +207,19 @@ class RolloutController:
         self._log(f"staged v{bundle.version} "
                   f"({len(self.plan.waves)} wave(s))")
 
+    def exclude(self, vehicle_id: str) -> None:
+        """Drop *vehicle_id* from the roster (quarantine).
+
+        The vehicle stops counting toward wave membership, health
+        gating, and resync — a quarantined canary must not pin a wave in
+        IN_PROGRESS forever.  Unknown ids are ignored (idempotent).
+        """
+        if vehicle_id not in self.phase:
+            return
+        self.fleet_ids.remove(vehicle_id)
+        del self.phase[vehicle_id]
+        self._log(f"{vehicle_id} excluded from rollout (quarantined)")
+
     def abort(self) -> None:
         """Operator-initiated rollback (same path as a blown budget)."""
         if self.state in (RolloutState.IN_PROGRESS,

@@ -17,6 +17,8 @@ assembles) and adds what fleet membership requires:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Optional, Tuple
 
 from ..faults import points as fault_points
@@ -39,6 +41,12 @@ ALERT_TTL_TICKS = 80
 
 #: Braking applied on a crash alert from the platoon ahead (m/s²).
 ALERT_BRAKE_MS2 = -6.0
+
+#: Enforcement backend per fleet mode name.
+MODE_CONFIGS: Dict[str, EnforcementConfig] = {
+    "independent": EnforcementConfig.SACK_INDEPENDENT,
+    "apparmor": EnforcementConfig.SACK_APPARMOR,
+}
 
 
 class _V2xReceiverSensor(Sensor):
@@ -101,12 +109,11 @@ class FleetVehicle:
                  fault_intensity: float = 0.0,
                  policy_text: Optional[str] = None,
                  alert_ttl_ticks: int = ALERT_TTL_TICKS):
-        config = {
-            "independent": EnforcementConfig.SACK_INDEPENDENT,
-            "apparmor": EnforcementConfig.SACK_APPARMOR,
-        }.get(mode)
+        config = MODE_CONFIGS.get(mode)
         if config is None:
-            raise ValueError(f"unknown fleet mode {mode!r}")
+            raise ValueError(
+                f"unknown fleet mode {mode!r}; accepted modes: "
+                f"{', '.join(sorted(MODE_CONFIGS))}")
         self.vehicle_id = vehicle_id
         self.index = index
         self.seed = seed
@@ -243,7 +250,12 @@ class FleetVehicle:
             kernel.write_file(kernel.procs.init,
                               "/sys/kernel/security/SACK/policy",
                               bundle.policy_text.encode(), create=False)
-        except (KernelError, ValueError) as exc:
+        except (KernelError, ValueError,
+                fault_points.InjectedFault) as exc:
+            # InjectedFault covers a bridge profile reload dying mid
+            # policy load; the bridge applies all-or-nothing, so the
+            # previous profiles are still enforcing and the control
+            # plane just sees a failed ack to re-offer.
             self.apply_log.append((bundle.version, "apply_failed"))
             return VehicleAck(vehicle_id=self.vehicle_id,
                               version=bundle.version, ok=False,
@@ -260,6 +272,42 @@ class FleetVehicle:
         return VehicleAck(vehicle_id=self.vehicle_id,
                           version=bundle.version, ok=True,
                           detail="applied")
+
+    # -- recovery ----------------------------------------------------------
+    def state_digest(self) -> str:
+        """Deterministic digest of everything access control decided on.
+
+        Used by the supervisor's I10 check: a vehicle restored from a
+        checkpoint plus journal replay must digest identically to the
+        wreck it replaces.  Covers situation, dynamics, V2X alert state,
+        bundle lifecycle, and the SSM/SACKfs counters; deliberately
+        excludes :attr:`online` (a fleet-side flag the supervisor flips)
+        and host-timing data.
+        """
+        dyn = self.world.dynamics
+        fs = self.world.sackfs
+        ssm = self._ssm()
+        payload = json.dumps({
+            "vehicle": self.vehicle_id,
+            "tick_count": self.tick_count,
+            "situation": self.situation or "",
+            "alert_topic": self.receiver.active_topic,
+            "alert_expires_at": self._alert_expires_at,
+            "dyn": [repr(dyn.speed_kmh), repr(dyn.position_km),
+                    repr(dyn.commanded_accel_ms2), dyn.engine_on,
+                    dyn.driver_present, dyn.crashed,
+                    repr(dyn.elapsed_s)],
+            "transitions": self.transition_log,
+            "bundle_version": self.bundle_version,
+            "apply_log": self.apply_log,
+            "rejected_bundles": self.rejected_bundles,
+            "ssm": [ssm.events_processed, ssm.events_ignored,
+                    ssm.transition_count],
+            "sackfs": [fs.events_received, fs.events_accepted,
+                       fs.events_rejected],
+            "now_ns": self.world.kernel.obs.now_ns,
+        }, sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     # -- health ------------------------------------------------------------
     def _counter_total(self, name: str) -> int:

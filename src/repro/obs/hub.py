@@ -258,12 +258,24 @@ class Observability:
 
     # -- SACKfs wiring -----------------------------------------------------
     def observe_sackfs(self, sackfs) -> None:
-        """Fold a SACKfs instance's counters into the metrics export."""
+        """Fold a SACKfs instance's counters into the metrics export.
+
+        One bound-method collector iterates every observed instance
+        (rather than one closure per instance) so a deep-copied hub —
+        a fleet checkpoint — samples its *own* SACKfs copies, not the
+        originals a closure would still capture.
+        """
         if sackfs in self._observed_sackfs:
             return
+        register = not self._observed_sackfs
         self._observed_sackfs.append(sackfs)
-        self.metrics.register_collector(
-            lambda fs=sackfs: [
+        if register:
+            self.metrics.register_collector(self._collect_sackfs)
+
+    def _collect_sackfs(self):
+        out = []
+        for fs in self._observed_sackfs:
+            out.extend([
                 sample("sackfs_events_received_total", None, "counter",
                        fs.events_received),
                 sample("sackfs_events_accepted_total", None, "counter",
@@ -273,6 +285,7 @@ class Observability:
                 sample("sackfs_heartbeats_received_total", None, "counter",
                        getattr(fs, "heartbeats_received", 0)),
             ])
+        return out
 
     def event_write(self, n_events: int, n_bytes: int, task) -> None:
         tp = self.tracepoints.get(SACK_EVENT_WRITE)

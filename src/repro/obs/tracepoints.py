@@ -83,6 +83,15 @@ CATALOGUE: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
                                      "error")),
     ("sack", "failsafe", ("from_state", "to_state", "reason")),
     ("fault", "inject", ("point",)),
+    # Fleet-supervisor lifecycle (fired on the fleet-level hub only; the
+    # declarations ride the shared catalogue so tooling can enumerate
+    # them next to the kernel events).
+    ("fleet", "vehicle_crash", ("vehicle", "epoch", "reason")),
+    ("fleet", "checkpoint", ("vehicle", "epoch")),
+    ("fleet", "restore", ("vehicle", "crash_epoch", "restore_epoch",
+                          "attempt", "replayed_epochs")),
+    ("fleet", "quarantine", ("vehicle", "epoch", "reason")),
+    ("fleet", "control_timeout", ("call", "attempt")),
 )
 
 # Full ids, importable by call sites.
@@ -96,6 +105,11 @@ SACK_POLICY_LOAD = "sack:policy_load"
 SACK_TRANSITION_ROLLBACK = "sack:transition_rollback"
 SACK_FAILSAFE = "sack:failsafe"
 FAULT_INJECT = "fault:inject"
+FLEET_CRASH_TP = "fleet:vehicle_crash"
+FLEET_CHECKPOINT_TP = "fleet:checkpoint"
+FLEET_RESTORE_TP = "fleet:restore"
+FLEET_QUARANTINE_TP = "fleet:quarantine"
+FLEET_CONTROL_TIMEOUT_TP = "fleet:control_timeout"
 
 
 class TracepointRegistry:

@@ -207,3 +207,35 @@ class TestConfigHash:
         again = parse_suite_config(config.to_dict())
         assert isinstance(again, SuiteConfig)
         assert again.config_hash() == config.config_hash()
+
+
+class TestRecoveryWorkload:
+    def test_recovery_axes_validate(self):
+        config = parse_suite_config(minimal(
+            workload="recovery",
+            matrix={"vehicles": 4, "epochs": 8, "crash_epoch": 2,
+                    "checkpoint_interval": 2}), "t")
+        cells = expand_cells(config)
+        assert [c.workload for c in cells] == ["recovery"]
+
+    def test_recovery_cell_measures_restore_latency(self):
+        from repro.bench.suite import _run_recovery_cell
+        metrics, obs = _run_recovery_cell({
+            "vehicles": 4, "workers": 1, "epochs": 8, "crash_epoch": 2,
+            "checkpoint_interval": 2, "crash_probability": 0.0,
+            "seed": 7})
+        assert metrics["recovery_crashes"] == 1.0
+        assert metrics["recovery_restores"] == 1.0
+        assert metrics["recovery_restore_latency_ns"] > 0
+        assert metrics["recovery_violations"] == 0.0
+        assert metrics["recovery_determinism_ratio"] == 1.0
+        assert obs["resilience"]["crashes"] == 1
+
+    def test_recovery_metrics_fold_into_chaos_set(self):
+        from repro.bench.suite import SuiteRun
+        run = SuiteRun(config=parse_suite_config(
+            minimal(workload="recovery"), "t"), cells=[])
+        run.results = [{"workload": "recovery",
+                        "metrics": {"recovery_restore_latency_ns": 5.0}}]
+        assert run.gate_metrics_by_set() == {
+            "chaos": {"recovery_restore_latency_ns": 5.0}}

@@ -148,3 +148,57 @@ class TestKernelSelector:
                      "-e", "crash_detected"]) == 0
         assert "event crash_detected: delivered" \
             in capsys.readouterr().out
+
+
+class TestFleetCheckpoint:
+    def test_checkpoint_prints_store(self, capsys):
+        assert main(["fleet", "checkpoint", "--vehicles", "3",
+                     "--epochs", "8", "--interval", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 vehicle checkpoint(s)" in out
+        for vid in ("veh000", "veh001", "veh002"):
+            assert vid in out
+        # Interval 2 over 8 epochs: latest generation is epoch 7.
+        assert " 7 " in out
+
+
+class TestFleetRestore:
+    def test_restore_prints_recovery_timeline(self, capsys):
+        assert main(["fleet", "restore", "--vehicles", "4",
+                     "--epochs", "10", "--crash-epoch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery timeline:" in out
+        assert "fleet:vehicle_crash" in out
+        assert "fleet:restore" in out
+        assert "resilience: 1 crash(es), 1 restore(s)" in out
+        assert "all fleet invariants held" in out
+
+    def test_restore_double_run_is_deterministic(self, capsys):
+        assert main(["fleet", "restore", "--vehicles", "4",
+                     "--epochs", "10", "--crash-epoch", "3",
+                     "--double-run"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprints identical: recovery is deterministic" in out
+
+    def test_restore_status_column_shows_crash_count(self, capsys):
+        assert main(["fleet", "restore", "--vehicles", "3",
+                     "--epochs", "8", "--vehicle", "veh002"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if line.startswith("veh002")]
+        assert rows and " running " in rows[0]
+
+    def test_restore_unknown_vehicle_errors(self, capsys):
+        assert main(["fleet", "restore", "--vehicles", "2",
+                     "--vehicle", "veh999"]) == 1
+        assert "no vehicle 'veh999'" in capsys.readouterr().out
+
+    def test_repeat_crashes_reach_quarantine(self, capsys):
+        # max-restarts 0 quarantines on the very first crash: there is
+        # no restore, and the status column says so.
+        assert main(["fleet", "restore", "--vehicles", "3",
+                     "--epochs", "8", "--crash-epoch", "2",
+                     "--max-restarts", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:quarantine" in out
+        assert "quarantined" in out

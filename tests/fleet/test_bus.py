@@ -1,5 +1,7 @@
 """V2X bus tests: geo filtering, seeded latency, loss, reconnect queues."""
 
+import pytest
+
 from repro.faults import points as fp
 from repro.faults.plan import FaultPlan, FaultRule
 from repro.fleet.bus import V2xBus
@@ -134,6 +136,57 @@ class TestReconnect:
         bus.deliver_due(10**12, online={"b": False})
         due = bus.deliver_due(10**12, online={"b": True})
         assert [m.msg_id for m in due["b"]] == [1, 2, 3]
+
+
+class TestOfflineQueueBound:
+    def test_backlog_beyond_limit_drops_oldest(self):
+        bus = _bus(offline_queue_limit=3)
+        bus.subscribe("b", ["crash"])
+        for _ in range(5):
+            bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        assert bus.deliver_due(10**12, online={"b": False}) == {}
+        assert bus.pending_count == 3
+        assert bus.stats["v2x_offline_dropped"] == 2
+        # The survivors are the newest messages, in msg-id order.
+        due = bus.deliver_due(10**12, online={"b": True})
+        assert [m.msg_id for m in due["b"]] == [3, 4, 5]
+
+    def test_drop_records_land_in_the_tail(self):
+        bus = _bus(offline_queue_limit=1)
+        bus.subscribe("b", ["crash"])
+        for _ in range(2):
+            bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        bus.deliver_due(10**12, online={"b": False})
+        drops = [r for r in bus.tail()
+                 if r.action == "dropped"
+                 and r.detail == "offline queue overflow"]
+        assert len(drops) == 1 and drops[0].subscriber == "b"
+
+    def test_stat_key_absent_until_first_drop(self):
+        # The lazily-created counter keeps untouched runs' stats dicts
+        # (and the fleet fingerprint built over them) byte-identical to
+        # the pre-bound behaviour.
+        bus = _bus()
+        bus.subscribe("b", ["crash"])
+        bus.publish("crash", "a", 0.0, 0, positions={"b": 0.0})
+        bus.deliver_due(10**12, online={"b": False})
+        assert "v2x_offline_dropped" not in bus.stats_dict()
+
+    def test_per_subscriber_bounds_are_independent(self):
+        bus = _bus(offline_queue_limit=2)
+        bus.subscribe("b", ["crash"])
+        bus.subscribe("c", ["crash"])
+        for _ in range(3):
+            bus.publish("crash", "a", 0.0, 0,
+                        positions={"b": 0.0, "c": 0.0})
+        bus.deliver_due(10**12, online={"b": False, "c": True})
+        # c took delivery; only b's backlog was trimmed.
+        assert bus.stats["v2x_offline_dropped"] == 1
+        assert bus.stats["copies_delivered"] == 3
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _bus(offline_queue_limit=0)
 
 
 class TestObservability:

@@ -11,6 +11,7 @@ import json
 import pytest
 
 from repro.faults import points as fp
+from repro.faults.plan import FaultRule
 from repro.fleet.bundle import (BundleSigner, SIGNED_FIELDS_POLICY_ONLY,
                                 make_bundle)
 from repro.fleet.orchestrator import Fleet, FleetConfig, ScriptedDriver
@@ -210,6 +211,31 @@ class TestReconnectI8:
         assert fleet.controller.state is RolloutState.COMPLETE
         assert result.report.bundle_versions["veh002"] == 1
         assert result.ok, result.report.violations
+
+    def test_straggler_resyncs_under_v2x_and_bridge_faults(self):
+        # The worst-case straggler: offline through the rollout, then
+        # reconnecting into a lossy V2X fabric while its AppArmor
+        # bridge's first profile reloads fail.  I8 must still converge
+        # it onto the committed bundle.
+        fleet = _fleet(n=6, seed=11, mode="apparmor",
+                       vehicle_fault_intensity=0.01)
+        fleet.fleet_plan.add_rule(FaultRule(
+            point=fp.V2X_DELIVERY_DROP, probability=0.3))
+        fleet.fleet_plan.add_rule(FaultRule(
+            point=fp.V2X_DELAY, probability=0.3))
+        fleet.fleet_plan.add_rule(FaultRule(
+            point=fp.FLEET_ACK_DROP, probability=0.2))
+        # vehicle_fault_intensity threads this plan into the bridge at
+        # boot, so rules armed now reach the reload path.
+        fleet.arm_vehicle_fault("veh004", fp.BRIDGE_RELOAD_FAIL,
+                                probability=1.0, times=2)
+        fleet.force_offline("veh004", epochs=8)
+        fleet.stage_rollout(_bundle(1))
+        result = fleet.run(epochs=30)
+        assert fleet.controller.state is RolloutState.COMPLETE
+        assert result.report.bundle_versions["veh004"] == 1
+        i8 = [v for v in result.report.violations if "I8" in v]
+        assert not i8, i8
 
 
 def _soak(workers, backend="serial"):

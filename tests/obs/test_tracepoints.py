@@ -79,7 +79,8 @@ class TestRegistry:
 
     def test_by_category_groups_and_sorts(self):
         cats = TracepointRegistry().by_category()
-        assert set(cats) == {"syscalls", "lsm", "sack", "fault"}
+        assert set(cats) == {"syscalls", "lsm", "sack", "fault",
+                             "fleet"}
         sack_events = [p.event for p in cats["sack"]]
         assert sack_events == sorted(sack_events)
 
