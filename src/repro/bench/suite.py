@@ -161,6 +161,14 @@ WORKLOAD_AXES: Dict[str, Dict[str, Axis]] = {
         Axis("scale", "float", 0.1, minimum=0.001, maximum=1.0),
         _SEED, _MEASURE_MEMORY_OFF,
     ),
+    "telemetry": _axes(
+        Axis("vehicles", "int", 25, minimum=1),
+        Axis("workers", "int", 1, minimum=1),
+        Axis("epochs", "int", 12, minimum=2),
+        Axis("short_window", "int", 3, minimum=1),
+        Axis("long_window", "int", 12, minimum=1),
+        _SEED, _MEASURE_MEMORY_OFF,
+    ),
 }
 
 
@@ -623,6 +631,48 @@ def _run_hooks_cell(params: Dict[str, object]
     return metrics, {"hook_latency": breakdown}
 
 
+def _run_telemetry_cell(params: Dict[str, object]
+                        ) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Telemetry-overhead cell: the same seeded fleet with the pipeline
+    off and on.  Both runs are on the virtual clock, so the overhead
+    percentage is deterministic — the modelled per-frame scrape cost
+    against fleet throughput, not host noise."""
+    from ..fleet.orchestrator import Fleet, FleetConfig
+
+    base = dict(n_vehicles=int(params["vehicles"]),
+                seed=int(params["seed"]),
+                workers=int(params["workers"]))
+    epochs = int(params["epochs"])
+    off = Fleet(FleetConfig(**base)).run(epochs).report
+    on_fleet = Fleet(FleetConfig(
+        **base, telemetry=True,
+        telemetry_short_window_epochs=int(params["short_window"]),
+        telemetry_long_window_epochs=int(params["long_window"])))
+    on = on_fleet.run(epochs).report
+    vps_off = off.vehicles_per_second()
+    vps_on = on.vehicles_per_second()
+    overhead_pct = ((vps_off - vps_on) / vps_off * 100.0
+                    if vps_off > 0 else 0.0)
+    telemetry = on.telemetry
+    metrics: Dict[str, float] = {
+        "telemetry_overhead_pct": overhead_pct,
+        "telemetry_vehicles_per_second": vps_on,
+        "telemetry_frames": float(telemetry.get("frames", 0)),
+        "telemetry_series_tracked":
+            float(telemetry.get("series_tracked", 0)),
+        "telemetry_slo_alerts":
+            float(telemetry.get("slo", {}).get("alerts_total", 0)),
+    }
+    obs: Dict[str, object] = {
+        "rollup_digest": telemetry.get("rollup_digest"),
+        "rollups": telemetry.get("rollups"),
+        "overhead": telemetry.get("overhead"),
+        "fingerprint_off": off.fingerprint(),
+        "fingerprint_on": on.fingerprint(),
+    }
+    return metrics, obs
+
+
 _EXECUTORS: Dict[str, Callable[[Dict[str, object]],
                                Tuple[Dict[str, float],
                                      Dict[str, object]]]] = {
@@ -631,11 +681,14 @@ _EXECUTORS: Dict[str, Callable[[Dict[str, object]],
     "recovery": _run_recovery_cell,
     "avc": _run_avc_cell,
     "hooks": _run_hooks_cell,
+    "telemetry": _run_telemetry_cell,
 }
 
 #: Workloads whose metrics gate against another workload's trajectory
-#: file (recovery cells ride the chaos set: both exercise fault paths).
-_METRIC_SET_ALIASES: Dict[str, str] = {"recovery": "chaos"}
+#: file (recovery cells ride the chaos set: both exercise fault paths;
+#: telemetry cells are an observability workload and ride the obs set).
+_METRIC_SET_ALIASES: Dict[str, str] = {"recovery": "chaos",
+                                       "telemetry": "obs"}
 
 
 def run_cell(cell: SweepCell) -> Dict[str, object]:

@@ -36,6 +36,11 @@ Subcommands::
     sackctl fleet rollback --vehicles 10 operator-initiated mid-rollout abort
     sackctl fleet bus --vehicles 6       crash one vehicle and tail the V2X
                                          bus (publish/deliver/drop/filter)
+    sackctl fleet top --vehicles 25      live fleet dashboard: throughput,
+                                         per-state counts, SLO/burn-rate
+                                         status, top denial series
+    sackctl fleet metrics --vehicles 10  whole-fleet OpenMetrics dump from
+                                         the streaming telemetry pipeline
 
 The observability subcommands (``trace``, ``audit``, ``spans``, ``avc``)
 accept ``--kernel <vehicle-id> --fleet-size N``: instead of booting one
@@ -440,12 +445,31 @@ def _print_vehicle_rows(fleet, only: Optional[str] = None) -> None:
               f"{health['events_accepted']}+{health['events_rejected']}rej")
 
 
+def _parsed_slos(args) -> Tuple:
+    from ..fleet import parse_slo
+    return tuple(parse_slo(spec) for spec in (args.slo or []))
+
+
 def cmd_fleet_status(args) -> int:
-    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    overrides = {}
+    if getattr(args, "telemetry", False):
+        overrides["telemetry"] = True
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args),
+                         **overrides)
     if args.kernel is not None and args.kernel not in fleet.vehicles:
         raise ValueError(f"no vehicle {args.kernel!r}; "
                          f"ids: {', '.join(fleet.ids)}")
     result = fleet.run(args.epochs)
+    if getattr(args, "format", None) == "json":
+        # The uniform bench envelope (schema sack-bench/v1) dashboards
+        # and CI already parse.
+        import json as _json
+        from ..bench.envelope import make_envelope
+        print(_json.dumps(make_envelope("fleet-status",
+                                        result.report.to_dict(),
+                                        seed=fleet.config.seed),
+                          indent=2))
+        return 0 if result.ok else 1
     if args.json:
         import json as _json
         print(_json.dumps(result.report.to_dict(), indent=2))
@@ -457,9 +481,117 @@ def cmd_fleet_status(args) -> int:
     return 0 if result.ok else 1
 
 
+def _render_fleet_top(fleet, top_n: int) -> List[str]:
+    """One dashboard frame over a telemetry-enabled fleet."""
+    tel = fleet.telemetry
+    agg = tel.aggregator
+    sup = fleet.supervisor
+    epoch = fleet.epoch_index - 1
+    report_vps = (fleet.config.n_vehicles * fleet.epoch_index
+                  / (fleet.compute_makespan_ns / 1e9)
+                  if fleet.compute_makespan_ns else 0.0)
+    lines = [
+        f"sack fleet top — epoch {fleet.epoch_index}, seed "
+        f"{fleet.config.seed}, {fleet.config.n_vehicles} vehicle(s), "
+        f"{fleet.config.workers} worker(s)",
+        f"  throughput {report_vps:.0f} vehicle-epochs/s | telemetry "
+        f"{agg.frames_total} frame(s), {agg.series_tracked} series"
+        + (f", {sum(agg.series_dropped.values())} dropped"
+           if agg.series_dropped else ""),
+    ]
+    situations: dict = {}
+    for vid in fleet.ids:
+        name = fleet.vehicles[vid].situation or "?"
+        situations[name] = situations.get(name, 0) + 1
+    states: dict = {}
+    for vid in fleet.ids:
+        state = sup.status[vid].state
+        states[state] = states.get(state, 0) + 1
+    online = sum(1 for vid in fleet.ids if fleet.vehicles[vid].online)
+    lines.append("  situations: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(situations.items()))
+        + f" | vehicles: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(states.items()))
+        + f" | online {online}/{len(fleet.ids)}")
+    lines.append("")
+    lines.append(f"  {'SLO':<32} {'scope':<8} {'measured':>10} "
+                 f"{'burn s/l':>15} state")
+    live = tuple(vid for vid in fleet.ids if not sup.is_dead(vid))
+    for row in tel.engine.status_rows(epoch, live):
+        measured = row["measured_short"]
+        lines.append(
+            f"  {row['objective']:<32} {row['scope']:<8} "
+            f"{'-' if measured is None else '%g' % measured:>10} "
+            f"{'%g/%g' % (row['burn_short'], row['burn_long']):>15} "
+            f"{row['state']}")
+    top = agg.top_series("lsm_denials_total", epoch,
+                         agg.long_window, n=top_n)
+    lines.append("")
+    if top:
+        lines.append(f"  top denial series (last {agg.long_window} "
+                     f"epoch(s)):")
+        for key, total in top:
+            lines.append(f"    {key:<56} {total:g}")
+    else:
+        lines.append("  no denials in the current window")
+    return lines
+
+
+def cmd_fleet_top(args) -> int:
+    overrides = {"telemetry": True,
+                 "telemetry_short_window_epochs": args.short_window,
+                 "telemetry_long_window_epochs": args.long_window}
+    slos = _parsed_slos(args)
+    if slos:
+        overrides["slos"] = slos
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args),
+                         **overrides)
+    refresh = max(1, args.refresh)
+    clear = sys.stdout.isatty() and not args.once
+    while fleet.epoch_index < args.epochs:
+        fleet.run(min(refresh, args.epochs - fleet.epoch_index))
+        if args.once and fleet.epoch_index < args.epochs:
+            continue
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        for line in _render_fleet_top(fleet, args.top):
+            print(line)
+        print()
+        _print_vehicle_rows(fleet)
+        print()
+    alerts = fleet.telemetry.engine.alerts_total
+    if alerts:
+        print(f"{alerts} SLO alert(s) fired")
+    return 0
+
+
+def cmd_fleet_metrics(args) -> int:
+    overrides = {"telemetry": True}
+    slos = _parsed_slos(args)
+    if slos:
+        overrides["slos"] = slos
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args),
+                         **overrides)
+    fleet.run(args.epochs)
+    print(fleet.telemetry.aggregator.to_openmetrics(), end="")
+    return 0
+
+
 def cmd_fleet_rollout(args) -> int:
     from ..faults import points as fault_points
-    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args))
+    overrides = {}
+    if getattr(args, "slo_breach", False):
+        # Arm an impossible objective over the telemetry pipeline: no
+        # fleet sustains a million heartbeats/s, so the burn-rate alert
+        # fires once the windows fill and the canary health gate trips.
+        from ..fleet import parse_slo
+        overrides.update(
+            telemetry=True,
+            slos=(parse_slo("heartbeat_rate>=1000000"),),
+            telemetry_short_window_epochs=2,
+            telemetry_long_window_epochs=3)
+    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args),
+                         **overrides)
     bundle = _fleet_bundle(fleet, version=args.bundle_version)
     if args.fail_canary:
         # The canary's first apply fails once; the health gate trips and
@@ -475,11 +607,17 @@ def cmd_fleet_rollout(args) -> int:
     state = fleet.controller.state.value
     print(f"final: {state}")
     _print_vehicle_rows(fleet)
+    telemetry = result.report.telemetry
+    if telemetry:
+        slo = telemetry.get("slo", {})
+        print(f"telemetry: {slo.get('alerts_total', 0)} SLO alert(s)")
     if result.report.violations:
         for violation in result.report.violations:
             print(f"VIOLATION: {violation}")
         return 1
-    expected = "rolled_back" if args.fail_canary else "complete"
+    expected = "rolled_back" \
+        if (args.fail_canary or getattr(args, "slo_breach", False)) \
+        else "complete"
     return 0 if state == expected else 1
 
 
@@ -735,7 +873,42 @@ def build_parser() -> argparse.ArgumentParser:
                            help="only show this vehicle's row")
     pf_status.add_argument("--json", action="store_true",
                            help="emit the report as JSON")
+    pf_status.add_argument("--format", choices=["text", "json"],
+                           default=None,
+                           help="json = wrap the report in the uniform "
+                                "sack-bench/v1 envelope")
+    pf_status.add_argument("--telemetry", action="store_true",
+                           help="run with the streaming telemetry "
+                                "pipeline enabled")
     pf_status.set_defaults(func=cmd_fleet_status)
+
+    pf_top = fleet_sub.add_parser(
+        "top", help="live fleet dashboard: throughput, per-state "
+                    "counts, SLO/burn status, top denial series")
+    _add_fleet_common(pf_top)
+    pf_top.add_argument("--refresh", type=int, default=4,
+                        help="epochs per dashboard refresh (default: 4)")
+    pf_top.add_argument("--top", type=int, default=5,
+                        help="top-N denial series to show (default: 5)")
+    pf_top.add_argument("--once", action="store_true",
+                        help="render only the final frame (CI-friendly)")
+    pf_top.add_argument("--slo", action="append", metavar="SPEC",
+                        help="objective like 'denial_rate<=200' "
+                             "(repeatable; default: built-in set)")
+    pf_top.add_argument("--short-window", type=int, default=3,
+                        help="short burn window in epochs (default: 3)")
+    pf_top.add_argument("--long-window", type=int, default=12,
+                        help="long burn window in epochs (default: 12)")
+    pf_top.set_defaults(func=cmd_fleet_top)
+
+    pf_metrics = fleet_sub.add_parser(
+        "metrics", help="run a telemetry-enabled fleet and dump the "
+                        "whole-fleet OpenMetrics exposition")
+    _add_fleet_common(pf_metrics)
+    pf_metrics.add_argument("--slo", action="append", metavar="SPEC",
+                            help="objective like 'denial_rate<=200' "
+                                 "(repeatable)")
+    pf_metrics.set_defaults(func=cmd_fleet_metrics)
 
     pf_rollout = fleet_sub.add_parser(
         "rollout", help="staged OTA policy rollout (canary -> waves -> "
@@ -746,6 +919,10 @@ def build_parser() -> argparse.ArgumentParser:
     pf_rollout.add_argument("--fail-canary", action="store_true",
                             help="inject a canary apply failure and show "
                                  "the automatic fleet-wide rollback")
+    pf_rollout.add_argument("--slo-breach", action="store_true",
+                            help="arm an impossible SLO so a burn-rate "
+                                 "alert aborts the canary (telemetry "
+                                 "path demo)")
     pf_rollout.set_defaults(func=cmd_fleet_rollout)
 
     pf_rollback = fleet_sub.add_parser(

@@ -33,10 +33,12 @@ from .bundle import (BundleError, BundleSigner, BundleVerificationError,
 from .bus import BusRecord, V2xBus, V2xMessage
 from .orchestrator import (Fleet, FleetConfig, FleetRunResult,
                            ScriptedDriver, TrafficDriver)
-from .report import FleetReport, aggregate_counters
+from .report import FleetReport, aggregate_counters, aggregate_metrics
 from .resilience import (CheckpointStore, ControlPlaneGuard, EpochJournal,
                          RestartPolicy, VehicleSupervisor,
                          CRASHED, QUARANTINED, RUNNING)
+from .telemetry import (FleetTelemetry, SloAlert, SloEngine, SloSpec,
+                        TelemetryAggregator, default_slos, parse_slo)
 from .rollout import (RolloutController, RolloutPlan, RolloutState,
                       VehicleAck, VehiclePhase, Wave, default_rollout_plan)
 from .vehicle import FleetVehicle, V2xAlertDetector
@@ -47,7 +49,9 @@ __all__ = [
     "BusRecord", "V2xBus", "V2xMessage",
     "Fleet", "FleetConfig", "FleetRunResult", "ScriptedDriver",
     "TrafficDriver",
-    "FleetReport", "aggregate_counters",
+    "FleetReport", "aggregate_counters", "aggregate_metrics",
+    "FleetTelemetry", "SloAlert", "SloEngine", "SloSpec",
+    "TelemetryAggregator", "default_slos", "parse_slo",
     "CheckpointStore", "ControlPlaneGuard", "EpochJournal",
     "RestartPolicy", "VehicleSupervisor",
     "CRASHED", "QUARANTINED", "RUNNING",

@@ -37,8 +37,9 @@ from ..faults import points as fault_points
 from ..faults.plan import FaultPlan
 from .bundle import PolicyBundle
 from .bus import V2xBus
-from .report import FleetReport, aggregate_counters
+from .report import FleetReport, aggregate_metrics
 from .resilience import RestartPolicy, VehicleSupervisor
+from .telemetry import FleetTelemetry, SloSpec
 from .rollout import (RolloutController, RolloutPlan, RolloutState,
                       VehicleAck, default_rollout_plan)
 from .vehicle import DEFAULT_TOPICS, MODE_CONFIGS, FleetVehicle
@@ -158,6 +159,21 @@ class FleetConfig:
     #: Checkpoint even with no crash faults armed (``sackctl fleet
     #: checkpoint`` uses this; it does not change the fingerprint).
     always_checkpoint: bool = False
+    # -- streaming telemetry (see repro.fleet.telemetry) --------------------
+    #: Snapshot every vehicle kernel at each barrier and run the SLO
+    #: engine.  Off by default: disabled runs fingerprint byte-identically
+    #: to pre-telemetry builds.
+    telemetry: bool = False
+    telemetry_short_window_epochs: int = 3
+    telemetry_long_window_epochs: int = 12
+    #: Aggregator cardinality budget: max (vehicle, series) pairs
+    #: tracked fleet-wide; beyond it, drop-and-count.
+    telemetry_max_series: int = 4096
+    #: Armed objectives; empty = :func:`repro.fleet.telemetry.default_slos`.
+    slos: Tuple[SloSpec, ...] = ()
+    #: Consecutive alerted epochs before a per-vehicle SLO breach
+    #: quarantines the vehicle (0 = never quarantine on SLO).
+    slo_quarantine_epochs: int = 0
 
     ACCEPTED_BACKENDS = ("serial", "threads")
 
@@ -180,6 +196,16 @@ class FleetConfig:
             raise ValueError("journal_capacity_epochs must be >= 1")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if self.telemetry_short_window_epochs < 1 or \
+                self.telemetry_long_window_epochs \
+                < self.telemetry_short_window_epochs:
+            raise ValueError(
+                "need 1 <= telemetry_short_window_epochs "
+                "<= telemetry_long_window_epochs")
+        if self.telemetry_max_series < 1:
+            raise ValueError("telemetry_max_series must be >= 1")
+        if self.slo_quarantine_epochs < 0:
+            raise ValueError("slo_quarantine_epochs must be >= 0")
 
 
 @dataclasses.dataclass
@@ -255,6 +281,10 @@ class Fleet:
             journal_capacity=config.journal_capacity_epochs,
             control_retries=config.control_retries,
             control_deadline_ns=config.control_deadline_ns)
+        #: Streaming telemetry pipeline (None unless enabled, so a
+        #: disabled fleet is byte-identical to pre-telemetry builds).
+        self.telemetry: Optional[FleetTelemetry] = \
+            FleetTelemetry(self) if config.telemetry else None
 
     # -- scenario hooks ----------------------------------------------------
     def stage_rollout(self, bundle: PolicyBundle) -> None:
@@ -464,6 +494,34 @@ class Fleet:
         # Exhausted poll: gate on nothing this epoch (deltas unknown).
         self._health_deltas = deltas if ok else {}
 
+    def _telemetry_step(self) -> None:
+        """Barrier telemetry: snapshot kernels, run SLOs, feed gating.
+
+        Runs after :meth:`_collect_health` so SLO alerts ride the same
+        health deltas the next epoch's rollout step consumes; the
+        modelled scrape cost is serial barrier time.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        alerts = tel.collect(self.epoch_index)
+        self.compute_makespan_ns += tel.virtual_cost_ns(tel.last_frames)
+        per_vehicle = set()
+        for alert in alerts:
+            if alert.vehicle_id:
+                per_vehicle.add(alert.vehicle_id)
+                targets = [alert.vehicle_id]
+            else:
+                # Fleet-scope breach: charge every polled vehicle so a
+                # canary wave in flight sees the burn.
+                targets = list(self._health_deltas)
+            for vid in targets:
+                health = self._health_deltas.get(vid)
+                if health is not None:
+                    health["slo_alerts"] = \
+                        int(health.get("slo_alerts", 0)) + 1
+        self.supervisor.note_slo_alerts(per_vehicle, self.epoch_index)
+
     def _check_invariants(self, online: Dict[str, bool]) -> None:
         ctl = self.controller
         for vid in self.ids:
@@ -515,6 +573,7 @@ class Fleet:
                                * self.config.dt_s * 1e9)
         self._publish_transitions()
         self._collect_health()
+        self._telemetry_step()
         self._check_invariants(online)
         sup.check_invariants()
         sup.end_epoch()
@@ -533,6 +592,9 @@ class Fleet:
             vehicle = self.vehicles[vid]
             vehicle.drain_transitions()     # flush stragglers
             transitions[vid] = list(vehicle.transition_log)
+        metrics = aggregate_metrics(
+            self.vehicles[vid].world.kernel.obs.metrics.to_dict()
+            for vid in self.ids)
         return FleetReport(
             seed=self.config.seed,
             n_vehicles=self.config.n_vehicles,
@@ -549,13 +611,15 @@ class Fleet:
             apply_logs={vid: list(self.vehicles[vid].apply_log)
                         for vid in self.ids},
             health={vid: self._last_health[vid] for vid in self.ids},
-            counters=aggregate_counters(
-                self.vehicles[vid].world.kernel.obs.metrics.to_dict()
-                for vid in self.ids),
+            counters=metrics["counters"],
             bus_stats=self.bus.stats_dict(),
             bus_tail=[r.to_line() for r in self.bus.tail(200)],
             rollout=self.controller.to_dict(),
             violations=list(self.violations),
             offline_epochs=dict(self.offline_epochs),
             resilience=self.supervisor.summary(),
+            gauges=metrics["gauges"],
+            histograms=metrics["histograms"],
+            telemetry=self.telemetry.summary()
+            if self.telemetry is not None else {},
         )

@@ -20,26 +20,69 @@ import json
 from typing import Dict, List, Tuple
 
 
+def _series_key(row) -> str:
+    labels = row.get("labels") or {}
+    if labels:
+        rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{row['name']}{{{rendered}}}"
+    return row["name"]
+
+
 def aggregate_counters(metric_dicts) -> Dict[str, int]:
     """Sum ``repro.obs`` counter values across kernels.
 
     *metric_dicts* is an iterable of ``MetricsRegistry.to_dict()``
     results; the return maps ``name{label=value,...}`` (or bare ``name``)
-    to the fleet-wide total.  Only counters are folded — gauges are
-    point-in-time and histograms embed host timing.
+    to the fleet-wide total.  Only counters are folded here — see
+    :func:`aggregate_metrics` for the full-instrument roll-up.
     """
     totals: Dict[str, int] = {}
     for doc in metric_dicts:
         for row in doc.get("counters", []):
-            labels = row.get("labels") or {}
-            if labels:
-                rendered = ",".join(f"{k}={labels[k]}"
-                                    for k in sorted(labels))
-                key = f"{row['name']}{{{rendered}}}"
-            else:
-                key = row["name"]
+            key = _series_key(row)
             totals[key] = totals.get(key, 0) + int(row["value"])
     return dict(sorted(totals.items()))
+
+
+def aggregate_metrics(metric_dicts) -> Dict[str, Dict[str, object]]:
+    """Fold every instrument kind across kernels, not just counters.
+
+    Returns ``{"counters": {key: sum}, "gauges": {key: {last,min,max}},
+    "histograms": {key: merged-summary}}``.  Gauges are point-in-time,
+    so the fold keeps the last value seen (iteration order) plus the
+    min/max envelope across vehicles; histograms bucket-merge via
+    :func:`repro.obs.telemetry.merge_histograms` (host-timing — callers
+    must keep them out of fingerprints).
+    """
+    from ..obs.telemetry import merge_histograms
+
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, Dict[str, float]] = {}
+    hist_rows: Dict[str, List[Dict[str, object]]] = {}
+    for doc in metric_dicts:
+        for row in doc.get("counters", []):
+            key = _series_key(row)
+            counters[key] = counters.get(key, 0) + int(row["value"])
+        for row in doc.get("gauges", []):
+            key = _series_key(row)
+            value = float(row["value"])
+            agg = gauges.get(key)
+            if agg is None:
+                gauges[key] = {"last": value, "min": value, "max": value}
+            else:
+                agg["last"] = value
+                agg["min"] = min(agg["min"], value)
+                agg["max"] = max(agg["max"], value)
+        for row in doc.get("histograms", []):
+            hist_rows.setdefault(_series_key(row), []).append(row)
+    histograms: Dict[str, Dict[str, object]] = {}
+    for key, rows in hist_rows.items():
+        merged = merge_histograms(rows)
+        if merged is not None:
+            histograms[key] = merged
+    return {"counters": dict(sorted(counters.items())),
+            "gauges": dict(sorted(gauges.items())),
+            "histograms": dict(sorted(histograms.items()))}
 
 
 @dataclasses.dataclass
@@ -70,6 +113,20 @@ class FleetReport:
     #: Supervisor roll-up (crashes/restores/quarantines); empty unless
     #: the resilience layer actually fired — keeps legacy fingerprints.
     resilience: Dict[str, object] = dataclasses.field(
+        default_factory=dict)
+    #: Fleet-wide gauge fold (last/min/max per series) — point-in-time,
+    #: never fingerprinted.
+    gauges: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict)
+    #: Fleet-wide bucket-merged histograms — host timing, never
+    #: fingerprinted.
+    histograms: Dict[str, Dict[str, object]] = dataclasses.field(
+        default_factory=dict)
+    #: Telemetry pipeline summary (rollups, SLO alerts, overhead);
+    #: empty unless telemetry was enabled — keeps legacy fingerprints.
+    #: The ``overhead`` subkey carries host CPU timings and is stripped
+    #: before fingerprinting.
+    telemetry: Dict[str, object] = dataclasses.field(
         default_factory=dict)
 
     @property
@@ -109,6 +166,9 @@ class FleetReport:
         }
         if self.resilience:
             doc["resilience"] = self.resilience
+        if self.telemetry:
+            doc["telemetry"] = {k: v for k, v in self.telemetry.items()
+                                if k != "overhead"}
         payload = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -129,6 +189,7 @@ class FleetReport:
             "committed_version": self.rollout.get("committed_version"),
             "violations": list(self.violations),
             "resilience": dict(self.resilience),
+            "telemetry": dict(self.telemetry),
             "fingerprint": self.fingerprint(),
         }
 
@@ -163,6 +224,18 @@ class FleetReport:
             if quarantined:
                 lines.append("    quarantined: "
                              + ", ".join(sorted(quarantined)))
+        if self.telemetry:
+            slo = self.telemetry.get("slo", {})
+            lines.append(
+                f"  telemetry: {self.telemetry.get('frames', 0)} "
+                f"frame(s), {self.telemetry.get('series_tracked', 0)} "
+                f"series, {slo.get('alerts_total', 0)} SLO alert(s)")
+            for alert in (slo.get("alerts") or [])[-3:]:
+                lines.append(
+                    f"    SLO {alert.get('slo')} "
+                    f"[{alert.get('vehicle') or 'fleet'}] burn "
+                    f"{alert.get('burn_short')}/{alert.get('burn_long')}"
+                    f" at epoch {alert.get('epoch')}")
         if self.violations:
             lines.append(f"  INVARIANT VIOLATIONS "
                          f"({len(self.violations)}):")

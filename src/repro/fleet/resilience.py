@@ -340,6 +340,9 @@ class VehicleSupervisor:
         #: them so a soak can prove the check actually ran.
         self.i10_checked = 0
         self.i10_skipped = 0
+        #: Consecutive epochs each vehicle has carried a per-vehicle SLO
+        #: burn-rate alert (telemetry pipeline feeds this).
+        self._slo_strikes: Dict[str, int] = {}
 
     # -- enablement --------------------------------------------------------
     def _has_crash_rules(self) -> bool:
@@ -599,6 +602,30 @@ class VehicleSupervisor:
             for _ in range(cfg.epoch_ticks):
                 vehicle.tick(dt_s=cfg.dt_s)
         vehicle.drain_transitions()
+
+    def note_slo_alerts(self, alerted_ids, epoch: int) -> None:
+        """Telemetry feed: vehicles carrying a per-vehicle SLO alert at
+        this barrier.  After ``config.slo_quarantine_epochs`` consecutive
+        alerted epochs a vehicle is quarantined through the same path as
+        a crash-loop (0 = SLO breaches never quarantine)."""
+        threshold = getattr(self.fleet.config, "slo_quarantine_epochs", 0)
+        alerted = set(alerted_ids)
+        for vid in list(self._slo_strikes):
+            if vid not in alerted:
+                del self._slo_strikes[vid]
+        if not threshold:
+            return
+        for vid in sorted(alerted):
+            if self.status[vid].state != RUNNING:
+                continue
+            self._slo_strikes[vid] = self._slo_strikes.get(vid, 0) + 1
+            if self._slo_strikes[vid] >= threshold:
+                self._ever_active = True
+                self._quarantine(
+                    vid, epoch,
+                    reason=f"slo burn-rate breach for "
+                    f"{self._slo_strikes[vid]} consecutive epoch(s)")
+                del self._slo_strikes[vid]
 
     def _quarantine(self, vehicle_id: str, epoch: int,
                     reason: str) -> None:

@@ -74,6 +74,9 @@ class RolloutPlan:
     max_denial_delta: int = 25
     gate_on_watchdog: bool = True
     gate_on_failsafe: bool = True
+    #: Count SLO burn-rate alerts (``slo_alerts`` in the health deltas,
+    #: fed by the fleet telemetry pipeline) as gate breaches.
+    gate_on_slo: bool = True
 
     def __post_init__(self):
         if not self.waves:
@@ -316,6 +319,12 @@ class RolloutController:
                 breaches += 1
                 self._log(f"{vid} failsafe engaged under v"
                           f"{self.target_version}")
+            elif self.plan.gate_on_slo and \
+                    int(h.get("slo_alerts", 0)) > 0:
+                breaches += 1
+                self._log(f"{vid} SLO burn-rate breach under v"
+                          f"{self.target_version} "
+                          f"({h.get('slo_alerts')} alert(s))")
         return breaches
 
     def _step_wave(self, health: Dict[str, Dict[str, object]],

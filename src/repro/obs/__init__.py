@@ -32,6 +32,9 @@ from .metrics import (Counter, DEFAULT_NS_BUCKETS, Gauge, Histogram,
                       MetricsRegistry, Sample, sample)
 from .spans import (DEFAULT_LINK_WINDOW, SPAN_RING_CAPACITY, Span,
                     SpanContext, SpanTracer, TRACEPARENT_KEY)
+from .telemetry import (TELEMETRY_SCHEMA, TelemetryFrame,
+                        histogram_percentile, merge_histograms,
+                        series_key, snapshot_frame, split_series_key)
 from .tracepoints import (CATALOGUE, FAULT_INJECT, LSM_HOOK_DISPATCH, Probe,
                           SACK_EVENT_REJECTED, SACK_EVENT_WRITE,
                           SACK_FAILSAFE, SACK_POLICY_LOAD,
@@ -53,4 +56,7 @@ __all__ = [
     "mount_tracefs",
     "DEFAULT_LINK_WINDOW", "SPAN_RING_CAPACITY", "Span", "SpanContext",
     "SpanTracer", "TRACEPARENT_KEY",
+    "TELEMETRY_SCHEMA", "TelemetryFrame", "histogram_percentile",
+    "merge_histograms", "series_key", "snapshot_frame",
+    "split_series_key",
 ]

@@ -170,14 +170,50 @@ def sample(name: str, labels: Optional[Dict[str, str]], kind: str,
     return Sample(name, _label_key(labels), kind, float(value))
 
 
-class MetricsRegistry:
-    """All instruments of one kernel plus registered collectors."""
+#: Default ceiling on distinct label-sets per metric name.  A runaway
+#: label (a path, a free-form subject) can otherwise grow a registry
+#: without bound; past the budget new series are silently detached and
+#: counted in ``metrics_series_dropped{metric=...}``.
+DEFAULT_MAX_SERIES_PER_METRIC = 512
 
-    def __init__(self):
+
+class MetricsRegistry:
+    """All instruments of one kernel plus registered collectors.
+
+    Label-set cardinality is bounded per metric name: once a metric has
+    :attr:`max_series_per_metric` distinct label-sets, accessors for new
+    label-sets return a *detached* instrument (callers keep working, the
+    data is dropped) and the ``metrics_series_dropped`` counter records
+    the drop — bounded memory, never a silent lie.
+    """
+
+    def __init__(self, max_series_per_metric: int =
+                 DEFAULT_MAX_SERIES_PER_METRIC):
+        if max_series_per_metric < 1:
+            raise ValueError("max_series_per_metric must be >= 1")
+        self.max_series_per_metric = max_series_per_metric
         self._counters: Dict[Tuple[str, LabelPairs], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelPairs], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelPairs], Histogram] = {}
         self._collectors: List[Collector] = []
+        #: Distinct registered label-sets per metric name.
+        self._series_count: Dict[str, int] = {}
+        #: Drops per metric name (exported as metrics_series_dropped).
+        self._series_dropped: Dict[str, int] = {}
+
+    def _admit(self, name: str) -> bool:
+        """Charge one new series against *name*'s budget."""
+        used = self._series_count.get(name, 0)
+        if used >= self.max_series_per_metric:
+            self._series_dropped[name] = \
+                self._series_dropped.get(name, 0) + 1
+            return False
+        self._series_count[name] = used + 1
+        return True
+
+    @property
+    def series_dropped(self) -> Dict[str, int]:
+        return dict(self._series_dropped)
 
     # -- instrument accessors (create on first use) ------------------------
     def counter(self, name: str,
@@ -185,7 +221,9 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter()
+            instrument = Counter()
+            if self._admit(name):
+                self._counters[key] = instrument
         return instrument
 
     def gauge(self, name: str,
@@ -193,7 +231,9 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+            instrument = Gauge()
+            if self._admit(name):
+                self._gauges[key] = instrument
         return instrument
 
     def histogram(self, name: str,
@@ -202,7 +242,9 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(bounds)
+            instrument = Histogram(bounds)
+            if self._admit(name):
+                self._histograms[key] = instrument
         return instrument
 
     def register_collector(self, collector: Collector) -> None:
@@ -218,6 +260,12 @@ class MetricsRegistry:
         out: List[Sample] = []
         for collector in self._collectors:
             out.extend(collector())
+        # Registry self-accounting: only present once a drop happened,
+        # so bounded-but-unexercised registries export byte-identically.
+        for name in sorted(self._series_dropped):
+            out.append(Sample("metrics_series_dropped",
+                              (("metric", name),), "counter",
+                              float(self._series_dropped[name])))
         return out
 
     def to_dict(self) -> Dict[str, object]:
@@ -238,7 +286,10 @@ class MetricsRegistry:
         histograms = []
         for (name, labels), h in sorted(self._histograms.items()):
             histograms.append({"name": name, "labels": dict(labels),
-                               **h.summary()})
+                               **h.summary(),
+                               "sum": h.total,
+                               "bounds": list(h.bounds),
+                               "buckets": list(h.bucket_counts)})
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
 

@@ -1,0 +1,63 @@
+"""Tests for the telemetry-overhead benchmark workload and its gate
+wiring (satellite: the suite gains a gated overhead budget)."""
+
+import pytest
+
+from repro.bench.suite import (WORKLOAD_AXES, _METRIC_SET_ALIASES,
+                               _run_telemetry_cell)
+from repro.bench.trajectory import direction_of
+
+
+def _params(**overrides):
+    params = {name: axis.default
+              for name, axis in WORKLOAD_AXES["telemetry"].items()}
+    params.update(overrides)
+    return params
+
+
+class TestTelemetryCell:
+    def test_overhead_within_budget(self):
+        # The acceptance budget: the modelled scrape cost must stay
+        # under 5% of fleet throughput.
+        metrics, _ = _run_telemetry_cell(_params(vehicles=8, epochs=6))
+        assert 0.0 < metrics["telemetry_overhead_pct"] <= 5.0
+
+    def test_overhead_is_deterministic(self):
+        a, _ = _run_telemetry_cell(_params(vehicles=8, epochs=6))
+        b, _ = _run_telemetry_cell(_params(vehicles=8, epochs=6))
+        assert a == b
+
+    def test_cell_reports_pipeline_shape(self):
+        metrics, obs = _run_telemetry_cell(_params(vehicles=4, epochs=6))
+        assert metrics["telemetry_frames"] == 24.0
+        assert metrics["telemetry_series_tracked"] > 0
+        assert metrics["telemetry_slo_alerts"] == 0.0
+        assert len(obs["rollup_digest"]) == 64
+        assert obs["fingerprint_off"] != obs["fingerprint_on"]
+
+    def test_overhead_is_serial_barrier_time(self):
+        # The scrape runs serially at the barrier, so by Amdahl its
+        # relative cost grows as workers shrink the parallel phase —
+        # but it must stay inside the budget even at high parallelism.
+        one, _ = _run_telemetry_cell(_params(vehicles=8, epochs=6,
+                                             workers=1))
+        four, _ = _run_telemetry_cell(_params(vehicles=8, epochs=6,
+                                              workers=4))
+        assert four["telemetry_overhead_pct"] > \
+            one["telemetry_overhead_pct"]
+        assert four["telemetry_overhead_pct"] <= 5.0
+
+
+class TestGateWiring:
+    def test_overhead_direction_is_lower(self):
+        assert direction_of("telemetry_overhead_pct") == "lower"
+
+    def test_accuracy_pct_still_higher(self):
+        # "_pct" alone must not flip explicitly-higher markers.
+        assert direction_of("accuracy_pct") == "higher"
+
+    def test_telemetry_rides_the_obs_metric_set(self):
+        assert _METRIC_SET_ALIASES["telemetry"] == "obs"
+
+    def test_throughput_direction_is_higher(self):
+        assert direction_of("telemetry_vehicles_per_second") == "higher"

@@ -202,3 +202,81 @@ class TestFleetRestore:
         out = capsys.readouterr().out
         assert "fleet:quarantine" in out
         assert "quarantined" in out
+
+
+class TestFleetStatusEnvelope:
+    def test_format_json_wraps_report_in_envelope(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "4", "--seed", "5",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "sack-bench/v1"
+        assert doc["kind"] == "fleet-status"
+        assert doc["seed"] == 5
+        assert doc["data"]["vehicles"] == 3
+        assert len(doc["data"]["fingerprint"]) == 64
+
+    def test_telemetry_flag_adds_report_section(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "3",
+                     "--epochs", "4", "--telemetry",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        tel = doc["data"]["telemetry"]
+        assert tel["frames"] == 12
+        assert len(tel["rollup_digest"]) == 64
+
+    def test_no_telemetry_section_by_default(self, capsys):
+        assert main(["fleet", "status", "--vehicles", "2",
+                     "--epochs", "3", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["data"]["telemetry"] == {}
+
+
+class TestFleetTop:
+    def test_once_renders_dashboard(self, capsys):
+        assert main(["fleet", "top", "--vehicles", "4",
+                     "--epochs", "6", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "sack fleet top — epoch 6" in out
+        assert "telemetry" in out and "series" in out
+        assert "SLO" in out and "burn s/l" in out
+        assert "denial_rate <= 200" in out
+        assert "veh000" in out
+
+    def test_custom_slo_breach_reported(self, capsys):
+        assert main(["fleet", "top", "--vehicles", "3",
+                     "--epochs", "6", "--once",
+                     "--short-window", "2", "--long-window", "3",
+                     "--slo", "heartbeat_rate>=1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "heartbeat_rate >= 1e+06" in out
+        assert "ALERT" in out
+        assert "SLO alert(s) fired" in out
+
+    def test_rejects_unknown_slo_alias(self, capsys):
+        assert main(["fleet", "top", "--vehicles", "2",
+                     "--epochs", "2", "--once",
+                     "--slo", "bogus<=1"]) == 1
+        assert "unknown SLO alias" in capsys.readouterr().out
+
+
+class TestFleetMetrics:
+    def test_openmetrics_dump(self, capsys):
+        assert main(["fleet", "metrics", "--vehicles", "3",
+                     "--epochs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sackfs_heartbeats_received_total counter" in out
+        assert 'vehicle="veh000"' in out
+        assert "fleet_sackfs_heartbeats_received_total" in out
+        assert "telemetry_frames_total 12" in out
+        assert "telemetry_series_tracked" in out
+
+
+class TestFleetRolloutSloBreach:
+    def test_slo_breach_aborts_canary(self, capsys):
+        assert main(["fleet", "rollout", "--vehicles", "25",
+                     "--epochs", "14", "--slo-breach"]) == 0
+        out = capsys.readouterr().out
+        assert "ROLLBACK" in out
+        assert "final: rolled_back" in out
+        assert "telemetry:" in out and "SLO alert(s)" in out

@@ -1,0 +1,82 @@
+"""Tests for the per-metric label-set cardinality budget (satellite:
+bounded registries that drop-and-count instead of growing without bound)."""
+
+from repro.obs import MetricsRegistry
+
+
+class TestCardinalityBudget:
+    def test_within_budget_tracks_all_series(self):
+        reg = MetricsRegistry(max_series_per_metric=4)
+        for i in range(4):
+            reg.counter("m", {"i": str(i)}).inc()
+        assert reg.series_dropped == {}
+        doc = reg.to_dict()
+        assert len([r for r in doc["counters"] if r["name"] == "m"]) == 4
+
+    def test_over_budget_drops_and_counts(self):
+        reg = MetricsRegistry(max_series_per_metric=2)
+        for i in range(5):
+            reg.counter("m", {"i": str(i)}).inc()
+        assert reg.series_dropped == {"m": 3}
+        doc = reg.to_dict()
+        assert len([r for r in doc["counters"] if r["name"] == "m"]) == 2
+
+    def test_detached_instrument_keeps_working(self):
+        # Callers past the budget get a working (but unexported)
+        # instrument: no exceptions on the hot path, ever.
+        reg = MetricsRegistry(max_series_per_metric=1)
+        reg.counter("m", {"i": "0"}).inc()
+        detached = reg.counter("m", {"i": "1"})
+        detached.inc(10)
+        assert detached.value == 10
+        names = {(r["name"], tuple(sorted(r["labels"].items())))
+                 for r in reg.to_dict()["counters"]
+                 if r["name"] == "m"}
+        assert names == {("m", (("i", "0"),))}
+
+    def test_budget_is_per_metric_name(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        reg.counter("a", {"i": "0"}).inc()
+        reg.counter("b", {"i": "0"}).inc()
+        assert reg.series_dropped == {}
+
+    def test_existing_series_unaffected_by_budget_exhaustion(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        first = reg.counter("m", {"i": "0"})
+        reg.counter("m", {"i": "1"}).inc()   # dropped
+        assert reg.counter("m", {"i": "0"}) is first
+
+    def test_gauges_and_histograms_budgeted_too(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        reg.gauge("g", {"i": "0"}).set(1)
+        reg.gauge("g", {"i": "1"}).set(2)
+        reg.histogram("h", {"i": "0"}).record(1)
+        reg.histogram("h", {"i": "1"}).record(2)
+        assert reg.series_dropped == {"g": 1, "h": 1}
+
+
+class TestDropCounterExport:
+    def test_no_drops_no_sample(self):
+        # Bounded-but-unexercised registries export byte-identically to
+        # unbounded ones: the drop counter only appears after a drop.
+        reg = MetricsRegistry(max_series_per_metric=2)
+        reg.counter("m").inc()
+        assert "metrics_series_dropped" not in reg.to_prometheus()
+
+    def test_drop_counter_exported(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        reg.counter("m", {"i": "0"}).inc()
+        for i in range(1, 4):
+            reg.counter("m", {"i": str(i)}).inc()
+        text = reg.to_prometheus()
+        assert 'metrics_series_dropped{metric="m"} 3' in text
+
+    def test_drop_counter_in_samples(self):
+        reg = MetricsRegistry(max_series_per_metric=1)
+        reg.gauge("g", {"i": "0"}).set(1)
+        reg.gauge("g", {"i": "1"}).set(2)
+        rows = [s for s in reg._collected()
+                if s.name == "metrics_series_dropped"]
+        assert len(rows) == 1
+        assert rows[0].value == 1.0
+        assert dict(rows[0].labels) == {"metric": "g"}
