@@ -123,7 +123,7 @@ WORKLOAD_AXES: Dict[str, Dict[str, Axis]] = {
         Axis("vehicles", "int", 8, minimum=1),
         Axis("workers", "int", 1, minimum=1),
         Axis("backend", "choice", "serial",
-             choices=("serial", "threads")),
+             choices=("serial", "threads", "process")),
         Axis("epochs", "int", 6, minimum=1),
         Axis("mode", "choice", "independent",
              choices=("independent", "apparmor")),
@@ -431,59 +431,96 @@ def _run_fleet_cell(params: Dict[str, object]
     from ..vehicle.ivi import DEFAULT_SACK_POLICY
 
     cycle = params["drive_cycle"]
-    if cycle == "traffic":
-        driver = TrafficDriver(int(params["seed"]))
-    elif cycle == "calm":
-        driver = ScriptedDriver()
-    else:  # crash: first vehicle crashes early and recovers later
-        epochs = int(params["epochs"])
+    epochs = int(params["epochs"])
+
+    def make_driver():
+        # Fresh per fleet: scripted drivers carry per-run schedule state,
+        # and the process cell boots a shadow fleet alongside the primary.
+        if cycle == "traffic":
+            return TrafficDriver(int(params["seed"]))
+        if cycle == "calm":
+            return ScriptedDriver()
+        # crash: first vehicle crashes early and recovers later
         driver = ScriptedDriver().at(1, "veh000", "crash")
         if epochs > 4:
             driver.at(epochs - 2, "veh000", "clear")
-    fleet = Fleet(FleetConfig(
-        n_vehicles=int(params["vehicles"]), seed=int(params["seed"]),
-        workers=int(params["workers"]), mode=str(params["mode"]),
-        backend=str(params["backend"]),
-        vehicle_fault_intensity=float(params["fault_intensity"])),
-        driver=driver)
-    if params["hook_latency"]:
-        for vehicle in fleet.vehicles.values():
-            vehicle.world.kernel.security.enable_hook_latency()
-    if params["rollout"]:
-        fleet.stage_rollout(make_bundle(
-            1, DEFAULT_SACK_POLICY,
-            signer=BundleSigner(fleet.config.fleet_key)))
-    report = fleet.run(int(params["epochs"])).report
+        return driver
 
-    metrics: Dict[str, float] = {
-        "fleet_vehicles_per_second": report.vehicles_per_second(),
-        "fleet_compute_makespan_ms":
-            report.compute_makespan_ns / 1e6,
-        "fleet_transitions": float(report.total_transitions),
-        "fleet_bus_copies_delivered":
-            float(report.bus_stats.get("copies_delivered", 0)),
-        "fleet_violations": float(len(report.violations)),
-    }
-    obs: Dict[str, object] = {
-        "counters": report.counters,
-        "fingerprint": report.fingerprint(),
-        "rollout": report.rollout,
-        "bus": report.bus_stats,
-    }
-    if params["hook_latency"]:
-        rows = []
-        for vehicle in fleet.vehicles.values():
-            summary = vehicle.world.kernel.security \
-                .hook_latency_summary()
-            rows.extend(summary.values())
-        if rows:
-            total = sum(r["count"] for r in rows)
-            metrics["hook_mean_ns"] = sum(
-                r["count"] * r["mean_ns"] for r in rows) / total
-            metrics["hook_p99_ns"] = max(r["p99_ns"] for r in rows)
-        obs["hook_latency"] = {
-            vid: v.world.kernel.security.hook_latency_summary()
-            for vid, v in sorted(fleet.vehicles.items())}
+    def make_config(backend: str) -> FleetConfig:
+        return FleetConfig(
+            n_vehicles=int(params["vehicles"]), seed=int(params["seed"]),
+            workers=int(params["workers"]), mode=str(params["mode"]),
+            backend=backend,
+            vehicle_fault_intensity=float(params["fault_intensity"]))
+
+    backend = str(params["backend"])
+    # Under the process backend the vehicles live in worker processes, so
+    # the coordinator cannot reach into their kernels for the per-hook
+    # latency histograms; the knob is in-process-only.
+    hook_latency = bool(params["hook_latency"]) and backend != "process"
+    fleet = Fleet(make_config(backend), driver=make_driver())
+    try:
+        if hook_latency:
+            for vehicle in fleet.vehicles.values():
+                vehicle.world.kernel.security.enable_hook_latency()
+        def stage_rollout(target) -> None:
+            if params["rollout"]:
+                target.stage_rollout(make_bundle(
+                    1, DEFAULT_SACK_POLICY,
+                    signer=BundleSigner(target.config.fleet_key)))
+
+        stage_rollout(fleet)
+        report = fleet.run(epochs).report
+
+        metrics: Dict[str, float] = {
+            "fleet_vehicles_per_second": report.vehicles_per_second(),
+            "fleet_compute_makespan_ms":
+                report.compute_makespan_ns / 1e6,
+            "fleet_transitions": float(report.total_transitions),
+            "fleet_bus_copies_delivered":
+                float(report.bus_stats.get("copies_delivered", 0)),
+            "fleet_violations": float(len(report.violations)),
+        }
+        obs: Dict[str, object] = {
+            "counters": report.counters,
+            "fingerprint": report.fingerprint(),
+            "rollout": report.rollout,
+            "bus": report.bus_stats,
+        }
+        if hook_latency:
+            rows = []
+            for vehicle in fleet.vehicles.values():
+                summary = vehicle.world.kernel.security \
+                    .hook_latency_summary()
+                rows.extend(summary.values())
+            if rows:
+                total = sum(r["count"] for r in rows)
+                metrics["hook_mean_ns"] = sum(
+                    r["count"] * r["mean_ns"] for r in rows) / total
+                metrics["hook_p99_ns"] = max(r["p99_ns"] for r in rows)
+            obs["hook_latency"] = {
+                vid: v.world.kernel.security.hook_latency_summary()
+                for vid, v in sorted(fleet.vehicles.items())}
+    finally:
+        fleet.close()
+    if backend == "process":
+        # Shadow run on the honest-GIL thread backend: the recorded
+        # fleet_mp_speedup gate defends the multiprocessing win, and the
+        # fingerprint pair doubles as an in-suite conformance check.
+        shadow = Fleet(make_config("threads"), driver=make_driver())
+        try:
+            # Identical workload — only the backend differs.
+            stage_rollout(shadow)
+            threads_report = shadow.run(epochs).report
+        finally:
+            shadow.close()
+        threads_vps = threads_report.vehicles_per_second()
+        metrics["fleet_mp_speedup"] = (
+            report.vehicles_per_second() / threads_vps
+            if threads_vps else 0.0)
+        obs["threads_fingerprint"] = threads_report.fingerprint()
+        obs["mp_bit_identical"] = (report.fingerprint()
+                                   == threads_report.fingerprint())
     return metrics, obs
 
 
@@ -537,7 +574,8 @@ def _run_recovery_cell(params: Dict[str, object]
         return fleet, fleet.run(epochs).report
 
     fleet, report = run_once()
-    _, second = run_once()
+    second_fleet, second = run_once()
+    second_fleet.close()
     resilience = report.resilience
     metrics: Dict[str, float] = {
         "recovery_restore_latency_ns":
@@ -553,8 +591,9 @@ def _run_recovery_cell(params: Dict[str, object]
         "resilience": resilience,
         "fingerprint": report.fingerprint(),
         "violations": list(report.violations),
-        "checkpoints": fleet.supervisor.checkpoints.to_rows(),
+        "checkpoints": fleet.host.checkpoint_rows(),
     }
+    fleet.close()
     return metrics, obs
 
 
@@ -643,12 +682,15 @@ def _run_telemetry_cell(params: Dict[str, object]
                 seed=int(params["seed"]),
                 workers=int(params["workers"]))
     epochs = int(params["epochs"])
-    off = Fleet(FleetConfig(**base)).run(epochs).report
+    off_fleet = Fleet(FleetConfig(**base))
+    off = off_fleet.run(epochs).report
+    off_fleet.close()
     on_fleet = Fleet(FleetConfig(
         **base, telemetry=True,
         telemetry_short_window_epochs=int(params["short_window"]),
         telemetry_long_window_epochs=int(params["long_window"])))
     on = on_fleet.run(epochs).report
+    on_fleet.close()
     vps_off = off.vehicles_per_second()
     vps_on = on.vehicles_per_second()
     overhead_pct = ((vps_off - vps_on) / vps_off * 100.0
@@ -858,6 +900,7 @@ def check_run(run_dir: str, trajectory_dir: str):
     data = summary["data"]
     gates = data.get("gates") or {}
     by_set = data.get("by_metric_set") or {}
+    source = _suite_source(data)
     regressions = []
     checked: List[str] = []
     for metric_set, metrics in sorted(by_set.items()):
@@ -866,13 +909,24 @@ def check_run(run_dir: str, trajectory_dir: str):
             continue
         trajectory = load_or_new(trajectory_dir, metric_set)
         for metric in relevant:
-            if trajectory.latest_value(metric) is not None and \
-                    direction_of(metric) is not None:
+            if trajectory.latest_value(metric, source=source) \
+                    is not None and direction_of(metric) is not None:
                 checked.append(f"{metric_set}/{metric}")
         regressions.extend(check_metrics(
             trajectory, metrics, relevant,
-            default_tolerance_pct=DEFAULT_TOLERANCE_PCT))
+            default_tolerance_pct=DEFAULT_TOLERANCE_PCT,
+            source=source))
     return regressions, checked
+
+
+def _suite_source(summary_data: Dict[str, object]) -> str:
+    """The trajectory ``source`` tag for a suite run's records.
+
+    Baselines are suite-scoped (``suite:smoke`` vs ``suite:mp``): two
+    suites folding the same metric over different cell populations must
+    not serve as each other's baselines.
+    """
+    return f"suite:{summary_data.get('suite', 'unknown')}"
 
 
 def append_run_to_trajectory(run_dir: str, trajectory_dir: str
@@ -887,7 +941,7 @@ def append_run_to_trajectory(run_dir: str, trajectory_dir: str
         if not metrics:
             continue
         trajectory = load_or_new(trajectory_dir, metric_set)
-        trajectory.append(metrics, source="suite",
+        trajectory.append(metrics, source=_suite_source(data),
                           sha=summary.get("git_sha"))
         path = trajectory_path(trajectory_dir, metric_set)
         trajectory.save(path)

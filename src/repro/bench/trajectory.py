@@ -137,8 +137,26 @@ class Trajectory:
         self.records.append(record)
         return record
 
-    def latest_value(self, metric: str) -> Optional[float]:
-        """Newest committed value of *metric*, scanning backwards."""
+    def latest_value(self, metric: str,
+                     source: Optional[str] = None) -> Optional[float]:
+        """Newest committed value of *metric*, scanning backwards.
+
+        With *source*, records from that exact source are preferred —
+        two suites may legitimately report the same metric over
+        different cell populations (smoke's fleet sweep includes a
+        1-worker cell; the mp suite is all 4-worker cells), and a gate
+        must compare a run against its own lineage, not whichever suite
+        appended last.  If no same-source record carries the metric the
+        scan falls back to any source, so the first run of a renamed or
+        new suite still inherits a baseline instead of silently passing.
+        """
+        if source is not None:
+            for record in reversed(self.records):
+                if record.get("source") != source:
+                    continue
+                metrics = record.get("metrics") or {}
+                if metric in metrics:
+                    return float(metrics[metric])
         for record in reversed(self.records):
             metrics = record.get("metrics") or {}
             if metric in metrics:
@@ -168,6 +186,7 @@ def load_or_new(trajectory_dir: str, metric_set: str) -> Trajectory:
 def check_metrics(trajectory: Trajectory, metrics: Dict[str, float],
                   gates: Dict[str, float],
                   default_tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+                  source: Optional[str] = None,
                   ) -> List[Regression]:
     """Compare *metrics* against the trajectory's newest baselines.
 
@@ -176,6 +195,8 @@ def check_metrics(trajectory: Trajectory, metrics: Dict[str, float],
     gate still get recorded, they just never fail the build.  A gated
     metric with no committed baseline or no known direction is skipped:
     the first run *establishes* the baseline rather than failing it.
+    *source* scopes baseline lookup to same-source records first (see
+    :meth:`Trajectory.latest_value`).
     """
     regressions: List[Regression] = []
     for metric, tolerance in gates.items():
@@ -183,7 +204,7 @@ def check_metrics(trajectory: Trajectory, metrics: Dict[str, float],
             else float(tolerance)
         if metric not in metrics:
             continue
-        baseline = trajectory.latest_value(metric)
+        baseline = trajectory.latest_value(metric, source=source)
         if baseline is None or baseline == 0:
             continue
         direction = direction_of(metric)

@@ -204,6 +204,7 @@ def _build_fleet(args, policy_text: Optional[str] = None, **overrides):
         if getattr(args, "fleet_seed", None) is not None
         else getattr(args, "seed", 0),
         workers=getattr(args, "workers", 1),
+        backend=getattr(args, "backend", None) or "serial",
         policy_text=policy_text,
         **overrides)
     return Fleet(config)
@@ -372,6 +373,27 @@ def cmd_avc(args) -> int:
     return 0
 
 
+def cmd_dtable(args) -> int:
+    kernel, sds, app, fleet = _boot_observed_target(args)
+    # Dogfood the tracefs control files rather than reaching into the
+    # framework object.
+    root = "/sys/kernel/tracing/SACK/dtable"
+    kernel.write_file(kernel.procs.init, f"{root}/enable", b"1",
+                      create=False)
+    _warm_fleet(fleet, args)
+    for line in _drive(kernel, sds, app, args.event, args.access):
+        print(line)
+    print()
+    print(kernel.read_file(kernel.procs.init, f"{root}/stats").decode(),
+          end="")
+    if args.avc:
+        print()
+        print(kernel.read_file(
+            kernel.procs.init,
+            "/sys/kernel/tracing/SACK/avc/stats").decode(), end="")
+    return 0
+
+
 def _parse_seeds(spec: str) -> List[int]:
     """``"7"`` -> [7]; ``"1..5"`` -> [1, 2, 3, 4, 5]."""
     if ".." in spec:
@@ -390,7 +412,8 @@ def cmd_chaos(args) -> int:
 
     seeds = _parse_seeds(args.seed)
     reports = chaos.run_soak(seeds, ticks=args.ticks, mode=args.mode,
-                             intensity=args.intensity)
+                             intensity=args.intensity,
+                             dtable=getattr(args, "dtable", False))
     if args.json:
         print(_json.dumps([r.to_dict() for r in reports], indent=2))
     else:
@@ -433,8 +456,9 @@ def _print_vehicle_rows(fleet, only: Optional[str] = None) -> None:
     for vid in fleet.ids:
         if only is not None and vid != only:
             continue
-        vehicle = fleet.vehicles[vid]
-        health = vehicle.health_snapshot()
+        # Route through the host so the rows work no matter where the
+        # vehicle lives (coordinator thread or a worker process).
+        health = fleet.host.health_snapshot(vid)
         bundle = health["bundle_version"]
         status = sup.status[vid]
         print(f"{vid:<8} {health['situation']:<24} "
@@ -454,31 +478,31 @@ def cmd_fleet_status(args) -> int:
     overrides = {}
     if getattr(args, "telemetry", False):
         overrides["telemetry"] = True
-    fleet = _build_fleet(args, policy_text=_fleet_policy_text(args),
-                         **overrides)
-    if args.kernel is not None and args.kernel not in fleet.vehicles:
-        raise ValueError(f"no vehicle {args.kernel!r}; "
-                         f"ids: {', '.join(fleet.ids)}")
-    result = fleet.run(args.epochs)
-    if getattr(args, "format", None) == "json":
-        # The uniform bench envelope (schema sack-bench/v1) dashboards
-        # and CI already parse.
-        import json as _json
-        from ..bench.envelope import make_envelope
-        print(_json.dumps(make_envelope("fleet-status",
-                                        result.report.to_dict(),
-                                        seed=fleet.config.seed),
-                          indent=2))
+    with _build_fleet(args, policy_text=_fleet_policy_text(args),
+                      **overrides) as fleet:
+        if args.kernel is not None and args.kernel not in fleet.ids:
+            raise ValueError(f"no vehicle {args.kernel!r}; "
+                             f"ids: {', '.join(fleet.ids)}")
+        result = fleet.run(args.epochs)
+        if getattr(args, "format", None) == "json":
+            # The uniform bench envelope (schema sack-bench/v1)
+            # dashboards and CI already parse.
+            import json as _json
+            from ..bench.envelope import make_envelope
+            print(_json.dumps(make_envelope("fleet-status",
+                                            result.report.to_dict(),
+                                            seed=fleet.config.seed),
+                              indent=2))
+            return 0 if result.ok else 1
+        if args.json:
+            import json as _json
+            print(_json.dumps(result.report.to_dict(), indent=2))
+            return 0 if result.ok else 1
+        for line in result.report.summary_lines():
+            print(line)
+        print()
+        _print_vehicle_rows(fleet, only=args.kernel)
         return 0 if result.ok else 1
-    if args.json:
-        import json as _json
-        print(_json.dumps(result.report.to_dict(), indent=2))
-        return 0 if result.ok else 1
-    for line in result.report.summary_lines():
-        print(line)
-    print()
-    _print_vehicle_rows(fleet, only=args.kernel)
-    return 0 if result.ok else 1
 
 
 def _render_fleet_top(fleet, top_n: int) -> List[str]:
@@ -659,7 +683,7 @@ def cmd_fleet_checkpoint(args) -> int:
         always_checkpoint=True,
         checkpoint_interval_epochs=args.interval)
     result = fleet.run(args.epochs)
-    rows = fleet.supervisor.checkpoints.to_rows()
+    rows = fleet.host.checkpoint_rows()
     print(f"{len(rows)} vehicle checkpoint(s) after {args.epochs} "
           f"epoch(s), interval {args.interval} "
           f"(epoch -1 = boot baseline)")
@@ -739,6 +763,11 @@ def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
                         help="fleet seed (default: 0)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker pool size (default: 1)")
+    parser.add_argument("--backend",
+                        choices=["serial", "threads", "process"],
+                        default="serial",
+                        help="epoch scheduler backend (default: serial; "
+                             "all three are bit-identical)")
     parser.add_argument("--epochs", type=int, default=12,
                         help="epochs to run (default: 12)")
     parser.add_argument("--policy", help="policy file for every vehicle "
@@ -843,6 +872,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_kernel_selector(p_avc)
     p_avc.set_defaults(func=cmd_avc)
 
+    p_dtable = sub.add_parser(
+        "dtable", help="run events/accesses with the precompiled decision "
+                       "table on and dump its counters")
+    p_dtable.add_argument("policy")
+    p_dtable.add_argument("-e", "--event", action="append",
+                          help="event name (repeatable, in order)")
+    p_dtable.add_argument("--access", action="append",
+                          help="op:path[:ioctl_cmd] (repeatable, in order)")
+    p_dtable.add_argument("--avc", action="store_true",
+                          help="also dump the AVC counters (what the table "
+                               "kept off the cache path)")
+    _add_kernel_selector(p_dtable)
+    p_dtable.set_defaults(func=cmd_dtable)
+
     p_chaos = sub.add_parser(
         "chaos", help="seeded fault-injection scenarios with fail-closed "
                       "invariant checks")
@@ -859,6 +902,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 0.05)")
     p_chaos.add_argument("--json", action="store_true",
                          help="emit one JSON report per seed")
+    p_chaos.add_argument("--dtable", action="store_true",
+                         help="run with the precompiled decision table "
+                              "enabled (exercises invariant I11)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_fleet = sub.add_parser(

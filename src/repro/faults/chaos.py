@@ -157,6 +157,7 @@ class _InvariantChecker:
         self._check_enforcement_agrees(tick)
         self._check_failsafe_state(tick)
         self._check_avc_coherent(tick)
+        self._check_dtable_coherent(tick)
 
     def _check_state_defined(self, tick: int) -> None:
         ssm = self._ssm()
@@ -270,6 +271,36 @@ class _InvariantChecker:
                        f"hit served an epoch-{core.last_hit_entry_epoch} "
                        f"entry at epoch {core.last_hit_at_epoch}")
 
+    def _check_dtable_coherent(self, tick: int) -> None:
+        """I11: no stale-table hit — a precompiled decision table never
+        answers for an epoch it was not built against.
+
+        Same discipline as I7, one layer earlier: every table hit is
+        stamped with (epoch built, epoch at serve time); under any
+        interleaving of transitions, rollbacks and policy reloads these
+        must match, and the table must always be freshly built (or
+        invalidated) whenever the AVC epoch has moved.
+        """
+        framework = getattr(self.world, "framework", None)
+        dtable = getattr(framework, "dtable", None)
+        if dtable is None or not dtable.used:
+            return
+        if dtable.stale_served:
+            self._fail(tick, "I11:dtable-stale-hit",
+                       f"{dtable.stale_served} stale table "
+                       f"answer(s) served")
+        if dtable.last_hit_built_epoch != dtable.last_hit_at_epoch:
+            self._fail(tick, "I11:dtable-stale-hit",
+                       f"hit served an epoch-"
+                       f"{dtable.last_hit_built_epoch} table at epoch "
+                       f"{dtable.last_hit_at_epoch}")
+        if dtable.enabled and \
+                dtable.built_epoch != framework.avc.core.epoch:
+            self._fail(tick, "I11:dtable-stale-hit",
+                       f"live table built for epoch "
+                       f"{dtable.built_epoch} but AVC epoch is "
+                       f"{framework.avc.core.epoch}")
+
 
 def _install_listener_fault(world, plan: FaultPlan) -> None:
     """Arm the generic in-kernel listener fault on the live SSM."""
@@ -293,11 +324,16 @@ def _install_listener_fault(world, plan: FaultPlan) -> None:
 
 def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
               intensity: float = 0.05,
-              plan: Optional[FaultPlan] = None) -> ChaosReport:
+              plan: Optional[FaultPlan] = None,
+              dtable: bool = False) -> ChaosReport:
     """One seeded chaos scenario; returns the full report.
 
     *mode* selects the enforcement backend: ``independent`` (SACK's own
     LSM + APE) or ``apparmor`` (the SACK-enhanced-AppArmor bridge).
+    With *dtable* the precompiled decision table is enabled for the
+    whole run, so invariant I11 (no stale-table hit) is exercised under
+    every fault interleaving; default off, keeping baseline chaos
+    fingerprints untouched.
     """
     from ..vehicle.ivi import EnforcementConfig, DEFAULT_SACK_POLICY, \
         build_ivi_world
@@ -316,6 +352,9 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
     # Chaos always runs with span tracing on: span-ID sequences are part
     # of the fingerprint, so a nondeterministic tracer fails loudly here.
     world.kernel.obs.spans.enable()
+    if dtable:
+        world.framework.dtable.enabled = True
+        world.framework.rebuild_dtable()
     _install_listener_fault(world, plan)
     checker = _InvariantChecker(world)
     live_sds = world.sds
@@ -405,6 +444,19 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
             "stale_served": core.stale_served,
             "evictions": core.evictions,
         }
+    dtable_obj = getattr(world.framework, "dtable", None)
+    if dtable_obj is not None and dtable_obj.used:
+        # Conditional: an untouched table exports nothing, keeping
+        # default-config chaos fingerprints byte-identical.
+        stats["dtable"] = {
+            "hits": dtable_obj.hits,
+            "misses": dtable_obj.misses,
+            "builds": dtable_obj.builds,
+            "invalidations": dtable_obj.invalidations,
+            "entries": len(dtable_obj),
+            "built_epoch": dtable_obj.built_epoch,
+            "stale_served": dtable_obj.stale_served,
+        }
     sds = live_sds
     if sds is not None:
         summary = sds.stats.summary()
@@ -437,7 +489,9 @@ def run_chaos(seed: int, ticks: int = 200, mode: str = "independent",
 
 
 def run_soak(seeds, ticks: int = 200, mode: str = "independent",
-             intensity: float = 0.05) -> List[ChaosReport]:
+             intensity: float = 0.05,
+             dtable: bool = False) -> List[ChaosReport]:
     """Run a chaos scenario per seed; returns every report."""
-    return [run_chaos(seed, ticks=ticks, mode=mode, intensity=intensity)
+    return [run_chaos(seed, ticks=ticks, mode=mode, intensity=intensity,
+                      dtable=dtable)
             for seed in seeds]

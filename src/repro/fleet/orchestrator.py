@@ -16,25 +16,37 @@ and every barrier resolution is ordered and seeded, a run's outcome is
 **independent of worker count**: `workers=1` and `workers=8` produce
 bit-identical :meth:`~repro.fleet.report.FleetReport.fingerprint`\\ s.
 
-Two pool backends exist.  ``serial`` executes shards inline;
+Three pool backends exist, all routed through a **host**
+(:mod:`repro.fleet.backend`).  ``serial`` executes shards inline;
 ``threads`` uses a real :class:`~concurrent.futures.ThreadPoolExecutor`
-(useful to prove shard independence, not speed — this is Python).
-Throughput scaling is therefore *modelled* on the virtual clock with an
-explicit cost model: each vehicle-tick costs :data:`TICK_COST_NS` on
-its worker, while barrier work (bus, rollout, health) is serial control
-plane cost — an honest Amdahl split that ``benchmarks/test_fleet.py``
-measures as vehicles/sec vs worker count.
+(proves shard independence, but the GIL serializes the tick hot path);
+``process`` shards vehicles across persistent worker processes, with
+only canonical barrier messages crossing the pipe.  Throughput scaling
+is *modelled* on the virtual clock with a backend-aware cost model:
+
+* ``serial`` — the idealized Amdahl split (the pre-backend model,
+  unchanged): the largest shard ticks in parallel, the barrier is
+  serial per-vehicle cost;
+* ``threads`` — honest about the GIL: every tickable vehicle's ticks
+  are serialized onto one clock;
+* ``process`` — the largest *owner* shard ticks in true parallel, and
+  every barrier payload crossing a process boundary adds
+  :data:`~repro.fleet.backend.IPC_COST_PER_CROSSING_NS`.
+
+``benchmarks/test_fleet.py`` measures vehicles/sec vs worker count on
+the serial model; the suite's ``fleet_mp_speedup`` metric gates the
+process-vs-threads ratio.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..faults import points as fault_points
 from ..faults.plan import FaultPlan
+from .backend import IPC_COST_PER_CROSSING_NS, create_host
 from .bundle import PolicyBundle
 from .bus import V2xBus
 from .report import FleetReport, aggregate_metrics
@@ -42,7 +54,8 @@ from .resilience import RestartPolicy, VehicleSupervisor
 from .telemetry import FleetTelemetry, SloSpec
 from .rollout import (RolloutController, RolloutPlan, RolloutState,
                       VehicleAck, default_rollout_plan)
-from .vehicle import DEFAULT_TOPICS, MODE_CONFIGS, FleetVehicle
+from .vehicle import (DEFAULT_TOPICS, MODE_CONFIGS, FleetVehicle,
+                      apply_driver_action)
 
 #: Modelled compute cost of one vehicle-tick on a worker (2 ms — the
 #: order of one simulated kernel's SDS sweep + LSM checks).
@@ -142,7 +155,7 @@ class FleetConfig:
     policy_text: Optional[str] = None  # None = DEFAULT_SACK_POLICY
     rollout_plan: Optional[RolloutPlan] = None
     fleet_key: bytes = b"sack-fleet-signing-key"
-    backend: str = "serial"            # "serial" | "threads"
+    backend: str = "serial"            # "serial" | "threads" | "process"
     # -- crash resilience (see repro.fleet.resilience) ----------------------
     #: Completed epochs between copy-on-write vehicle checkpoints.
     checkpoint_interval_epochs: int = 4
@@ -175,7 +188,7 @@ class FleetConfig:
     #: quarantines the vehicle (0 = never quarantine on SLO).
     slo_quarantine_epochs: int = 0
 
-    ACCEPTED_BACKENDS = ("serial", "threads")
+    ACCEPTED_BACKENDS = ("serial", "threads", "process")
 
     def __post_init__(self):
         if self.n_vehicles < 1:
@@ -239,23 +252,22 @@ class Fleet:
                           fault_plan=self.fleet_plan,
                           offline_queue_limit=
                           config.v2x_offline_queue_limit)
+        #: Deterministic constructor specs; the host builds the actual
+        #: vehicle objects (in this process, or in its workers).
         self.vehicles: Dict[str, FleetVehicle] = {}
+        self._vehicle_specs: List[Dict[str, object]] = []
         for index in range(config.n_vehicles):
             vid = f"veh{index:03d}"
-            vehicle = FleetVehicle(
+            self._vehicle_specs.append(dict(
                 vehicle_id=vid, index=index,
                 seed=(config.seed * 1_000_003) ^ (index + 1),
                 mode=config.mode,
                 start_km=index * config.spacing_km,
                 fault_intensity=config.vehicle_fault_intensity,
-                policy_text=config.policy_text)
-            if config.start_moving:
-                dyn = vehicle.world.dynamics
-                dyn.start_engine()
-                dyn.accelerate(config.cruise_accel_ms2)
+                policy_text=config.policy_text))
             self.bus.subscribe(vid, config.topics)
-            self.vehicles[vid] = vehicle
-        self.ids: List[str] = sorted(self.vehicles)
+        self.ids: List[str] = [str(spec["vehicle_id"])
+                               for spec in self._vehicle_specs]
         plan = config.rollout_plan or default_rollout_plan()
         self.controller = RolloutController(plan, self.ids)
         self.sim_now_ns = 0
@@ -266,8 +278,10 @@ class Fleet:
         self._forced_offline: Dict[str, int] = {}    # vid -> until epoch
         self._pending_acks: List[VehicleAck] = []
         self._health_deltas: Dict[str, Dict[str, object]] = {}
-        self._last_health: Dict[str, Dict[str, object]] = {
-            vid: self.vehicles[vid].health_snapshot() for vid in self.ids}
+        #: Execution backend: owns the vehicles (and, for ``process``,
+        #: the worker pool + per-vehicle read mirrors).
+        self.host = create_host(self)
+        self._last_health: Dict[str, Dict[str, object]] = self.host.boot()
         self._i8_strikes: Dict[str, int] = {vid: 0 for vid in self.ids}
         #: Crash supervisor: checkpoints, restores, quarantine, and the
         #: control-plane deadline guard (idle until faults are armed).
@@ -286,6 +300,22 @@ class Fleet:
         self.telemetry: Optional[FleetTelemetry] = \
             FleetTelemetry(self) if config.telemetry else None
 
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (the process backend's workers).
+
+        Idempotent; a no-op for the in-process backends.  Daemon workers
+        die with the interpreter anyway, so a missed close leaks nothing
+        past process exit — but a long-lived caller should close (or use
+        the fleet as a context manager)."""
+        self.host.close()
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- scenario hooks ----------------------------------------------------
     def stage_rollout(self, bundle: PolicyBundle) -> None:
         self.controller.stage(bundle)
@@ -303,10 +333,9 @@ class Fleet:
     def arm_vehicle_fault(self, vehicle_id: str, point: str,
                           **knobs) -> None:
         """Arm a fault rule on one vehicle's own plan (creating one)."""
-        vehicle = self.vehicles[vehicle_id]
-        if vehicle.fault_plan is None:
-            vehicle.fault_plan = FaultPlan(vehicle.seed)
-        vehicle.fault_plan.arm(point, **knobs)
+        if vehicle_id not in self.offline_epochs:
+            raise KeyError(vehicle_id)
+        self.host.arm_fault(vehicle_id, point, knobs)
 
     # -- barrier pieces ----------------------------------------------------
     def _connectivity(self) -> Dict[str, bool]:
@@ -316,7 +345,6 @@ class Fleet:
                 # Crashed/quarantined: off the air, and no offline-fault
                 # draw (a dead radio cannot also flake).
                 online[vid] = False
-                self.vehicles[vid].online = False
                 self.offline_epochs[vid] += 1
                 continue
             down = False
@@ -331,36 +359,16 @@ class Fleet:
                     fault_points.FLEET_VEHICLE_OFFLINE,
                     self.sim_now_ns, arg=vid)
             online[vid] = not down
-            self.vehicles[vid].online = not down
             if down:
                 self.offline_epochs[vid] += 1
+        self.host.set_online(online)
         return online
 
     def _apply_action(self, vehicle: FleetVehicle, action: str) -> None:
-        dyn = vehicle.world.dynamics
-        if action == "start":
-            dyn.start_engine()
-            dyn.accelerate(self.config.cruise_accel_ms2)
-        elif action == "cruise":
-            dyn.cruise()
-        elif action == "brake":
-            dyn.accelerate(-4.0)
-        elif action == "crash":
-            dyn.crash()
-        elif action == "clear":
-            dyn.clear_emergency()
-            vehicle.clear_alert()
-        elif action == "stop_engine":
-            dyn.stop_engine()
-        elif action == "driver_leaves":
-            dyn.set_driver_present(False)
-        elif action == "driver_returns":
-            dyn.set_driver_present(True)
-        else:
-            raise ValueError(f"unknown driver action {action!r}")
+        apply_driver_action(vehicle, action, self.config.cruise_accel_ms2)
 
     def _positions(self) -> Dict[str, float]:
-        return {vid: self.vehicles[vid].position_km for vid in self.ids}
+        return self.host.positions()
 
     def _deliver_bus(self, online: Dict[str, bool],
                      record=None) -> None:
@@ -368,23 +376,25 @@ class Fleet:
             "v2x_delivery", self.sim_now_ns,
             lambda: self.bus.deliver_due(self.sim_now_ns, online))
         if not ok:
-            return        # copies stay queued; the radio retries next epoch
+            due = {}      # copies stay queued; the radio retries next epoch
         positions = self._positions()
-        for vid, messages in due.items():
-            vehicle = self.vehicles.get(vid)
-            if vehicle is None:
-                continue
-            if record is not None and messages:
-                record.deliveries[vid] = list(messages)
-            for message in messages:
-                reaction = vehicle.deliver(message)
-                if reaction == "braked":
-                    # Follow-on event: hard braking is itself a
-                    # situation neighbours may care about.
-                    self.bus.publish("emergency_brake", vid,
-                                     positions[vid], self.sim_now_ns,
-                                     payload={"cause": message.topic},
-                                     positions=positions)
+        if record is not None:
+            for vid, messages in due.items():
+                if messages:
+                    record.deliveries[vid] = list(messages)
+        # Always call the host, even with nothing due: the process
+        # backend's barrier_a RPC also flushes the pending online flags
+        # and driver actions.  Delivery itself draws no RNG, so emitting
+        # the follow-on publishes after the host returns is bit-identical
+        # to the old interleaved loop.
+        for vid, message, reaction in self.host.deliver(due):
+            if reaction == "braked":
+                # Follow-on event: hard braking is itself a situation
+                # neighbours may care about.
+                self.bus.publish("emergency_brake", vid,
+                                 positions[vid], self.sim_now_ns,
+                                 payload={"cause": message.topic},
+                                 positions=positions)
 
     def _dispatch_rollout(self, online: Dict[str, bool],
                           record=None) -> None:
@@ -397,13 +407,14 @@ class Fleet:
         if not ok:
             return        # acks stay pending and are re-fed next epoch
         self._pending_acks = []
-        for command in commands:
-            if not online.get(command.vehicle_id, True):
-                continue
-            vehicle = self.vehicles[command.vehicle_id]
-            ack = vehicle.apply_bundle(command.bundle,
-                                       self.config.fleet_key,
-                                       now_ns=self.sim_now_ns)
+        applicable = [command for command in commands
+                      if online.get(command.vehicle_id, True)]
+        # All applies go to the host in one batch; the ack-drop draws
+        # come from the fleet plan's RNG *after* the applies, in command
+        # order — the applies themselves draw nothing from it, so the
+        # fleet-plan draw sequence matches the old interleaved loop.
+        applied = self.host.apply_commands(applicable, self.sim_now_ns)
+        for command, ack in zip(applicable, applied):
             if record is not None:
                 record.commands.setdefault(
                     command.vehicle_id, []).append(
@@ -424,42 +435,50 @@ class Fleet:
         tickable = [vid for vid in self.ids
                     if not sup.is_dead(vid)
                     and vid not in sup.stalled_this_epoch]
-        shards = [tickable[i::cfg.workers] for i in range(cfg.workers)]
-
-        def run_shard(shard: List[str]) -> None:
-            for vid in shard:
-                vehicle = self.vehicles[vid]
-                try:
-                    for _ in range(cfg.epoch_ticks):
-                        vehicle.tick(dt_s=cfg.dt_s)
-                except Exception as exc:   # a vehicle kernel died mid-tick
-                    sup.note_tick_exception(vid, exc)
-
-        if cfg.backend == "threads" and cfg.workers > 1:
-            with ThreadPoolExecutor(max_workers=cfg.workers) as pool:
-                list(pool.map(run_shard, shards))
-        else:
-            for shard in shards:
-                run_shard(shard)
+        frame_spec = None
+        if self.telemetry is not None:
+            # The frame the collector will want *after* the clock
+            # advances: this epoch's index, end-of-epoch timestamp.
+            frame_spec = (self.epoch_index,
+                          self.sim_now_ns
+                          + int(cfg.epoch_ticks * cfg.dt_s * 1e9))
+        self.host.tick(tickable, frame_spec)
         sup.absorb_tick_crashes()
-        # Cost model: shards tick in parallel; the barrier is serial, and
-        # control-plane timeout penalties (deadline + backoff) are serial
-        # barrier time too.
-        shard_cost = max((len(shard) for shard in shards), default=0) \
-            * cfg.epoch_ticks * TICK_COST_NS
+        # Cost model (see module docstring): tick parallelism per
+        # backend; the barrier is serial per-vehicle cost; control-plane
+        # timeout penalties (deadline + backoff) are serial barrier time;
+        # the process backend pays per barrier payload crossing a pipe.
+        if cfg.backend == "process":
+            index_of = {vid: i for i, vid in enumerate(self.ids)}
+            owner_load = [0] * cfg.workers
+            for vid in tickable:
+                owner_load[index_of[vid] % cfg.workers] += 1
+            shard_cost = max(owner_load) * cfg.epoch_ticks * TICK_COST_NS
+            ipc_cost = self.host.drain_crossings() \
+                * IPC_COST_PER_CROSSING_NS
+        elif cfg.backend == "threads" and cfg.workers > 1:
+            # Honest about the GIL: shards prove independence but the
+            # tick hot path serializes onto one clock.
+            shard_cost = len(tickable) * cfg.epoch_ticks * TICK_COST_NS
+            ipc_cost = 0
+        else:
+            shards = [tickable[i::cfg.workers]
+                      for i in range(cfg.workers)]
+            shard_cost = max((len(shard) for shard in shards),
+                             default=0) * cfg.epoch_ticks * TICK_COST_NS
+            ipc_cost = 0
         barrier_cost = cfg.n_vehicles * BARRIER_COST_PER_VEHICLE_NS
         self.compute_makespan_ns += shard_cost + barrier_cost \
-            + sup.guard.drain_penalty()
+            + ipc_cost + sup.guard.drain_penalty()
 
     def _publish_transitions(self) -> None:
         positions = self._positions()
         for vid in self.ids:
             if self.supervisor.is_dead(vid):
                 continue        # a wreck publishes nothing
-            vehicle = self.vehicles[vid]
             for event, from_state, to_state in [
                     (t[0], t[1], t[2])
-                    for t in vehicle.drain_transitions()]:
+                    for t in self.host.drain_transitions(vid)]:
                 if to_state == "emergency" and from_state != "emergency":
                     self.bus.publish("crash", vid, positions[vid],
                                      self.sim_now_ns,
@@ -477,7 +496,7 @@ class Fleet:
             for vid in self.ids:
                 if self.supervisor.is_dead(vid):
                     continue    # can't poll a dead kernel
-                snap = self.vehicles[vid].health_snapshot()
+                snap = self.host.health_snapshot(vid)
                 last = self._last_health[vid]
                 deltas[vid] = {
                     "denial_delta": int(snap["denials"])
@@ -527,8 +546,7 @@ class Fleet:
         for vid in self.ids:
             if self.supervisor.is_dead(vid):
                 continue        # I8 applies to live vehicles; I9 covers
-            vehicle = self.vehicles[vid]
-            version = vehicle.bundle_version
+            version = self.host.bundle_version(vid)
             if version is not None and version > ctl.max_offered_version:
                 self.violations.append(
                     f"epoch {self.epoch_index}: I8:version-ahead: {vid} "
@@ -560,12 +578,12 @@ class Fleet:
             record = sup.journal.begin(self.epoch_index, self.sim_now_ns)
             record.stalled = set(sup.stalled_this_epoch)
         online = self._connectivity()
-        for vid, action in self.driver.actions(self.epoch_index, self.ids):
-            if sup.is_dead(vid):
-                continue        # the wreck takes no input
-            self._apply_action(self.vehicles[vid], action)
-            if record is not None:
-                record.actions.append((vid, action))
+        actions = [(vid, action) for vid, action
+                   in self.driver.actions(self.epoch_index, self.ids)
+                   if not sup.is_dead(vid)]  # the wreck takes no input
+        self.host.apply_actions(actions)
+        if record is not None:
+            record.actions.extend(actions)
         self._deliver_bus(online, record)
         self._dispatch_rollout(online, record)
         self._tick_vehicles()
@@ -587,14 +605,11 @@ class Fleet:
 
     # -- roll-up -----------------------------------------------------------
     def report(self) -> FleetReport:
-        transitions: Dict[str, List[Tuple[str, str, str, int]]] = {}
-        for vid in self.ids:
-            vehicle = self.vehicles[vid]
-            vehicle.drain_transitions()     # flush stragglers
-            transitions[vid] = list(vehicle.transition_log)
-        metrics = aggregate_metrics(
-            self.vehicles[vid].world.kernel.obs.metrics.to_dict()
-            for vid in self.ids)
+        rows = self.host.report_rows()
+        transitions: Dict[str, List[Tuple[str, str, str, int]]] = {
+            vid: list(rows[vid]["transitions"]) for vid in self.ids}
+        metrics = aggregate_metrics(rows[vid]["metrics"]
+                                    for vid in self.ids)
         return FleetReport(
             seed=self.config.seed,
             n_vehicles=self.config.n_vehicles,
@@ -603,12 +618,12 @@ class Fleet:
             mode=self.config.mode,
             sim_duration_ns=self.sim_now_ns,
             compute_makespan_ns=self.compute_makespan_ns,
-            final_situations={vid: self.vehicles[vid].situation or ""
+            final_situations={vid: str(rows[vid]["situation"])
                               for vid in self.ids},
             transitions=transitions,
-            bundle_versions={vid: self.vehicles[vid].bundle_version
+            bundle_versions={vid: rows[vid]["bundle_version"]
                              for vid in self.ids},
-            apply_logs={vid: list(self.vehicles[vid].apply_log)
+            apply_logs={vid: list(rows[vid]["apply_log"])
                         for vid in self.ids},
             health={vid: self._last_health[vid] for vid in self.ids},
             counters=metrics["counters"],

@@ -78,6 +78,33 @@ class EpochRecord:
     stalled: Set[str] = dataclasses.field(default_factory=set)
 
 
+def replay_epoch(vehicle, record: Optional[EpochRecord],
+                 epoch_ticks: int, dt_s: float, fleet_key: bytes,
+                 cruise_accel_ms2: float, with_ticks: bool) -> None:
+    """Re-execute one journaled epoch against *vehicle*.
+
+    Mirrors the barrier order in ``Fleet.run_epoch`` exactly — actions,
+    deliveries, commands, ticks, drain — but publishes nothing back to
+    the bus: the original run already published the fleet-visible side
+    of these epochs.  Module-level so a process-backend worker replays
+    restores with the same code the in-process host uses.
+    """
+    if record is None:
+        return
+    from .vehicle import apply_driver_action
+    for vid, action in record.actions:
+        if vid == vehicle.vehicle_id:
+            apply_driver_action(vehicle, action, cruise_accel_ms2)
+    for message in record.deliveries.get(vehicle.vehicle_id, ()):
+        vehicle.deliver(message)
+    for bundle, now_ns in record.commands.get(vehicle.vehicle_id, ()):
+        vehicle.apply_bundle(bundle, fleet_key, now_ns=now_ns)
+    if with_ticks and vehicle.vehicle_id not in record.stalled:
+        for _ in range(epoch_ticks):
+            vehicle.tick(dt_s=dt_s)
+    vehicle.drain_transitions()
+
+
 class EpochJournal:
     """Bounded ring of :class:`EpochRecord`, keyed by epoch index.
 
@@ -319,7 +346,6 @@ class VehicleSupervisor:
         self.policy = policy or RestartPolicy()
         self.checkpoint_interval = checkpoint_interval_epochs
         self.journal = EpochJournal(journal_capacity)
-        self.checkpoints = CheckpointStore()
         self.status: Dict[str, VehicleStatus] = {
             vid: VehicleStatus(vid) for vid in fleet.ids}
         #: Scenario-forced crashes: vehicle_id -> epoch to crash at.
@@ -400,7 +426,7 @@ class VehicleSupervisor:
         # baseline snapshot before anything can kill it this epoch.
         for vid in fleet.ids:
             if self.status[vid].state == RUNNING \
-                    and self.checkpoints.get(vid) is None:
+                    and fleet.host.checkpoint_meta(vid) is None:
                 self._checkpoint(vid, epoch - 1)
         for vid in self.crashed_ids():
             st = self.status[vid]
@@ -434,7 +460,13 @@ class VehicleSupervisor:
     def note_tick_exception(self, vehicle_id: str, exc: Exception) -> None:
         """Called from inside a shard runner (any thread): record the
         failure; the crash is absorbed at the barrier."""
-        self._tick_exceptions[vehicle_id] = f"{type(exc).__name__}: {exc}"
+        self.note_tick_failure(vehicle_id,
+                               f"{type(exc).__name__}: {exc}")
+
+    def note_tick_failure(self, vehicle_id: str, detail: str) -> None:
+        """Pre-formatted variant for the process backend, whose workers
+        ship the exception detail as a string across the pipe."""
+        self._tick_exceptions[vehicle_id] = detail
 
     def absorb_tick_crashes(self) -> None:
         """Convert tick-phase exceptions into crashes (sorted order)."""
@@ -467,7 +499,7 @@ class VehicleSupervisor:
                                          attributes={"vehicle": vehicle_id,
                                                      "epoch": epoch})
         t0 = time.perf_counter_ns()
-        self.checkpoints.take(self.fleet.vehicles[vehicle_id], epoch)
+        self.fleet.host.checkpoint_take(vehicle_id, epoch)
         self.obs.metrics.histogram("fleet_checkpoint_cpu_ns").record(
             time.perf_counter_ns() - t0)
         self.obs.metrics.counter("fleet_checkpoints").inc()
@@ -499,10 +531,11 @@ class VehicleSupervisor:
 
     def _restore(self, vehicle_id: str, epoch: int) -> None:
         st = self.status[vehicle_id]
-        ckpt = self.checkpoints.get(vehicle_id)
-        if ckpt is None:
+        meta = self.fleet.host.checkpoint_meta(vehicle_id)
+        if meta is None:
             self._quarantine(vehicle_id, epoch, "no checkpoint available")
             return
+        ckpt_epoch = meta[0]
         assert st.crash_epoch is not None
         # Full replay: every complete epoch after the checkpoint and
         # before the crash.  A mid-tick crash additionally replays the
@@ -510,7 +543,7 @@ class VehicleSupervisor:
         # without its tick phase — that work already left the bus and
         # must not be lost.
         last_full = st.crash_epoch - 1
-        first = ckpt.epoch + 1
+        first = ckpt_epoch + 1
         barrier_only = st.crash_epoch if st.mid_tick else None
         journal_last = barrier_only if barrier_only is not None \
             else last_full
@@ -526,38 +559,29 @@ class VehicleSupervisor:
                         "crash_epoch": st.crash_epoch,
                         "restore_epoch": epoch})
         t0 = time.perf_counter_ns()
-        restored = self.checkpoints.materialize(vehicle_id)
-        replayed = 0
-        for e in range(first, last_full + 1):
-            self._replay_epoch(restored, self.journal.get(e),
-                               with_ticks=True)
-            replayed += 1
-        if barrier_only is not None:
-            self._replay_epoch(restored, self.journal.get(barrier_only),
-                               with_ticks=False)
-            replayed += 1
-        wreck = self.fleet.vehicles[vehicle_id]
+        # The host materializes the checkpoint, replays the journaled
+        # window, swaps the restored vehicle in, and re-baselines with a
+        # fresh checkpoint at epoch-1: the dead window [crash, epoch-1]
+        # was never executed, so a later replay must not span it.
+        result = self.fleet.host.restore_vehicle(
+            vehicle_id,
+            [self.journal.get(e) for e in range(first, last_full + 1)],
+            self.journal.get(barrier_only)
+            if barrier_only is not None else None,
+            baseline_epoch=epoch - 1)
+        replayed = result["replayed"]
         if st.mid_tick:
             self.i10_skipped += 1
         else:
             self.i10_checked += 1
-            wreck_digest = wreck.state_digest()
-            restored_digest = restored.state_digest()
-            if restored_digest != wreck_digest:
+            if result["restored_digest"] != result["wreck_digest"]:
                 self.fleet.violations.append(
                     f"epoch {epoch}: I10:restore-divergence: "
-                    f"{vehicle_id} restored from checkpoint e{ckpt.epoch} "
+                    f"{vehicle_id} restored from checkpoint e{ckpt_epoch} "
                     f"+ {replayed} replayed epoch(s) digests to "
-                    f"{restored_digest[:16]} but the wreck digests to "
-                    f"{wreck_digest[:16]}")
-        self.fleet.vehicles[vehicle_id] = restored
-        restored.online = True
-        self.fleet._last_health[vehicle_id] = restored.health_snapshot()
-        # Re-baseline immediately: the dead window [crash, epoch-1] was
-        # never executed, so a later replay must not span it.  A fresh
-        # checkpoint of the restored state (= "completed epoch-1")
-        # guarantees future replays start after the gap.
-        self.checkpoints.take(restored, epoch - 1)
+                    f"{result['restored_digest'][:16]} but the wreck "
+                    f"digests to {result['wreck_digest'][:16]}")
+        self.fleet._last_health[vehicle_id] = result["health"]
         epoch_duration_ns = int(self.fleet.config.epoch_ticks
                                 * self.fleet.config.dt_s * 1e9)
         downtime_ns = (epoch - st.crash_epoch) * epoch_duration_ns
@@ -578,30 +602,6 @@ class VehicleSupervisor:
         st.crash_reason = ""
         st.mid_tick = False
         st.restore_due_epoch = None
-
-    def _replay_epoch(self, vehicle, record: Optional[EpochRecord],
-                      with_ticks: bool) -> None:
-        """Re-execute one journaled epoch against *vehicle*.
-
-        Mirrors the barrier order in ``Fleet.run_epoch`` exactly —
-        actions, deliveries, commands, ticks, drain — but publishes
-        nothing back to the bus: the original run already published the
-        fleet-visible side of these epochs.
-        """
-        if record is None:
-            return
-        cfg = self.fleet.config
-        for vid, action in record.actions:
-            if vid == vehicle.vehicle_id:
-                self.fleet._apply_action(vehicle, action)
-        for message in record.deliveries.get(vehicle.vehicle_id, ()):
-            vehicle.deliver(message)
-        for bundle, now_ns in record.commands.get(vehicle.vehicle_id, ()):
-            vehicle.apply_bundle(bundle, cfg.fleet_key, now_ns=now_ns)
-        if with_ticks and vehicle.vehicle_id not in record.stalled:
-            for _ in range(cfg.epoch_ticks):
-                vehicle.tick(dt_s=cfg.dt_s)
-        vehicle.drain_transitions()
 
     def note_slo_alerts(self, alerted_ids, epoch: int) -> None:
         """Telemetry feed: vehicles carrying a per-vehicle SLO alert at
@@ -633,8 +633,7 @@ class VehicleSupervisor:
         st.state = QUARANTINED
         st.quarantine_epoch = epoch
         st.quarantine_reason = reason
-        st.frozen_version = \
-            self.fleet.vehicles[vehicle_id].bundle_version
+        st.frozen_version = self.fleet.host.bundle_version(vehicle_id)
         st.restore_due_epoch = None
         self.fleet.controller.exclude(vehicle_id)
         self.obs.metrics.counter("fleet_quarantined").inc()
@@ -649,7 +648,7 @@ class VehicleSupervisor:
         fleet = self.fleet
         for vid in self.quarantined_ids():
             st = self.status[vid]
-            version = fleet.vehicles[vid].bundle_version
+            version = fleet.host.bundle_version(vid)
             if version != st.frozen_version:
                 fleet.violations.append(
                     f"epoch {fleet.epoch_index}: I9:quarantine-regressed: "
@@ -690,7 +689,7 @@ class VehicleSupervisor:
             return {}
         out: Dict[str, object] = dict(counts)
         out["quarantined_ids"] = self.quarantined_ids()
-        out["checkpoints"] = self.checkpoints.taken
+        out["checkpoints"] = self.fleet.host.checkpoints_taken
         out["i10_checked"] = self.i10_checked
         out["i10_skipped"] = self.i10_skipped
         out["mean_restore_latency_ns"] = int(

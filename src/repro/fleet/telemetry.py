@@ -49,8 +49,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..obs.hub import Observability
 from ..obs.metrics import MetricsRegistry
 from ..obs.telemetry import (TelemetryFrame, histogram_percentile,
-                             merge_histograms, snapshot_frame,
-                             split_series_key)
+                             merge_histograms, split_series_key)
 
 #: Modelled serial control-plane cost of scraping one vehicle frame at
 #: the barrier (virtual ns) — the deterministic denominator the
@@ -661,9 +660,8 @@ class FleetTelemetry:
         for vid in fleet.ids:
             if fleet.supervisor.is_dead(vid):
                 continue            # retention: last series stay exported
-            frame = snapshot_frame(
-                fleet.vehicles[vid].world.kernel.obs, vid, epoch,
-                fleet.sim_now_ns)
+            frame = fleet.host.telemetry_frame(vid, epoch,
+                                               fleet.sim_now_ns)
             self.aggregator.ingest(frame)
             frames += 1
             live.append(vid)

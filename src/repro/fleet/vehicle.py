@@ -49,6 +49,37 @@ MODE_CONFIGS: Dict[str, EnforcementConfig] = {
 }
 
 
+def apply_driver_action(vehicle: "FleetVehicle", action: str,
+                        cruise_accel_ms2: float = 3.0) -> None:
+    """Apply one scenario-driver action to a vehicle's dynamics.
+
+    Module-level (not a ``Fleet`` method) so both the orchestrator and a
+    process-backend worker replaying a journaled epoch execute the exact
+    same code path.
+    """
+    dyn = vehicle.world.dynamics
+    if action == "start":
+        dyn.start_engine()
+        dyn.accelerate(cruise_accel_ms2)
+    elif action == "cruise":
+        dyn.cruise()
+    elif action == "brake":
+        dyn.accelerate(-4.0)
+    elif action == "crash":
+        dyn.crash()
+    elif action == "clear":
+        dyn.clear_emergency()
+        vehicle.clear_alert()
+    elif action == "stop_engine":
+        dyn.stop_engine()
+    elif action == "driver_leaves":
+        dyn.set_driver_present(False)
+    elif action == "driver_returns":
+        dyn.set_driver_present(True)
+    else:
+        raise ValueError(f"unknown driver action {action!r}")
+
+
 class _V2xReceiverSensor(Sensor):
     """Surfaces the active V2X alert topic in the SDS sample sweep."""
 

@@ -1,0 +1,241 @@
+"""Canonical (de)serialization for everything that crosses a barrier.
+
+The process backend ships barrier messages — driver actions, V2X
+deliveries, rollout commands/acks, journal records, telemetry frames,
+health snapshots — between the coordinator and its worker processes.
+Fingerprints must stay bit-identical across backends and worker counts,
+so nothing nondeterministic may leak into these payloads:
+
+* every encoded document is built from **primitives only** (str, int,
+  float, bool, None, lists, string-keyed dicts) — no pickled objects
+  whose reprs or memo layouts could drift between interpreters;
+* every dict is emitted with **sorted keys**, so iteration order on the
+  receiving side never depends on the sender's insertion history;
+* sets are encoded as sorted lists;
+* decoding reconstructs the exact dataclasses the serial backend passes
+  by reference, field for field.
+
+:func:`wire_digest` hashes a canonical document; the round-trip
+regression suite (``tests/fleet/test_wire.py``) proves
+``digest(encode(x)) == digest(encode(decode(encode(x))))`` for every
+barrier message type.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .bundle import PolicyBundle
+from .bus import V2xMessage
+from .resilience import EpochRecord
+from .rollout import VehicleAck
+
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def canon(value: Any) -> Any:
+    """Canonicalize *value*: sorted-key dicts, lists, primitives only.
+
+    Raises ``TypeError`` on anything else — an object sneaking into a
+    barrier payload is a determinism bug, and it must fail loudly at the
+    sender, not as a fingerprint mismatch three layers later.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value):
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"wire dicts must be string-keyed, got {key!r}")
+            out[key] = canon(value[key])
+        return out
+    if isinstance(value, (list, tuple)):
+        return [canon(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canon(item) for item in value)
+    raise TypeError(f"not wire-serializable: {type(value).__name__} "
+                    f"({value!r})")
+
+
+def wire_digest(doc: Any) -> str:
+    """Stable digest of a canonical document."""
+    payload = json.dumps(canon(doc), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- V2X messages --------------------------------------------------------------
+
+def encode_message(message: V2xMessage) -> Dict[str, Any]:
+    return canon({
+        "kind": "v2x_message",
+        "msg_id": message.msg_id,
+        "topic": message.topic,
+        "origin": message.origin,
+        "position_km": message.position_km,
+        "sent_ns": message.sent_ns,
+        "payload": dict(message.payload),
+    })
+
+
+def decode_message(doc: Dict[str, Any]) -> V2xMessage:
+    _expect(doc, "v2x_message")
+    return V2xMessage(msg_id=int(doc["msg_id"]),
+                      topic=str(doc["topic"]),
+                      origin=str(doc["origin"]),
+                      position_km=float(doc["position_km"]),
+                      sent_ns=int(doc["sent_ns"]),
+                      payload={str(k): str(v)
+                               for k, v in doc["payload"].items()})
+
+
+# -- policy bundles ------------------------------------------------------------
+
+def encode_bundle(bundle: PolicyBundle) -> Dict[str, Any]:
+    return canon({
+        "kind": "policy_bundle",
+        "version": bundle.version,
+        "name": bundle.name,
+        "policy_text": bundle.policy_text,
+        "apparmor_profiles": dict(bundle.apparmor_profiles),
+        "signature": bundle.signature,
+        "signed_fields": list(bundle.signed_fields),
+    })
+
+
+def decode_bundle(doc: Dict[str, Any]) -> PolicyBundle:
+    _expect(doc, "policy_bundle")
+    return PolicyBundle(
+        version=int(doc["version"]),
+        name=str(doc["name"]),
+        policy_text=str(doc["policy_text"]),
+        apparmor_profiles={str(k): str(v)
+                           for k, v in doc["apparmor_profiles"].items()},
+        signature=str(doc["signature"]),
+        signed_fields=tuple(doc["signed_fields"]))
+
+
+# -- rollout acks --------------------------------------------------------------
+
+def encode_ack(ack: VehicleAck) -> Dict[str, Any]:
+    return canon({
+        "kind": "vehicle_ack",
+        "vehicle_id": ack.vehicle_id,
+        "version": ack.version,
+        "ok": ack.ok,
+        "detail": ack.detail,
+    })
+
+
+def decode_ack(doc: Dict[str, Any]) -> VehicleAck:
+    _expect(doc, "vehicle_ack")
+    return VehicleAck(vehicle_id=str(doc["vehicle_id"]),
+                      version=int(doc["version"]),
+                      ok=bool(doc["ok"]),
+                      detail=str(doc["detail"]))
+
+
+# -- journal records (checkpoint-restore replay) -------------------------------
+
+def encode_record(record: EpochRecord) -> Dict[str, Any]:
+    return canon({
+        "kind": "epoch_record",
+        "epoch": record.epoch,
+        "start_ns": record.start_ns,
+        "actions": [[vid, action] for vid, action in record.actions],
+        "deliveries": {vid: [encode_message(m) for m in messages]
+                       for vid, messages in record.deliveries.items()},
+        "commands": {vid: [[encode_bundle(bundle), now_ns]
+                           for bundle, now_ns in commands]
+                     for vid, commands in record.commands.items()},
+        "stalled": sorted(record.stalled),
+    })
+
+
+def decode_record(doc: Dict[str, Any]) -> EpochRecord:
+    _expect(doc, "epoch_record")
+    record = EpochRecord(epoch=int(doc["epoch"]),
+                         start_ns=int(doc["start_ns"]))
+    record.actions = [(str(vid), str(action))
+                      for vid, action in doc["actions"]]
+    record.deliveries = {
+        str(vid): [decode_message(m) for m in messages]
+        for vid, messages in doc["deliveries"].items()}
+    record.commands = {
+        str(vid): [(decode_bundle(b), int(now_ns))
+                   for b, now_ns in commands]
+        for vid, commands in doc["commands"].items()}
+    record.stalled = set(doc["stalled"])
+    return record
+
+
+# -- telemetry frames ----------------------------------------------------------
+
+def encode_frame(frame) -> Dict[str, Any]:
+    doc = frame.to_dict()
+    doc["kind"] = "telemetry_frame"
+    return canon(doc)
+
+
+def decode_frame(doc: Dict[str, Any]):
+    from ..obs.telemetry import TelemetryFrame
+    _expect(doc, "telemetry_frame")
+    return TelemetryFrame(
+        schema=str(doc["schema"]),
+        vehicle_id=str(doc["vehicle_id"]),
+        epoch=int(doc["epoch"]),
+        at_ns=int(doc["at_ns"]),
+        counters={str(k): float(v)
+                  for k, v in sorted(doc["counters"].items())},
+        gauges={str(k): float(v)
+                for k, v in sorted(doc["gauges"].items())},
+        histograms={str(k): v
+                    for k, v in sorted(doc["histograms"].items())})
+
+
+# -- health snapshots / transitions (already primitive) ------------------------
+
+def encode_health(snapshot: Dict[str, object]) -> Dict[str, Any]:
+    doc = dict(snapshot)
+    doc["kind"] = "health_snapshot"
+    return canon(doc)
+
+
+def decode_health(doc: Dict[str, Any]) -> Dict[str, object]:
+    _expect(doc, "health_snapshot")
+    # health_snapshot() key order is part of its construction, not its
+    # meaning; downstream report code sorts where order matters.
+    return {k: v for k, v in doc.items() if k != "kind"}
+
+
+def encode_transitions(
+        transitions: List[Tuple[str, str, str, int]]) -> List[List[Any]]:
+    return canon([[event, from_state, to_state, at_ns]
+                  for event, from_state, to_state, at_ns in transitions])
+
+
+def decode_transitions(doc) -> List[Tuple[str, str, str, int]]:
+    return [(str(event), str(frm), str(to), int(at_ns))
+            for event, frm, to, at_ns in doc]
+
+
+def _expect(doc: Dict[str, Any], kind: str) -> None:
+    got = doc.get("kind")
+    if got != kind:
+        raise ValueError(f"expected wire kind {kind!r}, got {got!r}")
+
+
+#: kind -> decoder, for generic round-trip testing.
+DECODERS = {
+    "v2x_message": decode_message,
+    "policy_bundle": decode_bundle,
+    "vehicle_ack": decode_ack,
+    "epoch_record": decode_record,
+    "telemetry_frame": decode_frame,
+    "health_snapshot": decode_health,
+}

@@ -279,9 +279,17 @@ class AccessVectorCache:
     def __init__(self, capacity: int = 8192, enabled: bool = True):
         self.core = AvcCore(capacity=capacity)
         self.enabled = enabled
+        #: Optional ``(reason, new_epoch)`` callback fired after every
+        #: epoch bump that flows through this wrapper — the decision
+        #: table rides it to recompile eagerly, so table invalidation
+        #: shares the AVC's exact invalidation points by construction.
+        self.on_bump = None
 
     def bump_epoch(self, reason: str = "unspecified") -> int:
-        return self.core.bump_epoch(reason)
+        epoch = self.core.bump_epoch(reason)
+        if self.on_bump is not None:
+            self.on_bump(reason, epoch)
+        return epoch
 
     def flush(self) -> None:
         self.core.flush()

@@ -1,0 +1,135 @@
+"""Precompiled decision tables: the allow fast path ahead of the AVC.
+
+The AVC (:mod:`repro.lsm.avc`) fills *reactively* — each miss pays one
+full module walk, then later accesses with the same key hit.  SACK's
+structure admits something stronger: within one situation state the APE's
+State → Permission → MAC-rules mapping is a *fixed function*, so the
+whole allow surface can be compiled ahead of time.  At every epoch bump
+(situation transition, rollback, policy load, administrative flush) the
+framework recompiles a **decision table**: for every enumerable subject
+(live task comms × MAC-override bit) and every literal governed path, the
+full access vector each module would compute.  Steady-state dispatch is
+then a single dict probe — no miss path, no insertion bookkeeping, no
+LRU maintenance — consulted *before* the AVC.
+
+Contents are **allows only**, and a zero vector is never stored: a probe
+that does not cover the requested mask simply falls through to the AVC
+and, past it, the full module walk — so denials keep their audit
+records, counters and span attribution bit-for-bit.
+
+Staleness discipline mirrors the AVC's: the table records the epoch it
+was built against, a lookup against any other epoch refuses to answer,
+and the ``last_hit_*`` / ``stale_served`` probes let the chaos harness's
+I11 invariant verify at runtime that no stale-table decision was ever
+served.
+
+Disabled by default: a kernel that never touches the table exports no
+metrics and changes no fingerprints.  Toggle via
+``/sys/kernel/tracing/SACK/dtable/enable`` or ``sackctl dtable``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: Glob metacharacters; a path pattern containing none of them names
+#: exactly one object and can be enumerated into the table.
+_GLOB_META = ("*", "?", "[", "{")
+
+
+def is_literal_path(pattern: str) -> bool:
+    """True iff *pattern* matches exactly one path (no glob syntax)."""
+    return not any(ch in pattern for ch in _GLOB_META)
+
+
+class DecisionTable:
+    """Epoch-stamped precompiled ``(hook, subject, object) -> vector`` map.
+
+    The framework owns (re)building it (:meth:`LsmFramework.
+    rebuild_dtable`); this class owns the lookup discipline and the
+    runtime-verification probes.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._entries: Dict[Tuple[Any, Any, Any], int] = {}
+        #: AVC epoch the current contents were compiled against; -1 means
+        #: "no table" (never built, or invalidated without rebuild).
+        self.built_epoch = -1
+        self.builds = 0
+        self.invalidations = 0
+        self.hits = 0
+        self.misses = 0
+        # Runtime-verification probes (chaos invariant I11): every hit
+        # records the epoch of the table served and the epoch current at
+        # serve time.  If they ever differ — or ``stale_served`` is
+        # nonzero — a stale precompiled decision escaped.
+        self.last_hit_built_epoch = 0
+        self.last_hit_at_epoch = 0
+        self.stale_served = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used(self) -> bool:
+        """Has this table ever influenced (or been asked to influence)
+        a run?  Gates metrics export so an untouched table stays
+        invisible to fingerprints."""
+        return bool(self.enabled or self.builds or self.hits
+                    or self.misses)
+
+    # -- lifecycle ---------------------------------------------------------
+    def install(self, entries: Dict[Tuple[Any, Any, Any], int],
+                epoch: int) -> None:
+        """Swap in a freshly compiled table, valid for *epoch*."""
+        self._entries = entries
+        self.built_epoch = epoch
+        self.builds += 1
+
+    def invalidate(self) -> None:
+        """Mark the table unusable (epoch moved, no rebuild yet)."""
+        if self.built_epoch >= 0:
+            self.built_epoch = -1
+            self.invalidations += 1
+
+    # -- the hot path ------------------------------------------------------
+    def lookup(self, key: Tuple[Any, Any, Any], mask: int,
+               current_epoch: int) -> bool:
+        """Allow iff a current-epoch entry's vector covers every bit of
+        *mask*.  A table built for any other epoch answers nothing."""
+        if self.built_epoch != current_epoch:
+            self.misses += 1
+            return False
+        vector = self._entries.get(key)
+        if vector is None or mask & vector != mask:
+            self.misses += 1
+            return False
+        self.hits += 1
+        self.last_hit_built_epoch = self.built_epoch
+        self.last_hit_at_epoch = current_epoch
+        if self.built_epoch != current_epoch:  # defense in depth
+            self.stale_served += 1
+        return True
+
+    # -- rendering ---------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        total = self.hits + self.misses
+        return {
+            "enabled": 1 if self.enabled else 0,
+            "entries": len(self._entries),
+            "built_epoch": self.built_epoch,
+            "builds": self.builds,
+            "invalidations": self.invalidations,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate_pct": (self.hits * 100 // total) if total else 0,
+            "stale_served": self.stale_served,
+            "last_hit_built_epoch": self.last_hit_built_epoch,
+            "last_hit_at_epoch": self.last_hit_at_epoch,
+        }
+
+    def render(self) -> str:
+        """``key value`` lines for ``SACK/dtable/stats``."""
+        return "\n".join(f"{key} {value}"
+                         for key, value in self.stats().items()) + "\n"

@@ -21,6 +21,7 @@ from ..obs.metrics import sample
 from ..obs.tracepoints import LSM_HOOK_DISPATCH
 from .avc import AV_ALL, KEY_EXTRACTORS, VECTOR_HOOKS, AccessVectorCache
 from .capability import CapabilityLsm
+from .dtable import DecisionTable
 from .hooks import HOOK_BIT, Hook
 from .module import LsmModule
 
@@ -105,6 +106,12 @@ class LsmFramework(SecurityHooks):
         self.avc = AccessVectorCache(capacity=avc_capacity)
         self._avc_plans: Dict[Hook, Optional[tuple]] = {
             hook: self._build_avc_plan(hook) for hook in Hook}
+        #: Precompiled decision table (see repro.lsm.dtable): consulted
+        #: before the AVC when enabled; rebuilt on every epoch bump.
+        self.dtable = DecisionTable()
+        self._dtable_plans: Dict[Hook, Optional[tuple]] = {
+            hook: self._build_dtable_plan(hook) for hook in Hook}
+        self.avc.on_bump = self._on_avc_bump
 
     def _build_avc_plan(self, hook: Hook) -> Optional[tuple]:
         """Precompute the AVC recipe for *hook*, or None if uncacheable.
@@ -129,6 +136,65 @@ class LsmFramework(SecurityHooks):
             if all(fns):
                 compute_fns = fns
         return extractor, subject_fns, compute_fns
+
+    def _build_dtable_plan(self, hook: Hook) -> Optional[tuple]:
+        """The module tuple whose decisions *hook* can precompile, or None.
+
+        A hook is table-able only when it is AVC-cacheable, its vectors
+        carry real MAY_* masks (:data:`VECTOR_HOOKS`), and every module
+        on its call list implements the enumeration protocol —
+        ``table_subject_keys()``, ``table_paths()``, and the pure
+        ``compute_av_for_subject()``.
+        """
+        if hook not in VECTOR_HOOKS or self._avc_plans[hook] is None:
+            return None
+        modules = tuple(self.module_named(name)
+                        for name, _method in self._hook_lists[hook])
+        if not all(hasattr(m, "table_subject_keys")
+                   and hasattr(m, "table_paths")
+                   and hasattr(m, "compute_av_for_subject")
+                   for m in modules):
+            return None
+        return modules
+
+    def _on_avc_bump(self, reason: str, epoch: int) -> None:
+        """Epoch moved: the old table is wrong.  Recompile eagerly while
+        the table is live (the transition already remapped the APE, so
+        the new contents are the new state's), drop it otherwise."""
+        if self.dtable.enabled:
+            self.rebuild_dtable()
+        else:
+            self.dtable.invalidate()
+
+    def rebuild_dtable(self) -> int:
+        """Compile the decision table for the current epoch; returns the
+        entry count.  Enumerates every table-able hook's subject space
+        (cross product of each module's subject keys) against the
+        literal governed paths, storing the AND of every module's pure
+        access vector — zero vectors are dropped, keeping the table
+        allows-only."""
+        import itertools
+        entries: Dict[tuple, int] = {}
+        for hook, modules in self._dtable_plans.items():
+            if modules is None:
+                continue
+            subject_keys = [list(m.table_subject_keys())
+                            for m in modules]
+            if not all(subject_keys):
+                continue
+            paths = sorted(set().union(
+                *(set(m.table_paths()) for m in modules)))
+            for subject in itertools.product(*subject_keys):
+                for path in paths:
+                    vector = AV_ALL
+                    for module, key in zip(modules, subject):
+                        vector &= module.compute_av_for_subject(key, path)
+                        if not vector:
+                            break
+                    if vector:
+                        entries[(hook, subject, path)] = vector
+        self.dtable.install(entries, self.avc.core.epoch)
+        return len(entries)
 
     @classmethod
     def from_config(cls, config_lsm: str,
@@ -172,6 +238,7 @@ class LsmFramework(SecurityHooks):
                 # keeping duplicate counts that could drift.
                 self.obs.metrics.register_collector(self._collect_stats)
             self.obs.metrics.register_collector(self._collect_avc)
+            self.obs.metrics.register_collector(self._collect_dtable)
         for module in self.modules:
             module.registered(kernel)
 
@@ -207,6 +274,29 @@ class LsmFramework(SecurityHooks):
                           "counter", count)
                    for reason, count in core.bump_reasons.items())
         return out
+
+    def _collect_dtable(self):
+        dtable = self.dtable
+        if not dtable.used:
+            # An untouched table exports nothing, so default-config runs
+            # (and their fingerprints) are byte-identical to pre-table
+            # builds.
+            return []
+        return [
+            sample("lsm_dtable_lookups_total", {"result": "hit"},
+                   "counter", dtable.hits),
+            sample("lsm_dtable_lookups_total", {"result": "miss"},
+                   "counter", dtable.misses),
+            sample("lsm_dtable_builds_total", {}, "counter",
+                   dtable.builds),
+            sample("lsm_dtable_invalidations_total", {}, "counter",
+                   dtable.invalidations),
+            sample("lsm_dtable_stale_served_total", {}, "counter",
+                   dtable.stale_served),
+            sample("lsm_dtable_entries", {}, "gauge", len(dtable)),
+            sample("lsm_dtable_built_epoch", {}, "gauge",
+                   dtable.built_epoch),
+        ]
 
     # -- hook latency collection ---------------------------------------------
     def enable_hook_latency(self) -> None:
@@ -292,16 +382,39 @@ class LsmFramework(SecurityHooks):
     def _call_int(self, hook: Hook, *args) -> int:
         """Walk the hook's call list; first nonzero return wins (deny).
 
-        Two fast paths run before any dispatch bookkeeping: the
-        implemented-hook bitmap (nobody registered → allow, one ``and``)
-        and the AVC (a live cache entry proving every module already
-        allowed this (subject, object, mask) → allow without walking).
-        Denials are never cached — they must reach the modules so audit
-        records, denial counters and span attribution still fire.
+        Three fast paths run before any dispatch bookkeeping: the
+        implemented-hook bitmap (nobody registered → allow, one ``and``),
+        the precompiled decision table (when enabled: the whole allow
+        surface for this epoch, one dict probe, no miss path to
+        maintain), and the AVC (a live cache entry proving every module
+        already allowed this (subject, object, mask) → allow without
+        walking).  Denials are never cached in either structure — they
+        must reach the modules so audit records, denial counters and
+        span attribution still fire.
         """
         if not self.hook_bitmap & HOOK_BIT[hook]:
             return 0
         avc = self.avc
+        dtable = self.dtable
+        if dtable.enabled:
+            modules = self._dtable_plans[hook]
+            if modules is not None:
+                if dtable.built_epoch != avc.core.epoch:
+                    # Self-heal: first use after enable, or a bump that
+                    # bypassed the wrapper (direct core access).
+                    self.rebuild_dtable()
+                extractor, subject_fns, _compute = self._avc_plans[hook]
+                object_mask = extractor(args)
+                if object_mask is not None:
+                    obj, mask = object_mask
+                    task = args[0]
+                    try:
+                        subject = tuple(fn(task) for fn in subject_fns)
+                    except TypeError:
+                        subject = (None,)
+                    if None not in subject and dtable.lookup(
+                            (hook, subject, obj), mask, avc.core.epoch):
+                        return self._avc_hit(hook, args, source="dtable")
         if avc.enabled:
             plan = self._avc_plans[hook]
             if plan is not None:
@@ -333,11 +446,12 @@ class LsmFramework(SecurityHooks):
                     return rc
         return self._dispatch_int(hook, args)
 
-    def _avc_hit(self, hook: Hook, args) -> int:
-        """Serve an allow from the cache, replaying the side effects an
-        allowed module walk would have had (HookStats counters; an
-        ``avc.hit`` span when hooks are being watched) so decisions and
-        counters are bit-identical with the cache off."""
+    def _avc_hit(self, hook: Hook, args, source: str = "avc") -> int:
+        """Serve an allow from a cache/table, replaying the side effects
+        an allowed module walk would have had (HookStats counters; an
+        ``avc.hit``/``dtable.hit`` span when hooks are being watched) so
+        decisions and counters are bit-identical with the fast paths
+        off."""
         stats = self.stats
         if stats is not None:
             for name, _method in self._hook_lists[hook]:
@@ -349,7 +463,7 @@ class LsmFramework(SecurityHooks):
                 f"lsm.{hook.value}", stage="hook", root=True,
                 attributes={"pid": getattr(task, "pid", 0),
                             "comm": getattr(task, "comm", ""),
-                            "avc.hit": True})
+                            f"{source}.hit": True})
             if span is not None:
                 span.add_link(spans.consume_link())
             spans.end_span(span)

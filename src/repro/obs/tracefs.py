@@ -32,6 +32,10 @@ Mirrors the ftrace control surface:
     occupancy), and ``flush`` (write ``1`` to bump the epoch and drop
     every entry).  Registered only when the kernel booted with an LSM
     framework.
+``SACK/dtable/``
+    The precompiled decision table (see ``docs/avc.md``): ``enable``
+    (0/1; enabling compiles the table immediately) and ``stats``.
+    Registered only when the kernel booted with an LSM framework.
 
 All decision files are owned by root with mode 0o644/0o600 exactly like
 the securityfs files, so DAC governs who may toggle tracing.
@@ -101,6 +105,12 @@ class TraceFs:
             self._pseudo("SACK/avc/stats", read=self._read_avc_stats)
             self._pseudo("SACK/avc/flush", write=self._write_avc_flush,
                          mode=0o200)
+        if self._dtable() is not None:
+            self._pseudo("SACK/dtable/enable",
+                         read=self._read_dtable_enable,
+                         write=self._write_dtable_enable, mode=0o644)
+            self._pseudo("SACK/dtable/stats",
+                         read=self._read_dtable_stats)
         for point in self.obs.tracepoints:
             rel = f"events/{point.category}/{point.event}"
             self._pseudo(f"{rel}/enable",
@@ -201,6 +211,27 @@ class TraceFs:
         avc.bump_epoch("tracefs-flush")
         avc.flush()
         return len(data)
+
+    # -- decision-table files ----------------------------------------------
+    def _dtable(self):
+        """The LSM framework's DecisionTable, if this kernel has one."""
+        return getattr(getattr(self.kernel, "security", None),
+                       "dtable", None)
+
+    def _read_dtable_enable(self, task) -> bytes:
+        return b"1\n" if self._dtable().enabled else b"0\n"
+
+    def _write_dtable_enable(self, task, data: bytes) -> int:
+        enable = self._parse_bool(data, "SACK/dtable/enable")
+        dtable = self._dtable()
+        dtable.enabled = enable
+        if enable:
+            # Compile now so the first post-enable dispatch hits.
+            self.kernel.security.rebuild_dtable()
+        return len(data)
+
+    def _read_dtable_stats(self, task) -> bytes:
+        return self._dtable().render().encode()
 
     def _make_read_enable(self, name: str):
         def read(task) -> bytes:

@@ -61,6 +61,59 @@ class SackLsm(LsmModule):
             av |= MAY_WRITE
         return av
 
+    # -- decision-table participation ------------------------------------------
+    def table_subject_keys(self):
+        """Every live task's subject key, for table precompilation.
+
+        Forked tasks inherit comm and creds, so enumerating the live
+        process table covers every subject the file hooks can see; a
+        brand-new comm simply misses the table until the next rebuild
+        (and is answered by the AVC / module walk meanwhile).
+        """
+        kernel = self.kernel
+        if kernel is None:
+            return []
+        keys = {self.avc_subject_key(task)
+                for task in kernel.procs.tasks.values()
+                if task.is_alive}
+        return sorted(keys)
+
+    def table_paths(self):
+        """Every literal path the loaded policy names — rule path globs
+        and guard prefixes with no glob syntax.  Wildcard patterns match
+        unbounded path sets and stay the AVC's job."""
+        from ..lsm.dtable import is_literal_path
+        if self.ape is None:
+            return []
+        compiled = self.ape.compiled
+        paths = {g for g in compiled.policy.guards if is_literal_path(g)}
+        for ruleset in compiled.rulesets.values():
+            for table in (ruleset.allow_by_op, ruleset.deny_by_op):
+                for rules in table.values():
+                    paths.update(
+                        rule.source.path_glob for rule in rules
+                        if is_literal_path(rule.source.path_glob))
+        return sorted(paths)
+
+    def compute_av_for_subject(self, subject, path: str) -> int:
+        """Pure variant of :meth:`compute_av` keyed by subject tuple.
+
+        Consults the current compiled ruleset directly — NOT
+        ``ape.check`` — so precompiling the table moves no enforcement
+        counters and a run with the table on stays bit-identical in
+        every observable the fingerprints hash.
+        """
+        comm, has_override = subject
+        if self.ape is None or has_override:
+            return MAY_READ | MAY_WRITE | MAY_EXEC
+        ruleset = self.ape.current_ruleset
+        av = MAY_EXEC
+        if ruleset.check(RuleOp.READ, path, comm):
+            av |= MAY_READ
+        if ruleset.check(RuleOp.WRITE, path, comm):
+            av |= MAY_WRITE
+        return av
+
     def _on_transition_bump_avc(self, _transition) -> None:
         self.bump_avc("transition")
 

@@ -72,6 +72,31 @@ class TestPersistence:
         assert trajectory.latest_value("b_ns") == 5.0
         assert trajectory.latest_value("missing") is None
 
+    def test_latest_value_prefers_same_source(self):
+        # Two suites fold the same metric over different cell
+        # populations; each must baseline against its own lineage.
+        trajectory = Trajectory("fleet")
+        trajectory.append({"fleet_vehicles_per_second": 50.0},
+                          source="suite:smoke", sha="s1")
+        trajectory.append({"fleet_vehicles_per_second": 194.0},
+                          source="suite:mp", sha="s2")
+        assert trajectory.latest_value("fleet_vehicles_per_second",
+                                       source="suite:smoke") == 50.0
+        assert trajectory.latest_value("fleet_vehicles_per_second",
+                                       source="suite:mp") == 194.0
+        # unscoped lookup still sees the newest record of any source
+        assert trajectory.latest_value(
+            "fleet_vehicles_per_second") == 194.0
+
+    def test_latest_value_falls_back_across_sources(self):
+        # A new suite's first run inherits whatever baseline exists
+        # rather than silently passing with none.
+        trajectory = Trajectory("fleet")
+        trajectory.append({"fleet_mp_speedup": 3.97},
+                          source="suite:smoke", sha="s1")
+        assert trajectory.latest_value("fleet_mp_speedup",
+                                       source="suite:mp") == 3.97
+
 
 class TestCheck:
     def _trajectory(self, **metrics):
@@ -133,6 +158,23 @@ class TestCheck:
         # gate over a metric with no committed baseline
         assert check_metrics(trajectory, {"other_per_second": 5.0},
                              {"other_per_second": 10.0}) == []
+
+    def test_source_scoped_baseline(self):
+        # The slower smoke fold must not regress against the faster
+        # mp fold of the same metric appended afterwards.
+        trajectory = Trajectory("fleet")
+        trajectory.append({"fleet_vehicles_per_second": 50.0},
+                          source="suite:smoke", sha="s1")
+        trajectory.append({"fleet_vehicles_per_second": 194.0},
+                          source="suite:mp", sha="s2")
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 49.0},
+                             {"fleet_vehicles_per_second": 10.0},
+                             source="suite:smoke") == []
+        # unscoped, the mp record is the baseline and 49 regresses
+        assert check_metrics(trajectory,
+                             {"fleet_vehicles_per_second": 49.0},
+                             {"fleet_vehicles_per_second": 10.0})
 
 
 class TestPytestIngest:

@@ -269,7 +269,8 @@ class TestFingerprintCompatibility:
 class TestConfigValidation:
     @pytest.mark.parametrize("field,value,expected", [
         ("backend", "mpi",
-         "unknown backend 'mpi'; accepted backends: serial, threads"),
+         "unknown backend 'mpi'; accepted backends: "
+         "serial, threads, process"),
         ("mode", "selinux",
          "unknown fleet mode 'selinux'; accepted modes: "
          "apparmor, independent"),
