@@ -169,6 +169,14 @@ WORKLOAD_AXES: Dict[str, Dict[str, Axis]] = {
         Axis("long_window", "int", 12, minimum=1),
         _SEED, _MEASURE_MEMORY_OFF,
     ),
+    "verify": _axes(
+        # Revisions in the checked OTA chain: 1 verifies the built-in
+        # IVI policy alone; higher values alternate it with the
+        # emergency-lockdown example so OTA edges appear in the model.
+        Axis("revisions", "int", 2, minimum=1, maximum=8),
+        Axis("reps", "int", 3, minimum=1),
+        _SEED, _MEASURE_MEMORY_OFF,
+    ),
 }
 
 
@@ -715,6 +723,58 @@ def _run_telemetry_cell(params: Dict[str, object]
     return metrics, obs
 
 
+def _run_verify_cell(params: Dict[str, object]
+                     ) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """Static-checker cell: prove P1–P5 over an OTA revision chain.
+
+    The chain is the built-in IVI policy plus renamed copies of itself,
+    so every cell is self-contained (no example files) and every
+    revision verifies clean; the interesting outputs are proof effort
+    (decision-oracle checks — deterministic for a given chain) and the
+    checker's wall-time per check.
+    """
+    from ..vehicle.devices import IOCTL_SYMBOLS
+    from ..vehicle.ivi import DEFAULT_SACK_POLICY
+    from ..verify import verify_policies
+
+    revisions = int(params["revisions"])
+    reps = int(params["reps"])
+    chain = [DEFAULT_SACK_POLICY]
+    for i in range(1, revisions):
+        chain.append(DEFAULT_SACK_POLICY.replace(
+            "policy ivi_default;", f"policy ivi_rev{i};", 1))
+
+    last: Dict[str, object] = {}
+
+    def prove() -> None:
+        last["report"] = verify_policies(chain,
+                                         ioctl_symbols=IOCTL_SYMBOLS)
+
+    wall_s = best_of(prove, reps=reps)
+    report = last["report"]
+    stats = report.model_stats
+    checks = int(stats["checks"])
+    metrics: Dict[str, float] = {
+        "verify_wall_ms": wall_s * 1e3,
+        "verify_check_ns": (wall_s / checks * 1e9) if checks else 0.0,
+        "verify_states_per_second": (stats["states"] / wall_s
+                                     if wall_s > 0 else 0.0),
+        "verify_model_states": float(stats["states"]),
+        "verify_model_edges": float(stats["transitions"]),
+        "verify_decision_checks": float(checks),
+        "verify_properties": float(len(report.results)),
+        "verify_violations": float(len(report.failed_properties)),
+    }
+    obs: Dict[str, object] = {
+        "model": dict(stats),
+        "policies": list(report.policy_names),
+        "properties": [{"prop_id": r.prop_id, "passed": r.passed,
+                        "checks": r.checks, "elapsed_ns": r.elapsed_ns}
+                       for r in report.results],
+    }
+    return metrics, obs
+
+
 _EXECUTORS: Dict[str, Callable[[Dict[str, object]],
                                Tuple[Dict[str, float],
                                      Dict[str, object]]]] = {
@@ -724,6 +784,7 @@ _EXECUTORS: Dict[str, Callable[[Dict[str, object]],
     "avc": _run_avc_cell,
     "hooks": _run_hooks_cell,
     "telemetry": _run_telemetry_cell,
+    "verify": _run_verify_cell,
 }
 
 #: Workloads whose metrics gate against another workload's trajectory

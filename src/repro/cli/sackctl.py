@@ -3,6 +3,16 @@
 Subcommands::
 
     sackctl check <policy.sack>          validate; exit 1 on errors
+    sackctl verify [policy.sack]         statically model-check the policy
+                                         (default: built-in IVI policy)
+                                         against the cross-state safety
+                                         properties; prints per-property
+                                         pass/fail, model-size stats, and
+                                         counterexample traces; exit 1 on
+                                         any violation (--replay executes
+                                         each counterexample against a
+                                         live kernel, --export dumps them
+                                         as JSON)
     sackctl format <policy.sack>         print the canonical form
     sackctl compile <policy.sack>        show per-state compiled rulesets
     sackctl simulate <policy.sack> -e crash_detected -e emergency_cleared
@@ -89,6 +99,55 @@ def cmd_check(args) -> int:
         return 1
     print(f"{policy.name}: OK ({len(diagnostics)} warning(s))")
     return 0
+
+
+def cmd_verify(args) -> int:
+    import json as _json
+
+    from ..verify import SolverUnavailable, verify_policy
+
+    if args.policy:
+        with open(args.policy, "r", encoding="utf-8") as handle:
+            policy_text = handle.read()
+        source = args.policy
+    else:
+        from ..vehicle.ivi import DEFAULT_SACK_POLICY
+        policy_text = DEFAULT_SACK_POLICY
+        source = "built-in IVI policy"
+    try:
+        report = verify_policy(policy_text, ioctl_symbols=IOCTL_SYMBOLS,
+                               properties=args.property or None,
+                               solver=args.solver)
+    except SolverUnavailable as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"verifying {source}")
+        for line in report.summary_lines():
+            print(line)
+    # Status/side-channel output goes to stderr under --json so stdout
+    # stays parseable (same convention as ``sackctl chaos --json``).
+    out = sys.stderr if args.json else sys.stdout
+    if args.export:
+        doc = {"policy": source,
+               "counterexamples": [cex.to_dict()
+                                   for cex in report.counterexamples]}
+        with open(args.export, "w", encoding="utf-8") as handle:
+            _json.dump(doc, handle, indent=2)
+            handle.write("\n")
+        print(f"{len(doc['counterexamples'])} counterexample(s) "
+              f"exported to {args.export}", file=out)
+    if args.replay and report.counterexamples:
+        from ..verify import replay_counterexample
+        print("replaying counterexample(s) on a live kernel:", file=out)
+        for cex in report.counterexamples:
+            result = replay_counterexample(cex, policy_text)
+            status = "CONFIRMED" if result.confirmed else "NOT confirmed"
+            print(f"  {cex.property_id}: {status} — {result.detail}",
+                  file=out)
+    return 0 if report.ok else 1
 
 
 def cmd_format(args) -> int:
@@ -623,7 +682,21 @@ def cmd_fleet_rollout(args) -> int:
         fleet.arm_vehicle_fault(fleet.ids[0],
                                 fault_points.FLEET_BUNDLE_APPLY_FAIL,
                                 probability=1.0, times=1)
-    fleet.stage_rollout(bundle)
+    from ..fleet.rollout import ProofRefusedError
+    try:
+        fleet.stage_rollout(bundle)
+    except ProofRefusedError as exc:
+        # The static proof gate refused the bundle before any vehicle —
+        # canary included — was offered it.
+        print(f"staging {bundle.describe()}")
+        print(f"REFUSED before canary: {exc}")
+        decision = exc.decision
+        if decision is not None and decision.report is not None:
+            for line in decision.report.summary_lines():
+                print(f"  {line}")
+        for line in fleet.controller.status_lines():
+            print(line)
+        return 1
     result = fleet.run(args.epochs)
     print(f"staged {bundle.describe()}")
     for epoch, message in fleet.controller.history:
@@ -783,6 +856,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="validate a policy file")
     p_check.add_argument("policy")
     p_check.set_defaults(func=cmd_check)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically model-check a policy against the "
+                       "cross-state safety properties")
+    p_verify.add_argument("policy", nargs="?",
+                          help="policy file (default: built-in IVI "
+                               "policy)")
+    p_verify.add_argument("--property", action="append", metavar="ID",
+                          help="check only this property (repeatable; "
+                               "e.g. P2 or P2:koffee-unreachable)")
+    p_verify.add_argument("--solver", default="exhaustive",
+                          help="solver backend (default: exhaustive)")
+    p_verify.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    p_verify.add_argument("--export", metavar="FILE",
+                          help="write counterexample traces to FILE as "
+                               "JSON")
+    p_verify.add_argument("--replay", action="store_true",
+                          help="execute each counterexample against a "
+                               "live kernel and report whether it "
+                               "reproduces")
+    p_verify.set_defaults(func=cmd_verify)
 
     p_format = sub.add_parser("format", help="print canonical form")
     p_format.add_argument("policy")

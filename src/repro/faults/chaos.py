@@ -4,7 +4,8 @@
 :func:`~repro.faults.plan.random_plan` across every fault point, and drives
 a seeded scenario — drives, parks, crashes, driver comings and goings, SDS
 kill/revive windows, policy reloads — while checking the fail-closed
-invariants **every tick**:
+invariants **every tick** (definitions shared with the static model
+checker via :mod:`repro.verify.properties`):
 
 I1  the SSM's current state is always one the policy defines;
 I2  SSM accounting holds: every processed event is exactly one of
@@ -37,6 +38,7 @@ import random
 from typing import Dict, List, Optional, Tuple
 
 from . import points as fault_points
+from ..verify.properties import runtime_checks
 from .plan import FaultPlan, random_plan
 from .points import InjectedFault
 
@@ -134,172 +136,26 @@ class ChaosReport:
 
 
 class _InvariantChecker:
-    """Per-tick fail-closed checks over one world."""
+    """Per-tick fail-closed checks over one world.
+
+    The check functions themselves live in the shared registry
+    (:mod:`repro.verify.properties`) — the same definitions the static
+    model checker cross-references — so the runtime and static layers
+    can never drift.  This class only binds them to one world and
+    timestamps whatever they find.
+    """
 
     def __init__(self, world):
         self.world = world
-        self._last_counters: Dict[str, int] = {}
+        #: Cross-tick state for the checks (previous counter snapshot).
+        self._ctx: Dict[str, object] = {}
+        self._checks = runtime_checks("chaos")
         self.violations: List[Violation] = []
 
-    def _fail(self, tick: int, invariant: str, detail: str) -> None:
-        self.violations.append(Violation(tick, invariant, detail))
-
-    def _ssm(self):
-        module = self.world.sack or self.world.bridge
-        return module.ssm if module is not None else None
-
     def check(self, tick: int) -> None:
-        self._check_state_defined(tick)
-        self._check_ssm_accounting(tick)
-        self._check_sackfs_accounting(tick)
-        self._check_monotone(tick)
-        self._check_fail_closed_access(tick)
-        self._check_enforcement_agrees(tick)
-        self._check_failsafe_state(tick)
-        self._check_avc_coherent(tick)
-        self._check_dtable_coherent(tick)
-
-    def _check_state_defined(self, tick: int) -> None:
-        ssm = self._ssm()
-        if ssm is None:
-            return
-        if ssm.current_name not in {s.name for s in ssm.states}:
-            self._fail(tick, "I1:state-defined",
-                       f"current state {ssm.current_name!r} not in policy")
-
-    def _check_ssm_accounting(self, tick: int) -> None:
-        ssm = self._ssm()
-        if ssm is None:
-            return
-        buckets = (ssm.transition_count + ssm.events_ignored
-                   + ssm.transitions_failed)
-        if ssm.events_processed != buckets:
-            self._fail(tick, "I2:ssm-accounting",
-                       f"processed={ssm.events_processed} != "
-                       f"transitions+ignored+failed={buckets}")
-
-    def _check_sackfs_accounting(self, tick: int) -> None:
-        fs = self.world.sackfs
-        if fs is None:
-            return
-        accounted = (fs.events_accepted + fs.events_rejected
-                     + fs.heartbeats_received)
-        if accounted < fs.events_received:
-            self._fail(tick, "I3:sackfs-accounting",
-                       f"received={fs.events_received} > "
-                       f"accepted+rejected+heartbeats={accounted}")
-
-    def _check_monotone(self, tick: int) -> None:
-        ssm = self._ssm()
-        fs = self.world.sackfs
-        counters = {}
-        if fs is not None:
-            counters.update(received=fs.events_received,
-                            accepted=fs.events_accepted,
-                            rejected=fs.events_rejected,
-                            heartbeats=fs.heartbeats_received)
-        if ssm is not None:
-            counters.update(processed=ssm.events_processed,
-                            transitions=ssm.transition_count,
-                            ignored=ssm.events_ignored,
-                            failed=ssm.transitions_failed,
-                            rollbacks=ssm.rollback_count)
-        for name, value in counters.items():
-            prev = self._last_counters.get(name)
-            # Counters reset on policy reload (a new SSM); only flag
-            # decreases for counters that cannot legitimately reset.
-            if prev is not None and value < prev and name in (
-                    "received", "accepted", "rejected", "heartbeats"):
-                self._fail(tick, "I3:monotone",
-                           f"counter {name} went {prev} -> {value}")
-        self._last_counters = counters
-
-    def _check_fail_closed_access(self, tick: int) -> None:
-        """I4: media_app can never actuate the door, whatever just broke."""
-        from ..kernel.errors import KernelError
-        from ..vehicle.devices import DOOR_UNLOCK
-        try:
-            self.world.device_ioctl("media_app", "door", DOOR_UNLOCK, 0)
-        except KernelError:
-            return
-        self._fail(tick, "I4:fail-closed",
-                   f"media_app unlocked the door in state "
-                   f"{self.world.situation!r}")
-
-    def _check_enforcement_agrees(self, tick: int) -> None:
-        ssm = self._ssm()
-        if ssm is None:
-            return
-        if self.world.sack is not None:
-            ape = self.world.sack.ape
-            if ape is not None and ape.current_state != ssm.current_name:
-                self._fail(tick, "I5:ape-agrees",
-                           f"APE enforces {ape.current_state!r} but SSM "
-                           f"is in {ssm.current_name!r}")
-        if self.world.bridge is not None:
-            for problem in self.world.bridge.verify_consistency():
-                self._fail(tick, "I5:bridge-agrees", problem)
-
-    def _check_failsafe_state(self, tick: int) -> None:
-        ssm = self._ssm()
-        if ssm is None or not ssm.failsafe_engaged:
-            return
-        expected = ssm.failsafe_state or ssm.current_name
-        if ssm.current_name != expected:
-            self._fail(tick, "I6:failsafe-state",
-                       f"failsafe engaged but state is "
-                       f"{ssm.current_name!r}, not {expected!r}")
-
-    def _check_avc_coherent(self, tick: int) -> None:
-        """I7: an epoch bump is never followed by a stale-epoch cache hit.
-
-        The AVC core stamps every hit with (entry epoch, epoch at serve
-        time); under any interleaving of transitions, rollbacks,
-        failsafe settles and profile reloads these must match — a
-        mismatch means a pre-transition decision outlived its situation.
-        """
-        framework = getattr(self.world, "framework", None)
-        avc = getattr(framework, "avc", None)
-        if avc is None:
-            return
-        core = avc.core
-        if core.stale_served:
-            self._fail(tick, "I7:avc-stale-hit",
-                       f"{core.stale_served} stale entr(y/ies) served")
-        if core.last_hit_entry_epoch != core.last_hit_at_epoch:
-            self._fail(tick, "I7:avc-stale-hit",
-                       f"hit served an epoch-{core.last_hit_entry_epoch} "
-                       f"entry at epoch {core.last_hit_at_epoch}")
-
-    def _check_dtable_coherent(self, tick: int) -> None:
-        """I11: no stale-table hit — a precompiled decision table never
-        answers for an epoch it was not built against.
-
-        Same discipline as I7, one layer earlier: every table hit is
-        stamped with (epoch built, epoch at serve time); under any
-        interleaving of transitions, rollbacks and policy reloads these
-        must match, and the table must always be freshly built (or
-        invalidated) whenever the AVC epoch has moved.
-        """
-        framework = getattr(self.world, "framework", None)
-        dtable = getattr(framework, "dtable", None)
-        if dtable is None or not dtable.used:
-            return
-        if dtable.stale_served:
-            self._fail(tick, "I11:dtable-stale-hit",
-                       f"{dtable.stale_served} stale table "
-                       f"answer(s) served")
-        if dtable.last_hit_built_epoch != dtable.last_hit_at_epoch:
-            self._fail(tick, "I11:dtable-stale-hit",
-                       f"hit served an epoch-"
-                       f"{dtable.last_hit_built_epoch} table at epoch "
-                       f"{dtable.last_hit_at_epoch}")
-        if dtable.enabled and \
-                dtable.built_epoch != framework.avc.core.epoch:
-            self._fail(tick, "I11:dtable-stale-hit",
-                       f"live table built for epoch "
-                       f"{dtable.built_epoch} but AVC epoch is "
-                       f"{framework.avc.core.epoch}")
+        for check in self._checks:
+            for invariant, detail in check(self.world, self._ctx):
+                self.violations.append(Violation(tick, invariant, detail))
 
 
 def _install_listener_fault(world, plan: FaultPlan) -> None:

@@ -10,7 +10,9 @@ fleet-side control plane:
   bridged AppArmor profiles under one signature).
 * :mod:`repro.fleet.rollout` — the staged rollout state machine: canary →
   percentage waves → full, with per-vehicle apply/ack, health gating and
-  automatic fleet-wide rollback on a blown error budget.
+  automatic fleet-wide rollback on a blown error budget.  Staging runs
+  the bundle's policy through the :mod:`repro.verify` proof gate first —
+  a policy that fails any static safety property never reaches a canary.
 * :mod:`repro.fleet.bus` — the V2X event bus: topic- and geo-filtered
   situation events with seeded latency and loss, injected into
   neighbouring vehicles' SDS sensor streams.
@@ -28,8 +30,9 @@ fleet-side control plane:
 See ``docs/fleet.md``.
 """
 
-from .bundle import (BundleError, BundleSigner, BundleVerificationError,
-                     PolicyBundle, SIGNED_FIELDS_ALL, verify_bundle)
+from .bundle import (BundleCheck, BundleError, BundleSigner,
+                     BundleVerificationError, PolicyBundle,
+                     SIGNED_FIELDS_ALL, run_bundle_checks, verify_bundle)
 from .bus import BusRecord, V2xBus, V2xMessage
 from .orchestrator import (Fleet, FleetConfig, FleetRunResult,
                            ScriptedDriver, TrafficDriver)
@@ -39,13 +42,15 @@ from .resilience import (CheckpointStore, ControlPlaneGuard, EpochJournal,
                          CRASHED, QUARANTINED, RUNNING)
 from .telemetry import (FleetTelemetry, SloAlert, SloEngine, SloSpec,
                         TelemetryAggregator, default_slos, parse_slo)
-from .rollout import (RolloutController, RolloutPlan, RolloutState,
-                      VehicleAck, VehiclePhase, Wave, default_rollout_plan)
+from .rollout import (ProofRefusedError, RolloutController, RolloutPlan,
+                      RolloutState, VehicleAck, VehiclePhase, Wave,
+                      default_rollout_plan)
 from .vehicle import FleetVehicle, V2xAlertDetector
 
 __all__ = [
-    "BundleError", "BundleSigner", "BundleVerificationError",
-    "PolicyBundle", "SIGNED_FIELDS_ALL", "verify_bundle",
+    "BundleCheck", "BundleError", "BundleSigner",
+    "BundleVerificationError", "PolicyBundle", "SIGNED_FIELDS_ALL",
+    "run_bundle_checks", "verify_bundle",
     "BusRecord", "V2xBus", "V2xMessage",
     "Fleet", "FleetConfig", "FleetRunResult", "ScriptedDriver",
     "TrafficDriver",
@@ -55,7 +60,8 @@ __all__ = [
     "CheckpointStore", "ControlPlaneGuard", "EpochJournal",
     "RestartPolicy", "VehicleSupervisor",
     "CRASHED", "QUARANTINED", "RUNNING",
-    "RolloutController", "RolloutPlan", "RolloutState", "VehicleAck",
-    "VehiclePhase", "Wave", "default_rollout_plan",
+    "ProofRefusedError", "RolloutController", "RolloutPlan",
+    "RolloutState", "VehicleAck", "VehiclePhase", "Wave",
+    "default_rollout_plan",
     "FleetVehicle", "V2xAlertDetector",
 ]

@@ -13,6 +13,15 @@ a tampered profile would then ride a valid signature onto every vehicle.
 :func:`verify_bundle` therefore rejects any bundle whose ``signed_fields``
 does not include both the policy text and the profile set, even when the
 signature itself checks out over the fields it does cover.
+
+Verification is structured: :func:`run_bundle_checks` evaluates every
+admission check — signature present, coverage complete, MAC valid, and
+(when a :class:`~repro.verify.gate.ProofGate` is supplied) the static
+safety proofs — and returns per-check :class:`BundleCheck` results.
+:func:`verify_bundle` folds failures into a
+:class:`BundleVerificationError` that still carries the individual check
+rows, so rollout health and ``sackctl`` can show *why* a bundle was
+refused instead of one generic error.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import dataclasses
 import hashlib
 import hmac
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Every field a bundle signature must cover to be accepted.
 SIGNED_FIELDS_ALL: Tuple[str, ...] = ("policy_text", "apparmor_profiles")
@@ -35,8 +44,37 @@ class BundleError(ValueError):
     """Malformed bundle (bad version, missing artifacts)."""
 
 
+#: Admission check identifiers, in evaluation order.
+CHECK_SIGNATURE = "signature"
+CHECK_COVERAGE = "coverage"
+CHECK_MAC = "mac"
+CHECK_PROOF = "proof"
+
+
+@dataclasses.dataclass(frozen=True)
+class BundleCheck:
+    """One admission check's outcome for one bundle."""
+
+    check: str       # CHECK_SIGNATURE | CHECK_COVERAGE | CHECK_MAC | CHECK_PROOF
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
 class BundleVerificationError(BundleError):
-    """Signature missing, incomplete in coverage, or not matching."""
+    """Signature missing, incomplete in coverage, not matching — or the
+    proof gate refusing the policy.  Carries the structured per-check
+    results so callers can surface *which* check failed."""
+
+    def __init__(self, message: str, checks: Tuple[BundleCheck, ...] = ()):
+        super().__init__(message)
+        self.checks: Tuple[BundleCheck, ...] = tuple(checks)
+
+    @property
+    def failures(self) -> List[BundleCheck]:
+        return [c for c in self.checks if not c.ok]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -108,24 +146,64 @@ class BundleSigner:
             signed_fields=tuple(fields))
 
 
-def verify_bundle(bundle: PolicyBundle, key: bytes) -> None:
-    """Raise :class:`BundleVerificationError` unless *bundle* is
-    fully signed — coverage first, then the MAC itself."""
+def run_bundle_checks(bundle: PolicyBundle, key: bytes,
+                      proof_gate=None) -> List[BundleCheck]:
+    """Evaluate every admission check; returns per-check results.
+
+    Checks run in gate order — signature presence, manifest coverage,
+    the MAC itself, then (with a *proof_gate*) the static safety
+    proofs — and later checks are skipped once an earlier one fails:
+    an unverifiable manifest makes the downstream answers meaningless,
+    and proofs are not free.
+    """
+    checks: List[BundleCheck] = []
     if not bundle.signature:
-        raise BundleVerificationError(
-            f"{bundle.describe()}: unsigned bundle")
-    missing = [f for f in SIGNED_FIELDS_ALL if f not in bundle.signed_fields]
+        checks.append(BundleCheck(CHECK_SIGNATURE, False,
+                                  "unsigned bundle"))
+        return checks
+    checks.append(BundleCheck(CHECK_SIGNATURE, True, "signature present"))
+    missing = [f for f in SIGNED_FIELDS_ALL
+               if f not in bundle.signed_fields]
     if missing:
-        raise BundleVerificationError(
-            f"{bundle.describe()}: signature does not cover "
-            f"{', '.join(missing)} — a tampered artifact would ride a "
-            f"valid signature; refusing")
+        checks.append(BundleCheck(
+            CHECK_COVERAGE, False,
+            f"signature does not cover {', '.join(missing)} — a "
+            f"tampered artifact would ride a valid signature; refusing"))
+        return checks
+    checks.append(BundleCheck(CHECK_COVERAGE, True,
+                              "signature covers every enforcement "
+                              "artifact"))
     expected = hmac.new(key, bundle.manifest(bundle.signed_fields),
                         hashlib.sha256).hexdigest()
     if not hmac.compare_digest(expected, bundle.signature):
+        checks.append(BundleCheck(
+            CHECK_MAC, False,
+            "signature mismatch (artifact tampered or wrong fleet key)"))
+        return checks
+    checks.append(BundleCheck(CHECK_MAC, True, "HMAC valid"))
+    if proof_gate is not None:
+        decision = proof_gate.evaluate_bundle(bundle)
+        checks.append(BundleCheck(CHECK_PROOF, decision.passed,
+                                  decision.summary))
+    return checks
+
+
+def verify_bundle(bundle: PolicyBundle, key: bytes,
+                  proof_gate=None) -> List[BundleCheck]:
+    """Raise :class:`BundleVerificationError` unless *bundle* passes
+    every admission check; returns the per-check results when it does.
+
+    The error message is ``"<bundle>: <failed check details>"`` and the
+    exception carries the structured rows in ``.checks``.
+    """
+    checks = run_bundle_checks(bundle, key, proof_gate=proof_gate)
+    failed = [c for c in checks if not c.ok]
+    if failed:
         raise BundleVerificationError(
-            f"{bundle.describe()}: signature mismatch (artifact tampered "
-            f"or wrong fleet key)")
+            f"{bundle.describe()}: "
+            + "; ".join(c.detail for c in failed),
+            checks=tuple(checks))
+    return checks
 
 
 def make_bundle(version: int, policy_text: str,

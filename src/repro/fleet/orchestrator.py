@@ -155,6 +155,12 @@ class FleetConfig:
     policy_text: Optional[str] = None  # None = DEFAULT_SACK_POLICY
     rollout_plan: Optional[RolloutPlan] = None
     fleet_key: bytes = b"sack-fleet-signing-key"
+    #: Run every staged bundle's policy through the static model checker
+    #: (:class:`repro.verify.gate.ProofGate`) before the canary wave; a
+    #: violating bundle is refused fleet-wide with the failing properties
+    #: recorded in the rollout history.  Decisions are digest-cached, so
+    #: re-staging the same policy costs nothing.
+    proof_gate: bool = True
     backend: str = "serial"            # "serial" | "threads" | "process"
     # -- crash resilience (see repro.fleet.resilience) ----------------------
     #: Completed epochs between copy-on-write vehicle checkpoints.
@@ -269,7 +275,14 @@ class Fleet:
         self.ids: List[str] = [str(spec["vehicle_id"])
                                for spec in self._vehicle_specs]
         plan = config.rollout_plan or default_rollout_plan()
-        self.controller = RolloutController(plan, self.ids)
+        #: Proof gate for OTA admission (None when disabled).  Imported
+        #: lazily: a gate-free fleet never pulls in the checker stack.
+        self.proof_gate = None
+        if config.proof_gate:
+            from ..verify.gate import ProofGate
+            self.proof_gate = ProofGate()
+        self.controller = RolloutController(plan, self.ids,
+                                            proof_gate=self.proof_gate)
         self.sim_now_ns = 0
         self.compute_makespan_ns = 0
         self.epoch_index = 0
@@ -318,6 +331,13 @@ class Fleet:
 
     # -- scenario hooks ----------------------------------------------------
     def stage_rollout(self, bundle: PolicyBundle) -> None:
+        """Begin rolling *bundle* out.
+
+        With the proof gate enabled (the default), a bundle whose policy
+        violates any static safety property raises
+        :class:`~repro.fleet.rollout.ProofRefusedError` here — before
+        any vehicle, canary included, is offered it.
+        """
         self.controller.stage(bundle)
 
     def force_offline(self, vehicle_id: str, epochs: int) -> None:

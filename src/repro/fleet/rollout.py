@@ -30,6 +30,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .bundle import PolicyBundle
 
 
+class ProofRefusedError(RuntimeError):
+    """The proof gate refused a staged bundle before the canary wave.
+
+    Carries the gate's :class:`~repro.verify.gate.GateDecision` so the
+    caller (and ``sackctl fleet rollout``) can show which properties the
+    bundle's policy violates and the first counterexample.
+    """
+
+    def __init__(self, message: str, decision=None):
+        super().__init__(message)
+        self.decision = decision
+
+
 class RolloutState(enum.Enum):
     IDLE = "idle"
     IN_PROGRESS = "in_progress"
@@ -123,12 +136,19 @@ class RolloutController:
     """Drives one staged rollout across a fixed fleet roster."""
 
     def __init__(self, plan: RolloutPlan, fleet_ids: Sequence[str],
-                 committed: Optional[PolicyBundle] = None):
+                 committed: Optional[PolicyBundle] = None,
+                 proof_gate=None):
         self.plan = plan
         self.fleet_ids: List[str] = sorted(fleet_ids)
         if not self.fleet_ids:
             raise ValueError("fleet roster is empty")
         self.committed = committed
+        #: Optional :class:`~repro.verify.gate.ProofGate`: when set,
+        #: :meth:`stage` refuses any bundle whose policy fails the
+        #: static safety proofs — fleet-wide, before the canary wave.
+        self.proof_gate = proof_gate
+        #: ``(version, reason)`` for every bundle the gate refused.
+        self.refusals: List[Tuple[int, str]] = []
         self.target: Optional[PolicyBundle] = None
         self.state = RolloutState.IDLE
         self.wave_index = 0
@@ -199,6 +219,15 @@ class RolloutController:
             raise ValueError(
                 f"staged version {bundle.version} must be newer than "
                 f"committed {self.committed.version}")
+        if self.proof_gate is not None:
+            decision = self.proof_gate.evaluate_bundle(bundle)
+            if not decision.passed:
+                self.refusals.append((bundle.version, decision.summary))
+                self._log(f"REFUSED v{bundle.version} before canary: "
+                          f"{decision.summary}")
+                raise ProofRefusedError(
+                    f"bundle v{bundle.version} refused by the proof "
+                    f"gate: {decision.summary}", decision=decision)
         self.target = bundle
         self._max_offered = max(self._max_offered, bundle.version)
         self.state = RolloutState.IN_PROGRESS
@@ -452,10 +481,12 @@ class RolloutController:
             counts[phase.value] = counts.get(phase.value, 0) + 1
         lines.append("vehicles: " + ", ".join(
             f"{k}={v}" for k, v in sorted(counts.items())))
+        for version, reason in self.refusals:
+            lines.append(f"refused: v{version} — {reason}")
         return lines
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        doc: Dict[str, object] = {
             "state": self.state.value,
             "wave_index": self.wave_index,
             "committed_version": self.committed_version,
@@ -465,3 +496,9 @@ class RolloutController:
             "history": [f"e{epoch}: {msg}"
                         for epoch, msg in self.history],
         }
+        if self.refusals:
+            # Key is conditional: a gate-free rollout serialises (and
+            # fingerprints) byte-identically to pre-gate builds.
+            doc["refusals"] = [{"version": version, "reason": reason}
+                               for version, reason in self.refusals]
+        return doc

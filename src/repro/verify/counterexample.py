@@ -1,0 +1,149 @@
+"""Counterexample traces: how a property violation is reported.
+
+A counterexample is a *constructive* refutation: the concrete transition
+sequence that drives the state machine from its initial state into the
+violating ``(revision, state)`` node, plus — for decision properties —
+the access request that comes out wrong there.  The trace is what makes a
+static finding actionable: the replay driver
+(:mod:`~repro.verify.replay`) executes exactly these steps against a live
+kernel instance and confirms the mismatch end to end.
+
+Everything here is plain data with a stable dict form, so counterexamples
+can be exported from ``sackctl verify``, attached to refused OTA bundles,
+and re-imported for replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+#: Trace step kinds.
+STEP_EVENT = "event"        # a situation event drives an SSM rule
+STEP_FAILSAFE = "failsafe"  # watchdog / rollback degradation edge
+STEP_OTA = "ota"            # an OTA bundle apply swaps the policy revision
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceStep:
+    """One edge of the model walked on the way to the violating node."""
+
+    kind: str          # STEP_EVENT | STEP_FAILSAFE | STEP_OTA
+    label: str         # event name / failsafe reason / "apply <rev>"
+    from_state: str
+    to_state: str
+    revision: str      # revision the step lands in
+
+    def describe(self) -> str:
+        if self.kind == STEP_EVENT:
+            return (f"event {self.label!r}: {self.from_state} -> "
+                    f"{self.to_state}")
+        if self.kind == STEP_FAILSAFE:
+            return (f"failsafe degradation: {self.from_state} -> "
+                    f"{self.to_state}")
+        return (f"OTA apply {self.label}: {self.from_state} -> "
+                f"{self.to_state} [{self.revision}]")
+
+    def to_dict(self) -> Dict[str, str]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, str]) -> "TraceStep":
+        return cls(**doc)
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRequest:
+    """The concrete access whose decision violates the property."""
+
+    subject: str                 # task comm
+    path: str                    # object path
+    op: str                      # RuleOp value ("read", "ioctl", ...)
+    cmd: Optional[int] = None    # resolved ioctl command number
+    cmd_name: Optional[str] = None
+
+    def describe(self) -> str:
+        text = f"{self.subject}: {self.op} {self.path}"
+        if self.cmd is not None:
+            name = self.cmd_name or f"{self.cmd:#x}"
+            text += f" cmd={name}"
+        return text
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "AccessRequest":
+        return cls(**doc)
+
+
+@dataclasses.dataclass(frozen=True)
+class Counterexample:
+    """One property violation, with the trace that reaches it.
+
+    ``expected``/``actual`` are decision words (``allow``/``deny``) for
+    access properties, or short structural phrases for model-shape
+    properties (e.g. P3 with no declared failsafe).  ``request`` is None
+    for structural violations — those have nothing to replay.
+    """
+
+    property_id: str
+    revision: str
+    state: str
+    trace: Tuple[TraceStep, ...]
+    expected: str
+    actual: str
+    detail: str
+    request: Optional[AccessRequest] = None
+
+    @property
+    def replayable(self) -> bool:
+        return self.request is not None
+
+    def describe(self) -> str:
+        what = (self.request.describe() if self.request is not None
+                else self.detail)
+        return (f"{self.property_id} violated in state {self.state!r} "
+                f"[{self.revision}]: {what} — expected {self.expected}, "
+                f"got {self.actual}")
+
+    def render(self) -> List[str]:
+        """Human-readable multi-line rendering for CLI output."""
+        lines = [self.describe()]
+        if self.trace:
+            lines.append("  trace from initial state:")
+            lines.extend(f"    {i + 1}. {step.describe()}"
+                         for i, step in enumerate(self.trace))
+        else:
+            lines.append("  trace: (initial state)")
+        if self.detail and self.request is not None:
+            lines.append(f"  detail: {self.detail}")
+        return lines
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "property_id": self.property_id,
+            "revision": self.revision,
+            "state": self.state,
+            "trace": [step.to_dict() for step in self.trace],
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+            "request": (self.request.to_dict()
+                        if self.request is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Counterexample":
+        request = doc.get("request")
+        return cls(
+            property_id=doc["property_id"],
+            revision=doc["revision"],
+            state=doc["state"],
+            trace=tuple(TraceStep.from_dict(s) for s in doc["trace"]),
+            expected=doc["expected"],
+            actual=doc["actual"],
+            detail=doc["detail"],
+            request=(AccessRequest.from_dict(request)
+                     if request is not None else None),
+        )

@@ -143,13 +143,16 @@ class TestRolloutLifecycle:
         assert result.ok, result.report.violations
 
     def test_health_gate_rolls_back_watchdog_storm(self):
-        # v2 carries an absurd 1ms staleness deadline: the canary
-        # applies it fine, then its watchdog engages between SDS event
-        # writes and the health gate walks the fleet back to v1.
+        # v2 carries an absurd 1ms staleness deadline.  The static
+        # proof gate cannot object — the policy compiles and every
+        # safety property holds (P3 only demands a *positive* bound) —
+        # so the canary applies it fine; then its watchdog engages
+        # between SDS event writes and the health gate walks the fleet
+        # back to v1.  Deployment-time absurdity is exactly what the
+        # runtime gate exists to catch.
         strangled = DEFAULT_SACK_POLICY.replace(
-            "initial parking_with_driver;",
-            "initial parking_with_driver;\n"
-            "failsafe parking_with_driver after 1ms;", 1)
+            "failsafe emergency after 2000ms;",
+            "failsafe emergency after 1ms;", 1)
         assert strangled != DEFAULT_SACK_POLICY
         fleet = _fleet(n=6)
         fleet.stage_rollout(_bundle(1))

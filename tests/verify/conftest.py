@@ -1,0 +1,28 @@
+"""Shared fixtures for the static-verifier tests."""
+
+import pathlib
+
+import pytest
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="session")
+def broken_policy_text() -> str:
+    """The KOFFEE regression fixture: the built-in IVI policy plus a
+    MEDIA_DOOR permission that lets media_app unlock the doors while
+    driving (see ``data/broken_koffee.sack``)."""
+    return (DATA / "broken_koffee.sack").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def default_policy_text() -> str:
+    from repro.vehicle.ivi import DEFAULT_SACK_POLICY
+    return DEFAULT_SACK_POLICY
+
+
+@pytest.fixture(scope="session")
+def emergency_policy_text() -> str:
+    root = pathlib.Path(__file__).resolve().parents[2]
+    return (root / "examples" / "emergency.sack").read_text(
+        encoding="utf-8")

@@ -1,0 +1,154 @@
+"""The checker façade: clean proofs, counterexamples, P0, filtering."""
+
+import pytest
+
+from repro.verify import (Counterexample, verify_policies, verify_policy)
+from repro.verify.checker import COMPILABLE_ID
+
+
+class TestCleanPolicies:
+    def test_default_policy_verifies_clean(self, default_policy_text):
+        report = verify_policy(default_policy_text)
+        assert report.ok, report.summary_lines()
+        assert report.error is None
+        assert [r.prop_id.split(":")[0] for r in report.results] == \
+            ["P1", "P2", "P3", "P4", "P5"]
+        assert all(r.passed for r in report.results)
+        assert report.counterexamples == []
+        assert report.model_stats["states"] == 4
+        assert report.model_stats["checks"] > 0
+
+    def test_emergency_example_verifies_clean(self,
+                                              emergency_policy_text):
+        report = verify_policy(emergency_policy_text)
+        assert report.ok, report.summary_lines()
+
+    def test_ota_chain_verifies_clean(self, default_policy_text,
+                                      emergency_policy_text):
+        report = verify_policies([default_policy_text,
+                                  emergency_policy_text])
+        assert report.ok, report.summary_lines()
+        assert report.policy_names == ("ivi_default", "emergency_demo")
+        assert report.model_stats["revisions"] == 2
+
+
+class TestBrokenPolicy:
+    def test_koffee_regression_yields_p2_counterexample(
+            self, broken_policy_text):
+        report = verify_policy(broken_policy_text)
+        assert not report.ok
+        assert report.failed_properties == ["P2:koffee-unreachable"]
+        cexs = report.counterexamples
+        assert len(cexs) == 1
+        cex = cexs[0]
+        assert cex.state == "driving"
+        assert cex.expected == "deny" and cex.actual == "allow"
+        assert cex.replayable
+        assert cex.request.subject == "media_app"
+        assert cex.request.path == "/dev/car/door"
+        assert cex.request.cmd_name == "DOOR_UNLOCK"
+        # The trace is the concrete route into the violating state.
+        assert [s.label for s in cex.trace] == ["vehicle_started"]
+
+    def test_summary_lines_show_failure_and_trace(self,
+                                                  broken_policy_text):
+        report = verify_policy(broken_policy_text)
+        text = "\n".join(report.summary_lines())
+        assert "FAIL P2:koffee-unreachable" in text
+        assert "trace from initial state" in text
+        assert "vehicle_started" in text
+        assert "1 property violated" in text
+
+    def test_unguarded_door_also_fails_p2(self):
+        # P2 bites even with no allow rule: an unguarded door node is
+        # ungoverned, and ungoverned paths are allowed by design.
+        unguarded = """\
+policy no_guard;
+initial a;
+states {
+  a = 0;
+}
+transitions {
+}
+permissions {
+  P;
+}
+state_per {
+  a: P;
+}
+per_rules {
+  P {
+    allow read /dev/car/gps;
+  }
+}
+guard /dev/car/gps;
+failsafe a after 100ms;
+"""
+        report = verify_policy(unguarded, properties=["P2"])
+        assert not report.ok
+        assert "outside every guard" in \
+            report.counterexamples[0].detail
+
+
+class TestCompileFailure:
+    def test_uncompilable_policy_reports_p0(self):
+        report = verify_policy("policy broken;\n")
+        assert not report.ok
+        assert report.failed_properties[0] == COMPILABLE_ID
+        assert report.error is not None
+        assert "does not compile" in report.error
+        assert report.results == []
+        text = "\n".join(report.summary_lines())
+        assert "FAIL P0:compilable" in text
+
+
+class TestPropertyFiltering:
+    def test_short_ids_resolve(self, default_policy_text):
+        report = verify_policy(default_policy_text,
+                               properties=["P2", "P3"])
+        assert [r.prop_id for r in report.results] == [
+            "P2:koffee-unreachable", "P3:failsafe-reachable"]
+
+    def test_unknown_property_raises(self, default_policy_text):
+        with pytest.raises(KeyError):
+            verify_policy(default_policy_text, properties=["P9"])
+
+
+class TestReportShapes:
+    def test_to_dict_round_trips_counterexamples(self,
+                                                 broken_policy_text):
+        report = verify_policy(broken_policy_text)
+        doc = report.to_dict()
+        assert doc["ok"] is False
+        cex_doc = doc["properties"][1]["counterexamples"][0]
+        restored = Counterexample.from_dict(cex_doc)
+        assert restored == report.counterexamples[0]
+
+    def test_structural_counterexample_round_trips(self):
+        # P3 violations carry no access request (nothing to replay).
+        no_failsafe = """\
+policy nofs;
+initial a;
+states {
+  a = 0;
+}
+transitions {
+}
+permissions {
+  P;
+}
+state_per {
+  a: P;
+}
+per_rules {
+  P {
+    deny ioctl /dev/car/door subject=media_app;
+  }
+}
+guard /dev/car/**;
+"""
+        report = verify_policy(no_failsafe, properties=["P3"])
+        assert not report.ok
+        cex = report.counterexamples[0]
+        assert not cex.replayable
+        assert Counterexample.from_dict(cex.to_dict()) == cex

@@ -1,0 +1,78 @@
+"""The proof gate: admission control, digest caching, opt-out."""
+
+from repro.verify import ProofGate
+from repro.verify.gate import GateDecision
+
+
+class TestDecisions:
+    def test_clean_policy_passes(self, default_policy_text):
+        gate = ProofGate()
+        decision = gate.evaluate_policy(default_policy_text)
+        assert decision.passed
+        assert decision.failed_properties == ()
+        assert "properties hold" in decision.summary
+        assert decision.report is not None and decision.report.ok
+
+    def test_broken_policy_refused_with_counterexample_summary(
+            self, broken_policy_text):
+        gate = ProofGate()
+        decision = gate.evaluate_policy(broken_policy_text)
+        assert not decision.passed
+        assert decision.failed_properties == ("P2:koffee-unreachable",)
+        # The refusal summary carries the first counterexample so the
+        # rollout log explains itself without a separate verify run.
+        assert "P2:koffee-unreachable" in decision.summary
+        assert "media_app" in decision.summary
+
+    def test_uncompilable_policy_refused(self):
+        gate = ProofGate()
+        decision = gate.evaluate_policy("policy broken;\n")
+        assert not decision.passed
+        assert decision.failed_properties[0] == "P0:compilable"
+
+
+class TestDigestCache:
+    def test_repeat_evaluations_prove_once(self, default_policy_text):
+        gate = ProofGate()
+        first = gate.evaluate_policy(default_policy_text)
+        for _ in range(9):
+            assert gate.evaluate_policy(default_policy_text) is first
+        assert gate.stats() == {"evaluations": 10, "refusals": 0,
+                                "distinct_policies": 1}
+
+    def test_refusals_counted_per_evaluation(self, broken_policy_text,
+                                             default_policy_text):
+        gate = ProofGate()
+        gate.evaluate_policy(broken_policy_text)
+        gate.evaluate_policy(broken_policy_text)
+        gate.evaluate_policy(default_policy_text)
+        assert gate.stats() == {"evaluations": 3, "refusals": 2,
+                                "distinct_policies": 2}
+
+
+class TestConfiguration:
+    def test_disabled_gate_waves_everything_through(
+            self, broken_policy_text):
+        gate = ProofGate(enabled=False)
+        decision = gate.evaluate_policy(broken_policy_text)
+        assert decision.passed
+        assert decision.summary == "proof gate disabled"
+        assert gate.stats()["evaluations"] == 0
+
+    def test_property_subset(self, broken_policy_text):
+        # A gate scoped to P1 only does not see the P2 regression.
+        gate = ProofGate(properties=["P1"])
+        assert gate.evaluate_policy(broken_policy_text).passed
+
+    def test_evaluate_bundle_uses_the_carried_policy(
+            self, broken_policy_text):
+        from repro.fleet.bundle import BundleSigner, make_bundle
+        bundle = make_bundle(1, broken_policy_text,
+                             signer=BundleSigner(b"fleet-key"))
+        decision = ProofGate().evaluate_bundle(bundle)
+        assert not decision.passed
+
+    def test_decision_to_dict(self):
+        doc = GateDecision(True, (), "ok").to_dict()
+        assert doc == {"passed": True, "failed_properties": [],
+                       "summary": "ok"}

@@ -1,0 +1,203 @@
+"""Model construction: reachable product, edges, access grid."""
+
+import pytest
+
+from repro.sack.policy import parse_policy
+from repro.verify.counterexample import (STEP_EVENT, STEP_FAILSAFE,
+                                         STEP_OTA)
+from repro.verify.model import (UNGOVERNED_PROBE, WITNESS_SUBJECT,
+                                ModelNode, _glob_witness, build_model)
+
+TWO_STATE = """\
+policy two_state;
+initial a;
+states {
+  a = 0;
+  b = 1;
+}
+transitions {
+  a -> b on go;
+  b -> a on back;
+}
+permissions {
+  P;
+}
+state_per {
+  a: P;
+  b: P;
+}
+per_rules {
+  P {
+    allow read /dev/car/gps;
+  }
+}
+guard /dev/car/**;
+failsafe b after 100ms;
+"""
+
+UNREACHABLE = """\
+policy island;
+initial a;
+states {
+  a = 0;
+  b = 1;
+  c = 2;
+}
+transitions {
+  a -> b on go;
+  c -> a on escape;
+}
+permissions {
+  P;
+}
+state_per {
+  a: P;
+  b: P;
+  c: P;
+}
+per_rules {
+  P {
+    allow read /dev/car/gps;
+  }
+}
+guard /dev/car/**;
+failsafe a after 100ms;
+"""
+
+
+class TestGlobWitness:
+    def test_literal_path_is_its_own_witness(self):
+        assert _glob_witness("/dev/car/door") == "/dev/car/door"
+
+    def test_double_star_glob(self):
+        witness = _glob_witness("/dev/car/**")
+        assert witness is not None and witness.startswith("/dev/car/")
+
+    def test_single_star_and_question(self):
+        assert _glob_witness("/dev/tty*") is not None
+        assert _glob_witness("/dev/tty?") is not None
+
+    def test_brace_and_bracket_globs_yield_none(self):
+        assert _glob_witness("/dev/{a,b}") is None
+        assert _glob_witness("/dev/tty[0-9]") is None
+
+
+class TestModelConstruction:
+    def test_nodes_and_edges(self):
+        model = build_model(TWO_STATE)
+        rev = model.rev_order[0]
+        assert rev == "rev0:two_state"
+        assert {n.state for n in model.nodes} == {"a", "b"}
+        kinds = {(e.kind, e.source.state, e.target.state)
+                 for edges in model.edges.values() for e in edges}
+        # Event edges both ways, failsafe edge only from the non-failsafe
+        # state (the SSM ignores self-transitions).
+        assert (STEP_EVENT, "a", "b") in {(k, s, t) for k, s, t in kinds
+                                          if k == STEP_EVENT} or \
+            ("event", "a", "b") in kinds
+        assert ("event", "b", "a") in kinds
+        assert ("failsafe", "a", "b") in kinds
+        assert ("failsafe", "b", "b") not in kinds
+
+    def test_unreachable_state_excluded(self):
+        model = build_model(UNREACHABLE)
+        assert {n.state for n in model.nodes} == {"a", "b"}
+
+    def test_wildcard_transitions_expand(self, default_policy_text):
+        model = build_model(default_policy_text)
+        # `* -> emergency on crash_detected` reaches emergency from every
+        # non-emergency state.
+        crash_edges = [e for edges in model.edges.values()
+                       for e in edges if e.label == "crash_detected"]
+        assert {e.source.state for e in crash_edges} == {
+            "driving", "parking_with_driver", "parking_without_driver"}
+        assert all(e.target.state == "emergency" for e in crash_edges)
+
+    def test_access_grid_derivation(self, default_policy_text):
+        model = build_model(default_policy_text)
+        # Subjects come from rule subject= clauses plus the witness; the
+        # KOFFEE probe subject (media_app) is supplied by P2 itself.
+        assert WITNESS_SUBJECT in model.subjects
+        assert "rescue_daemon" in model.subjects
+        assert "volume_service" in model.subjects
+        assert UNGOVERNED_PROBE in model.objects
+        assert "/dev/car/door" in model.objects
+        assert "DOOR_UNLOCK" in model.ioctl_cmds
+
+    def test_decision_counts_checks(self, default_policy_text):
+        from repro.sack.policy.model import RuleOp
+        model = build_model(default_policy_text)
+        assert model.checks == 0
+        node = model.initial
+        model.decision(node, "media_app", "/dev/car/gps", RuleOp.READ)
+        assert model.checks == 1
+
+    def test_trace_to_is_shortest(self, default_policy_text):
+        model = build_model(default_policy_text)
+        rev = model.rev_order[0]
+        node = ModelNode(rev, "driving")
+        trace = model.trace_to(node)
+        assert len(trace) == 1
+        assert trace[0].kind == STEP_EVENT
+        assert trace[0].label == "vehicle_started"
+        assert model.trace_to(model.initial) == ()
+
+    def test_stats_shape(self, default_policy_text):
+        model = build_model(default_policy_text)
+        stats = model.stats()
+        assert stats["revisions"] == 1
+        assert stats["states"] == 4
+        assert stats["transitions"] > 0
+        assert stats["checks"] == 0
+
+
+class TestRevisionChain:
+    def test_ota_edges_link_revisions(self, default_policy_text,
+                                      emergency_policy_text):
+        model = build_model([default_policy_text, emergency_policy_text])
+        assert model.rev_order == ("rev0:ivi_default",
+                                   "rev1:emergency_demo")
+        ota = [e for edges in model.edges.values()
+               for e in edges if e.kind == STEP_OTA]
+        # Every reachable state of rev0 gets an apply edge into rev1's
+        # initial state (an applied bundle starts a fresh SSM).
+        assert len(ota) == len(model.nodes_of("rev0:ivi_default"))
+        assert all(e.target == ModelNode("rev1:emergency_demo", "normal")
+                   for e in ota)
+
+    def test_post_ota_trace_crosses_the_apply(self, default_policy_text,
+                                              emergency_policy_text):
+        model = build_model([default_policy_text, emergency_policy_text])
+        node = ModelNode("rev1:emergency_demo", "emergency")
+        trace = model.trace_to(node)
+        kinds = [step.kind for step in trace]
+        assert STEP_OTA in kinds
+        assert kinds[-1] in (STEP_EVENT, STEP_FAILSAFE)
+
+    def test_emergency_states(self, default_policy_text):
+        model = build_model(default_policy_text)
+        states = model.emergency_states("rev0:ivi_default",
+                                        ("crash_detected",))
+        assert states == {"emergency"}
+
+
+class TestBuildModelInputs:
+    def test_accepts_parsed_policy(self, default_policy_text):
+        policy = parse_policy(default_policy_text)
+        model = build_model(policy)
+        assert model.rev_order == ("rev0:ivi_default",)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            build_model([])
+
+    def test_uncompilable_policy_propagates(self):
+        with pytest.raises(Exception):
+            build_model("policy broken;\n")
+
+    def test_extra_subjects_and_objects(self, default_policy_text):
+        model = build_model(default_policy_text,
+                            extra_subjects=("attacker",),
+                            extra_objects=("/dev/car/extra",))
+        assert "attacker" in model.subjects
+        assert "/dev/car/extra" in model.objects

@@ -1,0 +1,103 @@
+"""Acceptance: a violating bundle is refused fleet-wide before canary."""
+
+import pytest
+
+from repro.fleet import ProofRefusedError
+from repro.fleet.bundle import (BundleSigner, BundleVerificationError,
+                                CHECK_MAC, CHECK_PROOF, CHECK_SIGNATURE,
+                                make_bundle, run_bundle_checks,
+                                verify_bundle)
+from repro.fleet.orchestrator import Fleet, FleetConfig, ScriptedDriver
+from repro.fleet.rollout import RolloutState
+from repro.verify import ProofGate
+
+KEY = b"sack-fleet-signing-key"
+
+
+def _fleet(n=4, **overrides):
+    config = FleetConfig(n_vehicles=n, seed=11, **overrides)
+    return Fleet(config, driver=ScriptedDriver())
+
+
+def _signed(version, policy_text):
+    return make_bundle(version, policy_text, signer=BundleSigner(KEY))
+
+
+class TestFleetRefusal:
+    def test_broken_bundle_refused_before_canary(self,
+                                                 broken_policy_text):
+        fleet = _fleet()
+        bad = _signed(1, broken_policy_text)
+        with pytest.raises(ProofRefusedError) as exc:
+            fleet.stage_rollout(bad)
+        assert "before the canary" not in str(exc.value)  # message below
+        assert "refused by the proof gate" in str(exc.value)
+        decision = exc.value.decision
+        assert decision is not None
+        assert decision.failed_properties == ("P2:koffee-unreachable",)
+        # No wave ever started: no vehicle was offered the bundle.
+        assert fleet.controller.state is RolloutState.IDLE
+        result = fleet.run(epochs=3)
+        assert result.ok
+        assert all(version is None for version
+                   in result.report.bundle_versions.values())
+
+    def test_refusal_reason_visible_in_rollout_status(
+            self, broken_policy_text):
+        fleet = _fleet()
+        with pytest.raises(ProofRefusedError):
+            fleet.stage_rollout(_signed(1, broken_policy_text))
+        status = "\n".join(fleet.controller.status_lines())
+        assert "refused: v1" in status
+        assert "P2:koffee-unreachable" in status
+        doc = fleet.controller.to_dict()
+        assert doc["refusals"][0]["version"] == 1
+
+    def test_clean_bundle_still_rolls_out(self, default_policy_text):
+        fleet = _fleet()
+        fleet.stage_rollout(_signed(1, default_policy_text))
+        result = fleet.run(epochs=12)
+        assert result.ok
+        assert fleet.controller.state is RolloutState.COMPLETE
+        assert fleet.proof_gate.stats()["evaluations"] == 1
+
+    def test_gate_can_be_disabled(self, broken_policy_text):
+        # Opt-out exists for harnesses that *want* to deploy a broken
+        # policy (e.g. the chaos suite probing runtime defenses).
+        fleet = _fleet(proof_gate=False)
+        assert fleet.proof_gate is None
+        fleet.stage_rollout(_signed(1, broken_policy_text))
+        assert fleet.controller.state is not RolloutState.IDLE
+
+
+class TestBundleChecks:
+    def test_proof_row_appended_after_mac(self, default_policy_text,
+                                          broken_policy_text):
+        gate = ProofGate()
+        good = run_bundle_checks(_signed(1, default_policy_text), KEY,
+                                 proof_gate=gate)
+        assert [c.check for c in good] == [
+            CHECK_SIGNATURE, "coverage", CHECK_MAC, CHECK_PROOF]
+        assert all(c.ok for c in good)
+        bad = run_bundle_checks(_signed(2, broken_policy_text), KEY,
+                                proof_gate=gate)
+        assert bad[-1].check == CHECK_PROOF
+        assert not bad[-1].ok
+        assert "P2:koffee-unreachable" in bad[-1].detail
+
+    def test_proof_skipped_when_mac_fails(self, broken_policy_text):
+        gate = ProofGate()
+        bundle = _signed(1, broken_policy_text)
+        checks = run_bundle_checks(bundle, b"wrong-key", proof_gate=gate)
+        assert checks[-1].check == CHECK_MAC and not checks[-1].ok
+        # The expensive proof never ran on an unverifiable manifest.
+        assert gate.stats()["evaluations"] == 0
+
+    def test_verify_bundle_error_carries_structured_rows(
+            self, broken_policy_text):
+        with pytest.raises(BundleVerificationError) as exc:
+            verify_bundle(_signed(1, broken_policy_text), KEY,
+                          proof_gate=ProofGate())
+        failures = exc.value.failures
+        assert [c.check for c in failures] == [CHECK_PROOF]
+        assert "P2:koffee-unreachable" in str(exc.value)

@@ -1,0 +1,124 @@
+"""Counterexample replay against a live kernel instance."""
+
+import dataclasses
+
+import pytest
+
+from repro.verify import replay_counterexample, verify_policy
+from repro.verify.counterexample import (AccessRequest, Counterexample,
+                                         TraceStep)
+
+
+def _p2_counterexample(broken_policy_text):
+    report = verify_policy(broken_policy_text)
+    assert not report.ok
+    return report.counterexamples[0]
+
+
+class TestLiveConfirmation:
+    def test_koffee_counterexample_confirmed_on_live_kernel(
+            self, broken_policy_text):
+        # The acceptance criterion: the static finding replays to a real
+        # mismatch — the live kernel delivers media_app's DOOR_UNLOCK
+        # ioctl in `driving`, exactly as the model predicted.
+        cex = _p2_counterexample(broken_policy_text)
+        result = replay_counterexample(cex, broken_policy_text)
+        assert result.confirmed, result.detail
+        assert result.outcome == "allow"
+        assert result.final_state == "driving"
+        assert result.steps_applied == len(cex.trace)
+
+    def test_fixed_policy_denies_the_same_request(
+            self, broken_policy_text, default_policy_text):
+        # Replaying the same trace + request against the *fixed* policy
+        # must NOT confirm: the live kernel denies the ioctl.
+        cex = _p2_counterexample(broken_policy_text)
+        result = replay_counterexample(cex, default_policy_text)
+        assert not result.confirmed
+        assert result.outcome == "deny"
+
+    def test_apparmor_bridge_mode_also_confirms(self,
+                                                broken_policy_text):
+        cex = _p2_counterexample(broken_policy_text)
+        result = replay_counterexample(cex, broken_policy_text,
+                                       mode="apparmor")
+        assert result.mode == "apparmor"
+        assert result.confirmed, result.detail
+
+    def test_unknown_mode_rejected(self, broken_policy_text):
+        cex = _p2_counterexample(broken_policy_text)
+        with pytest.raises(ValueError):
+            replay_counterexample(cex, broken_policy_text, mode="selinux")
+
+
+class TestTraceValidation:
+    def test_structural_counterexample_confirms_on_state_reached(
+            self, default_policy_text):
+        # A trace-only counterexample (no access request) is confirmed
+        # once the live SSM lands in the predicted state.
+        cex = Counterexample(
+            property_id="P3:failsafe-reachable",
+            revision="rev0:ivi_default", state="driving",
+            trace=(TraceStep("event", "vehicle_started",
+                             "parking_with_driver", "driving",
+                             "rev0:ivi_default"),),
+            expected="x", actual="y", detail="structural")
+        result = replay_counterexample(cex, default_policy_text)
+        assert result.confirmed
+        assert result.final_state == "driving"
+
+    def test_divergent_trace_is_inconclusive(self, default_policy_text):
+        # An event the policy does not map from the current state leaves
+        # the live SSM where it was; the replay reports the divergence
+        # instead of probing a state it never reached.
+        cex = Counterexample(
+            property_id="P2:koffee-unreachable",
+            revision="rev0:ivi_default", state="driving",
+            trace=(TraceStep("event", "driver_returned",
+                             "parking_with_driver", "driving",
+                             "rev0:ivi_default"),),
+            expected="deny", actual="allow", detail="bogus",
+            request=AccessRequest("media_app", "/dev/car/door", "ioctl"))
+        result = replay_counterexample(cex, default_policy_text)
+        assert not result.confirmed
+        assert result.outcome == "inconclusive"
+
+    def test_failsafe_step_replays_via_enter_failsafe(
+            self, default_policy_text):
+        cex = Counterexample(
+            property_id="P1:rescue-never-denied",
+            revision="rev0:ivi_default", state="emergency",
+            trace=(TraceStep("failsafe", "__failsafe__",
+                             "parking_with_driver", "emergency",
+                             "rev0:ivi_default"),),
+            expected="allow", actual="allow", detail="degradation path")
+        result = replay_counterexample(cex, default_policy_text)
+        assert result.confirmed
+        assert result.final_state == "emergency"
+
+
+class TestRevisionSelection:
+    def test_post_ota_suffix_replays_in_the_staged_revision(
+            self, default_policy_text, broken_policy_text):
+        # A violation in rev1 of a chain replays its post-apply suffix
+        # against a world booted with rev1's policy.
+        from repro.verify import verify_policies
+        report = verify_policies([default_policy_text,
+                                  broken_policy_text])
+        assert not report.ok
+        cex = next(c for c in report.counterexamples
+                   if c.revision.startswith("rev1"))
+        result = replay_counterexample(
+            cex, [default_policy_text, broken_policy_text])
+        assert result.confirmed, result.detail
+        assert result.final_state == cex.state
+
+
+class TestResultShape:
+    def test_to_dict(self, broken_policy_text):
+        cex = _p2_counterexample(broken_policy_text)
+        result = replay_counterexample(cex, broken_policy_text)
+        doc = result.to_dict()
+        assert doc["confirmed"] is True
+        assert set(doc) == {f.name for f in
+                            dataclasses.fields(type(result))}
